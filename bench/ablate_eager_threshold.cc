@@ -1,0 +1,53 @@
+// Ablation: eager/rendezvous threshold of the virtual MPI runtime.
+//
+// Scaling residual messages down by K can move them across the
+// eager/rendezvous boundary, changing their latency behaviour relative to
+// the application's -- one of the sources of the paper's "communication
+// operations cannot be scaled down linearly" error.  This bench sweeps the
+// threshold and reports how faithfully each skeleton's dedicated runtime
+// tracks its intended runtime, plus the prediction error under the
+// network-sharing scenario.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "scenario/scenario.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig base = bench::config_from_cli(argc, argv);
+  base.benchmarks = {"IS", "LU"};
+  base.skeleton_sizes = {1.0};
+  bench::print_banner("Ablation: eager threshold",
+                      "Skeleton fidelity vs the runtime's eager/rendezvous "
+                      "switch point (IS and LU, 1 s skeletons)",
+                      base);
+
+  util::Table table({"eager threshold", "app", "intended s", "dedicated s",
+                     "ratio", "net-one-link err%"});
+  for (const mpi::Bytes threshold :
+       {mpi::Bytes{1} << 10, mpi::Bytes{1} << 14, mpi::Bytes{1} << 16,
+        mpi::Bytes{1} << 18}) {
+    core::ExperimentConfig config = base;
+    config.framework.mpi.eager_threshold = threshold;
+    core::ExperimentDriver driver(config);
+    for (const std::string& app : config.benchmarks) {
+      const core::PredictionRecord record = driver.predict(
+          app, 1.0, scenario::find_scenario("net-one-link"));
+      const auto& skeleton = driver.skeleton_for_size(app, 1.0);
+      table.add_row({util::human_bytes(threshold), app,
+                     util::fixed(skeleton.intended_time, 2),
+                     util::fixed(record.skeleton_dedicated, 2),
+                     util::fixed(record.skeleton_dedicated /
+                                     skeleton.intended_time,
+                                 2),
+                     util::fixed(record.error_percent, 1)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: dedicated/intended ratios above 1 are latency that did "
+      "not scale;\nthe effect shifts with the protocol switch point.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every binary accepts:
+//   --class=S|W|A|B   problem class (default B, the paper's configuration)
+//   --sizes=10,5,...  skeleton target sizes in seconds
+//   --verbose         progress logging to stderr
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/cli.h"
+#include "util/log.h"
+
+namespace psk::bench {
+
+inline std::vector<double> parse_sizes(const std::string& text) {
+  std::vector<double> sizes;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    sizes.push_back(std::stod(token));
+  }
+  return sizes;
+}
+
+inline core::ExperimentConfig config_from_cli(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  core::ExperimentConfig config;
+  config.app_class = apps::class_from_name(cli.get("class", "B"));
+  config.skeleton_sizes = parse_sizes(cli.get("sizes", "10,5,2,1,0.5"));
+  if (cli.get_bool("verbose", false)) {
+    util::set_log_level(util::LogLevel::kInfo);
+  }
+  return config;
+}
+
+inline void print_banner(const char* figure, const char* description,
+                         const core::ExperimentConfig& config) {
+  std::printf("=== %s ===\n%s\n", figure, description);
+  std::printf(
+      "setup: NAS class %s, 4 ranks on 4 dual-core nodes, %zu skeleton "
+      "sizes\n\n",
+      apps::class_name(config.app_class), config.skeleton_sizes.size());
+}
+
+}  // namespace psk::bench

@@ -1,0 +1,97 @@
+// Extension: prediction under a co-scheduled parallel competitor.
+//
+// The paper's introduction argues that system-status-based prediction fails
+// because the CPU time a process receives "depends on the synchronization
+// structure of the parallel and distributed applications in the system".
+// This bench makes that concrete: the competitor is not a synthetic spinner
+// but another MPI job (with its own compute/communicate rhythm), both jobs
+// time-slicing one core per node.
+//
+// Three predictors for the primary application's co-scheduled runtime:
+//   share-based    dedicated time x 2   (each core runs 2 runnable jobs)
+//   skeleton       measured scaling ratio x skeleton's co-scheduled time
+// against the measured ground truth.
+#include <cstdio>
+
+#include "apps/nas.h"
+#include "bench/common.h"
+#include "core/coschedule.h"
+#include "core/framework.h"
+#include "skeleton/skeleton.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  bench::print_banner("Extension: co-scheduled MPI competitor",
+                      "Skeleton vs share-based prediction when the "
+                      "competitor is another parallel job",
+                      config);
+
+  // One core per node: co-located ranks of the two jobs time-slice it.
+  core::CoscheduleConfig cos;
+  cos.cluster = sim::ClusterConfig::paper_testbed();
+  cos.cluster.cores_per_node = 1;
+  cos.cluster.cpu_jitter = 0.02;
+  cos.cluster.net_jitter = 0.02;
+  cos.cluster.seed = 77;
+
+  util::Table table({"primary", "competitor", "actual s", "share-based",
+                     "err%", "skeleton", "err%"});
+  for (const char* primary_name : {"CG", "MG", "IS"}) {
+    core::SkeletonFramework framework;
+    const mpi::RankMain primary =
+        apps::find_benchmark(primary_name).make(config.app_class);
+    const trace::Trace trace = framework.record(primary, primary_name);
+    const skeleton::Skeleton skeleton = framework.make_consistent_skeleton(
+        trace, std::max(1.0, trace.elapsed() / 5.0));
+    const mpi::RankMain skeleton_run = skeleton::skeleton_program(skeleton);
+
+    // Calibrate the skeleton on the same 1-core-per-node machine, idle.
+    core::CoscheduleConfig idle = cos;
+    const double skeleton_dedicated =
+        core::run_coscheduled(idle, skeleton_run, 4,
+                              [](mpi::Comm&) -> sim::Task { co_return; }, 4)
+            .primary_time;
+    const double app_dedicated =
+        core::run_coscheduled(idle, primary, 4,
+                              [](mpi::Comm&) -> sim::Task { co_return; }, 4)
+            .primary_time;
+    skeleton::Calibration calibration{app_dedicated, skeleton_dedicated};
+
+    // Competitors with very different synchronization structures: BT is
+    // compute-bound with rare bulky exchanges, LU is a fine-grained
+    // latency-bound pipeline.
+    for (const char* competitor_name : {"BT", "LU"}) {
+      const mpi::RankMain competitor =
+          apps::find_benchmark(competitor_name).make(config.app_class);
+
+      const double actual =
+          core::run_coscheduled(cos, primary, 4, competitor, 4).primary_time;
+      const double share_based = app_dedicated * 2.0;
+      const double skeleton_shared =
+          core::run_coscheduled(cos, skeleton_run, 4, competitor, 4)
+              .primary_time;
+      const double skeleton_based =
+          skeleton::predict_app_time(calibration, skeleton_shared);
+
+      table.add_row(
+          {primary_name, competitor_name, util::fixed(actual, 1),
+           util::fixed(share_based, 1),
+           util::fixed(skeleton::prediction_error_percent(share_based, actual),
+                       1),
+           util::fixed(skeleton_based, 1),
+           util::fixed(
+               skeleton::prediction_error_percent(skeleton_based, actual),
+               1)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: the share-based guess misses whenever the jobs' idle "
+      "phases interleave\n(a communicating job donates its core); the "
+      "skeleton experiences the competitor's\nrhythm directly and lands far "
+      "closer -- the paper's core argument.\n");
+  return 0;
+}

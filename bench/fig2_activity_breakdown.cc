@@ -1,0 +1,60 @@
+// Figure 2: time spent by the NAS benchmarks and their skeletons in
+// computation vs. MPI operations.
+//
+// "We compared the percentage of time spent in the communication (MPI)
+// operations versus other computations for the skeletons and the
+// application."  Expected shape: the ratio is broadly similar between each
+// application and its skeletons, with more variation for the smallest
+// skeletons.
+//
+// The preamble also verifies the section 4.3/3.1 claim that tracing
+// overhead is well under 1%.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "scenario/scenario.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  bench::print_banner(
+      "Figure 2", "Compute%% / MPI%% for each application and its skeletons",
+      config);
+  core::ExperimentDriver driver(config);
+
+  // Tracing overhead check (section 3.1: "typically well under 1%").  Both
+  // runs use the jitter-free controlled testbed so the delta is purely the
+  // profiling library's per-call cost.
+  std::printf("tracing overhead (traced vs untraced controlled run):\n");
+  for (const std::string& app : config.benchmarks) {
+    const double traced = driver.app_trace(app).elapsed();
+    const double untraced = driver.framework().run_app_controlled(
+        apps::find_benchmark(app).make(config.app_class));
+    const double overhead = (traced - untraced) / untraced * 100.0;
+    std::printf("  %-3s %8.2f s traced vs %8.2f s untraced -> %+.4f%%\n",
+                app.c_str(), traced, untraced, overhead);
+  }
+  std::printf("\n");
+
+  util::Table table({"program", "compute %", "MPI %"});
+  for (const std::string& app : config.benchmarks) {
+    const trace::ActivityBreakdown app_activity = driver.app_activity(app);
+    table.add_row({app, util::fixed(app_activity.compute_fraction * 100, 1),
+                   util::fixed(app_activity.mpi_fraction * 100, 1)});
+    for (double size : config.skeleton_sizes) {
+      const trace::ActivityBreakdown skel =
+          driver.skeleton_activity(app, size);
+      table.add_row({"  " + util::fixed(size, 1) + " sec skeleton",
+                     util::fixed(skel.compute_fraction * 100, 1),
+                     util::fixed(skel.mpi_fraction * 100, 1)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nshape check: each skeleton's MPI%% should be broadly similar to its "
+      "application's\n(the paper notes moderate variation, largest for 0.5 s "
+      "skeletons).\n");
+  return 0;
+}

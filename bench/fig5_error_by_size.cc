@@ -1,0 +1,55 @@
+// Figure 5: the same grid as Figure 3, grouped by skeleton size: per size,
+// the prediction error of every benchmark plus the suite average.
+//
+// Expected shape (paper): no uniform pattern, but the number of cases with
+// relatively large error grows as skeletons shrink, clearly highest for the
+// 0.5 second skeletons; skeletons flagged "not good" by the framework
+// account for the worst cases.
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "util/format.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  bench::print_banner("Figure 5",
+                      "Prediction error per skeleton size x benchmark, "
+                      "averaged over the five sharing scenarios",
+                      config);
+  core::ExperimentDriver driver(config);
+  const auto records = driver.run_grid();
+
+  std::map<double, std::map<std::string, util::RunningStats>> errors;
+  std::map<double, std::map<std::string, bool>> flagged;
+  for (const auto& record : records) {
+    errors[record.target_size][record.app].add(record.error_percent);
+    flagged[record.target_size][record.app] = !record.good;
+  }
+
+  std::vector<std::string> header{"skeleton size"};
+  for (const std::string& app : config.benchmarks) header.push_back(app);
+  header.push_back("Average");
+  util::Table table(header);
+  for (double size : config.skeleton_sizes) {
+    std::vector<std::string> row{util::fixed(size, 1) + " sec"};
+    util::RunningStats average;
+    for (const std::string& app : config.benchmarks) {
+      const double err = errors[size][app].mean();
+      average.add(err);
+      std::string cell = util::fixed(err, 1);
+      if (flagged[size][app]) cell += "*";
+      row.push_back(cell);
+    }
+    row.push_back(util::fixed(average.mean(), 1));
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\n(* = flagged 'not good' by the framework: the skeleton is smaller "
+      "than the\n     estimated smallest good skeleton of Figure 4)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 6: prediction error for the NAS benchmarks across the five
+// resource sharing scenarios, using the representative 10 second skeletons.
+//
+// Expected shape (paper): error is higher for scenarios that include
+// competing network traffic (communication operations cannot be scaled down
+// linearly), and for "unbalanced" sharing of a single node versus balanced
+// sharing of all nodes.
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "scenario/scenario.h"
+#include "util/format.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  // Only the largest configured size is used (the paper uses 10 s).
+  double size = config.skeleton_sizes.empty() ? 10.0
+                                              : config.skeleton_sizes.front();
+  for (double s : config.skeleton_sizes) size = std::max(size, s);
+  bench::print_banner("Figure 6",
+                      "Prediction error per sharing scenario (10 second "
+                      "skeletons)",
+                      config);
+  core::ExperimentDriver driver(config);
+
+  std::vector<std::string> header{"scenario"};
+  for (const std::string& app : config.benchmarks) header.push_back(app);
+  header.push_back("Average");
+  util::Table table(header);
+
+  std::map<std::string, double> scenario_means;
+  for (const auto& scenario : scenario::paper_scenarios()) {
+    std::vector<std::string> row{scenario.name};
+    util::RunningStats average;
+    for (const std::string& app : config.benchmarks) {
+      const core::PredictionRecord record =
+          driver.predict(app, size, scenario);
+      average.add(record.error_percent);
+      row.push_back(util::fixed(record.error_percent, 1));
+    }
+    scenario_means[scenario.name] = average.mean();
+    row.push_back(util::fixed(average.mean(), 1));
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nshape checks:\n");
+  std::printf("  unbalanced cpu-one-node (%.1f%%) vs balanced cpu-all-nodes "
+              "(%.1f%%): %s\n",
+              scenario_means["cpu-one-node"], scenario_means["cpu-all-nodes"],
+              scenario_means["cpu-one-node"] >
+                      scenario_means["cpu-all-nodes"]
+                  ? "higher, as in the paper"
+                  : "NOT higher (paper expects higher)");
+  const double net = (scenario_means["net-one-link"] +
+                      scenario_means["net-all-links"] +
+                      scenario_means["cpu-and-net"]) /
+                     3.0;
+  const double cpu = (scenario_means["cpu-one-node"] +
+                      scenario_means["cpu-all-nodes"]) /
+                     2.0;
+  std::printf("  scenarios with competing traffic (%.1f%%) vs cpu-only "
+              "(%.1f%%): %s\n",
+              net, cpu,
+              net > cpu ? "higher, as in the paper"
+                        : "NOT higher (paper expects higher)");
+  return 0;
+}

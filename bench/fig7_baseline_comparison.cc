@@ -1,0 +1,78 @@
+// Figure 7: minimum, maximum and average prediction error for the NAS suite
+// under the combined scenario (competing process on one node and traffic on
+// one link), comparing:
+//   - automatically constructed skeletons of each size (10 .. 0.5 s),
+//   - the Class S benchmarks used as hand-made skeletons,
+//   - the suite-average-slowdown predictor.
+//
+// Expected shape (paper): every skeleton size beats both baselines by a
+// wide margin; even the 0.5 s skeletons -- which run about as long as the
+// Class S codes -- are clearly superior, proving that a customized skeleton
+// is required and that a scaled-down input deck is not a substitute.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "scenario/scenario.h"
+#include "util/format.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace psk;
+  core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  bench::print_banner("Figure 7",
+                      "MIN / AVG / MAX error: skeletons vs Class-S vs "
+                      "average prediction (scenario: cpu-and-net)",
+                      config);
+  core::ExperimentDriver driver(config);
+  const auto& scenario = scenario::find_scenario("cpu-and-net");
+
+  util::Table table({"prediction methodology", "MIN err%", "AVG err%",
+                     "MAX err%"});
+
+  double best_skeleton_avg = 1e30;
+  for (double size : config.skeleton_sizes) {
+    std::vector<double> errors;
+    for (const std::string& app : config.benchmarks) {
+      errors.push_back(driver.predict(app, size, scenario).error_percent);
+    }
+    const util::Summary summary = util::summarize(errors);
+    best_skeleton_avg = std::min(best_skeleton_avg, summary.mean);
+    table.add_row_numeric(util::fixed(size, 1) + " sec skeleton",
+                          {summary.min, summary.mean, summary.max}, 1);
+  }
+
+  std::vector<double> class_s_errors;
+  for (const std::string& app : config.benchmarks) {
+    class_s_errors.push_back(
+        driver.predict_with_class_s(app, scenario).error_percent);
+  }
+  const util::Summary class_s = util::summarize(class_s_errors);
+  table.add_row_numeric("Class S as skeleton",
+                        {class_s.min, class_s.mean, class_s.max}, 1);
+
+  std::vector<double> average_errors;
+  for (const std::string& app : config.benchmarks) {
+    average_errors.push_back(
+        driver.predict_with_average(app, scenario).error_percent);
+  }
+  const util::Summary average = util::summarize(average_errors);
+  table.add_row_numeric("Average prediction",
+                        {average.min, average.mean, average.max}, 1);
+
+  std::printf("%s", table.render().c_str());
+  std::printf("\nshape checks:\n");
+  std::printf("  best skeleton avg %.1f%% vs Class S avg %.1f%%: %s\n",
+              best_skeleton_avg, class_s.mean,
+              best_skeleton_avg < class_s.mean
+                  ? "skeletons win, as in the paper"
+                  : "NOT winning (paper expects a wide margin)");
+  std::printf("  best skeleton avg %.1f%% vs Average prediction avg %.1f%%: "
+              "%s\n",
+              best_skeleton_avg, average.mean,
+              best_skeleton_avg < average.mean
+                  ? "skeletons win, as in the paper"
+                  : "NOT winning (paper expects a wide margin)");
+  return 0;
+}

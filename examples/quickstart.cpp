@@ -1,0 +1,92 @@
+// Quickstart: the full performance-skeleton pipeline on a small custom
+// MPI application.
+//
+//   1. write an SPMD program against psk::mpi::Comm
+//   2. trace it on the (simulated) dedicated testbed
+//   3. compress the trace into an execution signature
+//   4. build a performance skeleton for a target runtime
+//   5. run the skeleton under a sharing scenario and predict the
+//      application's execution time there
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/framework.h"
+#include "scenario/scenario.h"
+#include "sig/compress.h"
+#include "skeleton/skeleton.h"
+#include "trace/fold.h"
+#include "util/format.h"
+
+using namespace psk;
+
+// A toy iterative solver: halo exchange with both ring neighbours, local
+// compute, and a convergence allreduce -- 400 timesteps.
+sim::Task ring_solver(mpi::Comm& comm) {
+  const int right = (comm.rank() + 1) % comm.size();
+  const int left = (comm.rank() + comm.size() - 1) % comm.size();
+  co_await comm.bcast(0, 64);  // read configuration
+  for (int step = 0; step < 400; ++step) {
+    std::vector<mpi::Request> requests;
+    requests.push_back(comm.irecv(left, 256 * 1024, /*tag=*/1));
+    requests.push_back(comm.irecv(right, 256 * 1024, /*tag=*/2));
+    co_await comm.compute(0.04);  // interior update
+    requests.push_back(comm.isend(right, 256 * 1024, /*tag=*/1));
+    requests.push_back(comm.isend(left, 256 * 1024, /*tag=*/2));
+    co_await comm.waitall(std::move(requests));
+    co_await comm.compute(0.01);  // boundary update
+    co_await comm.allreduce(8);   // residual norm
+  }
+  co_await comm.reduce(0, 64);  // gather the result
+}
+
+int main() {
+  core::SkeletonFramework framework;
+
+  // 1+2: trace the application on the dedicated testbed.
+  const trace::Trace trace = framework.record(ring_solver, "ring-solver");
+  std::printf("traced '%s': %.2f s, %zu events across %d ranks\n",
+              trace.app_name.c_str(), trace.elapsed(), trace.event_count(),
+              trace.rank_count());
+
+  // 3: compress into an execution signature (K = app time / 1 s target).
+  const double target_seconds = 1.0;
+  const double k = trace.elapsed() / target_seconds;
+  const sig::Signature signature = framework.make_signature(trace, k);
+  std::printf("signature: compression ratio %.1fx at threshold %.2f\n",
+              signature.compression_ratio, signature.threshold);
+  std::printf("rank 0 structure: %s\n",
+              sig::to_string(signature.ranks[0].roots).c_str());
+
+  // 4: build the skeleton.
+  const skeleton::Skeleton skeleton =
+      framework.make_consistent_skeleton(trace, k);
+  std::printf("skeleton: K=%.1f intended %.2f s%s\n",
+              skeleton.scaling_factor, skeleton.intended_time,
+              skeleton.good ? "" : "  [below smallest good size!]");
+
+  // 5: calibrate, then predict under every sharing scenario.
+  skeleton::Calibration calibration;
+  calibration.app_dedicated_time = trace.elapsed();
+  calibration.skeleton_dedicated_time =
+      framework.run_skeleton(skeleton, scenario::dedicated());
+  std::printf("measured scaling ratio: %.1f\n\n",
+              calibration.measured_scaling_ratio());
+
+  std::printf("%-15s %12s %12s %10s\n", "scenario", "predicted", "actual",
+              "error");
+  for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
+    const double skeleton_time =
+        framework.run_skeleton(skeleton, scenario, /*seed_offset=*/1);
+    const double predicted =
+        skeleton::predict_app_time(calibration, skeleton_time);
+    const double actual = framework.run_app(ring_solver, scenario);
+    std::printf("%-15s %10.2f s %10.2f s %9.1f%%\n", scenario.name, predicted,
+                actual, skeleton::prediction_error_percent(predicted, actual));
+  }
+  std::printf("\nPrediction took seconds of skeleton time per scenario "
+              "instead of re-running\nthe %.0f-second application.\n",
+              trace.elapsed());
+  return 0;
+}

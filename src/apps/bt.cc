@@ -1,0 +1,107 @@
+// BT: Block Tridiagonal solver.
+//
+// Structure per timestep (NPB 2.x BT on a square process grid):
+//   copy_faces  -- nonblocking face exchange with the four torus neighbours
+//   x_solve / y_solve / z_solve -- heavy block solves; the decomposed
+//                  directions exchange boundary planes with their neighbour
+//                  pair, the undecomposed z direction is pure computation.
+// BT is the most compute-bound code of the suite (~10% MPI at class B).
+#include "apps/common.h"
+#include "apps/nas.h"
+
+namespace psk::apps {
+
+namespace {
+
+struct BtParams {
+  int steps;
+  mpi::Bytes face_bytes;   // copy_faces message per neighbour
+  mpi::Bytes solve_bytes;  // per-direction boundary plane
+  double step_work;        // work-seconds of computation per timestep
+  double init_work;
+};
+
+BtParams bt_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS:
+      return {60, 24 * 1024, 10 * 1024, 0.004, 0.01};
+    case NasClass::kW:
+      return {200, 256 * 1024, 120 * 1024, 0.11, 0.2};
+    case NasClass::kA:
+      return {200, 1024 * 1024, 480 * 1024, 0.8, 1.0};
+    case NasClass::kB:
+      return {200, 2560 * 1024, 1228 * 1024, 2.8, 2.5};
+  }
+  return {};
+}
+
+constexpr int kTagFaceX = 100;
+constexpr int kTagFaceY = 101;
+constexpr int kTagSolveX = 110;
+constexpr int kTagSolveY = 111;
+
+}  // namespace
+
+namespace {
+/// Memory intensity of the solver's computation in bytes per work-second
+/// (relative to the node's 6 GB/s bus; see sim::ClusterConfig).
+constexpr double kMemBytesPerWork = 1.6e9;
+
+mpi::Bytes mem_of(double work) {
+  return static_cast<mpi::Bytes>(work * kMemBytesPerWork);
+}
+}  // namespace
+
+mpi::RankMain make_bt(NasClass cls) {
+  const BtParams p = bt_params(cls);
+  return [p](mpi::Comm& comm) -> sim::Task {
+    const Grid2D grid(comm.size());
+    const int me = comm.rank();
+    const int west = grid.west(me);
+    const int east = grid.east(me);
+    const int north = grid.north(me);
+    const int south = grid.south(me);
+
+    // Setup: read/broadcast problem parameters, initialize fields.
+    co_await comm.bcast(0, 64);
+    co_await comm.compute(p.init_work, mem_of(p.init_work));
+
+    for (int step = 0; step < p.steps; ++step) {
+      const double v = vary(step, 0.10, 0.7);
+
+      // copy_faces: all four faces at once, with boundary packing.
+      std::vector<NeighborXfer> faces;
+      faces.push_back({east, west, p.face_bytes, kTagFaceX});
+      faces.push_back({west, east, p.face_bytes, kTagFaceX + 1});
+      faces.push_back({south, north, p.face_bytes, kTagFaceY});
+      faces.push_back({north, south, p.face_bytes, kTagFaceY + 1});
+      co_await neighbor_exchange(comm, std::move(faces),
+                                 p.step_work * 0.02 * v);
+
+      // x_solve: sweep along x, exchanging with the x-neighbour pair.
+      co_await comm.compute(p.step_work * 0.30 * v,
+                            mem_of(p.step_work * 0.30 * v));
+      std::vector<NeighborXfer> xsweep;
+      xsweep.push_back({east, west, p.solve_bytes, kTagSolveX});
+      xsweep.push_back({west, east, p.solve_bytes, kTagSolveX + 1});
+      co_await neighbor_exchange(comm, std::move(xsweep));
+
+      // y_solve.
+      co_await comm.compute(p.step_work * 0.30 * v,
+                            mem_of(p.step_work * 0.30 * v));
+      std::vector<NeighborXfer> ysweep;
+      ysweep.push_back({south, north, p.solve_bytes, kTagSolveY});
+      ysweep.push_back({north, south, p.solve_bytes, kTagSolveY + 1});
+      co_await neighbor_exchange(comm, std::move(ysweep));
+
+      // z_solve: z is not decomposed on a 2D grid -- computation only.
+      co_await comm.compute(p.step_work * 0.38 * v,
+                            mem_of(p.step_work * 0.38 * v));
+    }
+
+    // Verification: gather solution norms at rank 0.
+    co_await comm.reduce(0, 40);
+  };
+}
+
+}  // namespace psk::apps

@@ -1,0 +1,83 @@
+// CG: Conjugate Gradient.
+//
+// Structure (NPB 2.x CG on a square process grid): 75 outer iterations of
+// 25 inner CG iterations; each inner iteration performs a sparse
+// matrix-vector product whose communication is an exchange with the
+// transpose partner followed by a row-sum allreduce, plus dot-product
+// allreduces.  On a 2x2 grid the diagonal ranks' transpose partner is
+// themselves (a fast local copy), the off-diagonal ranks exchange -- the
+// paper's unbalanced-communication code.
+#include "apps/common.h"
+#include "apps/nas.h"
+
+namespace psk::apps {
+
+namespace {
+
+struct CgParams {
+  int outer;
+  int inner;
+  mpi::Bytes vec_bytes;  // transpose exchange per matvec
+  double matvec_work;
+  double outer_work;
+  double init_work;
+};
+
+CgParams cg_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS:
+      return {15, 25, 3 * 1024, 0.0008, 0.003, 0.005};
+    case NasClass::kW:
+      return {15, 25, 70 * 1024, 0.012, 0.05, 0.05};
+    case NasClass::kA:
+      return {15, 25, 300 * 1024, 0.05, 0.2, 0.3};
+    case NasClass::kB:
+      return {75, 25, 600 * 1024, 0.052, 0.25, 1.0};
+  }
+  return {};
+}
+
+constexpr int kTagTranspose = 200;
+
+}  // namespace
+
+namespace {
+/// Memory intensity of the solver's computation in bytes per work-second
+/// (relative to the node's 6 GB/s bus; see sim::ClusterConfig).
+constexpr double kMemBytesPerWork = 4.2e9;
+
+mpi::Bytes mem_of(double work) {
+  return static_cast<mpi::Bytes>(work * kMemBytesPerWork);
+}
+}  // namespace
+
+mpi::RankMain make_cg(NasClass cls) {
+  const CgParams p = cg_params(cls);
+  return [p](mpi::Comm& comm) -> sim::Task {
+    const Grid2D grid(comm.size());
+    const int partner = grid.transpose(comm.rank());
+
+    co_await comm.bcast(0, 64);
+    co_await comm.compute(p.init_work, mem_of(p.init_work));  // makea
+
+    for (int outer = 0; outer < p.outer; ++outer) {
+      for (int inner = 0; inner < p.inner; ++inner) {
+        // Sparse matvec: local part, transpose exchange, row reduction.
+        const double matvec =
+            p.matvec_work * vary(outer * p.inner + inner, 0.08, 0.45);
+        co_await comm.compute(matvec, mem_of(matvec));
+        co_await comm.sendrecv(partner, p.vec_bytes, partner, p.vec_bytes,
+                               kTagTranspose);
+        co_await comm.allreduce(8);  // dot products rho / alpha
+      }
+      // Norm of the residual, reported once per outer iteration.
+      const double norm_work = p.outer_work * vary(outer, 0.05, 1.1);
+      co_await comm.compute(norm_work, mem_of(norm_work));
+      co_await comm.allreduce(16);
+    }
+
+    co_await comm.reduce(0, 16);  // zeta verification
+  };
+}
+
+}  // namespace psk::apps

@@ -1,0 +1,72 @@
+// Shared building blocks for the NAS-like benchmark implementations.
+//
+// The benchmarks reproduce the externally visible behaviour of the NAS
+// Parallel Benchmarks 2.x MPI codes -- process topologies, message patterns,
+// sizes and phase structure -- which is everything the skeleton framework
+// observes.  Numerical payloads are replaced by calibrated compute phases.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "sim/task.h"
+#include "util/error.h"
+
+namespace psk::apps {
+
+/// Square process grid with wraparound (the BT/SP/CG/MG layout; 4 ranks ->
+/// 2x2).  Rank r sits at (row, col) = (r / cols, r % cols).
+class Grid2D {
+ public:
+  explicit Grid2D(int ranks);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int row_of(int rank) const { return rank / cols_; }
+  int col_of(int rank) const { return rank % cols_; }
+  int at(int row, int col) const;  // wraps both coordinates
+
+  /// Torus neighbours of `rank`.
+  int north(int rank) const { return at(row_of(rank) - 1, col_of(rank)); }
+  int south(int rank) const { return at(row_of(rank) + 1, col_of(rank)); }
+  int west(int rank) const { return at(row_of(rank), col_of(rank) - 1); }
+  int east(int rank) const { return at(row_of(rank), col_of(rank) + 1); }
+
+  /// Non-periodic neighbours: -1 outside the grid (the LU pipeline layout).
+  int north_open(int rank) const;
+  int south_open(int rank) const;
+  int west_open(int rank) const;
+  int east_open(int rank) const;
+
+  /// Transpose partner: rank at (col, row); requires a square grid.
+  int transpose(int rank) const;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+/// Deterministic per-iteration workload variation.  Real solvers do not do
+/// identical work every timestep; this low-frequency modulation is what the
+/// signature compressor's "average duration across iterations" rule loses,
+/// reproducing the paper's main approximation error.
+inline double vary(int iteration, double amplitude = 0.1,
+                   double frequency = 0.7) {
+  return 1.0 + amplitude * std::sin(frequency * static_cast<double>(iteration));
+}
+
+/// One directed transfer of a face exchange.
+struct NeighborXfer {
+  int send_to = -1;    // -1: skip the send (open boundary)
+  int recv_from = -1;  // -1: skip the receive
+  mpi::Bytes bytes = 0;
+  int tag = 0;
+};
+
+/// The canonical NAS exchange: post all receives, pack boundaries
+/// (`interior_work`), post all sends, wait for everything.
+sim::Task neighbor_exchange(mpi::Comm& comm, std::vector<NeighborXfer> xfers,
+                            double interior_work = 0.0);
+
+}  // namespace psk::apps

@@ -1,0 +1,65 @@
+// EP: Embarrassingly Parallel (extended suite; not part of the paper's six).
+//
+// Structure (NPB 2.x EP): each rank generates its share of Gaussian pairs
+// with essentially no communication -- one long computation bracketed by a
+// broadcast of parameters and three small allreduces of the counts/sums.
+// The extreme compute-bound case: its skeleton is almost pure busy-work and
+// predicts CPU scenarios nearly exactly while carrying no information about
+// links.
+#include "apps/common.h"
+#include "apps/nas.h"
+
+namespace psk::apps {
+
+namespace {
+
+struct EpParams {
+  int batches;        // the generation loop is traced in batches
+  double batch_work;  // work-seconds per batch
+};
+
+EpParams ep_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS:
+      return {16, 0.012};
+    case NasClass::kW:
+      return {16, 0.19};
+    case NasClass::kA:
+      return {16, 3.0};
+    case NasClass::kB:
+      return {16, 12.0};
+  }
+  return {};
+}
+
+}  // namespace
+
+namespace {
+/// Memory intensity of the solver's computation in bytes per work-second
+/// (relative to the node's 6 GB/s bus; see sim::ClusterConfig).
+constexpr double kMemBytesPerWork = 0.1e9;
+
+mpi::Bytes mem_of(double work) {
+  return static_cast<mpi::Bytes>(work * kMemBytesPerWork);
+}
+}  // namespace
+
+mpi::RankMain make_ep(NasClass cls) {
+  const EpParams p = ep_params(cls);
+  return [p](mpi::Comm& comm) -> sim::Task {
+    co_await comm.bcast(0, 64);
+    for (int batch_index = 0; batch_index < p.batches; ++batch_index) {
+      const double batch = p.batch_work * vary(batch_index, 0.04, 1.3);
+      co_await comm.compute(batch, mem_of(batch));
+      // NPB EP prints progress per batch but communicates nothing here; the
+      // barrier-free structure is the point.
+    }
+    // Combine the counts: sx, sy, and the 10 annulus counts.
+    co_await comm.allreduce(8);
+    co_await comm.allreduce(8);
+    co_await comm.allreduce(80);
+    co_await comm.reduce(0, 16);
+  };
+}
+
+}  // namespace psk::apps

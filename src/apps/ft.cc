@@ -1,0 +1,69 @@
+// FT: 3D FFT PDE solver (extended suite; not part of the paper's six).
+//
+// Structure (NPB 2.x FT, transpose algorithm): per timestep, local FFTs
+// along the in-processor dimensions, then a global transpose implemented as
+// a large all-to-all, then the remaining 1D FFTs, plus a checksum reduction
+// every step.  The most alltoall-bound code in NPB -- a stress test for the
+// skeleton's handling of huge collective payloads.
+#include "apps/common.h"
+#include "apps/nas.h"
+
+namespace psk::apps {
+
+namespace {
+
+struct FtParams {
+  int steps;
+  mpi::Bytes transpose_bytes;  // alltoall payload per peer pair
+  double fft_work;             // per-step local FFT computation
+  double init_work;
+};
+
+FtParams ft_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS:
+      return {6, 32 * 1024, 0.004, 0.004};
+    case NasClass::kW:
+      return {6, 512 * 1024, 0.06, 0.05};
+    case NasClass::kA:
+      return {6, 8 * 1024 * 1024, 1.0, 0.8};
+    case NasClass::kB:
+      return {20, 24ull * 1024 * 1024, 2.4, 2.0};
+  }
+  return {};
+}
+
+}  // namespace
+
+namespace {
+/// Memory intensity of the solver's computation in bytes per work-second
+/// (relative to the node's 6 GB/s bus; see sim::ClusterConfig).
+constexpr double kMemBytesPerWork = 3.8e9;
+
+mpi::Bytes mem_of(double work) {
+  return static_cast<mpi::Bytes>(work * kMemBytesPerWork);
+}
+}  // namespace
+
+mpi::RankMain make_ft(NasClass cls) {
+  const FtParams p = ft_params(cls);
+  return [p](mpi::Comm& comm) -> sim::Task {
+    co_await comm.bcast(0, 64);
+    co_await comm.compute(p.init_work, mem_of(p.init_work));  // warm-up
+    co_await comm.alltoall(p.transpose_bytes);  // initial transform
+
+    for (int step = 0; step < p.steps; ++step) {
+      const double v = vary(step, 0.05, 1.1);
+      const double in_proc = p.fft_work * 0.55 * v;
+      co_await comm.compute(in_proc, mem_of(in_proc));  // evolve + cffts
+      co_await comm.alltoall(p.transpose_bytes);     // global transpose
+      const double final_ffts = p.fft_work * 0.45 * v;
+      co_await comm.compute(final_ffts, mem_of(final_ffts));
+      co_await comm.allreduce(16);                   // checksum
+    }
+
+    co_await comm.reduce(0, 16);
+  };
+}
+
+}  // namespace psk::apps

@@ -1,0 +1,86 @@
+// IS: Integer Sort.
+//
+// Structure per iteration (NPB 2.x IS): local key ranking, an allreduce of
+// bucket-size counts, an alltoall of send counts, then the dominant
+// operation -- a large alltoallv redistributing all keys -- followed by the
+// local sort of received keys.  IS is the most communication-intensive code
+// in the suite; its "smallest good skeleton" must contain one full
+// alltoallv (section 3.4 of the paper).
+#include <vector>
+
+#include "apps/common.h"
+#include "apps/nas.h"
+
+namespace psk::apps {
+
+namespace {
+
+struct IsParams {
+  int iterations;
+  mpi::Bytes bucket_bytes;  // allreduce of bucket counts
+  mpi::Bytes key_bytes;     // alltoallv payload per peer
+  double rank_work;         // local key ranking
+  double sort_work;         // local sort of received keys
+};
+
+IsParams is_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS:
+      return {10, 256, 4 * 1024, 0.0012, 0.0005};
+    case NasClass::kW:
+      return {10, 1024, 512 * 1024, 0.03, 0.012};
+    case NasClass::kA:
+      return {10, 2048, 6 * 1024 * 1024, 0.35, 0.13};
+    case NasClass::kB:
+      return {10, 4096, 24ull * 1024 * 1024, 1.4, 0.5};
+  }
+  return {};
+}
+
+}  // namespace
+
+namespace {
+/// Memory intensity of the solver's computation in bytes per work-second
+/// (relative to the node's 6 GB/s bus; see sim::ClusterConfig).
+constexpr double kMemBytesPerWork = 3.4e9;
+
+mpi::Bytes mem_of(double work) {
+  return static_cast<mpi::Bytes>(work * kMemBytesPerWork);
+}
+}  // namespace
+
+mpi::RankMain make_is(NasClass cls) {
+  const IsParams p = is_params(cls);
+  return [p](mpi::Comm& comm) -> sim::Task {
+    const int ranks = comm.size();
+    co_await comm.bcast(0, 64);
+    co_await comm.compute(p.rank_work * 0.5, mem_of(p.rank_work * 0.5));
+
+    for (int iter = 0; iter < p.iterations; ++iter) {
+      const double rank_work = p.rank_work * vary(iter, 0.08, 0.9);
+      co_await comm.compute(rank_work, mem_of(rank_work));
+      co_await comm.allreduce(p.bucket_bytes);
+      co_await comm.alltoall(16);  // per-peer send counts
+
+      // Key redistribution: sizes wobble per iteration and per peer as the
+      // random keys land in different buckets.
+      std::vector<mpi::Bytes> counts(static_cast<std::size_t>(ranks));
+      for (int peer = 0; peer < ranks; ++peer) {
+        const double wobble =
+            vary(iter * ranks + peer, 0.06, 1.3);
+        counts[static_cast<std::size_t>(peer)] = static_cast<mpi::Bytes>(
+            static_cast<double>(p.key_bytes) * wobble);
+      }
+      co_await comm.alltoallv(std::move(counts));
+
+      const double sort_work = p.sort_work * vary(iter, 0.1, 0.6);
+      co_await comm.compute(sort_work, mem_of(sort_work));
+    }
+
+    // Full verification.
+    co_await comm.allreduce(8);
+    co_await comm.reduce(0, 8);
+  };
+}
+
+}  // namespace psk::apps

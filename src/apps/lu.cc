@@ -1,0 +1,116 @@
+// LU: SSOR solver with a 2D wavefront pipeline.
+//
+// Structure per timestep (NPB 2.x LU on a 2D non-periodic grid): an RHS
+// computation with a nonblocking face exchange (exchange_3), then the two
+// SSOR sweeps.  Each sweep pipelines the k-planes of the grid: for each
+// plane block, receive the boundary rows from the upstream neighbours
+// (north/west on the lower sweep), compute, and forward downstream
+// (south/east).  This produces LU's signature stream of many small blocking
+// messages, the latency-sensitive behaviour the paper discusses.
+#include <vector>
+
+#include "apps/common.h"
+#include "apps/nas.h"
+
+namespace psk::apps {
+
+namespace {
+
+struct LuParams {
+  int steps;
+  int k_blocks;           // pipeline stages per sweep
+  mpi::Bytes pipe_bytes;  // per-block boundary message (small, eager)
+  mpi::Bytes exch3_bytes; // RHS face exchange (large)
+  double rhs_work;        // per-step RHS computation
+  double sweep_work;      // per-step total sweep computation (both sweeps)
+  int norm_every;         // steps between residual-norm allreduces
+};
+
+LuParams lu_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS:
+      return {50, 6, 1536, 16 * 1024, 0.0008, 0.002, 10};
+    case NasClass::kW:
+      return {300, 16, 8 * 1024, 128 * 1024, 0.03, 0.09, 50};
+    case NasClass::kA:
+      return {250, 32, 20 * 1024, 512 * 1024, 0.16, 0.5, 50};
+    case NasClass::kB:
+      return {250, 50, 40 * 1024, 1024 * 1024, 0.30, 0.90, 50};
+  }
+  return {};
+}
+
+constexpr int kTagExch3 = 300;
+constexpr int kTagLower = 310;
+constexpr int kTagUpper = 311;
+
+}  // namespace
+
+namespace {
+/// Memory intensity of the solver's computation in bytes per work-second
+/// (relative to the node's 6 GB/s bus; see sim::ClusterConfig).
+constexpr double kMemBytesPerWork = 2.4e9;
+
+mpi::Bytes mem_of(double work) {
+  return static_cast<mpi::Bytes>(work * kMemBytesPerWork);
+}
+}  // namespace
+
+mpi::RankMain make_lu(NasClass cls) {
+  const LuParams p = lu_params(cls);
+  return [p](mpi::Comm& comm) -> sim::Task {
+    const Grid2D grid(comm.size());
+    const int me = comm.rank();
+    const int north = grid.north_open(me);
+    const int south = grid.south_open(me);
+    const int west = grid.west_open(me);
+    const int east = grid.east_open(me);
+
+    co_await comm.bcast(0, 64);
+    co_await comm.compute(p.rhs_work * 4, mem_of(p.rhs_work * 4));
+
+    const double block_work =
+        p.sweep_work / (2.0 * static_cast<double>(p.k_blocks));
+
+    for (int step = 0; step < p.steps; ++step) {
+      // Fast-oscillating (mean-stationary) variation: LU's per-step work
+      // wobbles but does not drift, as in the real SSOR iteration counts.
+      const double v = vary(step, 0.10, 1.9);
+
+      // RHS with exchange_3 on all existing neighbours.
+      std::vector<NeighborXfer> faces;
+      faces.push_back({north, south, p.exch3_bytes, kTagExch3});
+      faces.push_back({south, north, p.exch3_bytes, kTagExch3 + 1});
+      faces.push_back({west, east, p.exch3_bytes, kTagExch3 + 2});
+      faces.push_back({east, west, p.exch3_bytes, kTagExch3 + 3});
+      co_await neighbor_exchange(comm, std::move(faces), p.rhs_work * v);
+
+      // Lower-triangular sweep: wavefront flows from (0,0) to (R,C).
+      for (int kb = 0; kb < p.k_blocks; ++kb) {
+        if (north >= 0) co_await comm.recv(north, p.pipe_bytes, kTagLower);
+        if (west >= 0) co_await comm.recv(west, p.pipe_bytes, kTagLower);
+        co_await comm.compute(block_work * v, mem_of(block_work * v));
+        if (south >= 0) co_await comm.send(south, p.pipe_bytes, kTagLower);
+        if (east >= 0) co_await comm.send(east, p.pipe_bytes, kTagLower);
+      }
+
+      // Upper-triangular sweep: wavefront flows back from (R,C) to (0,0).
+      for (int kb = 0; kb < p.k_blocks; ++kb) {
+        if (south >= 0) co_await comm.recv(south, p.pipe_bytes, kTagUpper);
+        if (east >= 0) co_await comm.recv(east, p.pipe_bytes, kTagUpper);
+        co_await comm.compute(block_work * v, mem_of(block_work * v));
+        if (north >= 0) co_await comm.send(north, p.pipe_bytes, kTagUpper);
+        if (west >= 0) co_await comm.send(west, p.pipe_bytes, kTagUpper);
+      }
+
+      if ((step + 1) % p.norm_every == 0) {
+        co_await comm.allreduce(40);  // residual norms
+      }
+    }
+
+    co_await comm.allreduce(40);
+    co_await comm.reduce(0, 40);  // verification
+  };
+}
+
+}  // namespace psk::apps

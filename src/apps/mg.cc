@@ -1,0 +1,113 @@
+// MG: Multigrid V-cycles.
+//
+// Structure per iteration (NPB 2.x MG): a V-cycle descending through the
+// grid hierarchy and back up.  Every level performs a periodic boundary
+// exchange with the four torus neighbours; message sizes shrink by 4x per
+// level down (surface area) and computation by 8x (volume).  The wide
+// spread of message sizes makes MG the main exercise for the signature
+// compressor's similarity clustering.
+#include <algorithm>
+#include <vector>
+
+#include "apps/common.h"
+#include "apps/nas.h"
+
+namespace psk::apps {
+
+namespace {
+
+struct MgParams {
+  int iterations;
+  int levels;
+  mpi::Bytes top_face_bytes;  // finest-level face message
+  double cycle_work;          // total computation of one V-cycle
+  double init_work;
+};
+
+MgParams mg_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS:
+      return {4, 5, 4 * 1024, 0.004, 0.004};
+    case NasClass::kW:
+      return {40, 6, 64 * 1024, 0.10, 0.08};
+    case NasClass::kA:
+      return {4, 8, 512 * 1024, 1.3, 1.0};
+    case NasClass::kB:
+      return {20, 8, 1024 * 1024, 1.5, 1.2};
+  }
+  return {};
+}
+
+constexpr int kTagMg = 400;
+constexpr mpi::Bytes kMinFace = 128;
+
+mpi::Bytes level_bytes(const MgParams& p, int level) {
+  // level 0 = finest.  Faces shrink 4x per coarsening.
+  const mpi::Bytes shrunk = p.top_face_bytes >> (2 * level);
+  return std::max(shrunk, kMinFace);
+}
+
+double level_work(const MgParams& p, int level) {
+  // Volumes shrink 8x per coarsening; normalize so levels sum to ~1.
+  return p.cycle_work * 0.875 / static_cast<double>(1ull << (3 * level));
+}
+
+sim::Task level_exchange(mpi::Comm& comm, const Grid2D& grid,
+                         mpi::Bytes bytes, int tag) {
+  const int me = comm.rank();
+  std::vector<NeighborXfer> xfers;
+  xfers.push_back({grid.east(me), grid.west(me), bytes, tag});
+  xfers.push_back({grid.west(me), grid.east(me), bytes, tag + 1});
+  xfers.push_back({grid.south(me), grid.north(me), bytes, tag + 2});
+  xfers.push_back({grid.north(me), grid.south(me), bytes, tag + 3});
+  co_await neighbor_exchange(comm, std::move(xfers));
+}
+
+}  // namespace
+
+namespace {
+/// Memory intensity of the solver's computation in bytes per work-second
+/// (relative to the node's 6 GB/s bus; see sim::ClusterConfig).
+constexpr double kMemBytesPerWork = 4.6e9;
+
+mpi::Bytes mem_of(double work) {
+  return static_cast<mpi::Bytes>(work * kMemBytesPerWork);
+}
+}  // namespace
+
+mpi::RankMain make_mg(NasClass cls) {
+  const MgParams p = mg_params(cls);
+  return [p](mpi::Comm& comm) -> sim::Task {
+    const Grid2D grid(comm.size());
+
+    co_await comm.bcast(0, 64);
+    co_await comm.compute(p.init_work, mem_of(p.init_work));
+    co_await level_exchange(comm, grid, level_bytes(p, 0), kTagMg);
+
+    for (int iter = 0; iter < p.iterations; ++iter) {
+      const double v = vary(iter, 0.08, 0.8);
+
+      // Descend: restrict residuals to coarser grids.
+      for (int level = 0; level < p.levels; ++level) {
+        const double down_work = level_work(p, level) * 0.45 * v;
+        co_await comm.compute(down_work, mem_of(down_work));
+        co_await level_exchange(comm, grid, level_bytes(p, level),
+                                kTagMg + 8 * level);
+      }
+      // Ascend: interpolate corrections back to finer grids.
+      for (int level = p.levels - 1; level >= 0; --level) {
+        const double up_work = level_work(p, level) * 0.55 * v;
+        co_await comm.compute(up_work, mem_of(up_work));
+        co_await level_exchange(comm, grid, level_bytes(p, level),
+                                kTagMg + 8 * level + 4);
+      }
+
+      co_await comm.allreduce(8);  // residual norm
+    }
+
+    co_await comm.allreduce(16);  // final norm + verification
+    co_await comm.reduce(0, 16);
+  };
+}
+
+}  // namespace psk::apps

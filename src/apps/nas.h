@@ -1,0 +1,54 @@
+// NAS-like benchmark registry.
+//
+// Six communication-faithful reimplementations of the NAS Parallel
+// Benchmarks 2.x MPI codes used in the paper's evaluation: BT, CG, IS, LU,
+// MG and SP.  Each benchmark is a factory producing an SPMD rank program
+// for a given problem class.
+//
+// Class B parameters are calibrated so that dedicated 4-rank runs land in
+// the paper's reported 30..900 second range with realistic compute/MPI
+// ratios; class S runs in under a second (used as the manually built
+// "Class S skeleton" baseline of Figure 7).  Classes W and A interpolate.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "mpi/world.h"
+
+namespace psk::apps {
+
+enum class NasClass { kS, kW, kA, kB };
+
+const char* class_name(NasClass cls);
+NasClass class_from_name(const std::string& name);
+
+/// Factory functions; the returned program adapts to the world's rank count
+/// (tuned for the paper's 4-rank runs; BT/SP/CG need a square grid count,
+/// LU/MG a 2D-factorable count).
+mpi::RankMain make_bt(NasClass cls);
+mpi::RankMain make_cg(NasClass cls);
+mpi::RankMain make_is(NasClass cls);
+mpi::RankMain make_lu(NasClass cls);
+mpi::RankMain make_mg(NasClass cls);
+mpi::RankMain make_sp(NasClass cls);
+/// Extended suite (not in the paper's evaluation): EP and FT.
+mpi::RankMain make_ep(NasClass cls);
+mpi::RankMain make_ft(NasClass cls);
+
+struct BenchmarkDef {
+  const char* name;
+  const char* description;
+  mpi::RankMain (*make)(NasClass cls);
+};
+
+/// The full suite in the paper's order: BT, CG, IS, LU, MG, SP.
+std::span<const BenchmarkDef> suite();
+
+/// The paper's six plus EP and FT.
+std::span<const BenchmarkDef> extended_suite();
+
+/// Lookup by (case-sensitive) name; throws ConfigError when unknown.
+const BenchmarkDef& find_benchmark(const std::string& name);
+
+}  // namespace psk::apps

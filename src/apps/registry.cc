@@ -1,0 +1,53 @@
+#include <array>
+
+#include "apps/nas.h"
+#include "util/error.h"
+
+namespace psk::apps {
+
+const char* class_name(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS: return "S";
+    case NasClass::kW: return "W";
+    case NasClass::kA: return "A";
+    case NasClass::kB: return "B";
+  }
+  return "?";
+}
+
+NasClass class_from_name(const std::string& name) {
+  if (name == "S") return NasClass::kS;
+  if (name == "W") return NasClass::kW;
+  if (name == "A") return NasClass::kA;
+  if (name == "B") return NasClass::kB;
+  throw ConfigError("unknown NAS class: " + name);
+}
+
+namespace {
+constexpr std::array<BenchmarkDef, 8> kExtendedSuite = {{
+    {"BT", "Block Tridiagonal solver", &make_bt},
+    {"CG", "Conjugate Gradient", &make_cg},
+    {"IS", "Integer Sort", &make_is},
+    {"LU", "LU (SSOR) solver", &make_lu},
+    {"MG", "Multigrid", &make_mg},
+    {"SP", "Scalar Pentadiagonal solver", &make_sp},
+    {"EP", "Embarrassingly Parallel", &make_ep},
+    {"FT", "3D FFT PDE solver", &make_ft},
+}};
+}  // namespace
+
+std::span<const BenchmarkDef> suite() {
+  return std::span<const BenchmarkDef>(kExtendedSuite.data(), 6);
+}
+
+std::span<const BenchmarkDef> extended_suite() { return kExtendedSuite; }
+
+const BenchmarkDef& find_benchmark(const std::string& name) {
+  for (const BenchmarkDef& def : kExtendedSuite) {
+    if (name == def.name) return def;
+  }
+  throw ConfigError("unknown benchmark: " + name +
+                    " (expected BT, CG, IS, LU, MG, SP, EP or FT)");
+}
+
+}  // namespace psk::apps

@@ -1,0 +1,98 @@
+// SP: Scalar Pentadiagonal solver.
+//
+// Structurally a sibling of BT (same multipartition layout, same per-step
+// phase sequence) with twice the timesteps and lighter per-step computation
+// and messages -- which is exactly how the two codes differ in NPB 2.x.
+#include "apps/common.h"
+#include "apps/nas.h"
+
+namespace psk::apps {
+
+namespace {
+
+struct SpParams {
+  int steps;
+  mpi::Bytes face_bytes;
+  mpi::Bytes solve_bytes;
+  double step_work;
+  double init_work;
+};
+
+SpParams sp_params(NasClass cls) {
+  switch (cls) {
+    case NasClass::kS:
+      return {100, 16 * 1024, 8 * 1024, 0.0015, 0.006};
+    case NasClass::kW:
+      return {400, 128 * 1024, 64 * 1024, 0.042, 0.1};
+    case NasClass::kA:
+      return {400, 512 * 1024, 256 * 1024, 0.28, 0.6};
+    case NasClass::kB:
+      return {400, 1228 * 1024, 614 * 1024, 1.05, 1.2};
+  }
+  return {};
+}
+
+constexpr int kTagFaceX = 500;
+constexpr int kTagFaceY = 501;
+constexpr int kTagSolveX = 510;
+constexpr int kTagSolveY = 511;
+
+}  // namespace
+
+namespace {
+/// Memory intensity of the solver's computation in bytes per work-second
+/// (relative to the node's 6 GB/s bus; see sim::ClusterConfig).
+constexpr double kMemBytesPerWork = 1.8e9;
+
+mpi::Bytes mem_of(double work) {
+  return static_cast<mpi::Bytes>(work * kMemBytesPerWork);
+}
+}  // namespace
+
+mpi::RankMain make_sp(NasClass cls) {
+  const SpParams p = sp_params(cls);
+  return [p](mpi::Comm& comm) -> sim::Task {
+    const Grid2D grid(comm.size());
+    const int me = comm.rank();
+    const int west = grid.west(me);
+    const int east = grid.east(me);
+    const int north = grid.north(me);
+    const int south = grid.south(me);
+
+    co_await comm.bcast(0, 64);
+    co_await comm.compute(p.init_work, mem_of(p.init_work));
+
+    for (int step = 0; step < p.steps; ++step) {
+      const double v = vary(step, 0.09, 0.55);
+
+      std::vector<NeighborXfer> faces;
+      faces.push_back({east, west, p.face_bytes, kTagFaceX});
+      faces.push_back({west, east, p.face_bytes, kTagFaceX + 1});
+      faces.push_back({south, north, p.face_bytes, kTagFaceY});
+      faces.push_back({north, south, p.face_bytes, kTagFaceY + 1});
+      co_await neighbor_exchange(comm, std::move(faces),
+                                 p.step_work * 0.03 * v);
+
+      co_await comm.compute(p.step_work * 0.28 * v,
+                            mem_of(p.step_work * 0.28 * v));
+      std::vector<NeighborXfer> xsweep;
+      xsweep.push_back({east, west, p.solve_bytes, kTagSolveX});
+      xsweep.push_back({west, east, p.solve_bytes, kTagSolveX + 1});
+      co_await neighbor_exchange(comm, std::move(xsweep));
+
+      co_await comm.compute(p.step_work * 0.28 * v,
+                            mem_of(p.step_work * 0.28 * v));
+      std::vector<NeighborXfer> ysweep;
+      ysweep.push_back({south, north, p.solve_bytes, kTagSolveY});
+      ysweep.push_back({north, south, p.solve_bytes, kTagSolveY + 1});
+      co_await neighbor_exchange(comm, std::move(ysweep));
+
+      co_await comm.compute(p.step_work * 0.41 * v,
+                            mem_of(p.step_work * 0.41 * v));
+    }
+
+    co_await comm.reduce(0, 40);
+  };
+}
+
+}  // namespace psk::apps

@@ -1,0 +1,38 @@
+// C code generation: converts a performance skeleton into a standalone,
+// portable MPI C program (paper section 3.3, step 4: "converted to synthetic
+// C code by generating corresponding synthetic loops, MPI calls, and compute
+// operations").
+//
+// The generated program is an SPMD source with one function per rank.
+// Compute phases become calibrated busy loops; message payloads are
+// uninitialized scratch buffers (only sizes matter).  The in-simulator
+// replay (skeleton::skeleton_program) executes the same call sequence; the
+// C artifact exists so the skeleton can run on real clusters.
+#pragma once
+
+#include <string>
+
+#include "skeleton/skeleton.h"
+
+namespace psk::codegen {
+
+struct EmitOptions {
+  /// Symbol prefix for generated functions and globals.
+  std::string prefix = "psk";
+  /// Busy-loop iterations that consume one work-second on the target CPU
+  /// (the generated program also accepts -DPSK_CALIBRATION=<n> to override).
+  double calibration_iters_per_second = 2.0e8;
+  /// Emit per-event provenance comments.
+  bool comments = true;
+};
+
+/// Renders the complete C translation unit.
+std::string emit_c_program(const skeleton::Skeleton& skeleton,
+                           const EmitOptions& options = {});
+
+/// Writes the program to a file; throws ConfigError on I/O failure.
+void write_c_program(const std::string& path,
+                     const skeleton::Skeleton& skeleton,
+                     const EmitOptions& options = {});
+
+}  // namespace psk::codegen

@@ -1,0 +1,28 @@
+#include "core/coschedule.h"
+
+namespace psk::core {
+
+CoscheduleResult run_coscheduled(const CoscheduleConfig& config,
+                                 const mpi::RankMain& primary,
+                                 int primary_ranks,
+                                 const mpi::RankMain& secondary,
+                                 int secondary_ranks) {
+  sim::Machine machine(config.cluster);
+  machine.engine().set_time_limit(config.time_limit);
+
+  // Two independent jobs: separate worlds (separate envelopes/matching,
+  // like two mpirun invocations), one shared machine.
+  mpi::World primary_world(machine, primary_ranks, config.mpi);
+  mpi::World secondary_world(machine, secondary_ranks, config.mpi);
+  primary_world.launch(primary);
+  secondary_world.launch(secondary);
+
+  machine.engine().run();
+
+  CoscheduleResult result;
+  result.primary_time = primary_world.parallel_time();
+  result.secondary_time = secondary_world.parallel_time();
+  return result;
+}
+
+}  // namespace psk::core

@@ -1,0 +1,45 @@
+// Co-scheduled MPI jobs: two parallel applications sharing one cluster.
+//
+// The paper's motivating example for why load-average-based prediction
+// fails: "the amount of CPU time that a process is likely to get on a
+// computation node cannot be determined even when the load average on the
+// node is known since it partly depends on the synchronization structure of
+// the parallel and distributed applications in the system."
+//
+// run_coscheduled() executes two independent MPI jobs (separate virtual
+// MPI worlds -- separate matching engines, like separate mpirun
+// invocations) on the same simulated machine, so they contend for cores
+// and links exactly as co-scheduled jobs do.  A skeleton executed as the
+// primary job experiences the competitor's synchronization structure, which
+// is what lets it out-predict share-based reasoning.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/world.h"
+#include "sim/machine.h"
+
+namespace psk::core {
+
+struct CoscheduleConfig {
+  /// The shared machine.  Use one core per node to force time slicing
+  /// between co-located ranks of the two jobs.
+  sim::ClusterConfig cluster;
+  mpi::MpiConfig mpi;
+  double time_limit = 1.0e5;
+};
+
+struct CoscheduleResult {
+  /// Parallel execution time of each job (they start together at t = 0).
+  double primary_time = 0;
+  double secondary_time = 0;
+};
+
+/// Runs both jobs to completion on one machine and reports their times.
+CoscheduleResult run_coscheduled(const CoscheduleConfig& config,
+                                 const mpi::RankMain& primary,
+                                 int primary_ranks,
+                                 const mpi::RankMain& secondary,
+                                 int secondary_ranks);
+
+}  // namespace psk::core

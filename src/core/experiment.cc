@@ -1,0 +1,257 @@
+#include "core/experiment.h"
+
+#include <cmath>
+#include <utility>
+
+#include "mpi/world.h"
+#include "sim/machine.h"
+#include "trace/recorder.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace psk::core {
+
+namespace {
+/// Sizes and Ks are cached by a fixed-point key (microsecond resolution).
+long long size_key(double value) {
+  return static_cast<long long>(std::llround(value * 1e6));
+}
+}  // namespace
+
+ExperimentDriver::ExperimentDriver(ExperimentConfig config)
+    : config_(std::move(config)), framework_(config_.framework) {}
+
+mpi::RankMain ExperimentDriver::program(const std::string& app,
+                                        apps::NasClass cls) const {
+  return apps::find_benchmark(app).make(cls);
+}
+
+const trace::Trace& ExperimentDriver::app_trace(const std::string& app) {
+  auto it = traces_.find(app);
+  if (it == traces_.end()) {
+    util::log_info() << "tracing " << app << " (class "
+                     << apps::class_name(config_.app_class) << ")";
+    it = traces_
+             .emplace(app,
+                      framework_.record(program(app, config_.app_class), app))
+             .first;
+  }
+  return it->second;
+}
+
+double ExperimentDriver::app_time(const std::string& app,
+                                  const scenario::Scenario& scenario,
+                                  int repetition) {
+  const auto key =
+      std::make_tuple(app, std::string(scenario.name), repetition);
+  auto it = app_times_.find(key);
+  if (it == app_times_.end()) {
+    const double elapsed =
+        framework_.run_app(program(app, config_.app_class), scenario,
+                           static_cast<std::uint64_t>(repetition) * 13);
+    it = app_times_.emplace(key, elapsed).first;
+  }
+  return it->second;
+}
+
+double ExperimentDriver::class_s_time(const std::string& app,
+                                      const scenario::Scenario& scenario) {
+  const auto key = std::make_pair(app, std::string(scenario.name));
+  auto it = class_s_times_.find(key);
+  if (it == class_s_times_.end()) {
+    const double elapsed = framework_.run_app(
+        program(app, apps::NasClass::kS), scenario, /*seed_offset=*/7);
+    it = class_s_times_.emplace(key, elapsed).first;
+  }
+  return it->second;
+}
+
+const sig::Signature& ExperimentDriver::signature(const std::string& app,
+                                                  double k) {
+  const auto key = std::make_pair(app, size_key(k));
+  auto it = signatures_.find(key);
+  if (it == signatures_.end()) {
+    util::log_info() << "compressing " << app << " for K=" << k;
+    it = signatures_.emplace(key, framework_.make_signature(app_trace(app), k))
+             .first;
+  }
+  return it->second;
+}
+
+const skeleton::Skeleton& ExperimentDriver::skeleton_for_size(
+    const std::string& app, double size_seconds) {
+  const auto key = std::make_pair(app, size_key(size_seconds));
+  auto it = skeletons_.find(key);
+  if (it == skeletons_.end()) {
+    const double elapsed = app_trace(app).elapsed();
+    const double k = std::max(1.0, elapsed / size_seconds);
+    it = skeletons_
+             .emplace(key,
+                      framework_.make_consistent_skeleton(app_trace(app), k))
+             .first;
+  }
+  return it->second;
+}
+
+double ExperimentDriver::skeleton_time(const std::string& app,
+                                       double size_seconds,
+                                       const scenario::Scenario& scenario,
+                                       int repetition) {
+  const auto key = std::make_tuple(app, size_key(size_seconds),
+                                   std::string(scenario.name), repetition);
+  auto it = skeleton_times_.find(key);
+  if (it == skeleton_times_.end()) {
+    const std::uint64_t seed_offset =
+        1 +
+        static_cast<std::uint64_t>(std::llabs(size_key(size_seconds)) % 97) +
+        static_cast<std::uint64_t>(repetition) * 31;
+    const double elapsed = framework_.run_skeleton(
+        skeleton_for_size(app, size_seconds), scenario, seed_offset);
+    it = skeleton_times_.emplace(key, elapsed).first;
+  }
+  return it->second;
+}
+
+const skeleton::GoodSkeletonEstimate& ExperimentDriver::good_estimate(
+    const std::string& app) {
+  auto it = good_estimates_.find(app);
+  if (it == good_estimates_.end()) {
+    // Reference compression: at least as deep as the smallest configured
+    // skeleton (and never shallower than a 0.5 s one), so the dominant loop
+    // structure is visible regardless of which sizes the caller requested.
+    double min_size = 0.5;
+    for (double size : config_.skeleton_sizes) {
+      min_size = std::min(min_size, size);
+    }
+    const double k = std::max(1.0, app_trace(app).elapsed() / min_size);
+    it = good_estimates_
+             .emplace(app, skeleton::estimate_good_skeleton(signature(app, k)))
+             .first;
+  }
+  return it->second;
+}
+
+PredictionRecord ExperimentDriver::predict(
+    const std::string& app, double size_seconds,
+    const scenario::Scenario& scenario) {
+  const skeleton::Skeleton& skel = skeleton_for_size(app, size_seconds);
+
+  PredictionRecord record;
+  record.app = app;
+  record.target_size = size_seconds;
+  record.scenario = scenario.name;
+  record.scaling_factor = skel.scaling_factor;
+  const skeleton::GoodSkeletonEstimate& estimate = good_estimate(app);
+  record.min_good_time = estimate.min_good_time;
+  record.good = skel.intended_time >= estimate.min_good_time;
+  record.app_dedicated = app_trace(app).elapsed();
+  record.skeleton_dedicated =
+      skeleton_time(app, size_seconds, scenario::dedicated());
+
+  skeleton::Calibration calibration;
+  calibration.app_dedicated_time = record.app_dedicated;
+  calibration.skeleton_dedicated_time = record.skeleton_dedicated;
+
+  // Average the prediction error over independent measurement pairs; the
+  // reported times are the first pair's (representative sample).
+  const int repetitions = std::max(1, config_.repetitions);
+  double error_sum = 0;
+  for (int repetition = 0; repetition < repetitions; ++repetition) {
+    const double skeleton_scenario =
+        skeleton_time(app, size_seconds, scenario, repetition);
+    const double app_scenario = app_time(app, scenario, repetition);
+    const double predicted =
+        skeleton::predict_app_time(calibration, skeleton_scenario);
+    error_sum +=
+        skeleton::prediction_error_percent(predicted, app_scenario);
+    if (repetition == 0) {
+      record.skeleton_scenario = skeleton_scenario;
+      record.app_scenario = app_scenario;
+      record.predicted = predicted;
+    }
+  }
+  record.error_percent = error_sum / repetitions;
+  return record;
+}
+
+std::vector<PredictionRecord> ExperimentDriver::run_grid() {
+  std::vector<PredictionRecord> records;
+  records.reserve(config_.benchmarks.size() * config_.skeleton_sizes.size() *
+                  scenario::paper_scenarios().size());
+  for (const std::string& app : config_.benchmarks) {
+    for (double size : config_.skeleton_sizes) {
+      for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
+        records.push_back(predict(app, size, scenario));
+      }
+    }
+  }
+  return records;
+}
+
+trace::ActivityBreakdown ExperimentDriver::app_activity(
+    const std::string& app) {
+  return trace::activity_breakdown(app_trace(app));
+}
+
+trace::ActivityBreakdown ExperimentDriver::skeleton_activity(
+    const std::string& app, double size_seconds) {
+  const skeleton::Skeleton& skel = skeleton_for_size(app, size_seconds);
+  sim::ClusterConfig cluster = config_.framework.cluster;
+  cluster.seed = config_.framework.dedicated_seed;
+  sim::Machine machine(cluster);
+  mpi::World world(machine, config_.framework.ranks,
+                   config_.framework.mpi);
+  const trace::Trace trace = trace::record_run(
+      world, skeleton::skeleton_program(skel), app + "-skeleton");
+  return trace::activity_breakdown(trace);
+}
+
+PredictionRecord ExperimentDriver::predict_with_class_s(
+    const std::string& app, const scenario::Scenario& scenario) {
+  PredictionRecord record;
+  record.app = app;
+  record.scenario = scenario.name;
+  record.app_dedicated = app_time(app, scenario::dedicated());
+  record.skeleton_dedicated = class_s_time(app, scenario::dedicated());
+  record.skeleton_scenario = class_s_time(app, scenario);
+  record.app_scenario = app_time(app, scenario);
+
+  skeleton::Calibration calibration;
+  calibration.app_dedicated_time = record.app_dedicated;
+  calibration.skeleton_dedicated_time = record.skeleton_dedicated;
+  record.predicted =
+      skeleton::predict_app_time(calibration, record.skeleton_scenario);
+  record.error_percent = skeleton::prediction_error_percent(
+      record.predicted, record.app_scenario);
+  return record;
+}
+
+PredictionRecord ExperimentDriver::predict_with_average(
+    const std::string& app, const scenario::Scenario& scenario) {
+  double slowdown_sum = 0;
+  for (const std::string& other : config_.benchmarks) {
+    slowdown_sum +=
+        app_time(other, scenario) / app_time(other, scenario::dedicated());
+  }
+  const double mean_slowdown =
+      slowdown_sum / static_cast<double>(config_.benchmarks.size());
+
+  PredictionRecord record;
+  record.app = app;
+  record.scenario = scenario.name;
+  record.app_dedicated = app_time(app, scenario::dedicated());
+  record.app_scenario = app_time(app, scenario);
+  record.predicted = record.app_dedicated * mean_slowdown;
+  record.error_percent = skeleton::prediction_error_percent(
+      record.predicted, record.app_scenario);
+  return record;
+}
+
+double mean_error(const std::vector<PredictionRecord>& records) {
+  if (records.empty()) return 0;
+  double sum = 0;
+  for (const PredictionRecord& record : records) sum += record.error_percent;
+  return sum / static_cast<double>(records.size());
+}
+
+}  // namespace psk::core

@@ -1,0 +1,132 @@
+// Experiment driver: reproduces the paper's evaluation grid.
+//
+// Caches traces, scenario timings, signatures and skeletons so that the
+// per-figure bench binaries (which slice the same grid differently) stay
+// cheap.  All measurements follow section 4.2:
+//   - skeletons are constructed for target sizes 10/5/2/1/0.5 seconds;
+//   - prediction = skeleton time in scenario x measured scaling ratio,
+//     where the ratio uses the skeleton's actual dedicated time;
+//   - error = |predicted - actual| / actual.
+// The two baselines of Figure 7 (Class-S-as-skeleton and suite-average
+// slowdown) are implemented here as well.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/nas.h"
+#include "core/framework.h"
+#include "scenario/scenario.h"
+#include "sig/signature.h"
+#include "skeleton/skeleton.h"
+#include "trace/event.h"
+
+namespace psk::core {
+
+struct ExperimentConfig {
+  std::vector<std::string> benchmarks = {"BT", "CG", "IS", "LU", "MG", "SP"};
+  apps::NasClass app_class = apps::NasClass::kB;
+  /// Intended skeleton execution times in seconds (paper: 10 .. 0.5).
+  std::vector<double> skeleton_sizes = {10.0, 5.0, 2.0, 1.0, 0.5};
+  /// Independent measurement pairs averaged per grid cell.  The paper
+  /// reports single measurements; averaging a few repetitions separates the
+  /// systematic effects (latency scaling, unbalanced synchronization) from
+  /// one-shot sampling noise of the fluttering environment.
+  int repetitions = 3;
+  FrameworkOptions framework;
+};
+
+struct PredictionRecord {
+  std::string app;
+  double target_size = 0;       // intended skeleton seconds
+  std::string scenario;
+  double scaling_factor = 0;    // K
+  double app_dedicated = 0;
+  double skeleton_dedicated = 0;
+  double skeleton_scenario = 0;
+  double app_scenario = 0;
+  double predicted = 0;
+  double error_percent = 0;
+  bool good = true;             // the section 3.4 flag
+  double min_good_time = 0;
+};
+
+class ExperimentDriver {
+ public:
+  explicit ExperimentDriver(ExperimentConfig config = {});
+
+  const ExperimentConfig& config() const { return config_; }
+  const SkeletonFramework& framework() const { return framework_; }
+
+  /// Folded dedicated-run trace of a benchmark (cached).
+  const trace::Trace& app_trace(const std::string& app);
+
+  /// Measured application time under a scenario (cached); `repetition`
+  /// selects one of the independent measurement seeds.
+  double app_time(const std::string& app, const scenario::Scenario& scenario,
+                  int repetition = 0);
+
+  /// Signature compressed for scaling factor `k` (cached by app and K).
+  const sig::Signature& signature(const std::string& app, double k);
+
+  /// Skeleton built for an intended size in seconds (cached).
+  const skeleton::Skeleton& skeleton_for_size(const std::string& app,
+                                              double size_seconds);
+
+  /// Measured skeleton time under a scenario (cached).
+  double skeleton_time(const std::string& app, double size_seconds,
+                       const scenario::Scenario& scenario,
+                       int repetition = 0);
+
+  /// One grid cell: full prediction record.
+  PredictionRecord predict(const std::string& app, double size_seconds,
+                           const scenario::Scenario& scenario);
+
+  /// The full grid: every benchmark x skeleton size x paper scenario.
+  std::vector<PredictionRecord> run_grid();
+
+  /// Shortest-"good"-skeleton analysis for a benchmark (Figure 4).
+  /// Computed from the most deeply compressed signature available (the one
+  /// built for the smallest configured skeleton size), because a weakly
+  /// compressed signature hides the dominant loop structure.
+  const skeleton::GoodSkeletonEstimate& good_estimate(const std::string& app);
+
+  // ---- Figure 2 support -------------------------------------------------
+  trace::ActivityBreakdown app_activity(const std::string& app);
+  trace::ActivityBreakdown skeleton_activity(const std::string& app,
+                                             double size_seconds);
+
+  // ---- Figure 7 baselines ------------------------------------------------
+  /// Class-S prediction: the class S benchmark is used as a hand-made
+  /// skeleton for the class B one.
+  PredictionRecord predict_with_class_s(const std::string& app,
+                                        const scenario::Scenario& scenario);
+
+  /// Average prediction: the suite's mean slowdown under the scenario
+  /// predicts every benchmark.
+  PredictionRecord predict_with_average(const std::string& app,
+                                        const scenario::Scenario& scenario);
+
+ private:
+  mpi::RankMain program(const std::string& app, apps::NasClass cls) const;
+  double class_s_time(const std::string& app,
+                      const scenario::Scenario& scenario);
+
+  ExperimentConfig config_;
+  SkeletonFramework framework_;
+
+  std::map<std::string, trace::Trace> traces_;
+  std::map<std::tuple<std::string, std::string, int>, double> app_times_;
+  std::map<std::pair<std::string, std::string>, double> class_s_times_;
+  std::map<std::pair<std::string, long long>, sig::Signature> signatures_;
+  std::map<std::pair<std::string, long long>, skeleton::Skeleton> skeletons_;
+  std::map<std::tuple<std::string, long long, std::string, int>, double>
+      skeleton_times_;
+  std::map<std::string, skeleton::GoodSkeletonEstimate> good_estimates_;
+};
+
+/// Mean error across records (ignores empty input).
+double mean_error(const std::vector<PredictionRecord>& records);
+
+}  // namespace psk::core

@@ -1,0 +1,160 @@
+#include "core/framework.h"
+
+#include <functional>
+
+#include "skeleton/validate.h"
+#include "trace/fold.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace psk::core {
+
+sim::ClusterConfig FrameworkOptions::default_cluster() {
+  sim::ClusterConfig cluster = sim::ClusterConfig::paper_testbed();
+  cluster.cpu_jitter = 0.02;
+  cluster.net_jitter = 0.02;
+  return cluster;
+}
+
+SkeletonFramework::SkeletonFramework(FrameworkOptions options)
+    : options_(std::move(options)) {
+  util::require(options_.ranks >= 1, "SkeletonFramework: need >= 1 rank");
+  util::require(options_.compression_ratio_divisor > 0,
+                "SkeletonFramework: ratio divisor must be positive");
+}
+
+trace::Trace SkeletonFramework::record(const mpi::RankMain& app,
+                                       const std::string& name) const {
+  sim::ClusterConfig cluster = options_.cluster;
+  cluster.seed = options_.dedicated_seed;
+  // The paper records traces on a *controlled* testbed "without any
+  // competing processes or network traffic".  Suppressing measurement
+  // jitter here keeps SPMD ranks' traces symmetric, which the compressor
+  // needs to produce mutually consistent per-rank skeletons; scenario
+  // measurement runs keep their jitter.
+  cluster.cpu_jitter = 0;
+  cluster.net_jitter = 0;
+  sim::Machine machine(cluster);
+  mpi::World world(machine, options_.ranks, options_.mpi);
+  trace::Trace trace = trace::record_run(world, app, name);
+  trace::fold_nonblocking(trace);
+  return trace;
+}
+
+sig::Signature SkeletonFramework::make_signature(
+    const trace::Trace& folded_trace, double k) const {
+  sig::CompressOptions compress_options = options_.compress;
+  compress_options.target_ratio =
+      std::max(1.0, k / options_.compression_ratio_divisor);
+  return sig::compress(folded_trace, compress_options);
+}
+
+skeleton::Skeleton SkeletonFramework::make_skeleton(
+    const sig::Signature& signature, double k) const {
+  return skeleton::build_skeleton(signature, k, options_.scale);
+}
+
+skeleton::Skeleton SkeletonFramework::make_consistent_skeleton(
+    const trace::Trace& folded_trace, double k) const {
+  sig::Signature signature = make_signature(folded_trace, k);
+  skeleton::Skeleton candidate = make_skeleton(signature, k);
+  skeleton::ConsistencyReport report =
+      skeleton::check_consistency(candidate);
+  if (report.consistent) return candidate;
+
+  // Retry ladder: first coarser clustering (independently compressed rank
+  // traces may have fragmented differently), then collective-anchored
+  // folding (eliminates cross-rank loop-rotation ambiguity), again from
+  // fine to coarse thresholds.
+  sig::CompressOptions compress_options = options_.compress;
+  for (const bool anchored : {false, true}) {
+    compress_options.anchor_at_collectives = anchored;
+    double threshold = anchored
+                           ? 0.0
+                           : signature.threshold +
+                                 compress_options.threshold_step;
+    for (; threshold <= compress_options.max_threshold + 1e-12;
+         threshold += compress_options.threshold_step) {
+      signature = sig::compress_at_threshold(folded_trace, threshold,
+                                             compress_options);
+      candidate = make_skeleton(signature, k);
+      report = skeleton::check_consistency(candidate);
+      if (report.consistent) {
+        util::log_info() << "skeleton for " << folded_trace.app_name
+                         << " K=" << k << " required threshold " << threshold
+                         << (anchored ? " with collective anchoring" : "")
+                         << " for cross-rank consistency";
+        return candidate;
+      }
+    }
+  }
+  throw ConfigError("make_consistent_skeleton: no compression setting yields "
+                    "a cross-rank-consistent skeleton for " +
+                    folded_trace.app_name + " (" + report.detail + ")");
+}
+
+skeleton::Skeleton SkeletonFramework::make_skeleton_for_time(
+    const sig::Signature& signature, double target_seconds) const {
+  return skeleton::build_skeleton_for_time(signature, target_seconds,
+                                           options_.scale);
+}
+
+skeleton::Skeleton SkeletonFramework::construct(const mpi::RankMain& app,
+                                                const std::string& name,
+                                                double target_seconds) const {
+  const trace::Trace trace = record(app, name);
+  const double k = std::max(1.0, trace.elapsed() / target_seconds);
+  const sig::Signature signature = make_signature(trace, k);
+  return make_skeleton(signature, k);
+}
+
+std::uint64_t SkeletonFramework::scenario_run_seed(
+    const scenario::Scenario& scenario, std::uint64_t seed_offset) const {
+  if (scenario.kind == scenario::Kind::kDedicated && seed_offset == 0) {
+    return options_.dedicated_seed;
+  }
+  // Distinct stream per scenario kind and offset.
+  return options_.scenario_seed +
+         static_cast<std::uint64_t>(scenario.kind) * 7919 + seed_offset * 104729;
+}
+
+double SkeletonFramework::run_app(const mpi::RankMain& app,
+                                  const scenario::Scenario& scenario,
+                                  std::uint64_t seed_offset) const {
+  sim::ClusterConfig cluster = options_.cluster;
+  cluster.seed = scenario_run_seed(scenario, seed_offset);
+  sim::Machine machine(cluster);
+  machine.engine().set_time_limit(options_.run_time_limit);
+  scenario.apply(machine);
+  mpi::World world(machine, options_.ranks, options_.mpi);
+  world.launch(app);
+  return world.run();
+}
+
+double SkeletonFramework::run_app_controlled(const mpi::RankMain& app) const {
+  sim::ClusterConfig cluster = options_.cluster;
+  cluster.seed = options_.dedicated_seed;
+  cluster.cpu_jitter = 0;
+  cluster.net_jitter = 0;
+  sim::Machine machine(cluster);
+  machine.engine().set_time_limit(options_.run_time_limit);
+  mpi::World world(machine, options_.ranks, options_.mpi);
+  world.launch(app);
+  return world.run();
+}
+
+double SkeletonFramework::run_skeleton(const skeleton::Skeleton& skeleton,
+                                       const scenario::Scenario& scenario,
+                                       std::uint64_t seed_offset,
+                                       const skeleton::ReplayOptions& replay)
+    const {
+  sim::ClusterConfig cluster = options_.cluster;
+  cluster.seed = scenario_run_seed(scenario, seed_offset);
+  sim::Machine machine(cluster);
+  machine.engine().set_time_limit(options_.run_time_limit);
+  scenario.apply(machine);
+  mpi::World world(machine, options_.ranks, options_.mpi);
+  return skeleton::run_skeleton(world, skeleton, replay);
+}
+
+}  // namespace psk::core

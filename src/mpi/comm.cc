@@ -1,0 +1,478 @@
+#include "mpi/comm.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mpi/world.h"
+#include "util/error.h"
+
+namespace psk::mpi {
+
+namespace {
+/// Tag space reserved for collective-internal messages; application tags
+/// must stay below this.
+constexpr int kCollectiveTagBase = 1 << 24;
+/// Distinct tags available to one collective invocation (e.g. reduce+bcast).
+constexpr int kTagsPerCollective = 4;
+}  // namespace
+
+sim::Time Comm::now() const { return engine_->machine().engine().now(); }
+
+int Comm::next_collective_tag() {
+  const int slot = static_cast<int>(collective_seq_++ % (1u << 20));
+  return kCollectiveTagBase + slot * kTagsPerCollective;
+}
+
+void Comm::record(CallRecord record) {
+  record.pre_mem_bytes = pending_mem_bytes_;
+  pending_mem_bytes_ = 0;
+  if (observer_ != nullptr) observer_->on_call(rank_, record);
+}
+
+sim::Task Comm::call_overhead() {
+  const MpiConfig& config = engine_->config();
+  sim::Time overhead = config.per_call_overhead;
+  if (observer_ != nullptr) overhead += config.trace_overhead;
+  if (overhead > 0) co_await engine_->machine().engine().sleep(overhead);
+}
+
+// ------------------------------------------------------------- internals
+
+Request Comm::isend_internal(int dst, Bytes bytes, int tag) {
+  return engine_->post_send(rank_, dst, bytes, tag);
+}
+
+Request Comm::irecv_internal(int src, int tag) {
+  return engine_->post_recv(rank_, src, tag);
+}
+
+sim::Task Comm::wait_internal(Request request) {
+  util::require(request.valid(), "wait on invalid request");
+  if (!engine_->request_done(rank_, request)) {
+    co_await sim::make_awaitable(
+        [this, request](std::function<void()> resume) {
+          engine_->set_waiter(rank_, request, std::move(resume));
+        });
+  }
+}
+
+sim::Task Comm::send_internal(int dst, Bytes bytes, int tag) {
+  co_await wait_internal(isend_internal(dst, bytes, tag));
+}
+
+sim::Task Comm::recv_internal(int src, int tag) {
+  co_await wait_internal(irecv_internal(src, tag));
+}
+
+sim::Task Comm::sendrecv_internal(int dst, Bytes send_bytes, int src,
+                                  int tag) {
+  const Request recv_request = irecv_internal(src, tag);
+  const Request send_request = isend_internal(dst, send_bytes, tag);
+  co_await wait_internal(recv_request);
+  co_await wait_internal(send_request);
+}
+
+// ------------------------------------------------------------ public p2p
+
+sim::Task Comm::compute(double work, Bytes mem_bytes) {
+  pending_mem_bytes_ += static_cast<double>(mem_bytes);
+  co_await engine_->machine().compute_await(engine_->node_of(rank_), work,
+                                            static_cast<double>(mem_bytes));
+}
+
+sim::Task Comm::send(int dst, Bytes bytes, int tag) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await send_internal(dst, bytes, tag);
+  CallRecord r;
+  r.type = CallType::kSend;
+  r.peer = dst;
+  r.bytes = bytes;
+  r.tag = tag;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::recv(int src, Bytes bytes, int tag) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await recv_internal(src, tag);
+  CallRecord r;
+  r.type = CallType::kRecv;
+  r.peer = src;
+  r.bytes = bytes;
+  r.tag = tag;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::sendrecv(int dst, Bytes send_bytes, int src, Bytes recv_bytes,
+                         int tag) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await sendrecv_internal(dst, send_bytes, src, tag);
+  CallRecord r;
+  r.type = CallType::kSendrecv;
+  r.peer = dst;
+  r.bytes = send_bytes;
+  r.tag = tag;
+  r.parts.push_back(PeerBytes{dst, send_bytes, /*outgoing=*/true, tag});
+  r.parts.push_back(PeerBytes{src, recv_bytes, /*outgoing=*/false, tag});
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+Request Comm::isend(int dst, Bytes bytes, int tag) {
+  const sim::Time t0 = now();
+  const Request request = isend_internal(dst, bytes, tag);
+  CallRecord r;
+  r.type = CallType::kIsend;
+  r.peer = dst;
+  r.bytes = bytes;
+  r.tag = tag;
+  r.request = request.id;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+  return request;
+}
+
+Request Comm::irecv(int src, Bytes bytes, int tag) {
+  const sim::Time t0 = now();
+  const Request request = irecv_internal(src, tag);
+  CallRecord r;
+  r.type = CallType::kIrecv;
+  r.peer = src;
+  r.bytes = bytes;
+  r.tag = tag;
+  r.request = request.id;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+  return request;
+}
+
+sim::Task Comm::wait(Request request) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await wait_internal(request);
+  CallRecord r;
+  r.type = CallType::kWait;
+  r.requests.push_back(request.id);
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::waitall(std::vector<Request> requests) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  for (const Request& request : requests) {
+    co_await wait_internal(request);
+  }
+  CallRecord r;
+  r.type = CallType::kWaitall;
+  for (const Request& request : requests) r.requests.push_back(request.id);
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+// ------------------------------------------------------------ collectives
+
+sim::Task Comm::barrier_algo(int tag) {
+  const int p = size();
+  for (int mask = 1; mask < p; mask <<= 1) {
+    const int up = (rank_ + mask) % p;
+    const int down = (rank_ - mask + p) % p;
+    co_await sendrecv_internal(up, 0, down, tag);
+  }
+}
+
+sim::Task Comm::bcast_algo(int root, Bytes bytes, int tag) {
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int src = (vrank - mask + root) % p;
+      co_await recv_internal(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int dst = (vrank + mask + root) % p;
+      co_await send_internal(dst, bytes, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task Comm::reduce_algo(int root, Bytes bytes, int tag) {
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      const int src_vrank = vrank | mask;
+      if (src_vrank < p) {
+        co_await recv_internal((src_vrank + root) % p, tag);
+      }
+    } else {
+      const int dst_vrank = vrank & ~mask;
+      co_await send_internal((dst_vrank + root) % p, bytes, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+sim::Task Comm::allreduce_algo(Bytes bytes, int tag) {
+  const int p = size();
+  if ((p & (p - 1)) == 0) {
+    // Recursive doubling.
+    for (int mask = 1; mask < p; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      co_await sendrecv_internal(partner, bytes, partner, tag);
+    }
+  } else {
+    co_await reduce_algo(0, bytes, tag);
+    co_await bcast_algo(0, bytes, tag + 1);
+  }
+}
+
+sim::Task Comm::allgather_algo(Bytes bytes, int tag) {
+  const int p = size();
+  if ((p & (p - 1)) == 0) {
+    // Recursive doubling: exchanged block doubles each round.
+    Bytes chunk = bytes;
+    for (int mask = 1; mask < p; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      co_await sendrecv_internal(partner, chunk, partner, tag);
+      chunk *= 2;
+    }
+  } else {
+    // Ring: p-1 rounds, one block per round.
+    for (int round = 1; round < p; ++round) {
+      const int dst = (rank_ + 1) % p;
+      const int src = (rank_ - 1 + p) % p;
+      co_await sendrecv_internal(dst, bytes, src, tag);
+    }
+  }
+}
+
+sim::Task Comm::alltoall_algo(Bytes bytes, int tag) {
+  const int p = size();
+  for (int round = 1; round < p; ++round) {
+    const int dst = (rank_ + round) % p;
+    const int src = (rank_ - round + p) % p;
+    co_await sendrecv_internal(dst, bytes, src, tag);
+  }
+}
+
+sim::Task Comm::alltoallv_algo(const std::vector<Bytes>& bytes, int tag) {
+  const int p = size();
+  for (int round = 1; round < p; ++round) {
+    const int dst = (rank_ + round) % p;
+    const int src = (rank_ - round + p) % p;
+    co_await sendrecv_internal(dst, bytes[static_cast<std::size_t>(dst)], src,
+                               tag);
+  }
+}
+
+sim::Task Comm::gather_algo(int root, Bytes bytes, int tag) {
+  // Binomial gather: subtree blocks accumulate toward the root, so the
+  // message at each step carries the sender's whole subtree.
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      const int src_vrank = vrank | mask;
+      if (src_vrank < p) {
+        const int subtree = std::min(mask, p - src_vrank);
+        co_await recv_internal((src_vrank + root) % p, tag);
+        (void)subtree;
+      }
+    } else {
+      const int subtree = std::min(mask, p - vrank);
+      co_await send_internal((((vrank & ~mask) + root) % p),
+                             bytes * static_cast<Bytes>(subtree), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+sim::Task Comm::scatter_algo(int root, Bytes bytes, int tag) {
+  // Binomial scatter: the root's halves fan out, shrinking by subtree size.
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      co_await recv_internal((((vrank & ~mask) + root) % p), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask = (mask < p) ? mask : mask >> 1;
+  // Forward the sub-blocks this rank is responsible for.
+  for (; mask >= 1; mask >>= 1) {
+    if ((vrank & (mask - 1)) == 0 && (vrank & mask) == 0) {
+      const int dst_vrank = vrank | mask;
+      if (dst_vrank < p) {
+        const int subtree = std::min(mask, p - dst_vrank);
+        co_await send_internal((dst_vrank + root) % p,
+                               bytes * static_cast<Bytes>(subtree), tag);
+      }
+    }
+  }
+}
+
+sim::Task Comm::scan_algo(Bytes bytes, int tag) {
+  // Linear pipeline: rank r waits for the prefix from r-1, combines, and
+  // forwards to r+1 (the simple algorithm; fine for small rank counts).
+  const int p = size();
+  if (rank_ > 0) co_await recv_internal(rank_ - 1, tag);
+  if (rank_ + 1 < p) co_await send_internal(rank_ + 1, bytes, tag);
+}
+
+sim::Task Comm::barrier() {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await barrier_algo(next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kBarrier;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::bcast(int root, Bytes bytes) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await bcast_algo(root, bytes, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kBcast;
+  r.peer = root;
+  r.bytes = bytes;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::reduce(int root, Bytes bytes) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await reduce_algo(root, bytes, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kReduce;
+  r.peer = root;
+  r.bytes = bytes;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::allreduce(Bytes bytes) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await allreduce_algo(bytes, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kAllreduce;
+  r.bytes = bytes;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::allgather(Bytes bytes_per_rank) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await allgather_algo(bytes_per_rank, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kAllgather;
+  r.bytes = bytes_per_rank;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::alltoall(Bytes bytes_per_pair) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await alltoall_algo(bytes_per_pair, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kAlltoall;
+  r.bytes = bytes_per_pair;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::alltoallv(std::vector<Bytes> send_bytes_per_peer) {
+  util::require(static_cast<int>(send_bytes_per_peer.size()) == size(),
+                "alltoallv: counts vector must have one entry per rank");
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await alltoallv_algo(send_bytes_per_peer, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kAlltoallv;
+  Bytes total = 0;
+  for (int peer = 0; peer < size(); ++peer) {
+    const Bytes b = send_bytes_per_peer[static_cast<std::size_t>(peer)];
+    if (peer != rank_) total += b;
+    r.parts.push_back(PeerBytes{peer, b, /*outgoing=*/true});
+  }
+  r.bytes = total;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::gather(int root, Bytes bytes_per_rank) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await gather_algo(root, bytes_per_rank, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kGather;
+  r.peer = root;
+  r.bytes = bytes_per_rank;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::scatter(int root, Bytes bytes_per_rank) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await scatter_algo(root, bytes_per_rank, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kScatter;
+  r.peer = root;
+  r.bytes = bytes_per_rank;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+sim::Task Comm::scan(Bytes bytes) {
+  const sim::Time t0 = now();
+  co_await call_overhead();
+  co_await scan_algo(bytes, next_collective_tag());
+  CallRecord r;
+  r.type = CallType::kScan;
+  r.bytes = bytes;
+  r.t_start = t0;
+  r.t_end = now();
+  record(std::move(r));
+}
+
+}  // namespace psk::mpi

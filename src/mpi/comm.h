@@ -1,0 +1,110 @@
+// Per-rank communicator: the public API that simulated applications program
+// against.  Mirrors the MPI operations the NAS benchmarks use.
+//
+// Every *public* operation is reported to the attached CallObserver (the
+// profiling library), exactly as a PMPI interposer sees real MPI calls.
+// Collectives are implemented internally from point-to-point algorithms
+// (binomial trees, recursive doubling, pairwise exchange) whose constituent
+// messages are NOT observed -- matching the visibility a real tracer has.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/message_engine.h"
+#include "mpi/types.h"
+#include "sim/task.h"
+
+namespace psk::mpi {
+
+class World;
+
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return engine_->rank_count(); }
+  sim::Time now() const;
+
+  /// Local computation of `work` work-seconds on this rank's node, touching
+  /// `mem_bytes` of memory (0 = cache resident).  Not an MPI call: tracers
+  /// observe the time as the gap between call timestamps, and the memory
+  /// volume through the hardware-counter channel in the call records.
+  sim::Task compute(double work, Bytes mem_bytes = 0);
+
+  // Blocking point-to-point.
+  sim::Task send(int dst, Bytes bytes, int tag = 0);
+  sim::Task recv(int src, Bytes bytes, int tag = 0);
+  sim::Task sendrecv(int dst, Bytes send_bytes, int src, Bytes recv_bytes,
+                     int tag = 0);
+
+  // Nonblocking point-to-point.  Initiation is immediate (no suspension).
+  Request isend(int dst, Bytes bytes, int tag = 0);
+  Request irecv(int src, Bytes bytes, int tag = 0);
+  sim::Task wait(Request request);
+  sim::Task waitall(std::vector<Request> requests);
+
+  // Collectives.  Byte counts follow MPI conventions: bcast/reduce/allreduce
+  // take the buffer size; allgather/alltoall take the per-peer contribution;
+  // alltoallv takes this rank's per-destination send counts.
+  sim::Task barrier();
+  sim::Task bcast(int root, Bytes bytes);
+  sim::Task reduce(int root, Bytes bytes);
+  sim::Task allreduce(Bytes bytes);
+  sim::Task allgather(Bytes bytes_per_rank);
+  sim::Task alltoall(Bytes bytes_per_pair);
+  sim::Task alltoallv(std::vector<Bytes> send_bytes_per_peer);
+  /// gather/scatter take the per-rank contribution (like MPI counts);
+  /// scan takes the buffer size.
+  sim::Task gather(int root, Bytes bytes_per_rank);
+  sim::Task scatter(int root, Bytes bytes_per_rank);
+  sim::Task scan(Bytes bytes);
+
+  /// Attaches/detaches the profiling observer (nullptr detaches).
+  void set_observer(CallObserver* observer) { observer_ = observer; }
+  CallObserver* observer() const { return observer_; }
+
+ private:
+  friend class World;
+  Comm(World& world, MessageEngine& engine, int rank)
+      : world_(&world), engine_(&engine), rank_(rank) {}
+
+  // Untraced internals shared by public ops and collective algorithms.
+  Request isend_internal(int dst, Bytes bytes, int tag);
+  Request irecv_internal(int src, int tag);
+  sim::Task wait_internal(Request request);
+  sim::Task send_internal(int dst, Bytes bytes, int tag);
+  sim::Task recv_internal(int src, int tag);
+  sim::Task sendrecv_internal(int dst, Bytes send_bytes, int src, int tag);
+
+  // Collective algorithm bodies (run under a fresh collective tag).
+  sim::Task barrier_algo(int tag);
+  sim::Task bcast_algo(int root, Bytes bytes, int tag);
+  sim::Task reduce_algo(int root, Bytes bytes, int tag);
+  sim::Task allreduce_algo(Bytes bytes, int tag);
+  sim::Task allgather_algo(Bytes bytes, int tag);
+  sim::Task alltoall_algo(Bytes bytes, int tag);
+  sim::Task alltoallv_algo(const std::vector<Bytes>& bytes, int tag);
+  sim::Task gather_algo(int root, Bytes bytes, int tag);
+  sim::Task scatter_algo(int root, Bytes bytes, int tag);
+  sim::Task scan_algo(Bytes bytes, int tag);
+
+  /// Fresh tag for one collective invocation; identical across ranks because
+  /// all ranks execute the same collective sequence (MPI ordering rule).
+  int next_collective_tag();
+
+  /// Blocking-call prologue: charges per-call (and tracing) overhead.
+  sim::Task call_overhead();
+
+  void record(CallRecord record);
+
+  World* world_;
+  MessageEngine* engine_;
+  int rank_;
+  CallObserver* observer_ = nullptr;
+  std::uint32_t collective_seq_ = 0;
+  /// Memory traffic accumulated since the last recorded call (attributed to
+  /// the next record's computation gap, like a PAPI counter read per call).
+  double pending_mem_bytes_ = 0;
+};
+
+}  // namespace psk::mpi

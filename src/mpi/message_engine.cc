@@ -1,0 +1,163 @@
+#include "mpi/message_engine.h"
+
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace psk::mpi {
+
+MessageEngine::MessageEngine(sim::Machine& machine,
+                             std::vector<int> rank_to_node, MpiConfig config)
+    : machine_(machine),
+      rank_to_node_(std::move(rank_to_node)),
+      config_(config) {
+  util::require(!rank_to_node_.empty(), "MessageEngine: no ranks");
+  for (int node : rank_to_node_) {
+    util::require(node >= 0 && node < machine_.node_count(),
+                  "MessageEngine: rank mapped to invalid node " +
+                      std::to_string(node));
+  }
+  requests_.resize(rank_to_node_.size());
+}
+
+int MessageEngine::node_of(int rank) const {
+  util::require(rank >= 0 && rank < rank_count(),
+                "MessageEngine: invalid rank " + std::to_string(rank));
+  return rank_to_node_[static_cast<std::size_t>(rank)];
+}
+
+Request MessageEngine::alloc_request(int rank) {
+  auto& table = requests_[static_cast<std::size_t>(rank)];
+  table.emplace_back();
+  return Request{static_cast<std::uint32_t>(table.size() - 1)};
+}
+
+bool MessageEngine::request_done(int rank, Request request) const {
+  util::require(request.valid(), "MessageEngine: invalid request");
+  const auto& table = requests_[static_cast<std::size_t>(rank)];
+  util::require(request.id < table.size(),
+                "MessageEngine: unknown request id");
+  return table[request.id].done;
+}
+
+void MessageEngine::set_waiter(int rank, Request request,
+                               std::function<void()> resume) {
+  auto& state = requests_[static_cast<std::size_t>(rank)][request.id];
+  util::require(!state.done, "MessageEngine: waiter on completed request");
+  util::require(!state.waiter, "MessageEngine: request already has a waiter");
+  state.waiter = std::move(resume);
+}
+
+void MessageEngine::complete_request(int rank, std::uint32_t id) {
+  if (id == Request::kInvalid) return;
+  auto& state = requests_[static_cast<std::size_t>(rank)][id];
+  state.done = true;
+  if (state.waiter) {
+    // Deliver on the event loop, never synchronously, so that a completion
+    // arising inside another rank's call cannot re-enter coroutine frames.
+    machine_.engine().after(0, std::move(state.waiter));
+    state.waiter = nullptr;
+  }
+}
+
+void MessageEngine::start_transfer(const std::shared_ptr<Message>& message,
+                                   sim::Time extra_delay) {
+  message->transfer_started = true;
+  auto begin = [this, message] {
+    machine_.transfer(node_of(message->src), node_of(message->dst),
+                      message->bytes, [this, message] { on_arrival(message); });
+  };
+  if (extra_delay > 0) {
+    machine_.engine().after(extra_delay, std::move(begin));
+  } else {
+    begin();
+  }
+}
+
+void MessageEngine::on_arrival(const std::shared_ptr<Message>& message) {
+  message->arrived = true;
+  ++delivered_;
+  complete_request(message->src, message->send_req);
+  if (message->recv_posted) {
+    complete_request(message->dst, message->recv_req);
+  }
+}
+
+Request MessageEngine::post_send(int src, int dst, Bytes bytes, int tag) {
+  util::require(src >= 0 && src < rank_count() && dst >= 0 &&
+                    dst < rank_count(),
+                "post_send: rank out of range");
+  const Request request = alloc_request(src);
+
+  auto message = std::make_shared<Message>();
+  message->src = src;
+  message->dst = dst;
+  message->tag = tag;
+  message->bytes = bytes;
+  message->eager = bytes <= config_.eager_threshold;
+  message->send_req = request.id;
+
+  Channel& channel = channels_[ChannelKey{src, dst, tag}];
+  if (!channel.unmatched_recvs.empty()) {
+    // A receive was already posted: adopt its request and start immediately.
+    auto recv_holder = channel.unmatched_recvs.front();
+    channel.unmatched_recvs.pop_front();
+    message->recv_posted = true;
+    message->recv_req = recv_holder->recv_req;
+    const sim::Time handshake =
+        message->eager ? 0.0
+                       : config_.rendezvous_handshake_latencies *
+                             machine_.config().latency;
+    start_transfer(message, handshake);
+    return request;
+  }
+
+  if (message->eager) {
+    // Eager: bytes leave immediately whether or not the receiver is ready.
+    start_transfer(message, 0.0);
+  }
+  channel.unmatched_sends.push_back(std::move(message));
+  return request;
+}
+
+Request MessageEngine::post_recv(int dst, int src, int tag) {
+  util::require(src >= 0 && src < rank_count() && dst >= 0 &&
+                    dst < rank_count(),
+                "post_recv: rank out of range");
+  const Request request = alloc_request(dst);
+
+  Channel& channel = channels_[ChannelKey{src, dst, tag}];
+  // Match the oldest not-yet-received send on this channel (FIFO ordering).
+  for (auto it = channel.unmatched_sends.begin();
+       it != channel.unmatched_sends.end(); ++it) {
+    if ((*it)->recv_posted) continue;
+    auto message = *it;
+    channel.unmatched_sends.erase(it);
+    message->recv_posted = true;
+    message->recv_req = request.id;
+    if (message->eager) {
+      if (message->arrived) {
+        complete_request(dst, request.id);
+      }
+      // else: in flight; arrival completes the request.
+    } else {
+      const sim::Time handshake = config_.rendezvous_handshake_latencies *
+                                  machine_.config().latency;
+      start_transfer(message, handshake);
+    }
+    return request;
+  }
+
+  // No matching send yet: park the receive.
+  auto holder = std::make_shared<Message>();
+  holder->src = src;
+  holder->dst = dst;
+  holder->tag = tag;
+  holder->recv_posted = true;
+  holder->recv_req = request.id;
+  channel.unmatched_recvs.push_back(std::move(holder));
+  return request;
+}
+
+}  // namespace psk::mpi

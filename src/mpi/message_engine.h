@@ -1,0 +1,93 @@
+// Point-to-point message matching and transfer engine.
+//
+// Implements MPI envelope matching (source, destination, tag; FIFO within a
+// channel, i.e. MPI's non-overtaking rule) and the eager/rendezvous transfer
+// protocols over the simulated network.  All completions are delivered as
+// engine events, never synchronously, so coroutines are only ever resumed
+// from the event loop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "mpi/types.h"
+#include "sim/machine.h"
+
+namespace psk::mpi {
+
+class MessageEngine {
+ public:
+  /// `rank_to_node[r]` is the simulated node hosting rank r.
+  MessageEngine(sim::Machine& machine, std::vector<int> rank_to_node,
+                MpiConfig config);
+
+  MessageEngine(const MessageEngine&) = delete;
+  MessageEngine& operator=(const MessageEngine&) = delete;
+
+  int rank_count() const { return static_cast<int>(rank_to_node_.size()); }
+  int node_of(int rank) const;
+  const MpiConfig& config() const { return config_; }
+  sim::Machine& machine() { return machine_; }
+
+  /// Posts a send from `src` to `dst`; returns the request that completes
+  /// when the message is fully injected (eager) or delivered (rendezvous).
+  Request post_send(int src, int dst, Bytes bytes, int tag);
+
+  /// Posts a receive on `dst` for a message from `src`; the request
+  /// completes when the matching message has fully arrived.
+  Request post_recv(int dst, int src, int tag);
+
+  bool request_done(int rank, Request request) const;
+
+  /// Registers the resume thunk for an incomplete request.  Precondition:
+  /// !request_done(rank, request) and no waiter registered yet.
+  void set_waiter(int rank, Request request, std::function<void()> resume);
+
+  /// Total messages fully delivered (for tests and reporting).
+  std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  struct Message {
+    int src = -1;
+    int dst = -1;
+    int tag = 0;
+    Bytes bytes = 0;
+    bool eager = true;
+    bool recv_posted = false;
+    bool transfer_started = false;
+    bool arrived = false;
+    std::uint32_t send_req = Request::kInvalid;
+    std::uint32_t recv_req = Request::kInvalid;
+  };
+
+  struct RequestState {
+    bool done = false;
+    std::function<void()> waiter;
+  };
+
+  using ChannelKey = std::tuple<int, int, int>;  // src, dst, tag
+  struct Channel {
+    std::deque<std::shared_ptr<Message>> unmatched_sends;
+    std::deque<std::shared_ptr<Message>> unmatched_recvs;
+  };
+
+  Request alloc_request(int rank);
+  void complete_request(int rank, std::uint32_t id);
+  void start_transfer(const std::shared_ptr<Message>& message,
+                      sim::Time extra_delay);
+  void on_arrival(const std::shared_ptr<Message>& message);
+
+  sim::Machine& machine_;
+  std::vector<int> rank_to_node_;
+  MpiConfig config_;
+  std::map<ChannelKey, Channel> channels_;
+  std::vector<std::vector<RequestState>> requests_;  // [rank][id]
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace psk::mpi

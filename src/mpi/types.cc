@@ -1,0 +1,47 @@
+#include "mpi/types.h"
+
+#include <array>
+#include <utility>
+
+#include "util/error.h"
+
+namespace psk::mpi {
+
+namespace {
+constexpr std::array<std::pair<CallType, const char*>, 18> kNames = {{
+    {CallType::kSend, "Send"},
+    {CallType::kRecv, "Recv"},
+    {CallType::kIsend, "Isend"},
+    {CallType::kIrecv, "Irecv"},
+    {CallType::kWait, "Wait"},
+    {CallType::kWaitall, "Waitall"},
+    {CallType::kSendrecv, "Sendrecv"},
+    {CallType::kBarrier, "Barrier"},
+    {CallType::kBcast, "Bcast"},
+    {CallType::kReduce, "Reduce"},
+    {CallType::kAllreduce, "Allreduce"},
+    {CallType::kAllgather, "Allgather"},
+    {CallType::kAlltoall, "Alltoall"},
+    {CallType::kAlltoallv, "Alltoallv"},
+    {CallType::kGather, "Gather"},
+    {CallType::kScatter, "Scatter"},
+    {CallType::kScan, "Scan"},
+    {CallType::kExchange, "Exchange"},
+}};
+}  // namespace
+
+std::string call_type_name(CallType t) {
+  for (const auto& [type, name] : kNames) {
+    if (type == t) return name;
+  }
+  return "Unknown";
+}
+
+CallType call_type_from_name(const std::string& name) {
+  for (const auto& [type, type_name] : kNames) {
+    if (name == type_name) return type;
+  }
+  throw FormatError("unknown MPI call type name: " + name);
+}
+
+}  // namespace psk::mpi

@@ -1,0 +1,137 @@
+// Shared vocabulary types for the virtual MPI runtime.
+//
+// The runtime reproduces the *call layer* of MPI over the simulated cluster:
+// message payloads carry no data, only byte counts, because the skeleton
+// framework (like the paper's PMPI profiling library) observes call types,
+// peers, sizes and timings -- never message contents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace psk::mpi {
+
+using Bytes = std::uint64_t;
+
+/// MPI call types visible to the profiling layer.  Kept in one enum so trace
+/// records, signatures and generated skeleton code agree on identity.
+enum class CallType : std::uint8_t {
+  kSend,
+  kRecv,
+  kIsend,
+  kIrecv,
+  kWait,
+  kWaitall,
+  kSendrecv,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kAllgather,
+  kAlltoall,
+  kAlltoallv,
+  kGather,
+  kScatter,
+  kScan,
+  // Synthesized by trace post-processing (not a real MPI call): a folded
+  // nonblocking exchange region (Irecv*/Isend*/Waitall).
+  kExchange,
+};
+
+/// True for the point-to-point nonblocking initiation calls.
+constexpr bool is_nonblocking_start(CallType t) {
+  return t == CallType::kIsend || t == CallType::kIrecv;
+}
+
+/// True for calls that complete nonblocking requests.
+constexpr bool is_completion(CallType t) {
+  return t == CallType::kWait || t == CallType::kWaitall;
+}
+
+/// True for collective operations.
+constexpr bool is_collective(CallType t) {
+  switch (t) {
+    case CallType::kBarrier:
+    case CallType::kBcast:
+    case CallType::kReduce:
+    case CallType::kAllreduce:
+    case CallType::kAllgather:
+    case CallType::kAlltoall:
+    case CallType::kAlltoallv:
+    case CallType::kGather:
+    case CallType::kScatter:
+    case CallType::kScan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string call_type_name(CallType t);
+
+/// Parses a name produced by call_type_name; throws FormatError on unknown.
+CallType call_type_from_name(const std::string& name);
+
+/// Nonblocking request handle (index into the per-rank request table).
+struct Request {
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  std::uint32_t id = kInvalid;
+  bool valid() const { return id != kInvalid; }
+};
+
+/// Per-peer byte count: used by Alltoallv parts, Sendrecv and folded
+/// exchange regions.
+struct PeerBytes {
+  int peer = -1;
+  Bytes bytes = 0;
+  /// Direction for exchange regions: true when this rank sends to `peer`.
+  bool outgoing = true;
+  /// Envelope tag of this transfer (exchange regions mix several tags).
+  int tag = 0;
+
+  friend bool operator==(const PeerBytes&, const PeerBytes&) = default;
+};
+
+/// One observed MPI call, as recorded by the profiling hook.
+struct CallRecord {
+  CallType type = CallType::kSend;
+  int peer = -1;               // dst (send), src (recv), root (collectives)
+  Bytes bytes = 0;             // payload bytes (primary direction)
+  int tag = 0;
+  std::vector<PeerBytes> parts;        // alltoallv / sendrecv / exchange
+  std::uint32_t request = Request::kInvalid;   // isend/irecv
+  std::vector<std::uint32_t> requests;         // wait/waitall
+  /// Memory traffic of the computation since the previous call (bytes).
+  double pre_mem_bytes = 0;
+  sim::Time t_start = 0;
+  sim::Time t_end = 0;
+};
+
+/// Observer interface implemented by the tracing library.  The runtime calls
+/// on_call once per public MPI operation, after it completes.
+class CallObserver {
+ public:
+  virtual ~CallObserver() = default;
+  virtual void on_call(int rank, const CallRecord& record) = 0;
+};
+
+/// Tunables of the virtual MPI runtime.
+struct MpiConfig {
+  /// Messages at or below this size use the eager protocol (transfer starts
+  /// at send time); larger ones rendezvous (transfer starts when both sides
+  /// have posted).  MPICH-era default.
+  Bytes eager_threshold = 64 * 1024;
+  /// Extra delay before a rendezvous transfer starts, in units of the
+  /// machine's one-way latency (request-to-send / clear-to-send handshake).
+  double rendezvous_handshake_latencies = 2.0;
+  /// Fixed software overhead charged at the start of each blocking call.
+  sim::Time per_call_overhead = 1.0e-6;
+  /// Additional overhead per call while a CallObserver is attached (models
+  /// the profiling library's cost; the paper reports it is well under 1%).
+  sim::Time trace_overhead = 0.3e-6;
+};
+
+}  // namespace psk::mpi

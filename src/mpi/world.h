@@ -1,0 +1,67 @@
+// World: constructs the per-rank communicators over a simulated machine and
+// launches SPMD rank programs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "mpi/message_engine.h"
+#include "mpi/types.h"
+#include "sim/machine.h"
+#include "sim/task.h"
+
+namespace psk::mpi {
+
+/// A rank program: one coroutine per rank, SPMD style.
+using RankMain = std::function<sim::Task(Comm&)>;
+
+class World {
+ public:
+  /// Ranks are placed round-robin over the machine's nodes (identity mapping
+  /// when ranks == nodes, as in the paper's 4-rank experiments).
+  World(sim::Machine& machine, int ranks, MpiConfig config = {});
+
+  /// Explicit rank -> node placement.
+  World(sim::Machine& machine, std::vector<int> rank_to_node,
+        MpiConfig config = {});
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return engine_.rank_count(); }
+  Comm& comm(int rank);
+  MessageEngine& message_engine() { return engine_; }
+  sim::Machine& machine() { return machine_; }
+
+  /// Attaches `observer` to every rank (nullptr detaches).
+  void set_observer(CallObserver* observer);
+
+  /// Spawns `rank_main` once per rank.  May be called once per World.
+  void launch(RankMain rank_main);
+
+  /// Runs the simulation to completion and returns the parallel execution
+  /// time: the latest rank completion time.
+  sim::Time run();
+
+  /// Completion time of one rank (valid after run()).
+  sim::Time rank_end_time(int rank) const;
+
+  /// Latest rank completion time.  Useful when several Worlds share one
+  /// machine (co-scheduled jobs) and the caller drives engine.run() itself
+  /// instead of calling run() on a single world.
+  sim::Time parallel_time() const;
+
+ private:
+  static std::vector<int> round_robin(int ranks, int nodes);
+  sim::Task rank_wrapper(int rank, RankMain rank_main);
+
+  sim::Machine& machine_;
+  MessageEngine engine_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::vector<sim::Time> end_times_;
+  bool launched_ = false;
+};
+
+}  // namespace psk::mpi

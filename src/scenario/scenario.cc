@@ -1,0 +1,129 @@
+#include "scenario/scenario.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace psk::scenario {
+
+namespace {
+
+/// Periodically resamples the scheduler-unfairness factor of a loaded node.
+void schedule_cpu_flutter(sim::Machine& machine, int node,
+                          const Scenario& scenario) {
+  sim::Engine& engine = machine.engine();
+  machine.node(node).set_contention_unfairness(
+      engine.rng().jitter(scenario.cpu_flutter));
+  if (scenario.cpu_flutter_period <= 0) return;
+  const double amp = scenario.cpu_flutter;
+  const double period = scenario.cpu_flutter_period;
+  const double delay = engine.rng().uniform(0.5, 1.5) * period;
+  engine.after(delay, [&machine, node, amp, period] {
+    Scenario next;
+    next.cpu_flutter = amp;
+    next.cpu_flutter_period = period;
+    schedule_cpu_flutter(machine, node, next);
+  });
+}
+
+/// Periodically resamples the effective bandwidth of a shaped link.
+void schedule_net_flutter(sim::Machine& machine, int node,
+                          const Scenario& scenario) {
+  sim::Engine& engine = machine.engine();
+  machine.network().set_link_bandwidth(
+      node,
+      scenario.shaped_bandwidth_bps * engine.rng().jitter(scenario.net_flutter));
+  if (scenario.net_flutter_period <= 0) return;
+  Scenario next = scenario;
+  const double delay =
+      engine.rng().uniform(0.5, 1.5) * scenario.net_flutter_period;
+  engine.after(delay, [&machine, node, next] {
+    schedule_net_flutter(machine, node, next);
+  });
+}
+
+}  // namespace
+
+void Scenario::apply(sim::Machine& machine) const {
+  const int nodes = machine.node_count();
+  util::require(affected_node >= 0 && affected_node < nodes,
+                "Scenario: affected node out of range");
+  switch (kind) {
+    case Kind::kDedicated:
+      break;
+    case Kind::kCpuOneNode:
+      machine.node(affected_node).add_load(load_processes);
+      schedule_cpu_flutter(machine, affected_node, *this);
+      break;
+    case Kind::kCpuAllNodes:
+      for (int n = 0; n < nodes; ++n) {
+        machine.node(n).add_load(load_processes);
+        schedule_cpu_flutter(machine, n, *this);
+      }
+      break;
+    case Kind::kNetOneLink:
+      schedule_net_flutter(machine, affected_node, *this);
+      break;
+    case Kind::kNetAllLinks:
+      for (int n = 0; n < nodes; ++n) {
+        schedule_net_flutter(machine, n, *this);
+      }
+      break;
+    case Kind::kCpuAndNet:
+      machine.node(affected_node).add_load(load_processes);
+      schedule_cpu_flutter(machine, affected_node, *this);
+      schedule_net_flutter(machine, affected_node, *this);
+      break;
+    case Kind::kMemOneNode:
+      machine.node(affected_node)
+          .add_load(load_processes, load_mem_bytes_per_work);
+      schedule_cpu_flutter(machine, affected_node, *this);
+      break;
+  }
+}
+
+namespace {
+constexpr Scenario kDedicatedScenario{
+    Kind::kDedicated, "dedicated", "no competing load or traffic",
+    2, 0.0, 1.25e6, 0, 0.0, 0.0, 0.0, 0.0};
+
+constexpr std::array<Scenario, 5> kPaperScenarios = {{
+    {Kind::kCpuOneNode, "cpu-one-node",
+     "two competing compute processes on one node", 2, 0.0, 1.25e6, 0, 0.18,
+     3.0, 0.30, 25.0},
+    {Kind::kCpuAllNodes, "cpu-all-nodes",
+     "two competing compute processes on every node", 2, 0.0, 1.25e6, 0,
+     0.18, 3.0, 0.30, 25.0},
+    {Kind::kNetOneLink, "net-one-link", "one link shaped to 10 Mbps", 2, 0.0,
+     1.25e6, 0, 0.18, 3.0, 0.30, 25.0},
+    {Kind::kNetAllLinks, "net-all-links", "every link shaped to 10 Mbps", 2, 0.0,
+     1.25e6, 0, 0.18, 3.0, 0.30, 25.0},
+    {Kind::kCpuAndNet, "cpu-and-net",
+     "competing processes on one node and traffic on one link", 2, 0.0,
+     1.25e6, 0, 0.18, 3.0, 0.30, 25.0},
+}};
+}  // namespace
+
+namespace {
+constexpr Scenario kMemoryHogScenario{
+    Kind::kMemOneNode, "mem-one-node",
+    "one memory-bound competitor on one node", 1, 5.0e9, 1.25e6, 0, 0.18,
+    3.0, 0.30, 25.0};
+}  // namespace
+
+std::span<const Scenario> paper_scenarios() { return kPaperScenarios; }
+
+const Scenario& dedicated() { return kDedicatedScenario; }
+
+const Scenario& memory_hog() { return kMemoryHogScenario; }
+
+const Scenario& find_scenario(const std::string& name) {
+  if (name == kDedicatedScenario.name) return kDedicatedScenario;
+  if (name == kMemoryHogScenario.name) return kMemoryHogScenario;
+  for (const Scenario& scenario : kPaperScenarios) {
+    if (name == scenario.name) return scenario;
+  }
+  throw ConfigError("unknown scenario: " + name);
+}
+
+}  // namespace psk::scenario

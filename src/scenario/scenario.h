@@ -1,0 +1,78 @@
+// The paper's resource-sharing scenarios (section 4.2).
+//
+// Five sharing configurations plus the dedicated baseline:
+//   S1  two competing compute processes on one node
+//   S2  two competing compute processes on every node
+//   S3  one node's link shaped to 10 Mbps
+//   S4  every link shaped to 10 Mbps
+//   S5  S1 + S3 (one loaded node, one shaped link)
+// "At least two processes are required to create significant CPU contention
+// on dual processor nodes."
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/machine.h"
+
+namespace psk::scenario {
+
+enum class Kind {
+  kDedicated,
+  kCpuOneNode,
+  kCpuAllNodes,
+  kNetOneLink,
+  kNetAllLinks,
+  kCpuAndNet,
+  /// Extension (not one of the paper's five): a memory-bound competitor on
+  /// one node -- cores stay free, the memory bus contends.
+  kMemOneNode,
+};
+
+struct Scenario {
+  Kind kind = Kind::kDedicated;
+  const char* name = "dedicated";
+  const char* description = "no competing load or traffic";
+  /// Competing compute processes per affected node.
+  int load_processes = 2;
+  /// Memory intensity of the competing processes (bytes per work-second;
+  /// 0 = cache-resident spinners, as in the paper's CPU scenarios).
+  double load_mem_bytes_per_work = 0;
+  /// Shaped bandwidth for affected links (10 Mbps in bytes/second).
+  double shaped_bandwidth_bps = 1.25e6;
+  /// The node whose CPU / link is affected in the one-node scenarios.
+  int affected_node = 0;
+
+  /// Contention is not steady in real systems: the scheduler does not
+  /// split cycles perfectly evenly, and shaped links carry bursty cross
+  /// traffic.  Affected resources resample a multiplicative disturbance
+  /// around their nominal value (seeded by the machine's RNG, so
+  /// measurements at different times disagree -- the reason short skeleton
+  /// runs predict less accurately than long ones).  Scheduler noise
+  /// fluctuates on second scales; cross-traffic is dominated by long-lived
+  /// bulk ("elephant") flows, so the network disturbance has a much longer
+  /// correlation time -- which is why scenarios with competing traffic are
+  /// harder to predict (paper section 4.4).
+  double cpu_flutter = 0.18;
+  double cpu_flutter_period = 3.0;
+  double net_flutter = 0.30;
+  double net_flutter_period = 25.0;
+
+  /// Applies the sharing configuration to a freshly built machine.
+  void apply(sim::Machine& machine) const;
+};
+
+/// The five sharing scenarios, in the paper's order.
+std::span<const Scenario> paper_scenarios();
+
+/// The dedicated (no sharing) baseline.
+const Scenario& dedicated();
+
+/// Extension scenario: one memory-bound competitor on one node (leaves a
+/// core free; contends only for the memory bus).
+const Scenario& memory_hog();
+
+/// Lookup by name ("cpu-one-node", ...); throws ConfigError when unknown.
+const Scenario& find_scenario(const std::string& name);
+
+}  // namespace psk::scenario

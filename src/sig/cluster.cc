@@ -1,0 +1,151 @@
+#include "sig/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace psk::sig {
+
+namespace {
+
+constexpr double kIncompatible = std::numeric_limits<double>::infinity();
+
+/// Relative difference with an insensitivity floor: quantities entirely
+/// below the floor (scheduling noise, tiny control messages) carry no
+/// signal and compare equal.
+double rel_diff_floored(double a, double b, double floor) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  if (denom <= floor) return 0;
+  return std::abs(a - b) / denom;
+}
+
+bool parts_compatible(const trace::TraceEvent& event, const SigEvent& proto) {
+  if (event.parts.size() != proto.parts.size()) return false;
+  for (std::size_t i = 0; i < event.parts.size(); ++i) {
+    if (event.parts[i].peer != proto.parts[i].peer ||
+        event.parts[i].outgoing != proto.parts[i].outgoing ||
+        event.parts[i].tag != proto.parts[i].tag) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SigEvent prototype_from(const trace::TraceEvent& event, int cluster_id) {
+  SigEvent proto;
+  proto.type = event.type;
+  proto.peer = event.peer;
+  proto.tag = event.tag;
+  proto.bytes = static_cast<double>(event.bytes);
+  proto.parts.reserve(event.parts.size());
+  for (const mpi::PeerBytes& part : event.parts) {
+    proto.parts.push_back(SigEvent::Part{part.peer,
+                                         static_cast<double>(part.bytes),
+                                         part.outgoing, part.tag});
+  }
+  proto.pre_compute = event.pre_compute;
+  proto.interior_compute = event.interior_compute;
+  proto.pre_mem_bytes = event.pre_mem_bytes;
+  proto.interior_mem_bytes = event.interior_mem_bytes;
+  proto.mean_duration = event.duration();
+  proto.cluster_id = cluster_id;
+  return proto;
+}
+
+/// Folds `event` into the running mean of a prototype with `count` members.
+void merge_into(SigEvent& proto, std::size_t count,
+                const trace::TraceEvent& event) {
+  const double n = static_cast<double>(count);
+  const double w = 1.0 / (n + 1.0);
+  const auto blend = [w, n](double mean, double sample) {
+    return (mean * n + sample) * w;
+  };
+  proto.bytes = blend(proto.bytes, static_cast<double>(event.bytes));
+  for (std::size_t i = 0; i < proto.parts.size(); ++i) {
+    proto.parts[i].bytes = blend(proto.parts[i].bytes,
+                                 static_cast<double>(event.parts[i].bytes));
+  }
+  // Welford update: keeps the duration distribution alongside the mean
+  // (consumed by distribution-sampling replay, section 4.4 future work).
+  const double delta = event.pre_compute - proto.pre_compute;
+  proto.pre_compute = blend(proto.pre_compute, event.pre_compute);
+  proto.pre_compute_m2 += delta * (event.pre_compute - proto.pre_compute);
+  proto.observations += 1;
+  proto.interior_compute =
+      blend(proto.interior_compute, event.interior_compute);
+  proto.pre_mem_bytes = blend(proto.pre_mem_bytes, event.pre_mem_bytes);
+  proto.interior_mem_bytes =
+      blend(proto.interior_mem_bytes, event.interior_mem_bytes);
+  proto.mean_duration = blend(proto.mean_duration, event.duration());
+}
+
+}  // namespace
+
+double dissimilarity(const trace::TraceEvent& event, const SigEvent& proto,
+                     const ClusterOptions& options) {
+  // The paper: "different MPI primitives and blocking and non-blocking calls
+  // [are] distinct events ... never grouped together."  Peers and tags
+  // identify the communication structure, so they must match exactly too.
+  if (event.type != proto.type || event.peer != proto.peer ||
+      event.tag != proto.tag || !parts_compatible(event, proto)) {
+    return kIncompatible;
+  }
+
+  double d = 0;
+  if (options.bytes_weight > 0) {
+    double bytes_d = rel_diff_floored(static_cast<double>(event.bytes),
+                                      proto.bytes, options.bytes_floor);
+    for (std::size_t i = 0; i < event.parts.size(); ++i) {
+      bytes_d = std::max(
+          bytes_d,
+          rel_diff_floored(static_cast<double>(event.parts[i].bytes),
+                           proto.parts[i].bytes, options.bytes_floor));
+    }
+    d = std::max(d, options.bytes_weight * bytes_d);
+  }
+  if (options.compute_weight > 0) {
+    const double compute_d =
+        std::max(rel_diff_floored(event.pre_compute, proto.pre_compute,
+                                  options.compute_floor),
+                 rel_diff_floored(event.interior_compute,
+                                  proto.interior_compute,
+                                  options.compute_floor));
+    d = std::max(d, options.compute_weight * compute_d);
+  }
+  return d;
+}
+
+ClusterResult cluster_events(const std::vector<trace::TraceEvent>& events,
+                             const ClusterOptions& options) {
+  ClusterResult result;
+  result.symbols.reserve(events.size());
+
+  for (const trace::TraceEvent& event : events) {
+    int best = -1;
+    double best_d = kIncompatible;
+    for (std::size_t c = 0; c < result.prototypes.size(); ++c) {
+      const double d = dissimilarity(event, result.prototypes[c], options);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    // The epsilon absorbs floating-point dust from the running-mean blend:
+    // after many merges of *identical* events the prototype drifts by ULPs,
+    // which must not open a new cluster at threshold 0.
+    if (best >= 0 && best_d <= options.threshold + 1e-9) {
+      merge_into(result.prototypes[static_cast<std::size_t>(best)],
+                 result.counts[static_cast<std::size_t>(best)], event);
+      result.counts[static_cast<std::size_t>(best)] += 1;
+      result.symbols.push_back(best);
+    } else {
+      const int id = static_cast<int>(result.prototypes.size());
+      result.prototypes.push_back(prototype_from(event, id));
+      result.counts.push_back(1);
+      result.symbols.push_back(id);
+    }
+  }
+  return result;
+}
+
+}  // namespace psk::sig

@@ -1,0 +1,64 @@
+// Clustering of similar execution events (paper section 3.2, stage 1).
+//
+// Converts a rank's event stream into a string of symbols where
+// "substantially similar execution events are placed in one cluster and
+// assigned the same symbol", with each cluster represented by its running
+// average ("MPI_Send(Node 3, 2000) + MPI_Send(Node 3, 1800) ->
+// MPI_Send(Node 3, 1900)").
+//
+// Dissimilarity is measured per dimension as a relative difference against
+// the cluster's current prototype; the overall dissimilarity is the maximum
+// over dimensions, so the similarity threshold "linearly relates to the
+// maximum difference in message sizes allowed".  Different call types,
+// peers, tags, or part structures never cluster together.
+#pragma once
+
+#include <vector>
+
+#include "sig/signature.h"
+#include "trace/event.h"
+
+namespace psk::sig {
+
+struct ClusterOptions {
+  /// Similarity threshold in [0, 1]; 0 clusters only identical events.
+  double threshold = 0.0;
+  /// Dimension weights.  Message parameters are compared strictly.  The
+  /// default compute_weight = 0 merges computation durations unconditionally
+  /// and represents them by their running average -- the paper's choice
+  /// ("maximum flexibility in combining computation events ... was found to
+  /// be effective"), and also what keeps SPMD ranks' clusterings symmetric
+  /// (compute gaps are the one dimension that varies between ranks).
+  /// compute_weight = 1 makes clustering duration-sensitive ("execution
+  /// phases of approximately equal duration"); the averaging ablation uses
+  /// it to quantify the cost of free merging.
+  double bytes_weight = 1.0;
+  double compute_weight = 0.0;
+  /// Relative differences of quantities below these floors are ignored
+  /// (microscopic gaps and tiny control messages carry no signal).
+  double bytes_floor = 64.0;
+  double compute_floor = 1e-3;
+};
+
+struct ClusterResult {
+  /// Canonical event per cluster, indexed by cluster id.
+  std::vector<SigEvent> prototypes;
+  /// Cluster id per input event, in order.
+  std::vector<int> symbols;
+  /// Member count per cluster.
+  std::vector<std::size_t> counts;
+
+  std::size_t cluster_count() const { return prototypes.size(); }
+};
+
+/// Dissimilarity between an event and a prototype; +infinity when they are
+/// structurally incompatible (type/peer/tag/parts).
+double dissimilarity(const trace::TraceEvent& event, const SigEvent& proto,
+                     const ClusterOptions& options);
+
+/// Greedy sequential clustering: each event joins the best prototype within
+/// the threshold or starts a new cluster.  Prototypes are running means.
+ClusterResult cluster_events(const std::vector<trace::TraceEvent>& events,
+                             const ClusterOptions& options);
+
+}  // namespace psk::sig

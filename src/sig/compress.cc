@@ -1,0 +1,202 @@
+#include "sig/compress.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "trace/fold.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace psk::sig {
+
+namespace {
+
+/// True when seq[i..i+p) == seq[j..j+p) structurally.
+bool block_equal(const SigSeq& seq, std::size_t i, std::size_t j,
+                 std::size_t p) {
+  for (std::size_t k = 0; k < p; ++k) {
+    if (!(seq[i + k] == seq[j + k])) return false;
+  }
+  return true;
+}
+
+/// Smallest period q such that seq[i..i+p) is a power of its prefix of
+/// length q (q divides p).  Canonicalizes an accidental large-period match
+/// like (XX)(XX) into the primitive unit X.
+std::size_t primitive_period(const SigSeq& seq, std::size_t i,
+                             std::size_t p) {
+  for (std::size_t q = 1; q <= p / 2; ++q) {
+    if (p % q != 0) continue;
+    bool periodic = true;
+    for (std::size_t offset = q; offset < p && periodic; offset += q) {
+      periodic = block_equal(seq, i, i + offset, q);
+    }
+    if (periodic) return q;
+  }
+  return p;
+}
+
+/// One left-to-right pass collapsing tandem repeats of period `p`.  Matches
+/// are reduced to their primitive period before collapsing, and bodies are
+/// folded recursively, so a period-p hit yields the canonical nest.
+bool collapse_period(SigSeq& seq, std::size_t p, std::size_t max_period) {
+  if (seq.size() < 2 * p) return false;
+  bool changed = false;
+  SigSeq out;
+  out.reserve(seq.size());
+  std::size_t i = 0;
+  while (i < seq.size()) {
+    if (i + 2 * p <= seq.size() && block_equal(seq, i, i + p, p)) {
+      const std::size_t q = primitive_period(seq, i, p);
+      std::uint64_t repeats = 1;
+      while (i + (repeats + 1) * q <= seq.size() &&
+             block_equal(seq, i, i + static_cast<std::size_t>(repeats) * q,
+                         q)) {
+        ++repeats;
+      }
+      SigSeq body(seq.begin() + static_cast<std::ptrdiff_t>(i),
+                  seq.begin() + static_cast<std::ptrdiff_t>(i + q));
+      body = fold_loops(std::move(body), max_period);
+      out.push_back(SigNode::loop(repeats, std::move(body)));
+      i += static_cast<std::size_t>(repeats) * q;
+      changed = true;
+    } else {
+      out.push_back(std::move(seq[i]));
+      ++i;
+    }
+  }
+  seq = std::move(out);
+  return changed;
+}
+
+Signature build_signature(const trace::Trace& trace, double threshold,
+                          const CompressOptions& options,
+                          std::size_t* total_events_out,
+                          std::size_t* total_leaves_out) {
+  ClusterOptions cluster_options;
+  cluster_options.threshold = threshold;
+  cluster_options.bytes_weight = options.bytes_weight;
+  cluster_options.compute_weight = options.compute_weight;
+
+  Signature signature;
+  signature.app_name = trace.app_name;
+  signature.threshold = threshold;
+
+  std::size_t total_events = 0;
+  std::size_t total_leaves = 0;
+  for (const trace::RankTrace& rank : trace.ranks) {
+    const ClusterResult clusters =
+        cluster_events(rank.events, cluster_options);
+    SigSeq seq;
+    seq.reserve(clusters.symbols.size());
+    for (int symbol : clusters.symbols) {
+      seq.push_back(
+          SigNode::leaf(clusters.prototypes[static_cast<std::size_t>(symbol)]));
+    }
+    if (options.anchor_at_collectives) {
+      seq = fold_anchored(std::move(seq), options.max_period);
+    } else {
+      seq = fold_loops(std::move(seq), options.max_period);
+    }
+
+    RankSignature rank_signature;
+    rank_signature.rank = rank.rank;
+    rank_signature.total_time = rank.total_time;
+    rank_signature.final_compute = rank.final_compute;
+    rank_signature.roots = std::move(seq);
+
+    total_events += rank.events.size();
+    total_leaves += leaf_count(rank_signature.roots);
+    signature.ranks.push_back(std::move(rank_signature));
+  }
+  signature.compression_ratio =
+      total_leaves > 0 ? static_cast<double>(total_events) /
+                             static_cast<double>(total_leaves)
+                       : 1.0;
+  if (total_events_out != nullptr) *total_events_out = total_events;
+  if (total_leaves_out != nullptr) *total_leaves_out = total_leaves;
+  return signature;
+}
+
+}  // namespace
+
+SigSeq fold_anchored(SigSeq seq, std::size_t max_period) {
+  SigSeq out;
+  SigSeq segment;
+  const auto flush_segment = [&] {
+    if (segment.empty()) return;
+    SigSeq folded = fold_loops(std::move(segment), max_period);
+    out.insert(out.end(), std::make_move_iterator(folded.begin()),
+               std::make_move_iterator(folded.end()));
+    segment.clear();
+  };
+  for (SigNode& node : seq) {
+    if (node.kind == SigNode::Kind::kLeaf &&
+        mpi::is_collective(node.event.type)) {
+      flush_segment();
+      out.push_back(std::move(node));
+    } else {
+      segment.push_back(std::move(node));
+    }
+  }
+  flush_segment();
+  return out;
+}
+
+SigSeq fold_loops(SigSeq seq, std::size_t max_period) {
+  // "Starting with the largest matches and working down to sub-string
+  // matches of a single symbol" (paper section 3.2): descending periods,
+  // repeated until no repeat of any length remains.  Largest-first matters:
+  // a small-period collapse (e.g. two adjacent Allreduces) can otherwise
+  // destroy the tail of a much longer repetition that contains it.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t p = std::min(max_period, seq.size() / 2); p >= 1; --p) {
+      changed = collapse_period(seq, p, max_period) || changed;
+      if (seq.size() < 2) break;
+    }
+  }
+  return seq;
+}
+
+Signature compress_at_threshold(const trace::Trace& folded_trace,
+                                double threshold,
+                                const CompressOptions& options) {
+  util::require(trace::is_fully_folded(folded_trace),
+                "compress: trace contains raw nonblocking events; run "
+                "trace::fold_nonblocking first");
+  return build_signature(folded_trace, threshold, options, nullptr, nullptr);
+}
+
+Signature compress(const trace::Trace& folded_trace,
+                   const CompressOptions& options) {
+  util::require(trace::is_fully_folded(folded_trace),
+                "compress: trace contains raw nonblocking events; run "
+                "trace::fold_nonblocking first");
+  util::require(options.target_ratio >= 1.0,
+                "compress: target_ratio must be >= 1");
+
+  Signature best;
+  bool have_best = false;
+  for (double threshold = 0.0; threshold <= options.max_threshold + 1e-12;
+       threshold += options.threshold_step) {
+    Signature signature =
+        build_signature(folded_trace, threshold, options, nullptr, nullptr);
+    if (!have_best ||
+        signature.compression_ratio > best.compression_ratio) {
+      best = signature;
+      have_best = true;
+    }
+    if (signature.compression_ratio >= options.target_ratio) {
+      return signature;
+    }
+  }
+  util::log_info() << "compress: target ratio " << options.target_ratio
+                   << " not reached; best achieved "
+                   << best.compression_ratio << " at threshold "
+                   << best.threshold;
+  return best;
+}
+
+}  // namespace psk::sig

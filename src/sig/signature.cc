@@ -1,0 +1,149 @@
+#include "sig/signature.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psk::sig {
+
+namespace {
+
+constexpr std::uint64_t kHashSeed = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + kHashSeed + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t seq_hash(const SigSeq& seq) {
+  std::uint64_t h = 0xA5A5A5A5ULL;
+  for (const SigNode& node : seq) h = mix(h, node.hash);
+  return h;
+}
+
+}  // namespace
+
+SigNode SigNode::leaf(SigEvent event) {
+  SigNode node;
+  node.kind = Kind::kLeaf;
+  node.event = std::move(event);
+  node.hash = mix(0x1EAF, static_cast<std::uint64_t>(node.event.cluster_id));
+  return node;
+}
+
+SigNode SigNode::loop(std::uint64_t iterations, SigSeq body) {
+  SigNode node;
+  node.kind = Kind::kLoop;
+  node.iterations = iterations;
+  node.body = std::move(body);
+  node.hash = mix(mix(0x100B, iterations), seq_hash(node.body));
+  return node;
+}
+
+bool operator==(const SigNode& a, const SigNode& b) {
+  if (a.hash != b.hash || a.kind != b.kind) return false;
+  if (a.kind == SigNode::Kind::kLeaf) {
+    return a.event.cluster_id == b.event.cluster_id;
+  }
+  return a.iterations == b.iterations && seq_equal(a.body, b.body);
+}
+
+bool seq_equal(const SigSeq& a, const SigSeq& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+std::size_t leaf_count(const SigSeq& seq) {
+  std::size_t n = 0;
+  for (const SigNode& node : seq) {
+    n += node.kind == SigNode::Kind::kLeaf ? 1 : leaf_count(node.body);
+  }
+  return n;
+}
+
+std::uint64_t expanded_count(const SigSeq& seq) {
+  std::uint64_t n = 0;
+  for (const SigNode& node : seq) {
+    if (node.kind == SigNode::Kind::kLeaf) {
+      n += 1;
+    } else {
+      n += node.iterations * expanded_count(node.body);
+    }
+  }
+  return n;
+}
+
+namespace {
+void expand_into(const SigSeq& seq, std::vector<SigEvent>& out) {
+  for (const SigNode& node : seq) {
+    if (node.kind == SigNode::Kind::kLeaf) {
+      out.push_back(node.event);
+    } else {
+      for (std::uint64_t i = 0; i < node.iterations; ++i) {
+        expand_into(node.body, out);
+      }
+    }
+  }
+}
+}  // namespace
+
+std::vector<SigEvent> expand(const SigSeq& seq) {
+  std::vector<SigEvent> out;
+  out.reserve(expanded_count(seq));
+  expand_into(seq, out);
+  return out;
+}
+
+double expanded_time(const SigSeq& seq) {
+  double total = 0;
+  for (const SigNode& node : seq) {
+    if (node.kind == SigNode::Kind::kLeaf) {
+      total += node.event.mean_span();
+    } else {
+      total += static_cast<double>(node.iterations) * expanded_time(node.body);
+    }
+  }
+  return total;
+}
+
+namespace {
+void print_into(const SigSeq& seq, std::ostringstream& out) {
+  bool first = true;
+  for (const SigNode& node : seq) {
+    if (!first) out << " ";
+    first = false;
+    if (node.kind == SigNode::Kind::kLeaf) {
+      out << mpi::call_type_name(node.event.type) << "#"
+          << node.event.cluster_id;
+    } else {
+      out << "[ ";
+      print_into(node.body, out);
+      out << " ]" << node.iterations;
+    }
+  }
+}
+}  // namespace
+
+std::string to_string(const SigSeq& seq) {
+  std::ostringstream out;
+  print_into(seq, out);
+  return out.str();
+}
+
+double Signature::elapsed() const {
+  double latest = 0;
+  for (const RankSignature& rank : ranks) {
+    latest = std::max(latest, rank.total_time);
+  }
+  return latest;
+}
+
+std::size_t Signature::total_leaves() const {
+  std::size_t n = 0;
+  for (const RankSignature& rank : ranks) n += leaf_count(rank.roots);
+  return n;
+}
+
+}  // namespace psk::sig

@@ -1,0 +1,133 @@
+// Execution signature: the compressed representation of an execution trace.
+//
+// A signature is a forest of nodes per rank: leaves are canonical
+// (clustered) MPI events, interior nodes are loops -- "recursive loop nests
+// with sub-strings of symbols as loop bodies and the number of repetitions
+// as the number of loop iterations" (paper section 3.2).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/types.h"
+
+namespace psk::sig {
+
+/// A canonical execution event: the "average event" of one cluster.
+/// Byte counts and compute durations are doubles because they are running
+/// means over the cluster's members.
+struct SigEvent {
+  mpi::CallType type = mpi::CallType::kSend;
+  int peer = -1;
+  int tag = 0;
+  double bytes = 0;
+  /// Per-peer detail (Alltoallv / Sendrecv / Exchange); bytes are means.
+  struct Part {
+    int peer = -1;
+    double bytes = 0;
+    bool outgoing = true;
+    int tag = 0;
+    friend bool operator==(const Part&, const Part&) = default;
+  };
+  std::vector<Part> parts;
+  /// Mean computation preceding this event (work-seconds).
+  double pre_compute = 0;
+  /// Welford M2 accumulator of the pre-compute durations across the
+  /// cluster's members; with `observations` it yields the duration
+  /// distribution the paper's section 4.4 proposes to exploit.
+  double pre_compute_m2 = 0;
+  std::uint64_t observations = 1;
+  /// Mean computation overlapped inside an Exchange region.
+  double interior_compute = 0;
+  /// Mean memory traffic of the pre/interior computation (bytes).
+  double pre_mem_bytes = 0;
+  double interior_mem_bytes = 0;
+  /// Mean observed duration of the call itself (dedicated run).
+  double mean_duration = 0;
+  /// Cluster identity: equal ids <=> same canonical event.
+  int cluster_id = -1;
+
+  /// Sample standard deviation of the pre-compute durations.
+  double pre_compute_stddev() const {
+    if (observations < 2) return 0;
+    const double variance =
+        pre_compute_m2 / static_cast<double>(observations - 1);
+    return variance > 0 ? std::sqrt(variance) : 0;
+  }
+
+  /// pre + interior + duration: the event's average share of wall time.
+  double mean_span() const {
+    return pre_compute + interior_compute + mpi_span();
+  }
+  /// Duration inside MPI excluding overlapped compute.
+  double mpi_span() const {
+    const double d = mean_duration - interior_compute;
+    return d > 0 ? d : 0;
+  }
+};
+
+struct SigNode;
+using SigSeq = std::vector<SigNode>;
+
+struct SigNode {
+  enum class Kind { kLeaf, kLoop };
+
+  Kind kind = Kind::kLeaf;
+  SigEvent event;                 // kLeaf payload
+  std::uint64_t iterations = 0;   // kLoop repetition count
+  SigSeq body;                    // kLoop body
+  std::uint64_t hash = 0;         // structural hash (set by make_*)
+
+  static SigNode leaf(SigEvent event);
+  static SigNode loop(std::uint64_t iterations, SigSeq body);
+
+  /// Structural equality: leaves by cluster id, loops by count and body.
+  friend bool operator==(const SigNode& a, const SigNode& b);
+};
+
+/// True when the two bodies are element-wise structurally equal.
+bool seq_equal(const SigSeq& a, const SigSeq& b);
+
+/// Number of leaf nodes (the signature "length" used for the compression
+/// ratio Q).
+std::size_t leaf_count(const SigSeq& seq);
+
+/// Number of events the sequence expands to (loops multiplied out).
+std::uint64_t expanded_count(const SigSeq& seq);
+
+/// Expands loops back into a flat event list.  For validation and tests;
+/// beware: exponential-free but can be large for full app signatures.
+std::vector<SigEvent> expand(const SigSeq& seq);
+
+/// Total mean wall time represented (sum of expanded mean spans).
+double expanded_time(const SigSeq& seq);
+
+/// Pretty-prints the structure, e.g. "a [ (b)2 c ]3 k (a)2" style.
+std::string to_string(const SigSeq& seq);
+
+/// One rank's compressed execution record.
+struct RankSignature {
+  int rank = 0;
+  SigSeq roots;
+  double total_time = 0;     // rank wall time on the traced run
+  double final_compute = 0;  // trailing computation after the last call
+};
+
+/// The application's execution signature.
+struct Signature {
+  std::string app_name;
+  std::vector<RankSignature> ranks;
+  /// Similarity threshold the compressor settled on.
+  double threshold = 0;
+  /// Achieved ratio: folded trace events / signature leaves.
+  double compression_ratio = 1;
+
+  int rank_count() const { return static_cast<int>(ranks.size()); }
+  /// Longest rank wall time (the traced parallel execution time).
+  double elapsed() const;
+  std::size_t total_leaves() const;
+};
+
+}  // namespace psk::sig

@@ -1,0 +1,168 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/error.h"
+
+namespace psk::sim {
+
+namespace {
+constexpr double kInfiniteWork = std::numeric_limits<double>::infinity();
+}
+
+CpuNode::CpuNode(Engine& engine, int cores, double speed)
+    : engine_(engine), cores_(cores), speed_(speed) {
+  util::require(cores >= 1, "CpuNode: need at least one core");
+  util::require(speed > 0, "CpuNode: speed must be positive");
+}
+
+double CpuNode::per_job_rate() const {
+  const std::size_t n = jobs_.size();
+  if (n == 0) return speed_;
+  const double share =
+      std::min(1.0, static_cast<double>(cores_) / static_cast<double>(n));
+  const bool contended = static_cast<int>(n) > cores_;
+  return speed_ * share * (contended ? unfairness_ : 1.0);
+}
+
+void CpuNode::set_speed(double speed) {
+  util::require(speed > 0, "CpuNode: speed must be positive");
+  sync();
+  speed_ = speed;
+  reschedule();
+}
+
+void CpuNode::set_contention_unfairness(double factor) {
+  util::require(factor > 0, "CpuNode: unfairness factor must be positive");
+  sync();
+  unfairness_ = factor;
+  reschedule();
+}
+
+double CpuNode::memory_throttle() const {
+  const double base = per_job_rate();
+  double demand = 0;
+  for (const Job& job : jobs_) demand += base * job.mem_intensity;
+  if (demand <= mem_bandwidth_ || demand <= 0) return 1.0;
+  return mem_bandwidth_ / demand;
+}
+
+void CpuNode::set_memory_bandwidth(double bytes_per_second) {
+  util::require(bytes_per_second > 0,
+                "CpuNode: memory bandwidth must be positive");
+  sync();
+  mem_bandwidth_ = bytes_per_second;
+  reschedule();
+}
+
+void CpuNode::sync() {
+  const Time now = engine_.now();
+  const double elapsed = now - last_sync_;
+  last_sync_ = now;
+  if (elapsed <= 0 || jobs_.empty()) return;
+  const double base = per_job_rate() * elapsed;
+  const double throttled = base * memory_throttle();
+  for (Job& job : jobs_) {
+    if (!job.is_load) {
+      job.remaining -= job.mem_intensity > 0 ? throttled : base;
+    }
+  }
+}
+
+void CpuNode::reschedule() {
+  pending_.cancel();
+  const double base = per_job_rate();
+  const double throttled = base * memory_throttle();
+  Time min_eta = std::numeric_limits<Time>::infinity();
+  for (const Job& job : jobs_) {
+    if (job.is_load) continue;
+    const double rate = job.mem_intensity > 0 ? throttled : base;
+    min_eta = std::min(min_eta, std::max(0.0, job.remaining) / rate);
+  }
+  if (min_eta == std::numeric_limits<Time>::infinity()) return;
+  pending_ = engine_.after(min_eta, [this] { on_completion_event(); });
+}
+
+void CpuNode::on_completion_event() {
+  sync();
+  // The pending event is cancelled and rescheduled on every membership
+  // change, so when it fires the job with the minimum ETA *is* due now --
+  // even when floating-point rounding leaves a sliver of work (at large
+  // simulated times the sliver's ETA can be below the clock's ULP, so
+  // requiring remaining <= epsilon would spin forever).  Complete the
+  // minimum-ETA set; with mixed memory intensities the ETA ordering can
+  // differ from the remaining-work ordering, so compare ETAs.
+  const double base = per_job_rate();
+  const double throttled = base * memory_throttle();
+  const auto eta_of = [&](const Job& job) {
+    const double rate = job.mem_intensity > 0 ? throttled : base;
+    return std::max(0.0, job.remaining) / rate;
+  };
+  double min_eta = std::numeric_limits<double>::infinity();
+  for (const Job& job : jobs_) {
+    if (!job.is_load) min_eta = std::min(min_eta, eta_of(job));
+  }
+  if (min_eta == std::numeric_limits<double>::infinity()) return;
+
+  // Collect every due job (ties complete together) and remove them from the
+  // share *before* running callbacks so that newly submitted work sees a
+  // consistent node state.
+  std::vector<std::function<void()>> finished;
+  auto it = jobs_.begin();
+  while (it != jobs_.end()) {
+    if (!it->is_load && eta_of(*it) <= min_eta + kWorkEpsilon) {
+      finished.push_back(std::move(it->on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  for (auto& callback : finished) callback();
+}
+
+void CpuNode::submit(double work, std::function<void()> on_complete,
+                     double mem_bytes_per_work) {
+  sync();
+  Job job;
+  job.remaining = std::max(0.0, work);
+  job.on_complete = std::move(on_complete);
+  job.mem_intensity = std::max(0.0, mem_bytes_per_work);
+  jobs_.push_back(std::move(job));
+  reschedule();
+}
+
+void CpuNode::add_load(int count, double mem_bytes_per_work) {
+  util::require(count >= 0, "CpuNode::add_load: negative count");
+  sync();
+  for (int i = 0; i < count; ++i) {
+    Job job;
+    job.remaining = kInfiniteWork;
+    job.is_load = true;
+    job.mem_intensity = std::max(0.0, mem_bytes_per_work);
+    jobs_.push_back(std::move(job));
+  }
+  load_ += count;
+  reschedule();
+}
+
+void CpuNode::remove_load(int count) {
+  util::require(count >= 0, "CpuNode::remove_load: negative count");
+  sync();
+  int removed = 0;
+  auto it = jobs_.begin();
+  while (it != jobs_.end() && removed < count) {
+    if (it->is_load) {
+      it = jobs_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  load_ -= removed;
+  reschedule();
+}
+
+}  // namespace psk::sim

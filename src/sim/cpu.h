@@ -1,0 +1,112 @@
+// Processor-sharing CPU node model with a shared memory bus.
+//
+// A node has `cores` identical cores of a given speed.  All runnable jobs on
+// the node share the cores equally (classic processor-sharing / Linux CFS
+// idealization): with n runnable jobs each progresses at
+//     speed * min(1, cores / n)   work-seconds per second.
+// Persistent "load" jobs model competing compute-intensive processes (the
+// paper's sharing scenarios): they occupy share forever and never complete.
+//
+// Jobs may additionally declare a memory intensity (bytes touched per
+// work-second).  The node's memory bus has finite bandwidth shared by all
+// jobs; when the aggregate demand exceeds it, every memory-dependent job is
+// throttled proportionally.  This models the paper's section 2 criterion 2
+// (memory activity): a memory-bound competitor slows a memory-bound
+// application even when cores are free.
+//
+// Rates change only when jobs arrive or depart, so the node advances lazily:
+// on every membership change it accounts the work done since the last change
+// and reschedules the single pending completion event.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace psk::sim {
+
+class CpuNode {
+ public:
+  CpuNode(Engine& engine, int cores, double speed);
+
+  CpuNode(CpuNode&&) = default;
+  CpuNode(const CpuNode&) = delete;
+  CpuNode& operator=(const CpuNode&) = delete;
+
+  /// Submits `work` work-seconds of computation; `on_complete` runs when the
+  /// job has received that much CPU.  Zero/negative work completes at the
+  /// next event boundary (still asynchronously, preserving event ordering).
+  /// `mem_bytes_per_work` is the job's memory intensity (0 = cache-resident).
+  void submit(double work, std::function<void()> on_complete,
+              double mem_bytes_per_work = 0.0);
+
+  /// Adds `count` persistent competing compute processes with the given
+  /// memory intensity.
+  void add_load(int count, double mem_bytes_per_work = 0.0);
+
+  /// Removes up to `count` persistent competing processes.
+  void remove_load(int count);
+
+  /// Scheduler-unfairness factor applied to *application* jobs while the
+  /// node is oversubscribed (more runnable jobs than cores).  Real
+  /// schedulers do not divide time perfectly evenly among competitors; the
+  /// sharing scenarios flutter this around 1.0 over time, which is the main
+  /// source of skeleton-vs-application measurement divergence under CPU
+  /// sharing.  Has no effect while the node is not contended.
+  void set_contention_unfairness(double factor);
+  double contention_unfairness() const { return unfairness_; }
+
+  int cores() const { return cores_; }
+  double speed() const { return speed_; }
+
+  /// Changes the node's core speed (heterogeneous clusters, DVFS).  Takes
+  /// effect immediately for running jobs.
+  void set_speed(double speed);
+  std::size_t running_jobs() const { return jobs_.size(); }
+  int load_processes() const { return load_; }
+
+  /// Current per-job CPU progress rate in work-seconds per second (before
+  /// memory throttling).
+  double per_job_rate() const;
+
+  /// Memory-bus capacity in bytes/second (default: effectively unlimited).
+  void set_memory_bandwidth(double bytes_per_second);
+  double memory_bandwidth() const { return mem_bandwidth_; }
+
+  /// Current throttle factor applied to memory-dependent jobs (1 = no bus
+  /// contention).
+  double memory_throttle() const;
+
+ private:
+  struct Job {
+    double remaining;  // work-seconds still owed; load jobs use +infinity
+    std::function<void()> on_complete;
+    bool is_load = false;
+    double mem_intensity = 0;  // bytes per work-second
+  };
+
+  /// Accounts work done by all jobs between last_sync_ and now.
+  void sync();
+
+  /// Re-schedules the single completion event for the job that will finish
+  /// first at the current rate.
+  void reschedule();
+
+  void on_completion_event();
+
+  Engine& engine_;
+  int cores_;
+  double speed_;
+  double unfairness_ = 1.0;
+  double mem_bandwidth_ = 1e300;  // effectively unlimited by default
+  int load_ = 0;
+  std::vector<Job> jobs_;
+  Time last_sync_ = 0.0;
+  EventQueue::Handle pending_;
+};
+
+}  // namespace psk::sim

@@ -1,0 +1,66 @@
+#include "sim/engine.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace psk::sim {
+
+EventQueue::Handle Engine::at(Time t, EventQueue::Callback callback) {
+  return queue_.schedule(t < now_ ? now_ : t, std::move(callback));
+}
+
+EventQueue::Handle Engine::after(Time delay, EventQueue::Callback callback) {
+  return at(now_ + (delay > 0 ? delay : 0), std::move(callback));
+}
+
+void Engine::spawn(Task task) {
+  util::require(task.valid(), "Engine::spawn: invalid task");
+  tasks_.push_back(std::move(task));
+  // Defer the start so every rank begins at a well-defined event, in spawn
+  // order, rather than synchronously inside the caller.  `tasks_` may
+  // reallocate on later spawns, so capture by index instead of pointer.
+  const std::size_t index = tasks_.size() - 1;
+  at(now_, [this, index] { tasks_[index].start(); });
+}
+
+void Engine::run() {
+  Time t = 0.0;
+  EventQueue::Callback callback;
+  while (queue_.pop(t, callback)) {
+    if (t > time_limit_) {
+      throw DeadlockError(
+          "simulation time limit exceeded (" + std::to_string(time_limit_) +
+          " s) with " + std::to_string(unfinished_tasks()) +
+          " tasks unfinished; likely deadlock under daemon events");
+    }
+    now_ = t;
+    ++dispatched_;
+    callback();
+    callback = nullptr;
+    // Fail fast when a task died with an exception: keeping the simulation
+    // running would likely just end in a misleading deadlock report.
+    for (const Task& task : tasks_) {
+      if (task.failed()) task.rethrow_if_failed();
+    }
+    // Spawned work finished: stop even if daemon-style recurring events
+    // (load flutter, bandwidth flutter) are still queued.
+    if (!tasks_.empty() && unfinished_tasks() == 0) return;
+  }
+  std::size_t stuck = unfinished_tasks();
+  if (stuck > 0) {
+    throw DeadlockError("simulation deadlock: " + std::to_string(stuck) +
+                        " of " + std::to_string(tasks_.size()) +
+                        " tasks still suspended at t=" + std::to_string(now_));
+  }
+}
+
+std::size_t Engine::unfinished_tasks() const {
+  std::size_t n = 0;
+  for (const Task& task : tasks_) {
+    if (!task.done()) ++n;
+  }
+  return n;
+}
+
+}  // namespace psk::sim

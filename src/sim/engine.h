@@ -1,0 +1,103 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded and deterministic: events with equal timestamps fire in
+// schedule order, and all randomness flows through one seeded RNG.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/task.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace psk::sim {
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Schedules `callback` at absolute simulated time `t` (>= now).
+  EventQueue::Handle at(Time t, EventQueue::Callback callback);
+
+  /// Schedules `callback` after a relative delay (clamped to >= 0).
+  EventQueue::Handle after(Time delay, EventQueue::Callback callback);
+
+  /// Takes ownership of a top-level task and starts it at the current time.
+  /// Typically called once per simulated rank before run().
+  void spawn(Task task);
+
+  /// Runs until the event queue drains, or -- when tasks were spawned --
+  /// until every spawned task completed (daemon-style recurring events such
+  /// as load flutter do not keep the simulation alive).  Throws the first
+  /// exception that escaped a spawned task; DeadlockError if the queue
+  /// drained while tasks were still suspended, or if the time limit was
+  /// exceeded (the deadlock signal when daemon events keep the queue busy).
+  void run();
+
+  /// Aborts run() with DeadlockError once simulated time passes `limit`.
+  void set_time_limit(Time limit) { time_limit_ = limit; }
+  Time time_limit() const { return time_limit_; }
+
+  /// Number of spawned tasks that have not completed.
+  std::size_t unfinished_tasks() const;
+
+  /// Awaitable that suspends the calling coroutine for `delay` seconds.
+  auto sleep(Time delay) {
+    struct Awaiter {
+      Engine& engine;
+      Time delay;
+      bool await_ready() const noexcept { return delay <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.after(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, delay};
+  }
+
+  /// Total events dispatched so far (for performance reporting).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  EventQueue queue_;
+  std::vector<Task> tasks_;
+  Time now_ = 0.0;
+  Time time_limit_ = 1.0e9;  // ~30 simulated years: any real run is shorter
+  std::uint64_t dispatched_ = 0;
+  util::Rng rng_;
+};
+
+/// Adapts a callback-style asynchronous operation into an awaitable.  The
+/// `start` functor receives a resume thunk and must arrange for it to be
+/// invoked exactly once, later, by the engine.
+template <typename Start>
+class AwaitCallback {
+ public:
+  explicit AwaitCallback(Start start) : start_(std::move(start)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    start_([h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Start start_;
+};
+
+template <typename Start>
+AwaitCallback<Start> make_awaitable(Start start) {
+  return AwaitCallback<Start>(std::move(start));
+}
+
+}  // namespace psk::sim

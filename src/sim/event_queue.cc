@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace psk::sim {
+
+EventQueue::Handle EventQueue::schedule(Time t, Callback callback) {
+  auto state = std::make_shared<Handle::State>();
+  state->callback = std::move(callback);
+  Handle handle{std::weak_ptr<Handle::State>(state)};
+  heap_.push(Entry{t, next_seq_++, std::move(state)});
+  ++live_;
+  return handle;
+}
+
+bool EventQueue::pop(Time& t, Callback& callback) {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (top.state->cancelled) {
+      --live_;  // live_ counts heap entries; cancelled ones leave here.
+      continue;
+    }
+    top.state->fired = true;
+    --live_;
+    t = top.t;
+    callback = std::move(top.state->callback);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace psk::sim

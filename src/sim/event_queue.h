@@ -1,0 +1,80 @@
+// Cancellable discrete-event priority queue.
+//
+// Events at equal timestamps fire in schedule order (stable), which keeps the
+// whole simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace psk::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Cheap copyable handle for cancelling a scheduled event.  A
+  /// default-constructed handle is inert.
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// Prevents the event from firing; safe to call repeatedly and after the
+    /// event has already fired.
+    void cancel() {
+      if (auto s = state_.lock()) s->cancelled = true;
+    }
+
+    /// True while the event is scheduled and not cancelled or fired.
+    bool pending() const {
+      const auto s = state_.lock();
+      return s && !s->cancelled && !s->fired;
+    }
+
+   private:
+    friend class EventQueue;
+    struct State {
+      Callback callback;
+      bool cancelled = false;
+      bool fired = false;
+    };
+    explicit Handle(std::weak_ptr<State> state) : state_(std::move(state)) {}
+    std::weak_ptr<State> state_;
+  };
+
+  /// Schedules `callback` at absolute time `t`.
+  Handle schedule(Time t, Callback callback);
+
+  /// True when no live (non-cancelled) event remains.
+  bool empty() const { return live_ == 0; }
+
+  std::size_t size() const { return live_; }
+
+  /// Pops the earliest live event.  Returns false when the queue is empty;
+  /// otherwise stores the event time in `t` and its callback in `callback`.
+  bool pop(Time& t, Callback& callback);
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+    std::shared_ptr<Handle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace psk::sim

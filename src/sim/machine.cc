@@ -1,0 +1,63 @@
+#include "sim/machine.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace psk::sim {
+
+ClusterConfig ClusterConfig::paper_testbed(int nodes) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.cores_per_node = 2;
+  config.cpu_speed = 1.0;
+  config.link_bandwidth_bps = 60.0e6;  // effective MPICH/GigE payload rate
+  config.latency = 50e-6;
+  return config;
+}
+
+Machine::Machine(const ClusterConfig& config)
+    : config_(config),
+      engine_(config.seed),
+      network_(engine_, config.nodes, config.link_bandwidth_bps,
+               config.latency, config.local_bandwidth_bps,
+               config.local_latency) {
+  util::require(config.nodes >= 1, "Machine: need at least one node");
+  nodes_.reserve(static_cast<std::size_t>(config.nodes));
+  for (int i = 0; i < config.nodes; ++i) {
+    nodes_.emplace_back(engine_, config.cores_per_node, config.cpu_speed);
+    nodes_.back().set_memory_bandwidth(config.memory_bandwidth_bps);
+  }
+}
+
+CpuNode& Machine::node(int index) {
+  util::require(index >= 0 && index < config_.nodes,
+                "Machine::node: index " + std::to_string(index) +
+                    " out of range");
+  return nodes_[static_cast<std::size_t>(index)];
+}
+
+void Machine::compute(int node_index, double work,
+                      std::function<void()> on_complete, double mem_bytes) {
+  double jittered = work;
+  if (config_.cpu_jitter > 0 && work > 0) {
+    jittered = work * engine_.rng().jitter(config_.cpu_jitter);
+  }
+  const double intensity = jittered > 0 ? mem_bytes / jittered : 0.0;
+  node(node_index).submit(jittered, std::move(on_complete), intensity);
+}
+
+void Machine::transfer(int src, int dst, std::uint64_t bytes,
+                       std::function<void()> on_complete) {
+  std::uint64_t jittered = bytes;
+  if (config_.net_jitter > 0 && bytes > 0) {
+    const double scaled =
+        static_cast<double>(bytes) * engine_.rng().jitter(config_.net_jitter);
+    jittered = static_cast<std::uint64_t>(std::llround(std::max(1.0, scaled)));
+  }
+  network_.transfer(src, dst, jittered, std::move(on_complete));
+}
+
+}  // namespace psk::sim

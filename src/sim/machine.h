@@ -1,0 +1,89 @@
+// Simulated cluster: nodes + network + one engine, built from a config.
+//
+// The Machine is the only layer that injects measurement noise (jitter) so
+// that CpuNode and Network stay exactly deterministic primitives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "sim/time.h"
+
+namespace psk::sim {
+
+struct ClusterConfig {
+  int nodes = 4;
+  int cores_per_node = 2;
+  /// Work-seconds per wall-second per core; 1.0 = reference CPU.
+  double cpu_speed = 1.0;
+  /// Per-direction link bandwidth in bytes/second.  Default: effective
+  /// MPICH-over-GigE payload rate of the paper's era.
+  double link_bandwidth_bps = 60.0e6;
+  /// One-way small-message latency (MPICH over GigE era: ~50us).
+  Time latency = 50e-6;
+  /// Intra-node (shared-memory) channel.
+  double local_bandwidth_bps = 1.0e9;
+  Time local_latency = 2e-6;
+  /// Per-node memory-bus bandwidth in bytes/second (PC2100-era dual
+  /// channel).  Jobs declare bytes touched per work-second; aggregate
+  /// demand beyond this throttles memory-dependent jobs.
+  double memory_bandwidth_bps = 6.0e9;
+  /// Multiplicative uniform jitter amplitudes (0 = perfectly repeatable).
+  double cpu_jitter = 0.0;
+  double net_jitter = 0.0;
+  std::uint64_t seed = 1;
+
+  /// The paper's testbed: dual-CPU Xeon nodes on switched GigE (we size it
+  /// to the 4 nodes actually used in the experiments).
+  static ClusterConfig paper_testbed(int nodes = 4);
+};
+
+class Machine {
+ public:
+  explicit Machine(const ClusterConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Engine& engine() { return engine_; }
+  const ClusterConfig& config() const { return config_; }
+  int node_count() const { return config_.nodes; }
+  CpuNode& node(int index);
+  Network& network() { return network_; }
+
+  /// Computation of `work` work-seconds on a node (cpu jitter applied).
+  /// `mem_bytes` is the memory traffic of the phase (0 = cache resident).
+  void compute(int node, double work, std::function<void()> on_complete,
+               double mem_bytes = 0.0);
+
+  /// Message transfer (net jitter applied to the byte count).
+  void transfer(int src, int dst, std::uint64_t bytes,
+                std::function<void()> on_complete);
+
+  /// Awaitable variants for coroutine code.
+  auto compute_await(int node, double work, double mem_bytes = 0.0) {
+    return make_awaitable(
+        [this, node, work, mem_bytes](std::function<void()> resume) {
+          compute(node, work, std::move(resume), mem_bytes);
+        });
+  }
+  auto transfer_await(int src, int dst, std::uint64_t bytes) {
+    return make_awaitable(
+        [this, src, dst, bytes](std::function<void()> resume) {
+          transfer(src, dst, bytes, std::move(resume));
+        });
+  }
+
+ private:
+  ClusterConfig config_;
+  Engine engine_;
+  std::vector<CpuNode> nodes_;
+  Network network_;
+};
+
+}  // namespace psk::sim

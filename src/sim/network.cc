@@ -1,0 +1,181 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace psk::sim {
+
+namespace {
+constexpr double kInfiniteBytes = std::numeric_limits<double>::infinity();
+}
+
+Network::Network(Engine& engine, int node_count, double bandwidth_bps,
+                 Time latency, double local_bandwidth_bps, Time local_latency)
+    : engine_(engine),
+      node_count_(node_count),
+      latency_(latency),
+      local_bandwidth_(local_bandwidth_bps),
+      local_latency_(local_latency),
+      up_(static_cast<std::size_t>(node_count), bandwidth_bps),
+      down_(static_cast<std::size_t>(node_count), bandwidth_bps) {
+  util::require(node_count >= 1, "Network: need at least one node");
+  util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
+  util::require(local_bandwidth_bps > 0,
+                "Network: local bandwidth must be positive");
+  util::require(latency >= 0 && local_latency >= 0,
+                "Network: latency must be non-negative");
+}
+
+void Network::check_node(int node) const {
+  util::require(node >= 0 && node < node_count_,
+                "Network: node index " + std::to_string(node) +
+                    " out of range [0," + std::to_string(node_count_) + ")");
+}
+
+void Network::set_link_bandwidth(int node, double bandwidth_bps) {
+  set_uplink_bandwidth(node, bandwidth_bps);
+  set_downlink_bandwidth(node, bandwidth_bps);
+}
+
+void Network::set_uplink_bandwidth(int node, double bandwidth_bps) {
+  check_node(node);
+  util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
+  sync();
+  up_[static_cast<std::size_t>(node)] = bandwidth_bps;
+  rerate();
+}
+
+void Network::set_downlink_bandwidth(int node, double bandwidth_bps) {
+  check_node(node);
+  util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
+  sync();
+  down_[static_cast<std::size_t>(node)] = bandwidth_bps;
+  rerate();
+}
+
+double Network::uplink_bandwidth(int node) const {
+  check_node(node);
+  return up_[static_cast<std::size_t>(node)];
+}
+
+double Network::downlink_bandwidth(int node) const {
+  check_node(node);
+  return down_[static_cast<std::size_t>(node)];
+}
+
+void Network::transfer(int src, int dst, std::uint64_t bytes,
+                       std::function<void()> on_complete) {
+  check_node(src);
+  check_node(dst);
+  if (src == dst) {
+    // Intra-node message: shared-memory copy, no link involvement.
+    const Time duration =
+        local_latency_ + static_cast<double>(bytes) / local_bandwidth_;
+    engine_.after(duration, std::move(on_complete));
+    return;
+  }
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining = static_cast<double>(bytes);
+  flow.on_complete = std::move(on_complete);
+  // The flow joins the fluid system only after the fixed latency, modelling
+  // propagation plus protocol stack traversal.
+  engine_.after(latency_, [this, flow = std::move(flow)]() mutable {
+    admit(std::move(flow));
+  });
+}
+
+void Network::admit(Flow flow) {
+  sync();
+  flows_.push_back(std::move(flow));
+  rerate();
+}
+
+void Network::add_background_flow(int src, int dst) {
+  check_node(src);
+  check_node(dst);
+  sync();
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining = kInfiniteBytes;
+  flow.background = true;
+  flows_.push_back(std::move(flow));
+  rerate();
+}
+
+void Network::clear_background_flows() {
+  sync();
+  flows_.remove_if([](const Flow& f) { return f.background; });
+  rerate();
+}
+
+void Network::sync() {
+  const Time now = engine_.now();
+  const double elapsed = now - last_sync_;
+  last_sync_ = now;
+  if (elapsed <= 0) return;
+  for (Flow& flow : flows_) {
+    if (!flow.background) flow.remaining -= flow.rate * elapsed;
+  }
+}
+
+void Network::rerate() {
+  pending_.cancel();
+  if (flows_.empty()) return;
+
+  std::vector<int> out(static_cast<std::size_t>(node_count_), 0);
+  std::vector<int> in(static_cast<std::size_t>(node_count_), 0);
+  for (const Flow& flow : flows_) {
+    ++out[static_cast<std::size_t>(flow.src)];
+    ++in[static_cast<std::size_t>(flow.dst)];
+  }
+
+  Time min_eta = std::numeric_limits<Time>::infinity();
+  for (Flow& flow : flows_) {
+    const double up_share = up_[static_cast<std::size_t>(flow.src)] /
+                            out[static_cast<std::size_t>(flow.src)];
+    const double down_share = down_[static_cast<std::size_t>(flow.dst)] /
+                              in[static_cast<std::size_t>(flow.dst)];
+    flow.rate = std::min(up_share, down_share);
+    if (!flow.background) {
+      const Time eta = std::max(0.0, flow.remaining) / flow.rate;
+      min_eta = std::min(min_eta, eta);
+    }
+  }
+  if (min_eta == std::numeric_limits<Time>::infinity()) return;
+  pending_ = engine_.after(min_eta, [this] { on_completion_event(); });
+}
+
+void Network::on_completion_event() {
+  sync();
+  // Complete the minimum-remaining flow(s): the pending event is cancelled
+  // on every flow change, so when it fires the minimum flow is due now even
+  // if floating-point rounding left a sliver of bytes whose ETA would be
+  // below the clock's ULP (an absolute-epsilon test could spin forever).
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const Flow& flow : flows_) {
+    if (!flow.background) min_remaining = std::min(min_remaining, flow.remaining);
+  }
+  if (min_remaining == std::numeric_limits<double>::infinity()) return;
+
+  std::vector<std::function<void()>> finished;
+  auto it = flows_.begin();
+  while (it != flows_.end()) {
+    if (!it->background && it->remaining <= min_remaining + 1e-6) {
+      finished.push_back(std::move(it->on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rerate();
+  for (auto& callback : finished) callback();
+}
+
+}  // namespace psk::sim

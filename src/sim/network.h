@@ -1,0 +1,94 @@
+// Flow-level network model of a switched cluster.
+//
+// Topology: every node owns a full-duplex link into an ideal crossbar switch
+// (the paper's testbed).  A message in flight is a fluid "flow" whose rate is
+// limited by its source's uplink and its destination's downlink; concurrent
+// flows on the same link share it equally:
+//     rate(f) = min( up[src] / active_out[src],  down[dst] / active_in[dst] )
+// Rates are recomputed whenever a flow starts or finishes.  This captures the
+// two effects the paper manipulates -- shaped (reduced) link bandwidth and
+// bandwidth division under competing traffic -- without packet-level detail.
+//
+// Each transfer pays a fixed propagation/software-stack latency before its
+// bytes join the fluid system.  Persistent background flows model competing
+// traffic.  Same-node transfers bypass the network and use a fast local
+// memory channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace psk::sim {
+
+class Network {
+ public:
+  /// `bandwidth_bps` is bytes/second per link direction; `latency` is the
+  /// one-way message latency in seconds.
+  Network(Engine& engine, int node_count, double bandwidth_bps, Time latency,
+          double local_bandwidth_bps, Time local_latency);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Overrides both directions of one node's link (the iproute2-style
+  /// shaper used by the sharing scenarios).
+  void set_link_bandwidth(int node, double bandwidth_bps);
+
+  void set_uplink_bandwidth(int node, double bandwidth_bps);
+  void set_downlink_bandwidth(int node, double bandwidth_bps);
+
+  double uplink_bandwidth(int node) const;
+  double downlink_bandwidth(int node) const;
+  Time latency() const { return latency_; }
+
+  /// Starts a transfer of `bytes` from `src` to `dst`; `on_complete` fires
+  /// when the last byte arrives.  Zero-byte transfers still pay latency.
+  void transfer(int src, int dst, std::uint64_t bytes,
+                std::function<void()> on_complete);
+
+  /// Adds a persistent competing bulk flow occupying share on src's uplink
+  /// and dst's downlink.
+  void add_background_flow(int src, int dst);
+  void clear_background_flows();
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct Flow {
+    int src;
+    int dst;
+    double remaining;  // bytes; background flows use +infinity
+    double rate = 0.0;
+    std::function<void()> on_complete;
+    bool background = false;
+  };
+
+  void check_node(int node) const;
+
+  /// Accounts bytes moved since the last rate change.
+  void sync();
+
+  /// Recomputes per-flow rates and the single next-completion event.
+  void rerate();
+
+  void on_completion_event();
+  void admit(Flow flow);
+
+  Engine& engine_;
+  int node_count_;
+  Time latency_;
+  double local_bandwidth_;
+  Time local_latency_;
+  std::vector<double> up_;
+  std::vector<double> down_;
+  std::list<Flow> flows_;
+  Time last_sync_ = 0.0;
+  EventQueue::Handle pending_;
+};
+
+}  // namespace psk::sim

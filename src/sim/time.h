@@ -1,0 +1,18 @@
+// Simulated time base.
+//
+// All simulated clocks are doubles counting seconds since simulation start.
+// Work is measured in "work-seconds": one work-second takes one wall second
+// on a dedicated full-speed core (speed 1.0).
+#pragma once
+
+namespace psk::sim {
+
+using Time = double;
+
+/// Comparison slack for "work fully drained" checks: one picosecond of work.
+inline constexpr double kWorkEpsilon = 1e-12;
+
+inline constexpr Time kMicrosecond = 1e-6;
+inline constexpr Time kMillisecond = 1e-3;
+
+}  // namespace psk::sim

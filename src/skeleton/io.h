@@ -1,0 +1,26 @@
+// Text serialization of performance skeletons.
+//
+// A skeleton file is the artifact a deployment ships to remote sites: the
+// scaled per-rank sequences plus the construction metadata (K, intended
+// runtime, the smallest-good-skeleton verdict).  The rank sequences reuse
+// the signature node format (sig/io.h).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "skeleton/skeleton.h"
+
+namespace psk::skeleton {
+
+void write_skeleton(std::ostream& out, const Skeleton& skeleton);
+std::string skeleton_to_string(const Skeleton& skeleton);
+
+/// Parses; throws FormatError on malformed input.
+Skeleton read_skeleton(std::istream& in);
+Skeleton skeleton_from_string(const std::string& text);
+
+void save_skeleton(const std::string& path, const Skeleton& skeleton);
+Skeleton load_skeleton(const std::string& path);
+
+}  // namespace psk::skeleton

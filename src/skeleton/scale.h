@@ -1,0 +1,41 @@
+// Signature scaling: the heart of skeleton construction (paper section 3.3).
+//
+// Given an execution signature and a scaling factor K:
+//   1. loop iteration counts are divided by K (one full-fidelity iteration
+//      of a loop survives whenever its count allows it);
+//   2. remainder iterations are unrolled into the "unreduced part", where
+//      groups of K occurrences of an identical operation collapse to one
+//      full occurrence;
+//   3. the operations still left over are scaled down *by parameter*: the
+//      duration of compute phases and the byte counts of messages shrink by
+//      K -- the paper's "last resort", inaccurate because message latency
+//      does not scale with byte count;
+//   4. a loop whose count is smaller than (the remaining) K keeps one
+//      iteration whose body is scaled by the residual factor K/count --
+//      such a skeleton no longer contains a full iteration of that loop,
+//      which is exactly the condition the shortest-"good"-skeleton warning
+//      detects.
+#pragma once
+
+#include "sig/signature.h"
+
+namespace psk::skeleton {
+
+struct ScaleOptions {
+  /// Disables step 3's byte scaling: leftover communication operations keep
+  /// their full byte counts (used by the latency-scaling ablation).
+  bool scale_message_bytes = true;
+  /// Disables remainder grouping: remainder iterations are dropped instead
+  /// of unrolled+grouped (used by ablation only; not paper behaviour).
+  bool unroll_remainders = true;
+};
+
+/// Scales one rank's node sequence by K (>= 1).  K = 1 returns a copy.
+sig::SigSeq scale_sequence(const sig::SigSeq& seq, double k,
+                           const ScaleOptions& options = {});
+
+/// Parameter-scales a single event by `factor` (compute and bytes divided).
+sig::SigEvent scale_event(const sig::SigEvent& event, double factor,
+                          const ScaleOptions& options = {});
+
+}  // namespace psk::skeleton

@@ -1,0 +1,131 @@
+#include "skeleton/validate.h"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace psk::skeleton {
+
+namespace {
+
+using sig::SigEvent;
+using sig::SigNode;
+using sig::SigSeq;
+
+using ChannelKey = std::tuple<int, int, int>;  // src, dst, tag
+
+struct Counters {
+  std::map<ChannelKey, std::int64_t> sends;
+  std::map<ChannelKey, std::int64_t> recvs;
+  /// Per-rank collective call counts by type.
+  std::vector<std::map<mpi::CallType, std::int64_t>> collectives;
+};
+
+void count_event(const SigEvent& event, int rank, std::int64_t multiplier,
+                 Counters& counters) {
+  using mpi::CallType;
+  switch (event.type) {
+    case CallType::kSend:
+      counters.sends[{rank, event.peer, event.tag}] += multiplier;
+      break;
+    case CallType::kRecv:
+      counters.recvs[{event.peer, rank, event.tag}] += multiplier;
+      break;
+    case CallType::kSendrecv:
+      if (event.parts.size() == 2) {
+        counters.sends[{rank, event.parts[0].peer, event.parts[0].tag}] +=
+            multiplier;
+        counters.recvs[{event.parts[1].peer, rank, event.parts[1].tag}] +=
+            multiplier;
+      }
+      break;
+    case CallType::kExchange:
+      for (const SigEvent::Part& part : event.parts) {
+        if (part.outgoing) {
+          counters.sends[{rank, part.peer, part.tag}] += multiplier;
+        } else {
+          counters.recvs[{part.peer, rank, part.tag}] += multiplier;
+        }
+      }
+      break;
+    default:
+      if (mpi::is_collective(event.type)) {
+        counters.collectives[static_cast<std::size_t>(rank)][event.type] +=
+            multiplier;
+      }
+      break;
+  }
+}
+
+void count_seq(const SigSeq& seq, int rank, std::int64_t multiplier,
+               Counters& counters) {
+  for (const SigNode& node : seq) {
+    if (node.kind == SigNode::Kind::kLeaf) {
+      count_event(node.event, rank, multiplier, counters);
+    } else {
+      count_seq(node.body, rank,
+                multiplier * static_cast<std::int64_t>(node.iterations),
+                counters);
+    }
+  }
+}
+
+}  // namespace
+
+ConsistencyReport check_consistency(const Skeleton& skeleton) {
+  Counters counters;
+  counters.collectives.resize(
+      static_cast<std::size_t>(skeleton.rank_count()));
+  for (const sig::RankSignature& rank : skeleton.ranks) {
+    count_seq(rank.roots, rank.rank, 1, counters);
+  }
+
+  ConsistencyReport report;
+  std::ostringstream detail;
+  constexpr std::size_t kMaxDetails = 4;
+
+  const auto note_mismatch = [&](const ChannelKey& key, std::int64_t sends,
+                                 std::int64_t recvs) {
+    report.consistent = false;
+    ++report.mismatched_channels;
+    if (report.mismatched_channels <= kMaxDetails) {
+      detail << "channel " << std::get<0>(key) << "->" << std::get<1>(key)
+             << " tag " << std::get<2>(key) << ": " << sends << " sends vs "
+             << recvs << " recvs; ";
+    }
+  };
+
+  for (const auto& [key, send_count] : counters.sends) {
+    const auto it = counters.recvs.find(key);
+    const std::int64_t recv_count =
+        it == counters.recvs.end() ? 0 : it->second;
+    if (recv_count != send_count) note_mismatch(key, send_count, recv_count);
+  }
+  for (const auto& [key, recv_count] : counters.recvs) {
+    if (counters.sends.find(key) == counters.sends.end()) {
+      note_mismatch(key, 0, recv_count);
+    }
+  }
+
+  // Collectives: every rank must call each collective equally often.
+  if (!counters.collectives.empty()) {
+    const auto& reference = counters.collectives.front();
+    for (std::size_t r = 1; r < counters.collectives.size(); ++r) {
+      if (counters.collectives[r] != reference) {
+        report.consistent = false;
+        ++report.mismatched_channels;
+        if (report.mismatched_channels <= kMaxDetails) {
+          detail << "rank " << r
+                 << " collective call counts differ from rank 0; ";
+        }
+      }
+    }
+  }
+
+  report.detail = detail.str();
+  return report;
+}
+
+}  // namespace psk::skeleton

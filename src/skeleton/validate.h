@@ -1,0 +1,29 @@
+// Cross-rank structural validation of skeletons.
+//
+// Per-rank signatures are compressed independently; the scaling transform
+// divides loop counts per rank.  When clustering fragments two communicating
+// ranks' traces differently, their scaled message counts can disagree -- a
+// skeleton that would deadlock at replay.  check_consistency() detects this
+// statically: every point-to-point channel must have equal send and receive
+// totals, and every rank must invoke each collective the same number of
+// times.  The framework retries compression at higher similarity thresholds
+// until the skeleton validates.
+#pragma once
+
+#include <string>
+
+#include "skeleton/skeleton.h"
+
+namespace psk::skeleton {
+
+struct ConsistencyReport {
+  bool consistent = true;
+  /// Number of (src, dst, tag) channels whose send/recv totals disagree.
+  std::size_t mismatched_channels = 0;
+  /// Human-readable description of the first few mismatches.
+  std::string detail;
+};
+
+ConsistencyReport check_consistency(const Skeleton& skeleton);
+
+}  // namespace psk::skeleton

@@ -1,0 +1,51 @@
+#include "trace/event.h"
+
+#include <algorithm>
+
+namespace psk::trace {
+
+double RankTrace::compute_time() const {
+  double total = final_compute;
+  for (const TraceEvent& event : events) {
+    total += event.pre_compute + event.interior_compute;
+  }
+  return total;
+}
+
+double RankTrace::mpi_time() const {
+  double total = 0;
+  for (const TraceEvent& event : events) total += event.mpi_time();
+  return total;
+}
+
+double Trace::elapsed() const {
+  double latest = 0;
+  for (const RankTrace& rank : ranks) {
+    latest = std::max(latest, rank.total_time);
+  }
+  return latest;
+}
+
+std::size_t Trace::event_count() const {
+  std::size_t n = 0;
+  for (const RankTrace& rank : ranks) n += rank.events.size();
+  return n;
+}
+
+ActivityBreakdown activity_breakdown(const Trace& trace) {
+  ActivityBreakdown breakdown;
+  if (trace.ranks.empty()) return breakdown;
+  double compute_sum = 0;
+  double mpi_sum = 0;
+  for (const RankTrace& rank : trace.ranks) {
+    if (rank.total_time <= 0) continue;
+    compute_sum += rank.compute_time() / rank.total_time;
+    mpi_sum += rank.mpi_time() / rank.total_time;
+  }
+  const double n = static_cast<double>(trace.ranks.size());
+  breakdown.compute_fraction = compute_sum / n;
+  breakdown.mpi_fraction = mpi_sum / n;
+  return breakdown;
+}
+
+}  // namespace psk::trace

@@ -1,0 +1,83 @@
+// Execution trace model.
+//
+// A trace is the per-rank record of every MPI call an application made plus
+// the computation gaps between calls -- exactly what the paper's profiling
+// library captures (section 3.1).  Computation time is defined as the time
+// between the end of one MPI operation and the start of the next.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/types.h"
+#include "sim/time.h"
+
+namespace psk::trace {
+
+struct TraceEvent {
+  mpi::CallType type = mpi::CallType::kSend;
+  int peer = -1;
+  mpi::Bytes bytes = 0;
+  int tag = 0;
+  /// Per-peer detail for Alltoallv / Sendrecv / folded Exchange regions.
+  std::vector<mpi::PeerBytes> parts;
+  /// Request linkage for raw nonblocking events.
+  std::uint32_t request = mpi::Request::kInvalid;
+  std::vector<std::uint32_t> requests;
+  sim::Time t_start = 0;
+  sim::Time t_end = 0;
+  /// Computation time between the previous call's end and this call's start.
+  double pre_compute = 0;
+  /// Exchange regions only: computation overlapped inside the region (e.g.
+  /// boundary packing between posting receives and posting sends).
+  double interior_compute = 0;
+  /// Memory traffic of the pre/interior computation (bytes; from the
+  /// profiling library's hardware-counter channel).
+  double pre_mem_bytes = 0;
+  double interior_mem_bytes = 0;
+
+  double duration() const { return t_end - t_start; }
+
+  /// Time spent inside MPI proper (excludes overlapped interior compute).
+  double mpi_time() const {
+    const double t = duration() - interior_compute;
+    return t > 0 ? t : 0;
+  }
+};
+
+struct RankTrace {
+  int rank = 0;
+  std::vector<TraceEvent> events;
+  /// Wall time of the rank's whole execution.
+  double total_time = 0;
+  /// Computation after the last MPI call.
+  double final_compute = 0;
+
+  /// Total computation (gaps + trailing + overlapped interior).
+  double compute_time() const;
+  /// Total time inside MPI calls.
+  double mpi_time() const;
+};
+
+struct Trace {
+  std::string app_name;
+  std::vector<RankTrace> ranks;
+
+  int rank_count() const { return static_cast<int>(ranks.size()); }
+  /// Longest rank wall time (the parallel execution time).
+  double elapsed() const;
+  /// Total number of events across ranks.
+  std::size_t event_count() const;
+};
+
+/// Activity breakdown used by Figure 2.
+struct ActivityBreakdown {
+  double compute_fraction = 0;
+  double mpi_fraction = 0;
+};
+
+/// Average over ranks of per-rank compute/MPI fractions.
+ActivityBreakdown activity_breakdown(const Trace& trace);
+
+}  // namespace psk::trace

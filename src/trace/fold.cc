@@ -1,0 +1,196 @@
+#include "trace/fold.h"
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace psk::trace {
+
+namespace {
+
+using mpi::CallType;
+
+bool is_raw_nonblocking(CallType t) {
+  return mpi::is_nonblocking_start(t) || mpi::is_completion(t);
+}
+
+/// Attempts to fold a region starting at index `start` (which must be an
+/// Isend/Irecv).  On success returns the index one past the region's last
+/// event and appends the composite event to `out`.  On failure returns
+/// `start` (caller falls back to copying the event).
+std::size_t try_fold_region(const std::vector<TraceEvent>& events,
+                            std::size_t start, std::vector<TraceEvent>& out,
+                            FoldStats& stats) {
+  std::set<std::uint32_t> open;
+  TraceEvent region;
+  region.type = CallType::kExchange;
+  region.t_start = events[start].t_start;
+  region.pre_compute = events[start].pre_compute;
+  region.tag = events[start].tag;
+
+  region.pre_mem_bytes = events[start].pre_mem_bytes;
+  std::size_t i = start;
+  for (; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (mpi::is_nonblocking_start(event.type)) {
+      if (event.request == mpi::Request::kInvalid) return start;
+      open.insert(event.request);
+      region.parts.push_back(mpi::PeerBytes{event.peer, event.bytes,
+                                            event.type == CallType::kIsend,
+                                            event.tag});
+      if (i != start) {
+        region.interior_compute += event.pre_compute;
+        region.interior_mem_bytes += event.pre_mem_bytes;
+      }
+      continue;
+    }
+    if (mpi::is_completion(event.type)) {
+      // Every request completed here must have been opened in this region.
+      for (std::uint32_t id : event.requests) {
+        if (open.erase(id) == 0) return start;
+      }
+      region.interior_compute += event.pre_compute;
+      region.interior_mem_bytes += event.pre_mem_bytes;
+      if (open.empty()) {
+        region.t_end = event.t_end;
+        region.bytes = 0;
+        for (const mpi::PeerBytes& part : region.parts) {
+          region.bytes += part.bytes;
+        }
+        stats.regions_created += 1;
+        stats.events_folded += (i - start + 1);
+        out.push_back(std::move(region));
+        return i + 1;
+      }
+      continue;
+    }
+    // A blocking call or collective interrupts the region.
+    return start;
+  }
+  return start;  // trace ended with requests still open
+}
+
+/// Rewrites leftover raw nonblocking events into blocking equivalents.
+/// Compute carried past the last event is returned through
+/// `trailing_compute` so the caller can add it to the rank's final segment.
+FoldStats rewrite_leftovers(std::vector<TraceEvent>& events,
+                            double& trailing_compute) {
+  FoldStats stats;
+  // Request id -> (peer, bytes) for leftover Irecvs awaiting their Wait.
+  std::map<std::uint32_t, mpi::PeerBytes> pending_recvs;
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  double carried_compute = 0;
+
+  for (TraceEvent& event : events) {
+    event.pre_compute += carried_compute;
+    carried_compute = 0;
+    switch (event.type) {
+      case CallType::kIsend: {
+        event.type = CallType::kSend;
+        event.request = mpi::Request::kInvalid;
+        stats.fallback_rewrites += 1;
+        out.push_back(std::move(event));
+        break;
+      }
+      case CallType::kIrecv: {
+        pending_recvs[event.request] =
+            mpi::PeerBytes{event.peer, event.bytes, false, event.tag};
+        carried_compute = event.pre_compute;
+        stats.fallback_rewrites += 1;
+        break;  // dropped; its Wait becomes the Recv
+      }
+      case CallType::kWait:
+      case CallType::kWaitall: {
+        bool emitted = false;
+        for (std::uint32_t id : event.requests) {
+          const auto it = pending_recvs.find(id);
+          if (it == pending_recvs.end()) continue;  // was an Isend's wait
+          TraceEvent recv;
+          recv.type = CallType::kRecv;
+          recv.peer = it->second.peer;
+          recv.bytes = it->second.bytes;
+          recv.tag = it->second.tag;
+          recv.t_start = event.t_start;
+          recv.t_end = event.t_end;
+          recv.pre_compute = emitted ? 0 : event.pre_compute;
+          pending_recvs.erase(it);
+          out.push_back(std::move(recv));
+          emitted = true;
+        }
+        stats.fallback_rewrites += 1;
+        if (!emitted) carried_compute = event.pre_compute;
+        break;  // the wait itself disappears
+      }
+      default:
+        out.push_back(std::move(event));
+        break;
+    }
+  }
+  events = std::move(out);
+  trailing_compute = carried_compute;
+  return stats;
+}
+
+}  // namespace
+
+FoldStats fold_nonblocking(RankTrace& rank) {
+  FoldStats stats;
+  std::vector<TraceEvent> out;
+  out.reserve(rank.events.size());
+
+  std::size_t i = 0;
+  while (i < rank.events.size()) {
+    const TraceEvent& event = rank.events[i];
+    if (mpi::is_nonblocking_start(event.type)) {
+      const std::size_t next = try_fold_region(rank.events, i, out, stats);
+      if (next != i) {
+        i = next;
+        continue;
+      }
+    }
+    out.push_back(rank.events[i]);
+    ++i;
+  }
+  rank.events = std::move(out);
+
+  // Second pass: eliminate any raw nonblocking events that survived.
+  bool any_raw = false;
+  for (const TraceEvent& event : rank.events) {
+    if (is_raw_nonblocking(event.type)) {
+      any_raw = true;
+      break;
+    }
+  }
+  if (any_raw) {
+    double trailing_compute = 0;
+    stats += rewrite_leftovers(rank.events, trailing_compute);
+    rank.final_compute += trailing_compute;
+  }
+  return stats;
+}
+
+FoldStats fold_nonblocking(Trace& trace) {
+  FoldStats stats;
+  for (RankTrace& rank : trace.ranks) stats += fold_nonblocking(rank);
+  return stats;
+}
+
+bool is_fully_folded(const RankTrace& rank) {
+  for (const TraceEvent& event : rank.events) {
+    if (is_raw_nonblocking(event.type)) return false;
+  }
+  return true;
+}
+
+bool is_fully_folded(const Trace& trace) {
+  for (const RankTrace& rank : trace.ranks) {
+    if (!is_fully_folded(rank)) return false;
+  }
+  return true;
+}
+
+}  // namespace psk::trace

@@ -1,0 +1,48 @@
+// Nonblocking-region folding.
+//
+// The paper (section 3.2): "We identify the non blocking calls and
+// associated MPI_Wait() to determine the corresponding overlapped region."
+// This pass rewrites each run of Isend/Irecv/Wait/Waitall events whose
+// requests are fully opened *and* completed inside the run into one
+// composite Exchange event carrying the per-peer transfer list.  Exchange
+// events are safe to cluster and loop-fold as units, and replay as
+// irecv*/isend*/waitall.
+//
+// Leftover raw nonblocking events (a request completed across a blocking
+// call, or never waited) are conservatively rewritten into their blocking
+// equivalents so that downstream stages never see request ids: an Isend
+// becomes a Send at its call site; an Irecv is dropped and its matching
+// Wait becomes a Recv from the Irecv's peer.  SPMD applications are
+// rewritten symmetrically on all ranks, preserving match counts.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/event.h"
+
+namespace psk::trace {
+
+struct FoldStats {
+  std::size_t regions_created = 0;
+  std::size_t events_folded = 0;      // raw events absorbed into regions
+  std::size_t fallback_rewrites = 0;  // leftover nonblocking ops rewritten
+
+  FoldStats& operator+=(const FoldStats& other) {
+    regions_created += other.regions_created;
+    events_folded += other.events_folded;
+    fallback_rewrites += other.fallback_rewrites;
+    return *this;
+  }
+};
+
+/// Folds one rank's events in place; returns what was changed.
+FoldStats fold_nonblocking(RankTrace& rank);
+
+/// Folds every rank of `trace`; returns aggregate stats.
+FoldStats fold_nonblocking(Trace& trace);
+
+/// True if no raw nonblocking event (Isend/Irecv/Wait/Waitall) remains.
+bool is_fully_folded(const RankTrace& rank);
+bool is_fully_folded(const Trace& trace);
+
+}  // namespace psk::trace

@@ -1,0 +1,365 @@
+#include "trace/io.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace psk::trace {
+
+namespace {
+
+std::string format_double(double value) {
+  std::array<char, 40> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.17g", value);
+  return buf.data();
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, sep)) fields.push_back(field);
+  return fields;
+}
+
+double parse_double(const std::string& text) {
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    throw FormatError("trace: bad number '" + text + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    throw FormatError("trace: bad integer '" + text + "'");
+  }
+}
+
+int parse_int(const std::string& text) {
+  try {
+    return std::stoi(text);
+  } catch (const std::exception&) {
+    throw FormatError("trace: bad integer '" + text + "'");
+  }
+}
+
+void write_event(std::ostream& out, const TraceEvent& event) {
+  out << "E " << mpi::call_type_name(event.type) << " " << event.peer << " "
+      << event.bytes << " " << event.tag << " "
+      << format_double(event.t_start) << " " << format_double(event.t_end)
+      << " " << format_double(event.pre_compute) << " "
+      << format_double(event.interior_compute) << " "
+      << format_double(event.pre_mem_bytes) << " "
+      << format_double(event.interior_mem_bytes) << " ";
+  // Parts: comma-separated peer:bytes:direction triples (or "-").
+  if (event.parts.empty()) {
+    out << "-";
+  } else {
+    for (std::size_t i = 0; i < event.parts.size(); ++i) {
+      const mpi::PeerBytes& part = event.parts[i];
+      if (i) out << ",";
+      out << part.peer << ":" << part.bytes << ":"
+          << (part.outgoing ? "o" : "i") << ":" << part.tag;
+    }
+  }
+  out << " ";
+  // Request linkage (raw traces only).
+  out << (event.request == mpi::Request::kInvalid
+              ? std::string("-")
+              : std::to_string(event.request))
+      << " ";
+  if (event.requests.empty()) {
+    out << "-";
+  } else {
+    for (std::size_t i = 0; i < event.requests.size(); ++i) {
+      if (i) out << ",";
+      out << event.requests[i];
+    }
+  }
+  out << "\n";
+}
+
+TraceEvent parse_event(const std::string& line) {
+  const auto fields = split(line, ' ');
+  if (fields.size() != 14 || fields[0] != "E") {
+    throw FormatError("trace: malformed event line: " + line);
+  }
+  TraceEvent event;
+  event.type = mpi::call_type_from_name(fields[1]);
+  event.peer = parse_int(fields[2]);
+  event.bytes = parse_u64(fields[3]);
+  event.tag = parse_int(fields[4]);
+  event.t_start = parse_double(fields[5]);
+  event.t_end = parse_double(fields[6]);
+  event.pre_compute = parse_double(fields[7]);
+  event.interior_compute = parse_double(fields[8]);
+  event.pre_mem_bytes = parse_double(fields[9]);
+  event.interior_mem_bytes = parse_double(fields[10]);
+  if (fields[11] != "-") {
+    for (const std::string& triple : split(fields[11], ',')) {
+      const auto bits = split(triple, ':');
+      if (bits.size() != 4) {
+        throw FormatError("trace: malformed part '" + triple + "'");
+      }
+      event.parts.push_back(mpi::PeerBytes{parse_int(bits[0]),
+                                           parse_u64(bits[1]), bits[2] == "o",
+                                           parse_int(bits[3])});
+    }
+  }
+  if (fields[12] != "-") {
+    event.request = static_cast<std::uint32_t>(parse_u64(fields[12]));
+  }
+  if (fields[13] != "-") {
+    for (const std::string& id : split(fields[13], ',')) {
+      event.requests.push_back(static_cast<std::uint32_t>(parse_u64(id)));
+    }
+  }
+  return event;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << "psk-trace 1\n";
+  out << "app " << (trace.app_name.empty() ? "-" : trace.app_name) << "\n";
+  out << "ranks " << trace.ranks.size() << "\n";
+  for (const RankTrace& rank : trace.ranks) {
+    out << "rank " << rank.rank << " " << format_double(rank.total_time)
+        << " " << format_double(rank.final_compute) << " "
+        << rank.events.size() << "\n";
+    for (const TraceEvent& event : rank.events) write_event(out, event);
+  }
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+Trace read_trace(std::istream& in) {
+  std::string line;
+  const auto next_line = [&]() -> std::string {
+    if (!std::getline(in, line)) throw FormatError("trace: truncated input");
+    return line;
+  };
+
+  if (next_line() != "psk-trace 1") {
+    throw FormatError("trace: missing 'psk-trace 1' header");
+  }
+  Trace trace;
+  {
+    const auto fields = split(next_line(), ' ');
+    if (fields.size() != 2 || fields[0] != "app") {
+      throw FormatError("trace: missing app line");
+    }
+    trace.app_name = fields[1] == "-" ? "" : fields[1];
+  }
+  std::size_t rank_count = 0;
+  {
+    const auto fields = split(next_line(), ' ');
+    if (fields.size() != 2 || fields[0] != "ranks") {
+      throw FormatError("trace: missing ranks line");
+    }
+    rank_count = parse_u64(fields[1]);
+  }
+  for (std::size_t r = 0; r < rank_count; ++r) {
+    const auto fields = split(next_line(), ' ');
+    if (fields.size() != 5 || fields[0] != "rank") {
+      throw FormatError("trace: missing rank header");
+    }
+    RankTrace rank;
+    rank.rank = parse_int(fields[1]);
+    rank.total_time = parse_double(fields[2]);
+    rank.final_compute = parse_double(fields[3]);
+    const std::size_t event_count = parse_u64(fields[4]);
+    rank.events.reserve(event_count);
+    for (std::size_t e = 0; e < event_count; ++e) {
+      rank.events.push_back(parse_event(next_line()));
+    }
+    trace.ranks.push_back(std::move(rank));
+  }
+  return trace;
+}
+
+Trace trace_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_trace(in);
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  util::require(out.good(), "save_trace: cannot open " + path);
+  write_trace(out, trace);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  util::require(in.good(), "load_trace: cannot open " + path);
+  // Auto-detect: binary traces start with "PSKTRB01", text with
+  // "psk-trace 1".
+  char probe = '\0';
+  in.get(probe);
+  in.unget();
+  if (probe == 'P') return read_trace_binary(in);
+  return read_trace(in);
+}
+
+}  // namespace psk::trace
+
+namespace psk::trace {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'P', 'S', 'K', 'T', 'R', 'B', '0', '1'};
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in.good()) throw FormatError("binary trace: truncated input");
+  return value;
+}
+
+void put_string(std::ostream& out, const std::string& text) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(text.size()));
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+std::string get_string(std::istream& in) {
+  const auto size = get<std::uint32_t>(in);
+  if (size > (1u << 20)) throw FormatError("binary trace: string too long");
+  std::string text(size, '\0');
+  in.read(text.data(), size);
+  if (!in.good()) throw FormatError("binary trace: truncated string");
+  return text;
+}
+
+void put_event(std::ostream& out, const TraceEvent& event) {
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(event.type));
+  put<std::int32_t>(out, event.peer);
+  put<std::uint64_t>(out, event.bytes);
+  put<std::int32_t>(out, event.tag);
+  put<double>(out, event.t_start);
+  put<double>(out, event.t_end);
+  put<double>(out, event.pre_compute);
+  put<double>(out, event.interior_compute);
+  put<double>(out, event.pre_mem_bytes);
+  put<double>(out, event.interior_mem_bytes);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(event.parts.size()));
+  for (const mpi::PeerBytes& part : event.parts) {
+    put<std::int32_t>(out, part.peer);
+    put<std::uint64_t>(out, part.bytes);
+    put<std::uint8_t>(out, part.outgoing ? 1 : 0);
+    put<std::int32_t>(out, part.tag);
+  }
+  put<std::uint32_t>(out, event.request);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(event.requests.size()));
+  for (std::uint32_t id : event.requests) put<std::uint32_t>(out, id);
+}
+
+TraceEvent get_event(std::istream& in) {
+  TraceEvent event;
+  const auto raw_type = get<std::uint8_t>(in);
+  // Validate through the name table so corrupt bytes fail loudly.
+  event.type = mpi::call_type_from_name(
+      mpi::call_type_name(static_cast<mpi::CallType>(raw_type)));
+  event.peer = get<std::int32_t>(in);
+  event.bytes = get<std::uint64_t>(in);
+  event.tag = get<std::int32_t>(in);
+  event.t_start = get<double>(in);
+  event.t_end = get<double>(in);
+  event.pre_compute = get<double>(in);
+  event.interior_compute = get<double>(in);
+  event.pre_mem_bytes = get<double>(in);
+  event.interior_mem_bytes = get<double>(in);
+  const auto parts = get<std::uint32_t>(in);
+  if (parts > (1u << 20)) throw FormatError("binary trace: too many parts");
+  event.parts.reserve(parts);
+  for (std::uint32_t i = 0; i < parts; ++i) {
+    mpi::PeerBytes part;
+    part.peer = get<std::int32_t>(in);
+    part.bytes = get<std::uint64_t>(in);
+    part.outgoing = get<std::uint8_t>(in) != 0;
+    part.tag = get<std::int32_t>(in);
+    event.parts.push_back(part);
+  }
+  event.request = get<std::uint32_t>(in);
+  const auto requests = get<std::uint32_t>(in);
+  if (requests > (1u << 20)) {
+    throw FormatError("binary trace: too many requests");
+  }
+  event.requests.reserve(requests);
+  for (std::uint32_t i = 0; i < requests; ++i) {
+    event.requests.push_back(get<std::uint32_t>(in));
+  }
+  return event;
+}
+
+}  // namespace
+
+void write_trace_binary(std::ostream& out, const Trace& trace) {
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  put_string(out, trace.app_name);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(trace.ranks.size()));
+  for (const RankTrace& rank : trace.ranks) {
+    put<std::int32_t>(out, rank.rank);
+    put<double>(out, rank.total_time);
+    put<double>(out, rank.final_compute);
+    put<std::uint64_t>(out, rank.events.size());
+    for (const TraceEvent& event : rank.events) put_event(out, event);
+  }
+}
+
+Trace read_trace_binary(std::istream& in) {
+  char magic[sizeof(kBinaryMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in.good() ||
+      !std::equal(std::begin(magic), std::end(magic), kBinaryMagic)) {
+    throw FormatError("binary trace: bad magic");
+  }
+  Trace trace;
+  trace.app_name = get_string(in);
+  const auto rank_count = get<std::uint32_t>(in);
+  if (rank_count > (1u << 16)) {
+    throw FormatError("binary trace: implausible rank count");
+  }
+  for (std::uint32_t r = 0; r < rank_count; ++r) {
+    RankTrace rank;
+    rank.rank = get<std::int32_t>(in);
+    rank.total_time = get<double>(in);
+    rank.final_compute = get<double>(in);
+    const auto events = get<std::uint64_t>(in);
+    if (events > (1ull << 32)) {
+      throw FormatError("binary trace: implausible event count");
+    }
+    rank.events.reserve(static_cast<std::size_t>(events));
+    for (std::uint64_t e = 0; e < events; ++e) {
+      rank.events.push_back(get_event(in));
+    }
+    trace.ranks.push_back(std::move(rank));
+  }
+  return trace;
+}
+
+void save_trace_binary(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  util::require(out.good(), "save_trace_binary: cannot open " + path);
+  write_trace_binary(out, trace);
+}
+
+}  // namespace psk::trace

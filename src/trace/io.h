@@ -1,0 +1,31 @@
+// Text serialization of execution traces.
+//
+// One document holds all ranks.  The format is line-oriented and
+// human-greppable; doubles round-trip exactly (printed with %.17g).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/event.h"
+
+namespace psk::trace {
+
+void write_trace(std::ostream& out, const Trace& trace);
+std::string trace_to_string(const Trace& trace);
+
+/// Parses a trace document; throws FormatError on malformed input.
+Trace read_trace(std::istream& in);
+Trace trace_from_string(const std::string& text);
+
+/// File convenience wrappers.  load_trace auto-detects text vs binary.
+void save_trace(const std::string& path, const Trace& trace);
+Trace load_trace(const std::string& path);
+
+/// Compact binary form (host endianness) for large traces: a class B LU
+/// trace shrinks ~6x and parses an order of magnitude faster.
+void write_trace_binary(std::ostream& out, const Trace& trace);
+Trace read_trace_binary(std::istream& in);
+void save_trace_binary(const std::string& path, const Trace& trace);
+
+}  // namespace psk::trace

@@ -1,0 +1,66 @@
+#include "trace/recorder.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace psk::trace {
+
+Recorder::Recorder(int rank_count) {
+  util::require(rank_count >= 1, "Recorder: need at least one rank");
+  ranks_.resize(static_cast<std::size_t>(rank_count));
+  for (int r = 0; r < rank_count; ++r) {
+    ranks_[static_cast<std::size_t>(r)].rank = r;
+  }
+  last_call_end_.assign(static_cast<std::size_t>(rank_count), 0.0);
+}
+
+void Recorder::on_call(int rank, const mpi::CallRecord& record) {
+  auto& rank_trace = ranks_[static_cast<std::size_t>(rank)];
+  TraceEvent event;
+  event.type = record.type;
+  event.peer = record.peer;
+  event.bytes = record.bytes;
+  event.tag = record.tag;
+  event.parts = record.parts;
+  event.request = record.request;
+  event.requests = record.requests;
+  event.t_start = record.t_start;
+  event.t_end = record.t_end;
+  event.pre_mem_bytes = record.pre_mem_bytes;
+  const double gap =
+      record.t_start - last_call_end_[static_cast<std::size_t>(rank)];
+  event.pre_compute = gap > 0 ? gap : 0;
+  last_call_end_[static_cast<std::size_t>(rank)] = record.t_end;
+  rank_trace.events.push_back(std::move(event));
+}
+
+Trace Recorder::take_trace(const mpi::World& world,
+                           const std::string& app_name) {
+  Trace trace;
+  trace.app_name = app_name;
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankTrace rank_trace = std::move(ranks_[r]);
+    rank_trace.total_time = world.rank_end_time(static_cast<int>(r));
+    const double tail = rank_trace.total_time - last_call_end_[r];
+    rank_trace.final_compute = tail > 0 ? tail : 0;
+    trace.ranks.push_back(std::move(rank_trace));
+    // Leave the recorder reusable-looking but empty.
+    ranks_[r] = RankTrace{};
+    ranks_[r].rank = static_cast<int>(r);
+    last_call_end_[r] = 0;
+  }
+  return trace;
+}
+
+Trace record_run(mpi::World& world, const mpi::RankMain& rank_main,
+                 const std::string& app_name) {
+  Recorder recorder(world.size());
+  world.set_observer(&recorder);
+  world.launch(rank_main);
+  world.run();
+  world.set_observer(nullptr);
+  return recorder.take_trace(world, app_name);
+}
+
+}  // namespace psk::trace

@@ -1,0 +1,38 @@
+// Recorder: the profiling library.
+//
+// Attach to a World before launch; afterwards take_trace() yields the
+// per-rank execution traces.  Mirrors the paper's PMPI-style tracer: each
+// MPI call with its parameters and start/end time, computation measured as
+// the gap between consecutive calls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpi/types.h"
+#include "mpi/world.h"
+#include "trace/event.h"
+
+namespace psk::trace {
+
+class Recorder : public mpi::CallObserver {
+ public:
+  explicit Recorder(int rank_count);
+
+  void on_call(int rank, const mpi::CallRecord& record) override;
+
+  /// Finalizes the trace after World::run(): stamps per-rank wall times and
+  /// the trailing computation segment.
+  Trace take_trace(const mpi::World& world, const std::string& app_name);
+
+ private:
+  std::vector<RankTrace> ranks_;
+  std::vector<double> last_call_end_;
+};
+
+/// Convenience: runs `rank_main` on a world with tracing attached and
+/// returns the finalized trace.  The world must not have been launched.
+Trace record_run(mpi::World& world, const mpi::RankMain& rank_main,
+                 const std::string& app_name);
+
+}  // namespace psk::trace

@@ -1,0 +1,163 @@
+#include "trace/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/format.h"
+#include "util/table.h"
+
+namespace psk::trace {
+
+namespace {
+
+/// Visits every outgoing point-to-point transfer of an event exactly once
+/// (at the sender).
+template <typename Visit>
+void for_each_outgoing(const RankTrace& rank, const TraceEvent& event,
+                       Visit&& visit) {
+  using mpi::CallType;
+  switch (event.type) {
+    case CallType::kSend:
+    case CallType::kIsend:
+      visit(rank.rank, event.peer, static_cast<double>(event.bytes));
+      break;
+    case CallType::kSendrecv:
+      if (!event.parts.empty() && event.parts[0].outgoing) {
+        visit(rank.rank, event.parts[0].peer,
+              static_cast<double>(event.parts[0].bytes));
+      }
+      break;
+    case CallType::kExchange:
+      for (const mpi::PeerBytes& part : event.parts) {
+        if (part.outgoing) {
+          visit(rank.rank, part.peer, static_cast<double>(part.bytes));
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+double CommMatrix::total_bytes() const {
+  double total = 0;
+  for (const auto& row : bytes) {
+    for (double cell : row) total += cell;
+  }
+  return total;
+}
+
+std::uint64_t CommMatrix::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& row : messages) {
+    for (std::uint64_t cell : row) total += cell;
+  }
+  return total;
+}
+
+std::string CommMatrix::render() const {
+  std::vector<std::string> header{"src\\dst"};
+  for (int dst = 0; dst < ranks; ++dst) {
+    header.push_back("to " + std::to_string(dst));
+  }
+  util::Table table(header);
+  for (int src = 0; src < ranks; ++src) {
+    std::vector<std::string> row{"rank " + std::to_string(src)};
+    for (int dst = 0; dst < ranks; ++dst) {
+      const double cell = bytes[static_cast<std::size_t>(src)]
+                               [static_cast<std::size_t>(dst)];
+      row.push_back(cell > 0 ? util::human_bytes(static_cast<std::uint64_t>(
+                                   std::llround(cell)))
+                             : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+CommMatrix communication_matrix(const Trace& trace) {
+  CommMatrix matrix;
+  matrix.ranks = trace.rank_count();
+  matrix.bytes.assign(static_cast<std::size_t>(matrix.ranks),
+                      std::vector<double>(
+                          static_cast<std::size_t>(matrix.ranks), 0.0));
+  matrix.messages.assign(
+      static_cast<std::size_t>(matrix.ranks),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(matrix.ranks), 0));
+  for (const RankTrace& rank : trace.ranks) {
+    for (const TraceEvent& event : rank.events) {
+      for_each_outgoing(rank, event, [&](int src, int dst, double bytes) {
+        if (src < 0 || dst < 0 || src >= matrix.ranks || dst >= matrix.ranks) {
+          return;
+        }
+        matrix.bytes[static_cast<std::size_t>(src)]
+                    [static_cast<std::size_t>(dst)] += bytes;
+        matrix.messages[static_cast<std::size_t>(src)]
+                       [static_cast<std::size_t>(dst)] += 1;
+      });
+    }
+  }
+  return matrix;
+}
+
+std::string SizeHistogram::render() const {
+  std::uint64_t max_count = 0;
+  for (const auto& [bucket, count] : buckets) {
+    max_count = std::max(max_count, count);
+  }
+  std::ostringstream out;
+  for (const auto& [bucket, count] : buckets) {
+    const auto low = static_cast<std::uint64_t>(1) << bucket;
+    const std::size_t bars =
+        max_count > 0 ? static_cast<std::size_t>(40.0 * static_cast<double>(count) /
+                                                 static_cast<double>(max_count))
+                      : 0;
+    out << util::pad_left(util::human_bytes(low), 9) << " | "
+        << util::pad_right(std::string(bars, '#'), 40) << " " << count
+        << "\n";
+  }
+  return out.str();
+}
+
+SizeHistogram message_size_histogram(const Trace& trace) {
+  SizeHistogram histogram;
+  for (const RankTrace& rank : trace.ranks) {
+    for (const TraceEvent& event : rank.events) {
+      for_each_outgoing(rank, event, [&](int, int, double bytes) {
+        const int bucket =
+            bytes < 1 ? 0 : static_cast<int>(std::floor(std::log2(bytes)));
+        histogram.buckets[bucket] += 1;
+      });
+    }
+  }
+  return histogram;
+}
+
+std::string CallProfile::render() const {
+  util::Table table({"call", "count", "bytes", "time"});
+  for (const auto& [type, entry] : entries) {
+    table.add_row({mpi::call_type_name(type), std::to_string(entry.count),
+                   util::human_bytes(static_cast<std::uint64_t>(
+                       std::llround(entry.bytes))),
+                   util::human_seconds(entry.time)});
+  }
+  return table.render();
+}
+
+CallProfile call_profile(const Trace& trace) {
+  CallProfile profile;
+  for (const RankTrace& rank : trace.ranks) {
+    for (const TraceEvent& event : rank.events) {
+      CallProfile::Entry& entry = profile.entries[event.type];
+      entry.count += 1;
+      entry.bytes += static_cast<double>(event.bytes);
+      entry.time += event.mpi_time();
+    }
+  }
+  return profile;
+}
+
+}  // namespace psk::trace

@@ -1,0 +1,54 @@
+// Trace analysis: communication matrix, message-size histogram and per-call
+// profile.  Used by `psk info --trace` and the examples to understand what
+// the compressor will consume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpi/types.h"
+#include "trace/event.h"
+
+namespace psk::trace {
+
+/// Point-to-point traffic between rank pairs (collectives excluded: their
+/// internal routing is a property of the MPI implementation, not the
+/// application).  Each logical transfer is counted once, at its sender.
+struct CommMatrix {
+  int ranks = 0;
+  /// [src][dst] payload bytes / message counts.
+  std::vector<std::vector<double>> bytes;
+  std::vector<std::vector<std::uint64_t>> messages;
+
+  double total_bytes() const;
+  std::uint64_t total_messages() const;
+  std::string render() const;
+};
+
+CommMatrix communication_matrix(const Trace& trace);
+
+/// Power-of-two histogram of point-to-point message sizes.
+struct SizeHistogram {
+  /// bucket b counts messages with size in [2^b, 2^(b+1)).
+  std::map<int, std::uint64_t> buckets;
+  std::string render() const;
+};
+
+SizeHistogram message_size_histogram(const Trace& trace);
+
+/// Aggregate per call type: how often, how many bytes, how much time.
+struct CallProfile {
+  struct Entry {
+    std::uint64_t count = 0;
+    double bytes = 0;
+    double time = 0;  // summed call durations across ranks
+  };
+  std::map<mpi::CallType, Entry> entries;
+  std::string render() const;
+};
+
+CallProfile call_profile(const Trace& trace);
+
+}  // namespace psk::trace

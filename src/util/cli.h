@@ -1,0 +1,32 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Supports "--name=value" and boolean "--name" forms; everything else is a
+// positional argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psk::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  double get_double(const std::string& name, double def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Non-flag positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace psk::util

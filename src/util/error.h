@@ -1,0 +1,47 @@
+// Error types shared across the perfskel libraries.
+//
+// The library throws exceptions derived from psk::Error for unrecoverable
+// conditions (mis-configured topologies, deadlocked replays, malformed trace
+// files).  Recoverable "soft" conditions are reported through return values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace psk {
+
+/// Base class for all exceptions thrown by the perfskel libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A simulated program stopped making progress: the event queue drained while
+/// one or more rank coroutines were still suspended (e.g. a Recv whose
+/// matching Send never arrives in a mis-compressed skeleton).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid argument or configuration detected at API boundaries.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed or inconsistent trace / signature input.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace util {
+
+/// Throws ConfigError with `what` when `cond` is false.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw ConfigError(what);
+}
+
+}  // namespace util
+}  // namespace psk

@@ -1,0 +1,49 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace psk::util {
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = std::clamp(p, 0.0, 100.0) / 100.0 *
+                     static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double rel_diff(double a, double b) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  if (denom == 0.0) return 0.0;
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace psk::util

@@ -1,0 +1,114 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace psk::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(),
+          "Table: row width does not match header width");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::string& label,
+                            const std::vector<double>& values, int decimals) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(fixed(v, decimals));
+  add_row(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + pad_left(row[c], widths[c]) + " |";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  out << rule() << render_row(header_) << rule();
+  for (const auto& row : rows_) out << render_row(row);
+  out << rule();
+  return out.str();
+}
+
+std::string BarChart::render() const {
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& e : entries) {
+    max_value = std::max(max_value, e.value);
+    label_width = std::max(label_width, e.label.size());
+  }
+  for (const auto& e : entries) {
+    const std::size_t bars =
+        max_value > 0
+            ? static_cast<std::size_t>(e.value / max_value *
+                                       static_cast<double>(width))
+            : 0;
+    out << pad_right(e.label, label_width) << " | "
+        << pad_right(std::string(bars, '#'), width) << " " << fixed(e.value, decimals);
+    if (!unit.empty()) out << " " << unit;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string GroupedSeries::render() const {
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n\n";
+
+  // Numeric table: rows = groups, columns = series.
+  std::vector<std::string> header{""};
+  header.insert(header.end(), series_labels.begin(), series_labels.end());
+  Table table(header);
+  for (std::size_t g = 0; g < group_labels.size(); ++g) {
+    std::vector<double> row;
+    row.reserve(series_labels.size());
+    for (std::size_t s = 0; s < series_labels.size(); ++s) {
+      row.push_back(values.at(s).at(g));
+    }
+    table.add_row_numeric(group_labels[g], row, decimals);
+  }
+  out << table.render() << "\n";
+
+  // Per-group bar view.
+  for (std::size_t g = 0; g < group_labels.size(); ++g) {
+    BarChart chart;
+    chart.title = group_labels[g];
+    chart.decimals = decimals;
+    chart.unit = unit;
+    for (std::size_t s = 0; s < series_labels.size(); ++s) {
+      chart.entries.push_back({series_labels[s], values.at(s).at(g)});
+    }
+    out << chart.render() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace psk::util

@@ -1,0 +1,175 @@
+// Tests for the C skeleton code generator, including a real compile check
+// against a minimal mpi.h stub (no MPI implementation is installed in CI).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "apps/nas.h"
+#include "codegen/emit_c.h"
+#include "core/framework.h"
+#include "util/error.h"
+
+namespace psk::codegen {
+namespace {
+
+skeleton::Skeleton sample_skeleton(const char* app = "SP",
+                                   double target = 0.05) {
+  core::SkeletonFramework framework;
+  return framework.construct(
+      apps::find_benchmark(app).make(apps::NasClass::kS), app, target);
+}
+
+TEST(EmitC, ContainsProgramScaffolding) {
+  const std::string source = emit_c_program(sample_skeleton());
+  EXPECT_NE(source.find("#include <mpi.h>"), std::string::npos);
+  EXPECT_NE(source.find("MPI_Init"), std::string::npos);
+  EXPECT_NE(source.find("MPI_Finalize"), std::string::npos);
+  EXPECT_NE(source.find("psk_compute"), std::string::npos);
+  EXPECT_NE(source.find("int main"), std::string::npos);
+}
+
+TEST(EmitC, OneFunctionPerRank) {
+  const std::string source = emit_c_program(sample_skeleton());
+  for (int rank = 0; rank < 4; ++rank) {
+    const std::string name = "psk_rank" + std::to_string(rank);
+    EXPECT_NE(source.find("static void " + name + "(void)"),
+              std::string::npos)
+        << name;
+    EXPECT_NE(source.find("case " + std::to_string(rank) + ": " + name),
+              std::string::npos);
+  }
+}
+
+TEST(EmitC, LoopsAndExchangesEmitted) {
+  const std::string source = emit_c_program(sample_skeleton());
+  EXPECT_NE(source.find("for (long i0 = 0;"), std::string::npos);
+  EXPECT_NE(source.find("MPI_Irecv"), std::string::npos);
+  EXPECT_NE(source.find("MPI_Isend"), std::string::npos);
+  EXPECT_NE(source.find("MPI_Waitall"), std::string::npos);
+}
+
+TEST(EmitC, BalancedBraces) {
+  const std::string source = emit_c_program(sample_skeleton());
+  long depth = 0;
+  for (char c : source) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(EmitC, WarnsWhenNotGood) {
+  core::SkeletonFramework framework;
+  // Absurdly small target: below any app's smallest good skeleton.
+  skeleton::Skeleton tiny = sample_skeleton("IS", 0.0001);
+  tiny.good = false;
+  tiny.min_good_time = 0.5;
+  const std::string source = emit_c_program(tiny);
+  EXPECT_NE(source.find("WARNING"), std::string::npos);
+}
+
+TEST(EmitC, PrefixIsConfigurable) {
+  EmitOptions options;
+  options.prefix = "myskel";
+  const std::string source = emit_c_program(sample_skeleton(), options);
+  EXPECT_NE(source.find("myskel_compute"), std::string::npos);
+  EXPECT_EQ(source.find("psk_compute"), std::string::npos);
+}
+
+TEST(EmitC, Deterministic) {
+  const skeleton::Skeleton skeleton = sample_skeleton();
+  EXPECT_EQ(emit_c_program(skeleton), emit_c_program(skeleton));
+}
+
+TEST(EmitC, RejectsEmptySkeleton) {
+  EXPECT_THROW(emit_c_program(skeleton::Skeleton{}), psk::ConfigError);
+}
+
+TEST(EmitC, AlltoallvCountsPerPeer) {
+  const skeleton::Skeleton skeleton = sample_skeleton("IS", 0.02);
+  const std::string source = emit_c_program(skeleton);
+  EXPECT_NE(source.find("MPI_Alltoallv"), std::string::npos);
+  EXPECT_NE(source.find("int counts[] = {"), std::string::npos);
+}
+
+/// Minimal mpi.h stub: just enough declarations to syntax- and type-check
+/// the generated translation unit with a plain C compiler.
+constexpr const char* kMpiStub = R"(#ifndef PSK_TEST_MPI_H
+#define PSK_TEST_MPI_H
+typedef int MPI_Comm;
+typedef int MPI_Datatype;
+typedef int MPI_Op;
+typedef int MPI_Request;
+typedef struct { int source; } MPI_Status;
+#define MPI_COMM_WORLD 0
+#define MPI_BYTE 1
+#define MPI_BOR 2
+#define MPI_DATATYPE_NULL 0
+#define MPI_IN_PLACE ((void *)1)
+#define MPI_STATUS_IGNORE ((MPI_Status *)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status *)0)
+int MPI_Init(int *, char ***);
+int MPI_Finalize(void);
+int MPI_Abort(MPI_Comm, int);
+int MPI_Comm_rank(MPI_Comm, int *);
+int MPI_Comm_size(MPI_Comm, int *);
+double MPI_Wtime(void);
+int MPI_Send(const void *, int, MPI_Datatype, int, int, MPI_Comm);
+int MPI_Recv(void *, int, MPI_Datatype, int, int, MPI_Comm, MPI_Status *);
+int MPI_Sendrecv(const void *, int, MPI_Datatype, int, int, void *, int,
+                 MPI_Datatype, int, int, MPI_Comm, MPI_Status *);
+int MPI_Isend(const void *, int, MPI_Datatype, int, int, MPI_Comm,
+              MPI_Request *);
+int MPI_Irecv(void *, int, MPI_Datatype, int, int, MPI_Comm, MPI_Request *);
+int MPI_Waitall(int, MPI_Request *, MPI_Status *);
+int MPI_Barrier(MPI_Comm);
+int MPI_Bcast(void *, int, MPI_Datatype, int, MPI_Comm);
+int MPI_Reduce(const void *, void *, int, MPI_Datatype, MPI_Op, int, MPI_Comm);
+int MPI_Allreduce(const void *, void *, int, MPI_Datatype, MPI_Op, MPI_Comm);
+int MPI_Allgather(const void *, int, MPI_Datatype, void *, int, MPI_Datatype,
+                  MPI_Comm);
+int MPI_Alltoall(const void *, int, MPI_Datatype, void *, int, MPI_Datatype,
+                 MPI_Comm);
+int MPI_Alltoallv(const void *, const int *, const int *, MPI_Datatype,
+                  void *, const int *, const int *, MPI_Datatype, MPI_Comm);
+#endif
+)";
+
+TEST(EmitC, GeneratedSourceCompiles) {
+  const std::string dir = testing::TempDir();
+  const std::string stub_path = dir + "/mpi.h";
+  const std::string src_path = dir + "/psk_skeleton_test.c";
+  {
+    std::ofstream stub(stub_path);
+    stub << kMpiStub;
+  }
+  write_c_program(src_path, sample_skeleton());
+
+  const std::string command = "cc -std=c99 -Wall -Werror -fsyntax-only -I" +
+                              dir + " " + src_path + " 2>/dev/null";
+  EXPECT_EQ(std::system(command.c_str()), 0)
+      << "generated C failed to compile: " << src_path;
+}
+
+TEST(EmitC, EveryBenchmarkSkeletonCompiles) {
+  const std::string dir = testing::TempDir();
+  const std::string stub_path = dir + "/mpi.h";
+  {
+    std::ofstream stub(stub_path);
+    stub << kMpiStub;
+  }
+  for (const auto& def : apps::suite()) {
+    const std::string src_path =
+        dir + "/psk_" + std::string(def.name) + ".c";
+    write_c_program(src_path, sample_skeleton(def.name, 0.05));
+    const std::string command = "cc -std=c99 -Wall -Werror -fsyntax-only -I" +
+                                dir + " " + src_path + " 2>/dev/null";
+    EXPECT_EQ(std::system(command.c_str()), 0) << def.name;
+  }
+}
+
+}  // namespace
+}  // namespace psk::codegen

@@ -1,0 +1,236 @@
+// Tests for the Gather / Scatter / Scan collectives and their integration
+// through tracing, replay, codegen and distribution-aware replay.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codegen/emit_c.h"
+#include "core/framework.h"
+#include "mpi/world.h"
+#include "sig/compress.h"
+#include "sim/machine.h"
+#include "skeleton/skeleton.h"
+#include "skeleton/validate.h"
+#include "trace/fold.h"
+#include "trace/recorder.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace psk {
+namespace {
+
+sim::ClusterConfig test_cluster(int nodes = 4) {
+  sim::ClusterConfig config;
+  config.nodes = nodes;
+  config.cores_per_node = 1;
+  config.link_bandwidth_bps = 100.0;
+  config.latency = 0.1;
+  config.local_latency = 0.0;
+  return config;
+}
+
+mpi::MpiConfig no_overhead_mpi() {
+  mpi::MpiConfig config;
+  config.per_call_overhead = 0.0;
+  config.trace_overhead = 0.0;
+  config.eager_threshold = 1000;
+  return config;
+}
+
+TEST(NewCollectives, GatherCompletesForAllRoots) {
+  for (int root = 0; root < 4; ++root) {
+    sim::Machine machine(test_cluster());
+    mpi::World world(machine, 4, no_overhead_mpi());
+    world.launch([&](mpi::Comm& comm) -> sim::Task {
+      co_await comm.gather(root, 100);
+    });
+    EXPECT_NO_THROW(world.run()) << "root=" << root;
+  }
+}
+
+TEST(NewCollectives, ScatterCompletesForAllRoots) {
+  for (int root = 0; root < 4; ++root) {
+    sim::Machine machine(test_cluster());
+    mpi::World world(machine, 4, no_overhead_mpi());
+    world.launch([&](mpi::Comm& comm) -> sim::Task {
+      co_await comm.scatter(root, 100);
+    });
+    EXPECT_NO_THROW(world.run()) << "root=" << root;
+  }
+}
+
+TEST(NewCollectives, ScanPipelinesThroughRanks) {
+  sim::Machine machine(test_cluster());
+  mpi::World world(machine, 4, no_overhead_mpi());
+  std::vector<double> done(4, -1);
+  world.launch([&](mpi::Comm& comm) -> sim::Task {
+    co_await comm.scan(100);
+    done[static_cast<std::size_t>(comm.rank())] = comm.now();
+  });
+  world.run();
+  // The linear scan pipeline finishes later at higher ranks.
+  EXPECT_LT(done[0], done[3]);
+}
+
+TEST(NewCollectives, GatherMovesMoreDataThanBcastLeafs) {
+  // Sanity on the binomial gather's growing subtree messages: the root's
+  // last receive carries half the ranks' contributions, so a gather of N
+  // bytes per rank takes longer than a single N-byte point-to-point.
+  sim::Machine machine(test_cluster());
+  mpi::World world(machine, 4, no_overhead_mpi());
+  double gather_time = -1;
+  world.launch([&](mpi::Comm& comm) -> sim::Task {
+    const double t0 = comm.now();
+    co_await comm.gather(0, 100);
+    if (comm.rank() == 0) gather_time = comm.now() - t0;
+  });
+  world.run();
+  // One 100-byte transfer takes 0.1 + 1 = 1.1 s; the gather must exceed it
+  // (rank 0 receives 100 bytes from rank 1 and 200 bytes from rank 2).
+  EXPECT_GT(gather_time, 1.1);
+}
+
+TEST(NewCollectives, NonPowerOfTwoRanksWork) {
+  sim::Machine machine(test_cluster(3));
+  mpi::World world(machine, 3, no_overhead_mpi());
+  world.launch([&](mpi::Comm& comm) -> sim::Task {
+    co_await comm.gather(1, 50);
+    co_await comm.scatter(2, 50);
+    co_await comm.scan(50);
+  });
+  EXPECT_NO_THROW(world.run());
+}
+
+TEST(NewCollectives, ObserverSeesOneRecordPerCall) {
+  class Counter : public mpi::CallObserver {
+   public:
+    void on_call(int, const mpi::CallRecord& record) override {
+      if (record.type == mpi::CallType::kGather) ++gathers;
+      if (record.type == mpi::CallType::kScatter) ++scatters;
+      if (record.type == mpi::CallType::kScan) ++scans;
+    }
+    int gathers = 0, scatters = 0, scans = 0;
+  };
+  sim::Machine machine(test_cluster());
+  mpi::World world(machine, 4, no_overhead_mpi());
+  Counter counter;
+  world.set_observer(&counter);
+  world.launch([](mpi::Comm& comm) -> sim::Task {
+    co_await comm.gather(0, 64);
+    co_await comm.scatter(0, 64);
+    co_await comm.scan(64);
+  });
+  world.run();
+  EXPECT_EQ(counter.gathers, 4);
+  EXPECT_EQ(counter.scatters, 4);
+  EXPECT_EQ(counter.scans, 4);
+}
+
+/// A master/worker style program exercising the new collectives end to end.
+sim::Task master_worker(mpi::Comm& comm) {
+  co_await comm.bcast(0, 1024);
+  for (int round = 0; round < 40; ++round) {
+    co_await comm.scatter(0, 64 * 1024);  // distribute work
+    co_await comm.compute(0.02);
+    co_await comm.scan(128);              // running totals
+    co_await comm.gather(0, 32 * 1024);   // collect results
+  }
+  co_await comm.reduce(0, 64);
+}
+
+TEST(NewCollectives, FullPipelineWithNewCollectives) {
+  core::SkeletonFramework framework;
+  const trace::Trace trace = framework.record(master_worker, "master-worker");
+  EXPECT_TRUE(trace::is_fully_folded(trace));
+
+  const skeleton::Skeleton skeleton =
+      framework.make_consistent_skeleton(trace, 10.0);
+  EXPECT_TRUE(skeleton::check_consistency(skeleton).consistent);
+
+  const double dedicated =
+      framework.run_skeleton(skeleton, scenario::dedicated());
+  EXPECT_NEAR(dedicated, skeleton.intended_time,
+              skeleton.intended_time * 0.4);
+
+  const std::string source = codegen::emit_c_program(skeleton);
+  EXPECT_NE(source.find("MPI_Gather"), std::string::npos);
+  EXPECT_NE(source.find("MPI_Scatter"), std::string::npos);
+  EXPECT_NE(source.find("MPI_Scan"), std::string::npos);
+}
+
+// ---------------------------------------------------- distribution replay
+
+TEST(DistributionReplay, RngNormalShape) {
+  util::Rng rng(99);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(DistributionReplay, WelfordCapturesVariance) {
+  // Cluster events whose pre-compute alternates 0.5 / 1.5: mean 1.0.
+  std::vector<trace::TraceEvent> events;
+  for (int i = 0; i < 100; ++i) {
+    trace::TraceEvent event;
+    event.type = mpi::CallType::kSend;
+    event.peer = 1;
+    event.bytes = 100;
+    event.pre_compute = (i % 2 == 0) ? 0.5 : 1.5;
+    events.push_back(event);
+  }
+  const sig::ClusterResult result =
+      sig::cluster_events(events, sig::ClusterOptions{});
+  ASSERT_EQ(result.cluster_count(), 1u);
+  EXPECT_NEAR(result.prototypes[0].pre_compute, 1.0, 1e-9);
+  EXPECT_EQ(result.prototypes[0].observations, 100u);
+  EXPECT_NEAR(result.prototypes[0].pre_compute_stddev(), 0.5025, 0.01);
+}
+
+sim::Task bursty_app(mpi::Comm& comm) {
+  for (int i = 0; i < 60; ++i) {
+    co_await comm.compute(i % 2 == 0 ? 0.02 : 0.10);
+    co_await comm.allreduce(64);
+  }
+}
+
+TEST(DistributionReplay, SamplingChangesTimingButPreservesMean) {
+  core::SkeletonFramework framework;
+  const trace::Trace trace = framework.record(bursty_app, "bursty");
+  const skeleton::Skeleton skeleton =
+      framework.make_consistent_skeleton(trace, 3.0);
+
+  const double mean_replay =
+      framework.run_skeleton(skeleton, scenario::dedicated());
+  skeleton::ReplayOptions sampling;
+  sampling.sample_compute_distribution = true;
+  const double sampled_replay =
+      framework.run_skeleton(skeleton, scenario::dedicated(), 0, sampling);
+
+  EXPECT_NE(mean_replay, sampled_replay);
+  // Sampling around the mean keeps the total roughly unchanged.
+  EXPECT_NEAR(sampled_replay, mean_replay, mean_replay * 0.30);
+}
+
+TEST(DistributionReplay, SamplingIsSeeded) {
+  core::SkeletonFramework framework;
+  const trace::Trace trace = framework.record(bursty_app, "bursty");
+  const skeleton::Skeleton skeleton =
+      framework.make_consistent_skeleton(trace, 3.0);
+  skeleton::ReplayOptions a;
+  a.sample_compute_distribution = true;
+  a.sample_seed = 7;
+  skeleton::ReplayOptions b = a;
+  b.sample_seed = 8;
+  const double run_a1 =
+      framework.run_skeleton(skeleton, scenario::dedicated(), 0, a);
+  const double run_a2 =
+      framework.run_skeleton(skeleton, scenario::dedicated(), 0, a);
+  const double run_b =
+      framework.run_skeleton(skeleton, scenario::dedicated(), 0, b);
+  EXPECT_DOUBLE_EQ(run_a1, run_a2);
+  EXPECT_NE(run_a1, run_b);
+}
+
+}  // namespace
+}  // namespace psk

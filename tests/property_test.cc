@@ -1,0 +1,378 @@
+// Property-based tests: invariants of the pipeline checked over families of
+// random inputs (seeded, hence reproducible).
+//
+//   - loop folding never changes the expanded event stream;
+//   - clustering preserves totals and emits valid symbols;
+//   - randomly generated SPMD programs survive the whole pipeline: the
+//     trace folds, the signature expands back to the trace, the skeleton is
+//     cross-rank consistent and replays without deadlock for many K.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "mpi/world.h"
+#include "sig/cluster.h"
+#include "sig/compress.h"
+#include "sim/machine.h"
+#include "skeleton/skeleton.h"
+#include "skeleton/validate.h"
+#include "trace/fold.h"
+#include "trace/recorder.h"
+#include "util/rng.h"
+
+namespace psk {
+namespace {
+
+// ------------------------------------------------------- folding invariants
+
+sig::SigSeq random_symbol_seq(std::uint64_t seed, std::size_t length,
+                              int alphabet) {
+  util::Rng rng(seed);
+  // Build from random repetition structure so that folds actually trigger:
+  // emit runs and repeated blocks, not just uniform noise.
+  std::vector<int> ids;
+  while (ids.size() < length) {
+    const int symbol = static_cast<int>(rng.below(static_cast<std::uint64_t>(alphabet)));
+    const std::uint64_t repeat = 1 + rng.below(6);
+    if (rng.below(3) == 0 && ids.size() >= 2) {
+      // Repeat the last two symbols a few times (creates period-2 loops).
+      const int a = ids[ids.size() - 2];
+      const int b = ids[ids.size() - 1];
+      for (std::uint64_t i = 0; i < repeat && ids.size() < length; ++i) {
+        ids.push_back(a);
+        ids.push_back(b);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < repeat && ids.size() < length; ++i) {
+        ids.push_back(symbol);
+      }
+    }
+  }
+  sig::SigSeq seq;
+  for (int id : ids) {
+    sig::SigEvent event;
+    event.cluster_id = id;
+    event.pre_compute = 0.001 * (id + 1);
+    seq.push_back(sig::SigNode::leaf(event));
+  }
+  return seq;
+}
+
+std::vector<int> expand_ids(const sig::SigSeq& seq) {
+  std::vector<int> ids;
+  for (const sig::SigEvent& event : sig::expand(seq)) {
+    ids.push_back(event.cluster_id);
+  }
+  return ids;
+}
+
+class FoldProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST_P(FoldProperty, ExpansionIsIdentity) {
+  const sig::SigSeq original = random_symbol_seq(GetParam(), 400, 5);
+  const std::vector<int> before = expand_ids(original);
+  const sig::SigSeq folded = sig::fold_loops(original);
+  EXPECT_EQ(expand_ids(folded), before);
+}
+
+TEST_P(FoldProperty, FoldNeverGrowsLeafCount) {
+  const sig::SigSeq original = random_symbol_seq(GetParam(), 300, 4);
+  const sig::SigSeq folded = sig::fold_loops(original);
+  EXPECT_LE(sig::leaf_count(folded), original.size());
+}
+
+TEST_P(FoldProperty, FoldIsIdempotentOnExpansion) {
+  // Folding a folded sequence cannot change what it expands to.
+  sig::SigSeq folded = sig::fold_loops(random_symbol_seq(GetParam(), 300, 4));
+  const std::vector<int> once = expand_ids(folded);
+  const sig::SigSeq twice = sig::fold_loops(std::move(folded));
+  EXPECT_EQ(expand_ids(twice), once);
+}
+
+TEST_P(FoldProperty, AnchoredFoldPreservesExpansionToo) {
+  sig::SigSeq seq = random_symbol_seq(GetParam(), 300, 4);
+  // Sprinkle collectives in (anchors).
+  for (std::size_t i = 7; i < seq.size(); i += 23) {
+    seq[i].event.type = mpi::CallType::kAllreduce;
+    seq[i].event.cluster_id = 100 + static_cast<int>(i % 3);
+    seq[i] = sig::SigNode::leaf(seq[i].event);
+  }
+  const std::vector<int> before = expand_ids(seq);
+  const sig::SigSeq folded = sig::fold_anchored(std::move(seq));
+  EXPECT_EQ(expand_ids(folded), before);
+}
+
+// ----------------------------------------------------- clustering invariants
+
+class ClusterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+std::vector<trace::TraceEvent> random_events(std::uint64_t seed,
+                                             std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<trace::TraceEvent> events;
+  for (std::size_t i = 0; i < count; ++i) {
+    trace::TraceEvent event;
+    event.type = rng.below(2) == 0 ? mpi::CallType::kSend
+                                   : mpi::CallType::kRecv;
+    event.peer = static_cast<int>(rng.below(4));
+    event.tag = static_cast<int>(rng.below(3));
+    event.bytes = 500 + rng.below(1000);
+    event.pre_compute = rng.uniform(0.0, 0.1);
+    events.push_back(event);
+  }
+  return events;
+}
+
+TEST_P(ClusterProperty, SymbolsAreValidAndCountsAdd) {
+  const auto events = random_events(GetParam(), 300);
+  sig::ClusterOptions options;
+  options.threshold = 0.2;
+  const sig::ClusterResult result = sig::cluster_events(events, options);
+
+  ASSERT_EQ(result.symbols.size(), events.size());
+  std::size_t total = 0;
+  for (std::size_t count : result.counts) total += count;
+  EXPECT_EQ(total, events.size());
+  for (int symbol : result.symbols) {
+    ASSERT_GE(symbol, 0);
+    ASSERT_LT(symbol, static_cast<int>(result.cluster_count()));
+  }
+}
+
+TEST_P(ClusterProperty, TotalsPreserved) {
+  const auto events = random_events(GetParam(), 300);
+  sig::ClusterOptions options;
+  options.threshold = 0.25;
+  const sig::ClusterResult result = sig::cluster_events(events, options);
+
+  double original_bytes = 0;
+  double original_compute = 0;
+  for (const auto& event : events) {
+    original_bytes += static_cast<double>(event.bytes);
+    original_compute += event.pre_compute;
+  }
+  double clustered_bytes = 0;
+  double clustered_compute = 0;
+  for (std::size_t c = 0; c < result.cluster_count(); ++c) {
+    const double n = static_cast<double>(result.counts[c]);
+    clustered_bytes += result.prototypes[c].bytes * n;
+    clustered_compute += result.prototypes[c].pre_compute * n;
+  }
+  EXPECT_NEAR(clustered_bytes, original_bytes, original_bytes * 1e-9);
+  EXPECT_NEAR(clustered_compute, original_compute, original_compute * 1e-9);
+}
+
+TEST_P(ClusterProperty, EveryMemberWithinThresholdOfItsPrototype) {
+  const auto events = random_events(GetParam(), 200);
+  sig::ClusterOptions options;
+  options.threshold = 0.15;
+  const sig::ClusterResult result = sig::cluster_events(events, options);
+  // Against the *final* prototype the distance can exceed the admission
+  // threshold slightly (the mean moved after admission), but never wildly.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const double d = sig::dissimilarity(
+        events[i],
+        result.prototypes[static_cast<std::size_t>(result.symbols[i])],
+        options);
+    EXPECT_LT(d, options.threshold * 2 + 1e-9) << "event " << i;
+  }
+}
+
+// ------------------------------------------------- random-program pipeline
+
+/// Specification of a random SPMD program, shared by all ranks so the
+/// program stays symmetric (peers are derived from each rank's position).
+struct OpSpec {
+  enum class Kind {
+    kCompute,
+    kBarrier,
+    kBcast,
+    kReduce,
+    kAllreduce,
+    kAllgather,
+    kAlltoall,
+    kGather,
+    kScatter,
+    kScan,
+    kRingExchange,   // nonblocking halo with both ring neighbours
+    kPairSendrecv,   // sendrecv with the rank^1 partner
+    kLoop,
+  };
+  Kind kind = Kind::kCompute;
+  double work = 0;
+  mpi::Bytes bytes = 0;
+  int root = 0;
+  int tag = 0;
+  std::uint64_t iterations = 0;
+  std::vector<OpSpec> body;
+};
+
+std::vector<OpSpec> random_ops(util::Rng& rng, int depth,
+                               std::size_t max_ops) {
+  std::vector<OpSpec> ops;
+  const std::size_t count = 2 + rng.below(max_ops);
+  for (std::size_t i = 0; i < count; ++i) {
+    OpSpec op;
+    const std::uint64_t pick = rng.below(depth > 0 ? 13 : 12);
+    op.work = rng.uniform(0.001, 0.03);
+    op.bytes = 64 + rng.below(300'000);
+    op.root = static_cast<int>(rng.below(4));
+    op.tag = static_cast<int>(rng.below(4));
+    switch (pick) {
+      case 0: op.kind = OpSpec::Kind::kCompute; break;
+      case 1: op.kind = OpSpec::Kind::kBarrier; break;
+      case 2: op.kind = OpSpec::Kind::kBcast; break;
+      case 3: op.kind = OpSpec::Kind::kReduce; break;
+      case 4: op.kind = OpSpec::Kind::kAllreduce; break;
+      case 5: op.kind = OpSpec::Kind::kAllgather; break;
+      case 6: op.kind = OpSpec::Kind::kAlltoall; break;
+      case 7: op.kind = OpSpec::Kind::kGather; break;
+      case 8: op.kind = OpSpec::Kind::kScatter; break;
+      case 9: op.kind = OpSpec::Kind::kScan; break;
+      case 10: op.kind = OpSpec::Kind::kRingExchange; break;
+      case 11: op.kind = OpSpec::Kind::kPairSendrecv; break;
+      default:
+        op.kind = OpSpec::Kind::kLoop;
+        op.iterations = 2 + rng.below(40);
+        op.body = random_ops(rng, depth - 1, 4);
+        break;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+sim::Task execute_ops(mpi::Comm& comm, const std::vector<OpSpec>& ops) {
+  for (const OpSpec& op : ops) {
+    switch (op.kind) {
+      case OpSpec::Kind::kCompute:
+        co_await comm.compute(op.work);
+        break;
+      case OpSpec::Kind::kBarrier:
+        co_await comm.barrier();
+        break;
+      case OpSpec::Kind::kBcast:
+        co_await comm.bcast(op.root, op.bytes);
+        break;
+      case OpSpec::Kind::kReduce:
+        co_await comm.reduce(op.root, op.bytes);
+        break;
+      case OpSpec::Kind::kAllreduce:
+        co_await comm.allreduce(op.bytes % 4096);
+        break;
+      case OpSpec::Kind::kAllgather:
+        co_await comm.allgather(op.bytes);
+        break;
+      case OpSpec::Kind::kAlltoall:
+        co_await comm.alltoall(op.bytes);
+        break;
+      case OpSpec::Kind::kGather:
+        co_await comm.gather(op.root, op.bytes);
+        break;
+      case OpSpec::Kind::kScatter:
+        co_await comm.scatter(op.root, op.bytes);
+        break;
+      case OpSpec::Kind::kScan:
+        co_await comm.scan(op.bytes);
+        break;
+      case OpSpec::Kind::kRingExchange: {
+        const int right = (comm.rank() + 1) % comm.size();
+        const int left = (comm.rank() + comm.size() - 1) % comm.size();
+        std::vector<mpi::Request> requests;
+        requests.push_back(comm.irecv(left, op.bytes, op.tag));
+        requests.push_back(comm.irecv(right, op.bytes, op.tag + 10));
+        co_await comm.compute(op.work * 0.25);
+        requests.push_back(comm.isend(right, op.bytes, op.tag));
+        requests.push_back(comm.isend(left, op.bytes, op.tag + 10));
+        co_await comm.waitall(std::move(requests));
+        break;
+      }
+      case OpSpec::Kind::kPairSendrecv: {
+        const int partner = comm.rank() ^ 1;
+        co_await comm.sendrecv(partner, op.bytes, partner, op.bytes,
+                               op.tag + 20);
+        break;
+      }
+      case OpSpec::Kind::kLoop:
+        for (std::uint64_t i = 0; i < op.iterations; ++i) {
+          co_await execute_ops(comm, op.body);
+        }
+        break;
+    }
+  }
+}
+
+mpi::RankMain random_program(std::uint64_t seed) {
+  auto rng = std::make_shared<util::Rng>(seed);
+  auto ops = std::make_shared<std::vector<OpSpec>>(random_ops(*rng, 2, 7));
+  return [ops](mpi::Comm& comm) -> sim::Task {
+    return execute_ops(comm, *ops);
+  };
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+TEST_P(PipelineFuzz, RandomProgramSurvivesWholePipeline) {
+  const std::uint64_t seed = GetParam();
+  core::SkeletonFramework framework;
+  const mpi::RankMain program = random_program(seed);
+
+  // Trace and fold.
+  const trace::Trace trace =
+      framework.record(program, "fuzz-" + std::to_string(seed));
+  ASSERT_TRUE(trace::is_fully_folded(trace));
+  ASSERT_GT(trace.elapsed(), 0);
+
+  // Signature expands back to the folded trace exactly.
+  const sig::Signature signature = framework.make_signature(trace, 8.0);
+  for (int r = 0; r < trace.rank_count(); ++r) {
+    ASSERT_EQ(
+        sig::expanded_count(signature.ranks[static_cast<std::size_t>(r)].roots),
+        trace.ranks[static_cast<std::size_t>(r)].events.size())
+        << "rank " << r;
+  }
+
+  // Skeletons for several K: consistent and replayable.
+  for (double k : {1.0, 3.0, 17.0, 64.0}) {
+    const skeleton::Skeleton skeleton =
+        framework.make_consistent_skeleton(trace, k);
+    ASSERT_TRUE(skeleton::check_consistency(skeleton).consistent)
+        << "seed " << seed << " K=" << k;
+    double replayed = -1;
+    ASSERT_NO_THROW({
+      replayed = framework.run_skeleton(skeleton, scenario::dedicated());
+    }) << "seed " << seed << " K=" << k;
+    ASSERT_GT(replayed, 0);
+  }
+}
+
+TEST_P(PipelineFuzz, KEqualOneReplayMatchesApplication) {
+  // A skeleton with K=1 replays the full signature; its dedicated runtime
+  // must track the traced application closely.
+  const std::uint64_t seed = GetParam();
+  core::SkeletonFramework framework;
+  const mpi::RankMain program = random_program(seed);
+  const trace::Trace trace =
+      framework.record(program, "fuzz-" + std::to_string(seed));
+  const skeleton::Skeleton skeleton =
+      framework.make_consistent_skeleton(trace, 1.0);
+  const double replayed =
+      framework.run_skeleton(skeleton, scenario::dedicated());
+  EXPECT_NEAR(replayed, trace.elapsed(), trace.elapsed() * 0.15)
+      << "seed " << seed;
+}
+
+}  // namespace
+}  // namespace psk

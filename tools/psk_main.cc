@@ -1,0 +1,322 @@
+// psk: command-line front end for the performance-skeleton framework.
+//
+//   psk apps                               list bundled benchmarks
+//   psk scenarios                          list sharing scenarios
+//   psk trace    --app=LU [--class=B] --out=lu.trace
+//   psk compress --trace=lu.trace [--target-ratio=30] --out=lu.sig
+//   psk skeleton --trace=lu.trace --target=2.0 --out=lu.skel
+//   psk codegen  --skeleton=lu.skel --out=lu_skeleton.c
+//   psk run      --skeleton=lu.skel [--scenario=cpu-one-node] [--seed=N]
+//   psk predict  --app=LU [--class=B] --target=2.0 [--scenario=...]
+//   psk info     --trace=F | --signature=F | --skeleton=F
+//
+// Everything runs on the simulated testbed; the emitted C program is the
+// artifact for real clusters.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/nas.h"
+#include "codegen/emit_c.h"
+#include "core/experiment.h"
+#include "core/framework.h"
+#include "scenario/scenario.h"
+#include "sig/compress.h"
+#include "sig/io.h"
+#include "skeleton/io.h"
+#include "skeleton/skeleton.h"
+#include "skeleton/validate.h"
+#include "trace/io.h"
+#include "trace/stats.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace {
+
+using namespace psk;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: psk <command> [--flag=value ...]\n"
+      "commands:\n"
+      "  apps                                   list bundled benchmarks\n"
+      "  scenarios                              list sharing scenarios\n"
+      "  trace    --app=A [--class=B] --out=F [--binary]\n"
+      "  compress --trace=F [--target-ratio=R] --out=F\n"
+      "  skeleton --trace=F --target=SECONDS --out=F\n"
+      "  codegen  --skeleton=F --out=F.c        emit the C skeleton program\n"
+      "  run      --skeleton=F [--scenario=S] [--seed=N]\n"
+      "  predict  --app=A [--class=B] --target=SECONDS [--scenario=S]\n"
+      "  report   --out=F.md [--class=B] [--apps=CG,MG,...]\n"
+      "  info     --trace=F | --signature=F | --skeleton=F\n");
+  return 2;
+}
+
+std::string require_flag(const util::Cli& cli, const std::string& name) {
+  const std::string value = cli.get(name, "");
+  util::require(!value.empty(), "missing required flag --" + name);
+  return value;
+}
+
+int cmd_apps() {
+  std::printf("%-4s %s\n", "name", "description");
+  for (const apps::BenchmarkDef& def : apps::suite()) {
+    std::printf("%-4s %s\n", def.name, def.description);
+  }
+  return 0;
+}
+
+int cmd_scenarios() {
+  std::printf("%-15s %s\n", scenario::dedicated().name,
+              scenario::dedicated().description);
+  for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
+    std::printf("%-15s %s\n", scenario.name, scenario.description);
+  }
+  return 0;
+}
+
+int cmd_trace(const util::Cli& cli) {
+  const std::string app = require_flag(cli, "app");
+  const std::string out = require_flag(cli, "out");
+  const apps::NasClass cls = apps::class_from_name(cli.get("class", "B"));
+
+  core::SkeletonFramework framework;
+  const trace::Trace trace =
+      framework.record(apps::find_benchmark(app).make(cls), app);
+  if (cli.get_bool("binary", false)) {
+    trace::save_trace_binary(out, trace);
+  } else {
+    trace::save_trace(out, trace);
+  }
+  std::printf("traced %s class %s: %.2f s, %zu events -> %s\n", app.c_str(),
+              apps::class_name(cls), trace.elapsed(), trace.event_count(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_compress(const util::Cli& cli) {
+  const trace::Trace trace = trace::load_trace(require_flag(cli, "trace"));
+  const std::string out = require_flag(cli, "out");
+  sig::CompressOptions options;
+  options.target_ratio = cli.get_double("target-ratio", 30.0);
+  const sig::Signature signature = sig::compress(trace, options);
+  sig::save_signature(out, signature);
+  std::printf("compressed %s: ratio %.1fx at threshold %.2f, %zu leaves -> "
+              "%s\n",
+              trace.app_name.c_str(), signature.compression_ratio,
+              signature.threshold, signature.total_leaves(), out.c_str());
+  return 0;
+}
+
+int cmd_skeleton(const util::Cli& cli) {
+  const trace::Trace trace = trace::load_trace(require_flag(cli, "trace"));
+  const double target = cli.get_double("target", 1.0);
+  const std::string out = require_flag(cli, "out");
+
+  core::SkeletonFramework framework;
+  const double k = std::max(1.0, trace.elapsed() / target);
+  const skeleton::Skeleton skeleton =
+      framework.make_consistent_skeleton(trace, k);
+  skeleton::save_skeleton(out, skeleton);
+  std::string warning;
+  if (!skeleton.good) {
+    warning = " [WARNING: below smallest good size " +
+              util::fixed(skeleton.min_good_time, 2) + " s]";
+  }
+  std::printf("skeleton for %s: K=%.1f, intended %.2f s%s -> %s\n",
+              trace.app_name.c_str(), skeleton.scaling_factor,
+              skeleton.intended_time, warning.c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_codegen(const util::Cli& cli) {
+  const skeleton::Skeleton skeleton =
+      skeleton::load_skeleton(require_flag(cli, "skeleton"));
+  const std::string out = require_flag(cli, "out");
+  codegen::write_c_program(out, skeleton);
+  std::printf("emitted %s (compile: mpicc -O2 %s; run with %d ranks)\n",
+              out.c_str(), out.c_str(), skeleton.rank_count());
+  return 0;
+}
+
+int cmd_run(const util::Cli& cli) {
+  const skeleton::Skeleton skeleton =
+      skeleton::load_skeleton(require_flag(cli, "skeleton"));
+  const scenario::Scenario& scenario =
+      scenario::find_scenario(cli.get("scenario", "dedicated"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
+
+  core::SkeletonFramework framework;
+  const double elapsed = framework.run_skeleton(skeleton, scenario, seed);
+  std::printf("skeleton '%s' under %s: %.3f s\n", skeleton.app_name.c_str(),
+              scenario.name, elapsed);
+  return 0;
+}
+
+int cmd_predict(const util::Cli& cli) {
+  core::ExperimentConfig config;
+  config.benchmarks = {require_flag(cli, "app")};
+  config.app_class = apps::class_from_name(cli.get("class", "B"));
+  const double target = cli.get_double("target", 2.0);
+  config.skeleton_sizes = {target};
+  core::ExperimentDriver driver(config);
+
+  const std::string which = cli.get("scenario", "");
+  std::printf("%-15s %10s %10s %8s\n", "scenario", "predicted", "actual",
+              "error");
+  for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
+    if (!which.empty() && which != scenario.name) continue;
+    const core::PredictionRecord record =
+        driver.predict(config.benchmarks[0], target, scenario);
+    std::printf("%-15s %8.2f s %8.2f s %7.1f%%%s\n", scenario.name,
+                record.predicted, record.app_scenario, record.error_percent,
+                record.good ? "" : "  [skeleton below good size]");
+  }
+  return 0;
+}
+
+int cmd_report(const util::Cli& cli) {
+  const std::string out_path = require_flag(cli, "out");
+  core::ExperimentConfig config;
+  config.app_class = apps::class_from_name(cli.get("class", "B"));
+  if (cli.has("apps")) {
+    config.benchmarks.clear();
+    std::istringstream in(cli.get("apps", ""));
+    std::string name;
+    while (std::getline(in, name, ',')) config.benchmarks.push_back(name);
+  }
+  core::ExperimentDriver driver(config);
+
+  std::ofstream out(out_path);
+  util::require(out.good(), "report: cannot open " + out_path);
+  out << "# Performance-skeleton prediction report\n\n";
+  out << "NAS class " << apps::class_name(config.app_class)
+      << ", 4 ranks on 4 dual-core nodes; errors averaged over "
+      << config.repetitions << " measurement pairs.\n\n";
+
+  out << "## Smallest good skeletons\n\n";
+  out << "| app | dedicated | smallest good skeleton |\n|---|---|---|\n";
+  for (const std::string& app : config.benchmarks) {
+    out << "| " << app << " | "
+        << util::fixed(driver.app_trace(app).elapsed(), 1) << " s | "
+        << util::fixed(driver.good_estimate(app).min_good_time, 2)
+        << " s |\n";
+  }
+
+  out << "\n## Prediction error (%), per benchmark and skeleton size\n\n";
+  out << "| app |";
+  for (double size : config.skeleton_sizes) {
+    out << " " << util::fixed(size, 1) << " s |";
+  }
+  out << "\n|---|";
+  for (std::size_t i = 0; i < config.skeleton_sizes.size(); ++i) out << "---|";
+  out << "\n";
+  double total = 0;
+  std::size_t cells = 0;
+  for (const std::string& app : config.benchmarks) {
+    out << "| " << app << " |";
+    for (double size : config.skeleton_sizes) {
+      double sum = 0;
+      for (const auto& scenario : scenario::paper_scenarios()) {
+        sum += driver.predict(app, size, scenario).error_percent;
+      }
+      const double mean = sum / 5.0;
+      total += mean;
+      ++cells;
+      const bool good = driver.predict(app, size,
+                                       scenario::paper_scenarios()[0])
+                            .good;
+      out << " " << util::fixed(mean, 1) << (good ? "" : "\\*") << " |";
+    }
+    out << "\n";
+  }
+  out << "\n\\* below the smallest good skeleton size\n\n";
+  out << "Overall average error: **"
+      << util::fixed(cells ? total / static_cast<double>(cells) : 0, 1)
+      << "%**\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_info(const util::Cli& cli) {
+  if (cli.has("trace")) {
+    const trace::Trace trace = trace::load_trace(cli.get("trace", ""));
+    std::printf("trace of '%s': %d ranks, %zu events, %.3f s elapsed\n",
+                trace.app_name.c_str(), trace.rank_count(),
+                trace.event_count(), trace.elapsed());
+    const trace::ActivityBreakdown activity =
+        trace::activity_breakdown(trace);
+    std::printf("activity: %s compute, %s MPI\n\n",
+                util::percent(activity.compute_fraction).c_str(),
+                util::percent(activity.mpi_fraction).c_str());
+    const trace::CommMatrix matrix = trace::communication_matrix(trace);
+    std::printf("point-to-point traffic (%s in %llu messages):\n%s\n",
+                util::human_bytes(static_cast<std::uint64_t>(
+                                      matrix.total_bytes()))
+                    .c_str(),
+                static_cast<unsigned long long>(matrix.total_messages()),
+                matrix.render().c_str());
+    std::printf("message sizes:\n%s\n",
+                trace::message_size_histogram(trace).render().c_str());
+    std::printf("call profile:\n%s",
+                trace::call_profile(trace).render().c_str());
+    return 0;
+  }
+  if (cli.has("signature")) {
+    const sig::Signature signature =
+        sig::load_signature(cli.get("signature", ""));
+    std::printf("signature of '%s': %d ranks, %zu leaves, ratio %.1fx, "
+                "threshold %.2f\n",
+                signature.app_name.c_str(), signature.rank_count(),
+                signature.total_leaves(), signature.compression_ratio,
+                signature.threshold);
+    std::printf("rank 0: %s\n",
+                sig::to_string(signature.ranks[0].roots).c_str());
+    return 0;
+  }
+  if (cli.has("skeleton")) {
+    const skeleton::Skeleton skeleton =
+        skeleton::load_skeleton(cli.get("skeleton", ""));
+    const skeleton::ConsistencyReport report =
+        skeleton::check_consistency(skeleton);
+    std::printf("skeleton of '%s': K=%.1f, intended %.3f s, min good %.3f s, "
+                "%s, %s\n",
+                skeleton.app_name.c_str(), skeleton.scaling_factor,
+                skeleton.intended_time, skeleton.min_good_time,
+                skeleton.good ? "good" : "NOT good",
+                report.consistent ? "consistent" : "INCONSISTENT");
+    std::printf("rank 0: %s\n",
+                sig::to_string(skeleton.ranks[0].roots).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "info: pass --trace, --signature or --skeleton\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Cli cli(argc - 1, argv + 1);
+  try {
+    if (command == "apps") return cmd_apps();
+    if (command == "scenarios") return cmd_scenarios();
+    if (command == "trace") return cmd_trace(cli);
+    if (command == "compress") return cmd_compress(cli);
+    if (command == "skeleton") return cmd_skeleton(cli);
+    if (command == "codegen") return cmd_codegen(cli);
+    if (command == "run") return cmd_run(cli);
+    if (command == "predict") return cmd_predict(cli);
+    if (command == "report") return cmd_report(cli);
+    if (command == "info") return cmd_info(cli);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "psk %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  return usage();
+}
