@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_compression_ratio.cc" "bench/CMakeFiles/ablate_compression_ratio.dir/ablate_compression_ratio.cc.o" "gcc" "bench/CMakeFiles/ablate_compression_ratio.dir/ablate_compression_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/psk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/psk_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/psk_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/psk_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/psk_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/psk_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/psk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/psk_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_compression_ratio.dir/ablate_compression_ratio.cc.o"
+  "CMakeFiles/ablate_compression_ratio.dir/ablate_compression_ratio.cc.o.d"
+  "ablate_compression_ratio"
+  "ablate_compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

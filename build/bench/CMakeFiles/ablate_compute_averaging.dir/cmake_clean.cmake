@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_compute_averaging.dir/ablate_compute_averaging.cc.o"
+  "CMakeFiles/ablate_compute_averaging.dir/ablate_compute_averaging.cc.o.d"
+  "ablate_compute_averaging"
+  "ablate_compute_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_compute_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

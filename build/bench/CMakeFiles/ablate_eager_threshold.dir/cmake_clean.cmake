@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_eager_threshold.dir/ablate_eager_threshold.cc.o"
+  "CMakeFiles/ablate_eager_threshold.dir/ablate_eager_threshold.cc.o.d"
+  "ablate_eager_threshold"
+  "ablate_eager_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_eager_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

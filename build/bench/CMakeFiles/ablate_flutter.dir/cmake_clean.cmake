@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_flutter.dir/ablate_flutter.cc.o"
+  "CMakeFiles/ablate_flutter.dir/ablate_flutter.cc.o.d"
+  "ablate_flutter"
+  "ablate_flutter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_flutter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

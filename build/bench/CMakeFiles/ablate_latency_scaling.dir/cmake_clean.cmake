@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_latency_scaling.dir/ablate_latency_scaling.cc.o"
+  "CMakeFiles/ablate_latency_scaling.dir/ablate_latency_scaling.cc.o.d"
+  "ablate_latency_scaling"
+  "ablate_latency_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_latency_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

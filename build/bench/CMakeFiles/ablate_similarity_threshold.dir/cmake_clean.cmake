@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_similarity_threshold.dir/ablate_similarity_threshold.cc.o"
+  "CMakeFiles/ablate_similarity_threshold.dir/ablate_similarity_threshold.cc.o.d"
+  "ablate_similarity_threshold"
+  "ablate_similarity_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_similarity_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

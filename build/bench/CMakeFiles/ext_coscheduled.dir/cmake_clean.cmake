@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_coscheduled.dir/ext_coscheduled.cc.o"
+  "CMakeFiles/ext_coscheduled.dir/ext_coscheduled.cc.o.d"
+  "ext_coscheduled"
+  "ext_coscheduled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_coscheduled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_duration_distribution.dir/ext_duration_distribution.cc.o"
+  "CMakeFiles/ext_duration_distribution.dir/ext_duration_distribution.cc.o.d"
+  "ext_duration_distribution"
+  "ext_duration_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_duration_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_full_suite.dir/ext_full_suite.cc.o"
+  "CMakeFiles/ext_full_suite.dir/ext_full_suite.cc.o.d"
+  "ext_full_suite"
+  "ext_full_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_full_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_full_suite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memory.dir/ext_memory.cc.o"
+  "CMakeFiles/ext_memory.dir/ext_memory.cc.o.d"
+  "ext_memory"
+  "ext_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_oversubscription.dir/ext_oversubscription.cc.o"
+  "CMakeFiles/ext_oversubscription.dir/ext_oversubscription.cc.o.d"
+  "ext_oversubscription"
+  "ext_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wan.dir/ext_wan.cc.o"
+  "CMakeFiles/ext_wan.dir/ext_wan.cc.o.d"
+  "ext_wan"
+  "ext_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_error_by_benchmark.dir/fig3_error_by_benchmark.cc.o"
+  "CMakeFiles/fig3_error_by_benchmark.dir/fig3_error_by_benchmark.cc.o.d"
+  "fig3_error_by_benchmark"
+  "fig3_error_by_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_error_by_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_smallest_good_skeleton.dir/fig4_smallest_good_skeleton.cc.o"
+  "CMakeFiles/fig4_smallest_good_skeleton.dir/fig4_smallest_good_skeleton.cc.o.d"
+  "fig4_smallest_good_skeleton"
+  "fig4_smallest_good_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_smallest_good_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_error_by_size.dir/fig5_error_by_size.cc.o"
+  "CMakeFiles/fig5_error_by_size.dir/fig5_error_by_size.cc.o.d"
+  "fig5_error_by_size"
+  "fig5_error_by_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_error_by_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

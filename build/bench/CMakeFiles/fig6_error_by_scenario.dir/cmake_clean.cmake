@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_error_by_scenario.dir/fig6_error_by_scenario.cc.o"
+  "CMakeFiles/fig6_error_by_scenario.dir/fig6_error_by_scenario.cc.o.d"
+  "fig6_error_by_scenario"
+  "fig6_error_by_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_error_by_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_architecture.dir/future_architecture.cpp.o"
+  "CMakeFiles/future_architecture.dir/future_architecture.cpp.o.d"
+  "future_architecture"
+  "future_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_selection.dir/resource_selection.cpp.o"
+  "CMakeFiles/resource_selection.dir/resource_selection.cpp.o.d"
+  "resource_selection"
+  "resource_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

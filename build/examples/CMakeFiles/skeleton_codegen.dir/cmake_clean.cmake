@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_codegen.dir/skeleton_codegen.cpp.o"
+  "CMakeFiles/skeleton_codegen.dir/skeleton_codegen.cpp.o.d"
+  "skeleton_codegen"
+  "skeleton_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

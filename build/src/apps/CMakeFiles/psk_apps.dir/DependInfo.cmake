@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bt.cc" "src/apps/CMakeFiles/psk_apps.dir/bt.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/bt.cc.o.d"
+  "/root/repo/src/apps/cg.cc" "src/apps/CMakeFiles/psk_apps.dir/cg.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/cg.cc.o.d"
+  "/root/repo/src/apps/common.cc" "src/apps/CMakeFiles/psk_apps.dir/common.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/common.cc.o.d"
+  "/root/repo/src/apps/ep.cc" "src/apps/CMakeFiles/psk_apps.dir/ep.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/ep.cc.o.d"
+  "/root/repo/src/apps/ft.cc" "src/apps/CMakeFiles/psk_apps.dir/ft.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/ft.cc.o.d"
+  "/root/repo/src/apps/is.cc" "src/apps/CMakeFiles/psk_apps.dir/is.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/is.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/apps/CMakeFiles/psk_apps.dir/lu.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/lu.cc.o.d"
+  "/root/repo/src/apps/mg.cc" "src/apps/CMakeFiles/psk_apps.dir/mg.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/mg.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/psk_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/sp.cc" "src/apps/CMakeFiles/psk_apps.dir/sp.cc.o" "gcc" "src/apps/CMakeFiles/psk_apps.dir/sp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/psk_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_apps.dir/bt.cc.o"
+  "CMakeFiles/psk_apps.dir/bt.cc.o.d"
+  "CMakeFiles/psk_apps.dir/cg.cc.o"
+  "CMakeFiles/psk_apps.dir/cg.cc.o.d"
+  "CMakeFiles/psk_apps.dir/common.cc.o"
+  "CMakeFiles/psk_apps.dir/common.cc.o.d"
+  "CMakeFiles/psk_apps.dir/ep.cc.o"
+  "CMakeFiles/psk_apps.dir/ep.cc.o.d"
+  "CMakeFiles/psk_apps.dir/ft.cc.o"
+  "CMakeFiles/psk_apps.dir/ft.cc.o.d"
+  "CMakeFiles/psk_apps.dir/is.cc.o"
+  "CMakeFiles/psk_apps.dir/is.cc.o.d"
+  "CMakeFiles/psk_apps.dir/lu.cc.o"
+  "CMakeFiles/psk_apps.dir/lu.cc.o.d"
+  "CMakeFiles/psk_apps.dir/mg.cc.o"
+  "CMakeFiles/psk_apps.dir/mg.cc.o.d"
+  "CMakeFiles/psk_apps.dir/registry.cc.o"
+  "CMakeFiles/psk_apps.dir/registry.cc.o.d"
+  "CMakeFiles/psk_apps.dir/sp.cc.o"
+  "CMakeFiles/psk_apps.dir/sp.cc.o.d"
+  "libpsk_apps.a"
+  "libpsk_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

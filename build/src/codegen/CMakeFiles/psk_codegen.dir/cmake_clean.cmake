@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_codegen.dir/emit_c.cc.o"
+  "CMakeFiles/psk_codegen.dir/emit_c.cc.o.d"
+  "libpsk_codegen.a"
+  "libpsk_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

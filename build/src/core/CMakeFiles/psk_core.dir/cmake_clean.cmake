@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_core.dir/coschedule.cc.o"
+  "CMakeFiles/psk_core.dir/coschedule.cc.o.d"
+  "CMakeFiles/psk_core.dir/experiment.cc.o"
+  "CMakeFiles/psk_core.dir/experiment.cc.o.d"
+  "CMakeFiles/psk_core.dir/framework.cc.o"
+  "CMakeFiles/psk_core.dir/framework.cc.o.d"
+  "libpsk_core.a"
+  "libpsk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/comm.cc" "src/mpi/CMakeFiles/psk_mpi.dir/comm.cc.o" "gcc" "src/mpi/CMakeFiles/psk_mpi.dir/comm.cc.o.d"
+  "/root/repo/src/mpi/message_engine.cc" "src/mpi/CMakeFiles/psk_mpi.dir/message_engine.cc.o" "gcc" "src/mpi/CMakeFiles/psk_mpi.dir/message_engine.cc.o.d"
+  "/root/repo/src/mpi/types.cc" "src/mpi/CMakeFiles/psk_mpi.dir/types.cc.o" "gcc" "src/mpi/CMakeFiles/psk_mpi.dir/types.cc.o.d"
+  "/root/repo/src/mpi/world.cc" "src/mpi/CMakeFiles/psk_mpi.dir/world.cc.o" "gcc" "src/mpi/CMakeFiles/psk_mpi.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/psk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

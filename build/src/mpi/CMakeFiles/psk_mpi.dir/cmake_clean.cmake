@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_mpi.dir/comm.cc.o"
+  "CMakeFiles/psk_mpi.dir/comm.cc.o.d"
+  "CMakeFiles/psk_mpi.dir/message_engine.cc.o"
+  "CMakeFiles/psk_mpi.dir/message_engine.cc.o.d"
+  "CMakeFiles/psk_mpi.dir/types.cc.o"
+  "CMakeFiles/psk_mpi.dir/types.cc.o.d"
+  "CMakeFiles/psk_mpi.dir/world.cc.o"
+  "CMakeFiles/psk_mpi.dir/world.cc.o.d"
+  "libpsk_mpi.a"
+  "libpsk_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_scenario.dir/scenario.cc.o"
+  "CMakeFiles/psk_scenario.dir/scenario.cc.o.d"
+  "libpsk_scenario.a"
+  "libpsk_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

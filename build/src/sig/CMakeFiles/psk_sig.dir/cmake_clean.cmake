@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_sig.dir/cluster.cc.o"
+  "CMakeFiles/psk_sig.dir/cluster.cc.o.d"
+  "CMakeFiles/psk_sig.dir/compress.cc.o"
+  "CMakeFiles/psk_sig.dir/compress.cc.o.d"
+  "CMakeFiles/psk_sig.dir/io.cc.o"
+  "CMakeFiles/psk_sig.dir/io.cc.o.d"
+  "CMakeFiles/psk_sig.dir/signature.cc.o"
+  "CMakeFiles/psk_sig.dir/signature.cc.o.d"
+  "libpsk_sig.a"
+  "libpsk_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

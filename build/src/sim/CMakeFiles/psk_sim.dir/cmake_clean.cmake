@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_sim.dir/cpu.cc.o"
+  "CMakeFiles/psk_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/psk_sim.dir/engine.cc.o"
+  "CMakeFiles/psk_sim.dir/engine.cc.o.d"
+  "CMakeFiles/psk_sim.dir/event_queue.cc.o"
+  "CMakeFiles/psk_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/psk_sim.dir/machine.cc.o"
+  "CMakeFiles/psk_sim.dir/machine.cc.o.d"
+  "CMakeFiles/psk_sim.dir/network.cc.o"
+  "CMakeFiles/psk_sim.dir/network.cc.o.d"
+  "libpsk_sim.a"
+  "libpsk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skeleton/io.cc" "src/skeleton/CMakeFiles/psk_skeleton.dir/io.cc.o" "gcc" "src/skeleton/CMakeFiles/psk_skeleton.dir/io.cc.o.d"
+  "/root/repo/src/skeleton/scale.cc" "src/skeleton/CMakeFiles/psk_skeleton.dir/scale.cc.o" "gcc" "src/skeleton/CMakeFiles/psk_skeleton.dir/scale.cc.o.d"
+  "/root/repo/src/skeleton/skeleton.cc" "src/skeleton/CMakeFiles/psk_skeleton.dir/skeleton.cc.o" "gcc" "src/skeleton/CMakeFiles/psk_skeleton.dir/skeleton.cc.o.d"
+  "/root/repo/src/skeleton/validate.cc" "src/skeleton/CMakeFiles/psk_skeleton.dir/validate.cc.o" "gcc" "src/skeleton/CMakeFiles/psk_skeleton.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sig/CMakeFiles/psk_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/psk_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/psk_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_skeleton.dir/io.cc.o"
+  "CMakeFiles/psk_skeleton.dir/io.cc.o.d"
+  "CMakeFiles/psk_skeleton.dir/scale.cc.o"
+  "CMakeFiles/psk_skeleton.dir/scale.cc.o.d"
+  "CMakeFiles/psk_skeleton.dir/skeleton.cc.o"
+  "CMakeFiles/psk_skeleton.dir/skeleton.cc.o.d"
+  "CMakeFiles/psk_skeleton.dir/validate.cc.o"
+  "CMakeFiles/psk_skeleton.dir/validate.cc.o.d"
+  "libpsk_skeleton.a"
+  "libpsk_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

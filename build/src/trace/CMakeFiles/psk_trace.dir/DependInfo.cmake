@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/event.cc" "src/trace/CMakeFiles/psk_trace.dir/event.cc.o" "gcc" "src/trace/CMakeFiles/psk_trace.dir/event.cc.o.d"
+  "/root/repo/src/trace/fold.cc" "src/trace/CMakeFiles/psk_trace.dir/fold.cc.o" "gcc" "src/trace/CMakeFiles/psk_trace.dir/fold.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/psk_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/psk_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/recorder.cc" "src/trace/CMakeFiles/psk_trace.dir/recorder.cc.o" "gcc" "src/trace/CMakeFiles/psk_trace.dir/recorder.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "src/trace/CMakeFiles/psk_trace.dir/stats.cc.o" "gcc" "src/trace/CMakeFiles/psk_trace.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/psk_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

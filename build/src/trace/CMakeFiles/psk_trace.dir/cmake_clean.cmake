@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_trace.dir/event.cc.o"
+  "CMakeFiles/psk_trace.dir/event.cc.o.d"
+  "CMakeFiles/psk_trace.dir/fold.cc.o"
+  "CMakeFiles/psk_trace.dir/fold.cc.o.d"
+  "CMakeFiles/psk_trace.dir/io.cc.o"
+  "CMakeFiles/psk_trace.dir/io.cc.o.d"
+  "CMakeFiles/psk_trace.dir/recorder.cc.o"
+  "CMakeFiles/psk_trace.dir/recorder.cc.o.d"
+  "CMakeFiles/psk_trace.dir/stats.cc.o"
+  "CMakeFiles/psk_trace.dir/stats.cc.o.d"
+  "libpsk_trace.a"
+  "libpsk_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

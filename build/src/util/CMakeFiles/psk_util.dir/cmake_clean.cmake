@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk_util.dir/cli.cc.o"
+  "CMakeFiles/psk_util.dir/cli.cc.o.d"
+  "CMakeFiles/psk_util.dir/format.cc.o"
+  "CMakeFiles/psk_util.dir/format.cc.o.d"
+  "CMakeFiles/psk_util.dir/log.cc.o"
+  "CMakeFiles/psk_util.dir/log.cc.o.d"
+  "CMakeFiles/psk_util.dir/stats.cc.o"
+  "CMakeFiles/psk_util.dir/stats.cc.o.d"
+  "CMakeFiles/psk_util.dir/table.cc.o"
+  "CMakeFiles/psk_util.dir/table.cc.o.d"
+  "libpsk_util.a"
+  "libpsk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsk_util.a"
+)

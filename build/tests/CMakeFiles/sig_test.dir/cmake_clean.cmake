@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sig_test.dir/sig_test.cc.o"
+  "CMakeFiles/sig_test.dir/sig_test.cc.o.d"
+  "sig_test"
+  "sig_test.pdb"
+  "sig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

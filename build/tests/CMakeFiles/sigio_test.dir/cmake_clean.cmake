@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigio_test.dir/sigio_test.cc.o"
+  "CMakeFiles/sigio_test.dir/sigio_test.cc.o.d"
+  "sigio_test"
+  "sigio_test.pdb"
+  "sigio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

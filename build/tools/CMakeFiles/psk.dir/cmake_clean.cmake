@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psk.dir/psk_main.cc.o"
+  "CMakeFiles/psk.dir/psk_main.cc.o.d"
+  "psk"
+  "psk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
