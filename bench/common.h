@@ -3,35 +3,43 @@
 // Every binary accepts:
 //   --class=S|W|A|B   problem class (default B, the paper's configuration)
 //   --sizes=10,5,...  skeleton target sizes in seconds
+//   --jobs=N          measurement-phase worker threads (default: one per
+//                     hardware thread; 1 = the historical serial path;
+//                     results are bit-identical either way)
 //   --verbose         progress logging to stderr
 #pragma once
 
 #include <cstdio>
-#include <sstream>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/log.h"
 
 namespace psk::bench {
 
+/// Parses --sizes; rejects malformed and non-positive entries with a
+/// ConfigError instead of aborting inside std::stod.
 inline std::vector<double> parse_sizes(const std::string& text) {
-  std::vector<double> sizes;
-  std::istringstream in(text);
-  std::string token;
-  while (std::getline(in, token, ',')) {
-    sizes.push_back(std::stod(token));
-  }
-  return sizes;
+  return util::parse_positive_doubles(text, "--sizes");
 }
 
 inline core::ExperimentConfig config_from_cli(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   core::ExperimentConfig config;
-  config.app_class = apps::class_from_name(cli.get("class", "B"));
-  config.skeleton_sizes = parse_sizes(cli.get("sizes", "10,5,2,1,0.5"));
+  try {
+    config.app_class = apps::class_from_name(cli.get("class", "B"));
+    config.skeleton_sizes = parse_sizes(cli.get("sizes", "10,5,2,1,0.5"));
+    config.jobs = static_cast<int>(cli.get_int("jobs", 0));
+    util::require(config.jobs >= 0, "--jobs must be >= 0");
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "%s: %s\n", argc > 0 ? argv[0] : "bench",
+                 error.what());
+    std::exit(2);
+  }
   if (cli.get_bool("verbose", false)) {
     util::set_log_level(util::LogLevel::kInfo);
   }

@@ -5,6 +5,7 @@
 // alltoall-bound with enormous payloads.  A framework claiming generality
 // should handle both; this bench runs the full prediction grid for them.
 #include <cstdio>
+#include <map>
 
 #include "bench/common.h"
 #include "scenario/scenario.h"
@@ -35,17 +36,18 @@ int main(int argc, char** argv) {
     header.push_back(util::fixed(size, 1) + "s err%");
   }
   util::Table table(header);
+  // Full grid through the runner pool; aggregate from the record list.
+  const auto records = driver.run_grid();
+  std::map<std::string, std::map<double, util::RunningStats>> by_cell;
   util::RunningStats overall;
+  for (const auto& record : records) {
+    by_cell[record.app][record.target_size].add(record.error_percent);
+    overall.add(record.error_percent);
+  }
   for (const std::string& app : config.benchmarks) {
     std::vector<double> row;
     for (double size : config.skeleton_sizes) {
-      util::RunningStats per_size;
-      for (const auto& scenario : scenario::paper_scenarios()) {
-        const double err = driver.predict(app, size, scenario).error_percent;
-        per_size.add(err);
-        overall.add(err);
-      }
-      row.push_back(per_size.mean());
+      row.push_back(by_cell[app][size].mean());
     }
     table.add_row_numeric(app, row, 1);
   }

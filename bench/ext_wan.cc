@@ -6,6 +6,7 @@
 // Latency-bound collectives dominate there, which stresses the skeleton's
 // unscaled-latency approximation far harder than the cluster testbed.
 #include <cstdio>
+#include <map>
 
 #include "bench/common.h"
 #include "scenario/scenario.h"
@@ -25,21 +26,21 @@ int main(int argc, char** argv) {
                       "sites",
                       config);
   core::ExperimentDriver driver(config);
+  // Full grid through the runner pool; aggregate from the record list.
+  const auto records = driver.run_grid();
+  std::map<std::string, std::map<double, util::RunningStats>> by_cell;
+  util::RunningStats overall;
+  for (const auto& record : records) {
+    by_cell[record.app][record.target_size].add(record.error_percent);
+    overall.add(record.error_percent);
+  }
 
   util::Table table({"app", "WAN dedicated s", "10s skel err%",
                      "2s skel err%"});
-  util::RunningStats overall;
   for (const std::string& app : config.benchmarks) {
     std::vector<double> errors;
     for (double size : config.skeleton_sizes) {
-      util::RunningStats per_size;
-      for (const auto& scenario : scenario::paper_scenarios()) {
-        const double err =
-            driver.predict(app, size, scenario).error_percent;
-        per_size.add(err);
-        overall.add(err);
-      }
-      errors.push_back(per_size.mean());
+      errors.push_back(by_cell[app][size].mean());
     }
     table.add_row({app,
                    util::fixed(driver.app_trace(app).elapsed(), 1),

@@ -27,18 +27,28 @@ int main(int argc, char** argv) {
                       config);
   core::ExperimentDriver driver(config);
 
+  // One cell per scenario x benchmark, evaluated across the runner pool;
+  // records come back in cell order.
+  std::vector<core::GridCell> cells;
+  for (const auto& scenario : scenario::paper_scenarios()) {
+    for (const std::string& app : config.benchmarks) {
+      cells.push_back(core::GridCell{app, size, &scenario});
+    }
+  }
+  const auto records = driver.predict_cells(cells);
+
   std::vector<std::string> header{"scenario"};
   for (const std::string& app : config.benchmarks) header.push_back(app);
   header.push_back("Average");
   util::Table table(header);
 
   std::map<std::string, double> scenario_means;
+  std::size_t next = 0;
   for (const auto& scenario : scenario::paper_scenarios()) {
     std::vector<std::string> row{scenario.name};
     util::RunningStats average;
-    for (const std::string& app : config.benchmarks) {
-      const core::PredictionRecord record =
-          driver.predict(app, size, scenario);
+    for (std::size_t i = 0; i < config.benchmarks.size(); ++i) {
+      const core::PredictionRecord& record = records[next++];
       average.add(record.error_percent);
       row.push_back(util::fixed(record.error_percent, 1));
     }

@@ -31,11 +31,22 @@ int main(int argc, char** argv) {
   util::Table table({"prediction methodology", "MIN err%", "AVG err%",
                      "MAX err%"});
 
+  // All skeleton cells fan out across the runner pool up front; the loops
+  // below consume the records in cell order.
+  std::vector<core::GridCell> cells;
+  for (double size : config.skeleton_sizes) {
+    for (const std::string& app : config.benchmarks) {
+      cells.push_back(core::GridCell{app, size, &scenario});
+    }
+  }
+  const auto records = driver.predict_cells(cells);
+
   double best_skeleton_avg = 1e30;
+  std::size_t next = 0;
   for (double size : config.skeleton_sizes) {
     std::vector<double> errors;
-    for (const std::string& app : config.benchmarks) {
-      errors.push_back(driver.predict(app, size, scenario).error_percent);
+    for (std::size_t i = 0; i < config.benchmarks.size(); ++i) {
+      errors.push_back(records[next++].error_percent);
     }
     const util::Summary summary = util::summarize(errors);
     best_skeleton_avg = std::min(best_skeleton_avg, summary.mean);

@@ -1,9 +1,11 @@
 #include "core/experiment.h"
 
 #include <cmath>
+#include <set>
 #include <utility>
 
 #include "mpi/world.h"
+#include "runner/sweep.h"
 #include "sim/machine.h"
 #include "trace/recorder.h"
 #include "util/error.h"
@@ -39,31 +41,40 @@ const trace::Trace& ExperimentDriver::app_trace(const std::string& app) {
   return it->second;
 }
 
+double ExperimentDriver::compute_app_time(const std::string& app,
+                                          const scenario::Scenario& scenario,
+                                          int repetition) const {
+  return framework_.run_app(program(app, config_.app_class), scenario,
+                            static_cast<std::uint64_t>(repetition) * 13);
+}
+
 double ExperimentDriver::app_time(const std::string& app,
                                   const scenario::Scenario& scenario,
                                   int repetition) {
   const auto key =
       std::make_tuple(app, std::string(scenario.name), repetition);
-  auto it = app_times_.find(key);
-  if (it == app_times_.end()) {
-    const double elapsed =
-        framework_.run_app(program(app, config_.app_class), scenario,
-                           static_cast<std::uint64_t>(repetition) * 13);
-    it = app_times_.emplace(key, elapsed).first;
+  {
+    std::lock_guard<std::mutex> lock(time_mutex_);
+    auto it = app_times_.find(key);
+    if (it != app_times_.end()) return it->second;
   }
-  return it->second;
+  const double elapsed = compute_app_time(app, scenario, repetition);
+  std::lock_guard<std::mutex> lock(time_mutex_);
+  return app_times_.try_emplace(key, elapsed).first->second;
 }
 
 double ExperimentDriver::class_s_time(const std::string& app,
                                       const scenario::Scenario& scenario) {
   const auto key = std::make_pair(app, std::string(scenario.name));
-  auto it = class_s_times_.find(key);
-  if (it == class_s_times_.end()) {
-    const double elapsed = framework_.run_app(
-        program(app, apps::NasClass::kS), scenario, /*seed_offset=*/7);
-    it = class_s_times_.emplace(key, elapsed).first;
+  {
+    std::lock_guard<std::mutex> lock(time_mutex_);
+    auto it = class_s_times_.find(key);
+    if (it != class_s_times_.end()) return it->second;
   }
-  return it->second;
+  const double elapsed = framework_.run_app(
+      program(app, apps::NasClass::kS), scenario, /*seed_offset=*/7);
+  std::lock_guard<std::mutex> lock(time_mutex_);
+  return class_s_times_.try_emplace(key, elapsed).first->second;
 }
 
 const sig::Signature& ExperimentDriver::signature(const std::string& app,
@@ -93,23 +104,32 @@ const skeleton::Skeleton& ExperimentDriver::skeleton_for_size(
   return it->second;
 }
 
+double ExperimentDriver::compute_skeleton_time(
+    const skeleton::Skeleton& skeleton, double size_seconds,
+    const scenario::Scenario& scenario, int repetition) const {
+  const std::uint64_t seed_offset =
+      1 +
+      static_cast<std::uint64_t>(std::llabs(size_key(size_seconds)) % 97) +
+      static_cast<std::uint64_t>(repetition) * 31;
+  return framework_.run_skeleton(skeleton, scenario, seed_offset);
+}
+
 double ExperimentDriver::skeleton_time(const std::string& app,
                                        double size_seconds,
                                        const scenario::Scenario& scenario,
                                        int repetition) {
   const auto key = std::make_tuple(app, size_key(size_seconds),
                                    std::string(scenario.name), repetition);
-  auto it = skeleton_times_.find(key);
-  if (it == skeleton_times_.end()) {
-    const std::uint64_t seed_offset =
-        1 +
-        static_cast<std::uint64_t>(std::llabs(size_key(size_seconds)) % 97) +
-        static_cast<std::uint64_t>(repetition) * 31;
-    const double elapsed = framework_.run_skeleton(
-        skeleton_for_size(app, size_seconds), scenario, seed_offset);
-    it = skeleton_times_.emplace(key, elapsed).first;
+  {
+    std::lock_guard<std::mutex> lock(time_mutex_);
+    auto it = skeleton_times_.find(key);
+    if (it != skeleton_times_.end()) return it->second;
   }
-  return it->second;
+  const double elapsed = compute_skeleton_time(
+      skeleton_for_size(app, size_seconds), size_seconds, scenario,
+      repetition);
+  std::lock_guard<std::mutex> lock(time_mutex_);
+  return skeleton_times_.try_emplace(key, elapsed).first->second;
 }
 
 const skeleton::GoodSkeletonEstimate& ExperimentDriver::good_estimate(
@@ -174,18 +194,241 @@ PredictionRecord ExperimentDriver::predict(
   return record;
 }
 
-std::vector<PredictionRecord> ExperimentDriver::run_grid() {
-  std::vector<PredictionRecord> records;
-  records.reserve(config_.benchmarks.size() * config_.skeleton_sizes.size() *
-                  scenario::paper_scenarios().size());
+std::vector<GridCell> ExperimentDriver::grid_cells() const {
+  std::vector<GridCell> cells;
+  cells.reserve(config_.benchmarks.size() * config_.skeleton_sizes.size() *
+                scenario::paper_scenarios().size());
   for (const std::string& app : config_.benchmarks) {
     for (double size : config_.skeleton_sizes) {
       for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
-        records.push_back(predict(app, size, scenario));
+        cells.push_back(GridCell{app, size, &scenario});
       }
     }
   }
+  return cells;
+}
+
+void ExperimentDriver::warm(const std::vector<GridCell>& cells) {
+  const int jobs = runner::resolve_jobs(config_.jobs);
+  if (jobs <= 1) {
+    for (const GridCell& cell : cells) {
+      app_trace(cell.app);
+      good_estimate(cell.app);
+      skeleton_for_size(cell.app, cell.size_seconds);
+    }
+    return;
+  }
+
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+
+  // Phase A: one dedicated-testbed tracing simulation per distinct
+  // still-untraced benchmark.  Traces are independent seeded simulations,
+  // so they fan out; installs stay serial because the construction caches
+  // hand out long-lived references.
+  std::vector<std::string> to_trace;
+  {
+    std::set<std::string> seen;
+    for (const GridCell& cell : cells) {
+      if (traces_.count(cell.app) == 0 && seen.insert(cell.app).second) {
+        util::log_info() << "tracing " << cell.app << " (class "
+                         << apps::class_name(config_.app_class) << ")";
+        to_trace.push_back(cell.app);
+      }
+    }
+  }
+  std::vector<trace::Trace> traced = runner::sweep_map(
+      to_trace,
+      [&](const std::string& app) {
+        return framework_.record(program(app, config_.app_class), app);
+      },
+      sweep_options);
+  for (std::size_t i = 0; i < to_trace.size(); ++i) {
+    traces_.emplace(to_trace[i], std::move(traced[i]));
+  }
+
+  // Phase B: compression work -- one consistent skeleton per distinct
+  // (benchmark, size) plus the reference signature behind each benchmark's
+  // good-skeleton estimate.  Every unit is a pure function of a now-cached
+  // trace, so the parallel bodies touch no driver state at all.
+  struct SkeletonUnit {
+    std::string app;
+    const trace::Trace* trace;
+    double k;
+    long long key;
+  };
+  struct EstimateUnit {
+    std::string app;
+    const trace::Trace* trace;
+    double k;
+  };
+  std::vector<SkeletonUnit> skeleton_units;
+  std::vector<EstimateUnit> estimate_units;
+  {
+    double min_size = 0.5;
+    for (double size : config_.skeleton_sizes) {
+      min_size = std::min(min_size, size);
+    }
+    std::set<std::pair<std::string, long long>> seen_skeletons;
+    std::set<std::string> seen_estimates;
+    for (const GridCell& cell : cells) {
+      const trace::Trace& trace = app_trace(cell.app);
+      const auto skeleton_key =
+          std::make_pair(cell.app, size_key(cell.size_seconds));
+      if (skeletons_.count(skeleton_key) == 0 &&
+          seen_skeletons.insert(skeleton_key).second) {
+        const double k =
+            std::max(1.0, trace.elapsed() / cell.size_seconds);
+        skeleton_units.push_back(
+            SkeletonUnit{cell.app, &trace, k, skeleton_key.second});
+      }
+      if (good_estimates_.count(cell.app) == 0 &&
+          seen_estimates.insert(cell.app).second) {
+        const double k = std::max(1.0, trace.elapsed() / min_size);
+        estimate_units.push_back(EstimateUnit{cell.app, &trace, k});
+      }
+    }
+  }
+  std::vector<skeleton::Skeleton> built(skeleton_units.size());
+  std::vector<sig::Signature> reference_signatures(estimate_units.size());
+  runner::sweep(
+      skeleton_units.size() + estimate_units.size(),
+      [&](std::size_t i) {
+        if (i < skeleton_units.size()) {
+          const SkeletonUnit& unit = skeleton_units[i];
+          built[i] = framework_.make_consistent_skeleton(*unit.trace, unit.k);
+        } else {
+          const EstimateUnit& unit = estimate_units[i - skeleton_units.size()];
+          reference_signatures[i - skeleton_units.size()] =
+              framework_.make_signature(*unit.trace, unit.k);
+        }
+      },
+      sweep_options);
+  for (std::size_t i = 0; i < skeleton_units.size(); ++i) {
+    skeletons_.emplace(
+        std::make_pair(skeleton_units[i].app, skeleton_units[i].key),
+        std::move(built[i]));
+  }
+  for (std::size_t i = 0; i < estimate_units.size(); ++i) {
+    const EstimateUnit& unit = estimate_units[i];
+    const auto signature_it =
+        signatures_
+            .emplace(std::make_pair(unit.app, size_key(unit.k)),
+                     std::move(reference_signatures[i]))
+            .first;
+    good_estimates_.emplace(
+        unit.app, skeleton::estimate_good_skeleton(signature_it->second));
+  }
+}
+
+void ExperimentDriver::fan_out_measurements(
+    const std::vector<GridCell>& cells, int jobs) {
+  // Enumerate the unique, still-uncached simulation runs the cells will ask
+  // for.  App runs are keyed (app, scenario, repetition): one per benchmark
+  // and scenario, shared by every skeleton size.  Skeleton runs are keyed
+  // (app, size, scenario, repetition), plus the dedicated calibration run
+  // shared by all scenarios of a cell.
+  struct AppRun {
+    const std::string* app;
+    const scenario::Scenario* scenario;
+    int repetition;
+  };
+  struct SkeletonRun {
+    const skeleton::Skeleton* skeleton;
+    double size_seconds;
+    const scenario::Scenario* scenario;
+    int repetition;
+    std::tuple<std::string, long long, std::string, int> key;
+  };
+  const int repetitions = std::max(1, config_.repetitions);
+  std::vector<AppRun> app_runs;
+  std::vector<SkeletonRun> skeleton_runs;
+  std::set<std::tuple<std::string, std::string, int>> app_keys;
+  std::set<std::tuple<std::string, long long, std::string, int>>
+      skeleton_keys;
+  const auto need_app = [&](const GridCell& cell,
+                            const scenario::Scenario& scenario,
+                            int repetition) {
+    auto key =
+        std::make_tuple(cell.app, std::string(scenario.name), repetition);
+    if (app_times_.count(key) != 0 || !app_keys.insert(key).second) return;
+    app_runs.push_back(AppRun{&cell.app, &scenario, repetition});
+  };
+  const auto need_skeleton = [&](const GridCell& cell,
+                                 const scenario::Scenario& scenario,
+                                 int repetition) {
+    auto key = std::make_tuple(cell.app, size_key(cell.size_seconds),
+                               std::string(scenario.name), repetition);
+    if (skeleton_times_.count(key) != 0 ||
+        !skeleton_keys.insert(key).second) {
+      return;
+    }
+    skeleton_runs.push_back(
+        SkeletonRun{&skeleton_for_size(cell.app, cell.size_seconds),
+                    cell.size_seconds, &scenario, repetition, std::move(key)});
+  };
+  for (const GridCell& cell : cells) {
+    need_skeleton(cell, scenario::dedicated(), 0);
+    for (int repetition = 0; repetition < repetitions; ++repetition) {
+      need_skeleton(cell, *cell.scenario, repetition);
+      need_app(cell, *cell.scenario, repetition);
+    }
+  }
+
+  // Fan out.  Each run writes its own slot; no shared mutable state is
+  // touched until the serial install loop below, so scheduling cannot
+  // perturb the results.
+  std::vector<double> app_elapsed(app_runs.size());
+  std::vector<double> skeleton_elapsed(skeleton_runs.size());
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  runner::sweep(
+      app_runs.size() + skeleton_runs.size(),
+      [&](std::size_t i) {
+        if (i < app_runs.size()) {
+          const AppRun& run = app_runs[i];
+          app_elapsed[i] =
+              compute_app_time(*run.app, *run.scenario, run.repetition);
+        } else {
+          const SkeletonRun& run = skeleton_runs[i - app_runs.size()];
+          skeleton_elapsed[i - app_runs.size()] = compute_skeleton_time(
+              *run.skeleton, run.size_seconds, *run.scenario, run.repetition);
+        }
+      },
+      sweep_options);
+
+  std::lock_guard<std::mutex> lock(time_mutex_);
+  for (std::size_t i = 0; i < app_runs.size(); ++i) {
+    const AppRun& run = app_runs[i];
+    app_times_.try_emplace(
+        std::make_tuple(*run.app, std::string(run.scenario->name),
+                        run.repetition),
+        app_elapsed[i]);
+  }
+  for (std::size_t i = 0; i < skeleton_runs.size(); ++i) {
+    skeleton_times_.try_emplace(skeleton_runs[i].key, skeleton_elapsed[i]);
+  }
+}
+
+std::vector<PredictionRecord> ExperimentDriver::predict_cells(
+    const std::vector<GridCell>& cells) {
+  const int jobs = runner::resolve_jobs(config_.jobs);
+  if (jobs > 1 && cells.size() > 1) {
+    warm(cells);
+    fan_out_measurements(cells, jobs);
+  }
+  // With the caches populated this loop is pure arithmetic; with jobs=1 it
+  // is exactly the historical serial path, computing lazily as it goes.
+  std::vector<PredictionRecord> records;
+  records.reserve(cells.size());
+  for (const GridCell& cell : cells) {
+    records.push_back(predict(cell.app, cell.size_seconds, *cell.scenario));
+  }
   return records;
+}
+
+std::vector<PredictionRecord> ExperimentDriver::run_grid() {
+  return predict_cells(grid_cells());
 }
 
 trace::ActivityBreakdown ExperimentDriver::app_activity(

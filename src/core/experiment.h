@@ -12,6 +12,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,7 +35,20 @@ struct ExperimentConfig {
   /// systematic effects (latency scaling, unbalanced synchronization) from
   /// one-shot sampling noise of the fluttering environment.
   int repetitions = 3;
+  /// Measurement-phase parallelism for run_grid()/predict_cells(): 0 = one
+  /// job per hardware thread, 1 = strictly serial evaluation on the calling
+  /// thread (the pre-runner code path).  Results are bit-identical across
+  /// all settings; only wall-clock time changes.
+  int jobs = 0;
   FrameworkOptions framework;
+};
+
+/// One cell of the evaluation grid.  `scenario` must outlive the driver
+/// call (the scenario registry's entries and scenario::dedicated() do).
+struct GridCell {
+  std::string app;
+  double size_seconds = 0;
+  const scenario::Scenario* scenario = nullptr;
 };
 
 struct PredictionRecord {
@@ -83,7 +97,24 @@ class ExperimentDriver {
   PredictionRecord predict(const std::string& app, double size_seconds,
                            const scenario::Scenario& scenario);
 
-  /// The full grid: every benchmark x skeleton size x paper scenario.
+  /// The full grid as an ordered cell list: every benchmark x skeleton size
+  /// x paper scenario, in configuration order.
+  std::vector<GridCell> grid_cells() const;
+
+  /// Serial warm phase: populates the trace / signature / skeleton /
+  /// good-estimate caches every cell needs (each benchmark is traced once).
+  /// After warming, predict() and the time getters are safe to call for
+  /// these cells from pool workers.
+  void warm(const std::vector<GridCell>& cells);
+
+  /// Evaluates the cells with `config().jobs` workers and returns records
+  /// in input order.  Construction (warm phase) stays serial; the
+  /// measurement runs -- isolated deterministic simulations -- fan out
+  /// across the runner pool.  Bit-identical to the serial path.
+  std::vector<PredictionRecord> predict_cells(
+      const std::vector<GridCell>& cells);
+
+  /// The full grid: predict_cells(grid_cells()).
   std::vector<PredictionRecord> run_grid();
 
   /// Shortest-"good"-skeleton analysis for a benchmark (Figure 4).
@@ -113,9 +144,30 @@ class ExperimentDriver {
   double class_s_time(const std::string& app,
                       const scenario::Scenario& scenario);
 
+  // Uncached measurement primitives.  Const and state-free (every run
+  // builds a fresh simulated machine), so pool workers may call them
+  // concurrently; the cached getters above funnel through them.
+  double compute_app_time(const std::string& app,
+                          const scenario::Scenario& scenario,
+                          int repetition) const;
+  double compute_skeleton_time(const skeleton::Skeleton& skeleton,
+                               double size_seconds,
+                               const scenario::Scenario& scenario,
+                               int repetition) const;
+
+  /// Runs every uncached measurement the cells need across `jobs` workers
+  /// and installs the results in the time caches.  Requires warm(cells).
+  void fan_out_measurements(const std::vector<GridCell>& cells, int jobs);
+
   ExperimentConfig config_;
   SkeletonFramework framework_;
 
+  // Construction caches (traces_, signatures_, skeletons_, good_estimates_)
+  // hand out long-lived references and are populated only by the serial
+  // warm phase -- never from pool workers.  The scalar time caches are
+  // guarded by time_mutex_ so ad-hoc app_time()/skeleton_time() calls are
+  // safe from pool workers too; racing lookups may compute a value twice,
+  // but the simulations are deterministic so both results are identical.
   std::map<std::string, trace::Trace> traces_;
   std::map<std::tuple<std::string, std::string, int>, double> app_times_;
   std::map<std::pair<std::string, std::string>, double> class_s_times_;
@@ -124,6 +176,7 @@ class ExperimentDriver {
   std::map<std::tuple<std::string, long long, std::string, int>, double>
       skeleton_times_;
   std::map<std::string, skeleton::GoodSkeletonEstimate> good_estimates_;
+  std::mutex time_mutex_;
 };
 
 /// Mean error across records (ignores empty input).

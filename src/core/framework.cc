@@ -1,5 +1,6 @@
 #include "core/framework.h"
 
+#include <cmath>
 #include <functional>
 
 #include "skeleton/validate.h"
@@ -67,14 +68,20 @@ skeleton::Skeleton SkeletonFramework::make_consistent_skeleton(
   // folding (eliminates cross-rank loop-rotation ambiguity), again from
   // fine to coarse thresholds.
   sig::CompressOptions compress_options = options_.compress;
+  util::require(compress_options.threshold_step > 0,
+                "make_consistent_skeleton: threshold_step must be positive");
   for (const bool anchored : {false, true}) {
     compress_options.anchor_at_collectives = anchored;
-    double threshold = anchored
-                           ? 0.0
-                           : signature.threshold +
-                                 compress_options.threshold_step;
-    for (; threshold <= compress_options.max_threshold + 1e-12;
-         threshold += compress_options.threshold_step) {
+    // Same integer threshold schedule as sig::compress (whose thresholds
+    // are exact multiples of the step, so the division round-trips).
+    int step = anchored ? 0
+                        : static_cast<int>(std::llround(
+                              signature.threshold /
+                              compress_options.threshold_step)) +
+                              1;
+    for (;; ++step) {
+      const double threshold = step * compress_options.threshold_step;
+      if (threshold > compress_options.max_threshold + 1e-12) break;
       signature = sig::compress_at_threshold(folded_trace, threshold,
                                              compress_options);
       candidate = make_skeleton(signature, k);

@@ -1,0 +1,85 @@
+// Work-stealing fork-join thread pool for the sweep executor.
+//
+// Design: one task deque per worker.  parallel_for slices the index range
+// into contiguous per-worker blocks; each worker drains its own deque from
+// the front and, when it runs dry, steals single indices from the back of
+// another worker's block.  The caller thread participates as worker 0, so a
+// one-job pool runs everything inline with no thread handoff at all.
+//
+// Determinism: the pool only decides *which thread* runs an index, never
+// *what* is computed -- bodies write to caller-owned slots keyed by index,
+// so results are independent of scheduling.  When bodies throw, the
+// exception thrown by the lowest index is rethrown to the caller, matching
+// what a serial left-to-right loop would have reported.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psk::runner {
+
+/// Resolves a --jobs request: values >= 1 pass through; 0 (the default)
+/// means "one job per hardware thread" (at least 1).
+int resolve_jobs(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns jobs-1 worker threads (the caller is the remaining worker).
+  /// `jobs` <= 0 resolves to the hardware concurrency.
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Runs body(i) for every i in [0, count) across the pool and blocks
+  /// until all of them completed.  Bodies must be safe to run concurrently
+  /// with each other.  Not reentrant: parallel_for must not be called from
+  /// inside a body, and only one thread may drive the pool at a time.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+
+  void worker_main(std::size_t self);
+  /// Runs tasks from the own shard, then steals, until all shards are dry.
+  void drain(std::size_t self, const std::function<void(std::size_t)>& body);
+  bool try_pop(std::size_t shard, std::size_t& index);
+  bool try_steal(std::size_t thief, std::size_t& index);
+  void record_failure(std::size_t index, std::exception_ptr error);
+
+  int jobs_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+
+  // Job lifecycle state.  A "generation" is one parallel_for call; workers
+  // sleep between generations.  parallel_for returns only after every
+  // worker left drain(), so shard deques are never touched across
+  // generations.
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t remaining_ = 0;
+  int active_workers_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr failure_;
+  std::size_t failure_index_ = 0;
+};
+
+}  // namespace psk::runner

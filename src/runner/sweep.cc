@@ -1,0 +1,22 @@
+#include "runner/sweep.h"
+
+#include <algorithm>
+
+namespace psk::runner {
+
+void sweep(std::size_t count, const std::function<void(std::size_t)>& body,
+           const SweepOptions& options) {
+  const int jobs = resolve_jobs(options.jobs);
+  const std::size_t useful =
+      std::min(count, static_cast<std::size_t>(jobs));
+  if (useful <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Pool lifetime is one sweep; thread spawn cost is amortized over
+  // simulations that each run for milliseconds or more.
+  ThreadPool pool(static_cast<int>(useful));
+  pool.parallel_for(count, body);
+}
+
+}  // namespace psk::runner

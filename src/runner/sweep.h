@@ -1,0 +1,45 @@
+// Sweep executor: evaluate a vector of independent grid cells concurrently
+// and return results in deterministic input order.
+//
+// The experiment grid (benchmark x skeleton size x sharing scenario x
+// repetition) decomposes into fully isolated deterministic simulations, so
+// a sweep parallelizes trivially: every cell writes into its own
+// preallocated slot and the output order is the input order regardless of
+// how the pool schedules the work.  `--jobs=1` degenerates to a plain
+// serial loop on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runner/pool.h"
+
+namespace psk::runner {
+
+struct SweepOptions {
+  /// Worker threads: 0 = one per hardware thread, 1 = serial inline.
+  int jobs = 0;
+};
+
+/// Runs body(i) for every i in [0, count), concurrently when options allow.
+/// Rethrows the lowest-index exception, like a serial loop would.
+void sweep(std::size_t count, const std::function<void(std::size_t)>& body,
+           const SweepOptions& options = {});
+
+/// Maps `fn` over `items`; results[i] == fn(items[i]) for every i, in input
+/// order, regardless of scheduling.  `fn` must be safe to call concurrently.
+template <typename Item, typename Fn>
+auto sweep_map(const std::vector<Item>& items, Fn fn,
+               const SweepOptions& options = {})
+    -> std::vector<decltype(fn(std::declval<const Item&>()))> {
+  std::vector<decltype(fn(std::declval<const Item&>()))> results(
+      items.size());
+  sweep(
+      items.size(), [&](std::size_t i) { results[i] = fn(items[i]); },
+      options);
+  return results;
+}
+
+}  // namespace psk::runner

@@ -176,11 +176,17 @@ Signature compress(const trace::Trace& folded_trace,
                 "trace::fold_nonblocking first");
   util::require(options.target_ratio >= 1.0,
                 "compress: target_ratio must be >= 1");
+  util::require(options.threshold_step > 0,
+                "compress: threshold_step must be positive");
 
   Signature best;
   bool have_best = false;
-  for (double threshold = 0.0; threshold <= options.max_threshold + 1e-12;
-       threshold += options.threshold_step) {
+  // Integer step index: a float accumulator (threshold += step) would never
+  // advance for step <= 0 and would drift off the intended schedule after
+  // many additions.
+  for (int step = 0;; ++step) {
+    const double threshold = step * options.threshold_step;
+    if (threshold > options.max_threshold + 1e-12) break;
     Signature signature =
         build_signature(folded_trace, threshold, options, nullptr, nullptr);
     if (!have_best ||

@@ -16,6 +16,7 @@ EventQueue::Handle Engine::after(Time delay, EventQueue::Callback callback) {
 
 void Engine::spawn(Task task) {
   util::require(task.valid(), "Engine::spawn: invalid task");
+  task.set_failure_flag(&task_failed_);
   tasks_.push_back(std::move(task));
   // Defer the start so every rank begins at a well-defined event, in spawn
   // order, rather than synchronously inside the caller.  `tasks_` may
@@ -39,9 +40,13 @@ void Engine::run() {
     callback();
     callback = nullptr;
     // Fail fast when a task died with an exception: keeping the simulation
-    // running would likely just end in a misleading deadlock report.
-    for (const Task& task : tasks_) {
-      if (task.failed()) task.rethrow_if_failed();
+    // running would likely just end in a misleading deadlock report.  The
+    // flag is raised by the failing task's promise, so the common case is
+    // one branch instead of a scan over every task per event.
+    if (task_failed_) {
+      for (const Task& task : tasks_) {
+        if (task.failed()) task.rethrow_if_failed();
+      }
     }
     // Spawned work finished: stop even if daemon-style recurring events
     // (load flutter, bandwidth flutter) are still queued.

@@ -71,6 +71,9 @@ class Engine {
  private:
   EventQueue queue_;
   std::vector<Task> tasks_;
+  /// Set by any spawned task's promise when an exception escapes it (see
+  /// Task::set_failure_flag); lets run() check for failure in O(1).
+  bool task_failed_ = false;
   Time now_ = 0.0;
   Time time_limit_ = 1.0e9;  // ~30 simulated years: any real run is shorter
   std::uint64_t dispatched_ = 0;

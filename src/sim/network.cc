@@ -157,17 +157,26 @@ void Network::on_completion_event() {
   // Complete the minimum-remaining flow(s): the pending event is cancelled
   // on every flow change, so when it fires the minimum flow is due now even
   // if floating-point rounding left a sliver of bytes whose ETA would be
-  // below the clock's ULP (an absolute-epsilon test could spin forever).
+  // below the clock's ULP.
   double min_remaining = std::numeric_limits<double>::infinity();
   for (const Flow& flow : flows_) {
     if (!flow.background) min_remaining = std::min(min_remaining, flow.remaining);
   }
   if (min_remaining == std::numeric_limits<double>::infinity()) return;
 
+  // Other flows ride along only when their own ETA past this instant is
+  // below the clock's resolution at the current time -- i.e. when rerate()
+  // could not schedule their completion at a later timestamp anyway.  An
+  // absolute byte epsilon is wrong here: on a slow link, a fixed sliver of
+  // bytes can represent real simulated time, and completing a distinct
+  // small control message early reorders events.
+  const Time clock_ulp =
+      std::max(engine_.now() * 1e-12, std::numeric_limits<Time>::min());
   std::vector<std::function<void()>> finished;
   auto it = flows_.begin();
   while (it != flows_.end()) {
-    if (!it->background && it->remaining <= min_remaining + 1e-6) {
+    if (!it->background &&
+        it->remaining <= min_remaining + it->rate * clock_ulp) {
       finished.push_back(std::move(it->on_complete));
       it = flows_.erase(it);
     } else {

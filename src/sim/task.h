@@ -22,6 +22,11 @@ class [[nodiscard]] Task {
   struct promise_type {
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
+    /// Owner-provided flag raised when an exception escapes the coroutine
+    /// body.  The engine points every top-level task at one shared flag so
+    /// its event loop can detect failure in O(1) instead of scanning all
+    /// tasks after every event.
+    bool* failure_flag = nullptr;
 
     Task get_return_object() {
       return Task{handle_type::from_promise(*this)};
@@ -39,7 +44,10 @@ class [[nodiscard]] Task {
     FinalAwaiter final_suspend() noexcept { return {}; }
 
     void return_void() {}
-    void unhandled_exception() { exception = std::current_exception(); }
+    void unhandled_exception() {
+      exception = std::current_exception();
+      if (failure_flag != nullptr) *failure_flag = true;
+    }
   };
 
   Task() = default;
@@ -75,6 +83,13 @@ class [[nodiscard]] Task {
   bool failed() const {
     return handle_ && handle_.done() &&
            handle_.promise().exception != nullptr;
+  }
+
+  /// Arms the promise's failure notification (see promise_type). `flag`
+  /// must outlive the coroutine; a child task failing propagates its
+  /// exception to the awaiting parent, so arming top-level tasks suffices.
+  void set_failure_flag(bool* flag) {
+    if (handle_) handle_.promise().failure_flag = flag;
   }
 
   /// Awaiting a Task runs it to completion as a child of the awaiting

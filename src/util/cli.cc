@@ -1,6 +1,9 @@
 #include "util/cli.h"
 
+#include <cmath>
 #include <cstdlib>
+
+#include "util/error.h"
 
 namespace psk::util {
 
@@ -44,6 +47,29 @@ bool Cli::get_bool(const std::string& name, bool def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<double> parse_positive_doubles(const std::string& text,
+                                           const std::string& what) {
+  require(!text.empty(), what + ": expected a comma-separated list");
+  std::vector<double> values;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(begin, end - begin);
+    require(!token.empty(),
+            what + ": empty element in list '" + text + "'");
+    char* parsed_end = nullptr;
+    const double value = std::strtod(token.c_str(), &parsed_end);
+    require(parsed_end == token.c_str() + token.size(),
+            what + ": cannot parse '" + token + "' as a number");
+    require(std::isfinite(value) && value > 0,
+            what + ": value '" + token + "' must be positive and finite");
+    values.push_back(value);
+    begin = end + 1;
+  }
+  return values;
 }
 
 }  // namespace psk::util

@@ -29,4 +29,11 @@ class Cli {
   std::vector<std::string> positional_;
 };
 
+/// Parses a comma-separated list of strictly positive numbers ("10,5,0.5").
+/// Throws ConfigError naming `what` (e.g. "--sizes") on an empty list,
+/// empty element, unparsable or trailing text, or a non-positive value --
+/// instead of the uncatchable std::stod abort a raw conversion would give.
+std::vector<double> parse_positive_doubles(const std::string& text,
+                                           const std::string& what);
+
 }  // namespace psk::util

@@ -1,0 +1,169 @@
+// Tests for the psk::runner subsystem: the work-stealing pool, the sweep
+// executor, and the headline guarantee -- a parallel experiment grid is
+// element-wise identical to the serial one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/nas.h"
+#include "core/experiment.h"
+#include "runner/pool.h"
+#include "runner/sweep.h"
+#include "scenario/scenario.h"
+
+namespace psk::runner {
+namespace {
+
+// ------------------------------------------------------------------- pool
+
+TEST(ThreadPool, ResolveJobsDefaultsToHardware) {
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_GE(resolve_jobs(-3), 1);
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, IsReusableAcrossGenerations) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+  }
+}
+
+TEST(ThreadPool, SingleJobRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.parallel_for(32, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException) {
+  // A serial loop would fail at index 3 first; the pool must report the
+  // same failure no matter which throwing body ran first.
+  ThreadPool pool(4);
+  for (int round = 0; round < 16; ++round) {
+    try {
+      pool.parallel_for(256, [](std::size_t i) {
+        if (i == 3 || i == 200) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected parallel_for to throw";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom at 3");
+    }
+  }
+}
+
+TEST(ThreadPool, UsableAfterFailure) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+// ------------------------------------------------------------------ sweep
+
+TEST(Sweep, MapPreservesInputOrder) {
+  std::vector<int> items(500);
+  for (int i = 0; i < 500; ++i) items[i] = i;
+  SweepOptions options;
+  options.jobs = 4;
+  const std::vector<int> doubled =
+      sweep_map(items, [](const int& x) { return 2 * x; }, options);
+  ASSERT_EQ(doubled.size(), items.size());
+  for (int i = 0; i < 500; ++i) ASSERT_EQ(doubled[i], 2 * i);
+}
+
+TEST(Sweep, EmptyAndSingleCounts) {
+  int calls = 0;
+  sweep(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  sweep(1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------- determinism (acceptance)
+
+core::ExperimentConfig grid_config(int jobs) {
+  core::ExperimentConfig config;
+  config.benchmarks = {"MG", "IS"};
+  config.app_class = apps::NasClass::kS;
+  config.skeleton_sizes = {0.1, 0.05};
+  config.jobs = jobs;
+  return config;
+}
+
+TEST(Sweep, ParallelGridIsBitIdenticalToSerial) {
+  // The ISSUE acceptance test: run_grid() with jobs=4 must be element-wise
+  // bit-identical to jobs=1.  Fresh drivers per run so no caches leak.
+  core::ExperimentDriver serial(grid_config(1));
+  const std::vector<core::PredictionRecord> expect = serial.run_grid();
+
+  core::ExperimentDriver parallel(grid_config(4));
+  const std::vector<core::PredictionRecord> got = parallel.run_grid();
+
+  ASSERT_EQ(got.size(), expect.size());
+  ASSERT_FALSE(expect.empty());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(got[i].app, expect[i].app);
+    EXPECT_EQ(got[i].target_size, expect[i].target_size);
+    EXPECT_EQ(got[i].scenario, expect[i].scenario);
+    EXPECT_EQ(got[i].scaling_factor, expect[i].scaling_factor);
+    EXPECT_EQ(got[i].app_dedicated, expect[i].app_dedicated);
+    EXPECT_EQ(got[i].skeleton_dedicated, expect[i].skeleton_dedicated);
+    EXPECT_EQ(got[i].skeleton_scenario, expect[i].skeleton_scenario);
+    EXPECT_EQ(got[i].app_scenario, expect[i].app_scenario);
+    EXPECT_EQ(got[i].predicted, expect[i].predicted);
+    EXPECT_EQ(got[i].error_percent, expect[i].error_percent);
+    EXPECT_EQ(got[i].good, expect[i].good);
+    EXPECT_EQ(got[i].min_good_time, expect[i].min_good_time);
+  }
+}
+
+TEST(Sweep, GridCellOrderMatchesSerialNesting) {
+  // grid_cells() must enumerate app x size x scenario in the same order the
+  // serial loops always did, since records are keyed by position.
+  core::ExperimentDriver driver(grid_config(1));
+  const auto cells = driver.grid_cells();
+  ASSERT_FALSE(cells.empty());
+  std::size_t index = 0;
+  for (const std::string& app : driver.config().benchmarks) {
+    for (double size : driver.config().skeleton_sizes) {
+      for (const auto& scenario : scenario::paper_scenarios()) {
+        ASSERT_LT(index, cells.size());
+        EXPECT_EQ(cells[index].app, app);
+        EXPECT_EQ(cells[index].size_seconds, size);
+        EXPECT_EQ(cells[index].scenario, &scenario);
+        ++index;
+      }
+    }
+  }
+  EXPECT_EQ(index, cells.size());
+}
+
+}  // namespace
+}  // namespace psk::runner

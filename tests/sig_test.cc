@@ -1,6 +1,7 @@
 // Tests for event clustering, loop folding and signature compression.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -362,6 +363,33 @@ TEST(Compress, FixedThresholdVariantReportsRatio) {
   const Signature tight = compress_at_threshold(trace, 0.0);
   EXPECT_GE(loose.compression_ratio, tight.compression_ratio);
   EXPECT_DOUBLE_EQ(loose.threshold, 0.1);
+}
+
+TEST(Compress, RejectsNonPositiveThresholdStep) {
+  // Regression: the threshold search used to loop forever when the step
+  // was zero or negative (the accumulator never advanced).
+  const trace::Trace trace = traced_app("MG", apps::NasClass::kS);
+  CompressOptions zero;
+  zero.threshold_step = 0.0;
+  zero.target_ratio = 1e9;
+  EXPECT_THROW(compress(trace, zero), psk::ConfigError);
+  CompressOptions negative;
+  negative.threshold_step = -0.01;
+  negative.target_ratio = 1e9;
+  EXPECT_THROW(compress(trace, negative), psk::ConfigError);
+}
+
+TEST(Compress, ThresholdScheduleIsExactMultipleOfStep) {
+  // The schedule is driven by an integer step index, so the selected
+  // threshold sits exactly on a multiple of the step -- a floating-point
+  // accumulator would drift off the grid after repeated additions.
+  const trace::Trace trace = traced_app("IS", apps::NasClass::kS);
+  CompressOptions options;
+  options.target_ratio = 1e9;  // unreachable: walks the whole schedule
+  const Signature signature = compress(trace, options);
+  const double steps = signature.threshold / options.threshold_step;
+  EXPECT_NEAR(steps, std::round(steps), 1e-9);
+  EXPECT_LE(signature.threshold, options.max_threshold + 1e-12);
 }
 
 }  // namespace

@@ -144,6 +144,18 @@ TEST(Task, ExceptionPropagatesFromRun) {
   EXPECT_THROW(engine.run(), std::logic_error);
 }
 
+Task long_sleeper(Engine& engine) { co_await engine.sleep(10.0); }
+
+TEST(Task, FailureAmongManyTasksPropagates) {
+  // The engine's run loop detects failure through a single flag raised by
+  // the failing task's promise (not by scanning every task per event);
+  // this checks the flag path with many healthy tasks in flight.
+  Engine engine;
+  for (int i = 0; i < 64; ++i) engine.spawn(long_sleeper(engine));
+  engine.spawn(throwing_task(engine));
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
 Task throwing_child(Engine& engine) {
   co_await engine.sleep(0.5);
   throw std::logic_error("child failure");
@@ -402,6 +414,24 @@ TEST(Network, RejectsBadNodeIndex) {
   EXPECT_THROW(f.net.transfer(-1, 0, 10, [] {}), psk::ConfigError);
   EXPECT_THROW(f.net.transfer(0, 4, 10, [] {}), psk::ConfigError);
   EXPECT_THROW(f.net.set_link_bandwidth(9, 10.0), psk::ConfigError);
+}
+
+TEST(Network, NearEqualSmallFlowsCompleteAtDistinctTimes) {
+  // Regression: flow completion used an absolute 1e-6 byte tolerance, so
+  // on a slow link a distinct control message within a sliver of the
+  // minimum-remaining flow was finished early, at the wrong timestamp.
+  Engine engine;
+  Network net{engine, 4, 1.0, 0.0, 1e9, 0.0};  // 1 B/s links, no latency
+  double a = -1, b = -1;
+  net.transfer(0, 1, 2, [&] { a = engine.now(); });
+  // Disjoint node pair, same size, started 100 ns later: when the first
+  // flow finishes, the second has 1e-7 bytes -- 100 ns of link time --
+  // left, well inside the old absolute tolerance.
+  engine.at(1e-7, [&] { net.transfer(2, 3, 2, [&] { b = engine.now(); }); });
+  engine.run();
+  EXPECT_NEAR(a, 2.0, 1e-12);
+  EXPECT_NEAR(b, 2.0 + 1e-7, 1e-12);
+  EXPECT_GT(b, a);
 }
 
 // ------------------------------------------------------------------- Machine

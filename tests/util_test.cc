@@ -199,5 +199,46 @@ TEST(Error, RequireThrows) {
   EXPECT_THROW(require(false, "bad"), ConfigError);
 }
 
+TEST(Cli, ParsePositiveDoublesValidList) {
+  const std::vector<double> values =
+      parse_positive_doubles("10,0.5,5", "--sizes");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 10.0);
+  EXPECT_DOUBLE_EQ(values[1], 0.5);
+  EXPECT_DOUBLE_EQ(values[2], 5.0);
+}
+
+TEST(Cli, ParsePositiveDoublesSingleValue) {
+  const std::vector<double> values = parse_positive_doubles("2.5", "--sizes");
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 2.5);
+}
+
+TEST(Cli, ParsePositiveDoublesRejectsMalformedInput) {
+  // Regression: these used to abort the process inside std::stod instead of
+  // raising a catchable ConfigError naming the flag.
+  EXPECT_THROW(parse_positive_doubles("10,,5", "--sizes"), ConfigError);
+  EXPECT_THROW(parse_positive_doubles("abc", "--sizes"), ConfigError);
+  EXPECT_THROW(parse_positive_doubles("", "--sizes"), ConfigError);
+  EXPECT_THROW(parse_positive_doubles("10,", "--sizes"), ConfigError);
+  EXPECT_THROW(parse_positive_doubles("1.5x", "--sizes"), ConfigError);
+  EXPECT_THROW(parse_positive_doubles("nan", "--sizes"), ConfigError);
+  EXPECT_THROW(parse_positive_doubles("inf", "--sizes"), ConfigError);
+}
+
+TEST(Cli, ParsePositiveDoublesRejectsNonPositive) {
+  EXPECT_THROW(parse_positive_doubles("0", "--sizes"), ConfigError);
+  EXPECT_THROW(parse_positive_doubles("10,-1", "--sizes"), ConfigError);
+}
+
+TEST(Cli, ParsePositiveDoublesErrorNamesFlag) {
+  try {
+    parse_positive_doubles("oops", "--sizes");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("--sizes"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace psk::util

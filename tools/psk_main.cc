@@ -50,8 +50,11 @@ int usage() {
       "  codegen  --skeleton=F --out=F.c        emit the C skeleton program\n"
       "  run      --skeleton=F [--scenario=S] [--seed=N]\n"
       "  predict  --app=A [--class=B] --target=SECONDS [--scenario=S]\n"
-      "  report   --out=F.md [--class=B] [--apps=CG,MG,...]\n"
-      "  info     --trace=F | --signature=F | --skeleton=F\n");
+      "           [--jobs=N]\n"
+      "  report   --out=F.md [--class=B] [--apps=CG,MG,...] [--jobs=N]\n"
+      "  info     --trace=F | --signature=F | --skeleton=F\n"
+      "--jobs=N runs the measurement grid on N worker threads (default: one\n"
+      "per hardware thread; 1 = serial; results are identical either way)\n");
   return 2;
 }
 
@@ -162,16 +165,20 @@ int cmd_predict(const util::Cli& cli) {
   config.app_class = apps::class_from_name(cli.get("class", "B"));
   const double target = cli.get_double("target", 2.0);
   config.skeleton_sizes = {target};
+  config.jobs = static_cast<int>(cli.get_int("jobs", 0));
   core::ExperimentDriver driver(config);
 
   const std::string which = cli.get("scenario", "");
-  std::printf("%-15s %10s %10s %8s\n", "scenario", "predicted", "actual",
-              "error");
+  std::vector<core::GridCell> cells;
   for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
     if (!which.empty() && which != scenario.name) continue;
-    const core::PredictionRecord record =
-        driver.predict(config.benchmarks[0], target, scenario);
-    std::printf("%-15s %8.2f s %8.2f s %7.1f%%%s\n", scenario.name,
+    cells.push_back(core::GridCell{config.benchmarks[0], target, &scenario});
+  }
+  const auto records = driver.predict_cells(cells);
+  std::printf("%-15s %10s %10s %8s\n", "scenario", "predicted", "actual",
+              "error");
+  for (const core::PredictionRecord& record : records) {
+    std::printf("%-15s %8.2f s %8.2f s %7.1f%%%s\n", record.scenario.c_str(),
                 record.predicted, record.app_scenario, record.error_percent,
                 record.good ? "" : "  [skeleton below good size]");
   }
@@ -188,7 +195,11 @@ int cmd_report(const util::Cli& cli) {
     std::string name;
     while (std::getline(in, name, ',')) config.benchmarks.push_back(name);
   }
+  config.jobs = static_cast<int>(cli.get_int("jobs", 0));
   core::ExperimentDriver driver(config);
+  // Evaluate the whole grid through the runner pool up front; the report
+  // loops below then assemble records from warm caches.
+  driver.run_grid();
 
   std::ofstream out(out_path);
   util::require(out.good(), "report: cannot open " + out_path);
