@@ -115,14 +115,36 @@ skeleton::Skeleton SkeletonFramework::construct(const mpi::RankMain& app,
   return make_skeleton(signature, k);
 }
 
+namespace {
+std::uint64_t fnv1a(const char* text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char* p = text; *p != '\0'; ++p) {
+    hash ^= static_cast<unsigned char>(*p);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+}  // namespace
+
 std::uint64_t SkeletonFramework::scenario_run_seed(
     const scenario::Scenario& scenario, std::uint64_t seed_offset) const {
-  if (scenario.kind == scenario::Kind::kDedicated && seed_offset == 0) {
-    return options_.dedicated_seed;
+  // Fault scenarios never take the dedicated fast path (several of them
+  // share Kind::kDedicated because they add no competing load), and they
+  // mix in a hash of their name so each fault scenario gets its own seed
+  // stream.  Non-fault scenarios keep the original derivation exactly, so
+  // pre-fault results stay bit-identical.
+  if (!scenario.has_fault()) {
+    if (scenario.kind == scenario::Kind::kDedicated && seed_offset == 0) {
+      return options_.dedicated_seed;
+    }
+    // Distinct stream per scenario kind and offset.
+    return options_.scenario_seed +
+           static_cast<std::uint64_t>(scenario.kind) * 7919 +
+           seed_offset * 104729;
   }
-  // Distinct stream per scenario kind and offset.
   return options_.scenario_seed +
-         static_cast<std::uint64_t>(scenario.kind) * 7919 + seed_offset * 104729;
+         static_cast<std::uint64_t>(scenario.kind) * 7919 +
+         seed_offset * 104729 + fnv1a(scenario.name);
 }
 
 double SkeletonFramework::run_app(const mpi::RankMain& app,
@@ -132,6 +154,7 @@ double SkeletonFramework::run_app(const mpi::RankMain& app,
   cluster.seed = scenario_run_seed(scenario, seed_offset);
   sim::Machine machine(cluster);
   machine.engine().set_time_limit(options_.run_time_limit);
+  machine.engine().set_wall_deadline(options_.wall_deadline_seconds);
   scenario.apply(machine);
   mpi::World world(machine, options_.ranks, options_.mpi);
   world.launch(app);
@@ -145,6 +168,7 @@ double SkeletonFramework::run_app_controlled(const mpi::RankMain& app) const {
   cluster.net_jitter = 0;
   sim::Machine machine(cluster);
   machine.engine().set_time_limit(options_.run_time_limit);
+  machine.engine().set_wall_deadline(options_.wall_deadline_seconds);
   mpi::World world(machine, options_.ranks, options_.mpi);
   world.launch(app);
   return world.run();
@@ -159,6 +183,7 @@ double SkeletonFramework::run_skeleton(const skeleton::Skeleton& skeleton,
   cluster.seed = scenario_run_seed(scenario, seed_offset);
   sim::Machine machine(cluster);
   machine.engine().set_time_limit(options_.run_time_limit);
+  machine.engine().set_wall_deadline(options_.wall_deadline_seconds);
   scenario.apply(machine);
   mpi::World world(machine, options_.ranks, options_.mpi);
   return skeleton::run_skeleton(world, skeleton, replay);

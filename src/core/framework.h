@@ -43,6 +43,12 @@ struct FrameworkOptions {
   /// DeadlockError (scenario flutter keeps the event queue alive, so a
   /// deadlocked replay would otherwise spin forever).
   double run_time_limit = 1.0e5;
+  /// Wall-clock ceiling per measurement run in real seconds (0 = off).
+  /// A run that exceeds it raises TimeoutError, which sweep executors
+  /// record as a `timeout` cell instead of hanging the whole grid.  Size
+  /// it orders of magnitude above a healthy run: it watches wall time, so
+  /// runs near the limit are not reproducible.
+  double wall_deadline_seconds = 0.0;
 
   static sim::ClusterConfig default_cluster();
 };

@@ -1,0 +1,108 @@
+// Deterministic fault injection for simulated clusters.
+//
+// A FaultSchedule describes, in simulated time, when resources go down and
+// come back: whole-node crash/restart windows, link black-outs (including
+// fast "flapping" via a short period), and transient CPU stalls.  install()
+// arms the schedule on a Machine as self-rescheduling engine events -- the
+// same daemon idiom the sharing scenarios use for flutter -- so a single
+// seeded engine drives all timing and runs stay bit-reproducible.
+//
+// Failure semantics are "fail-stall, memory preserved": a crashed node stops
+// computing and its link carries nothing, but jobs and in-flight messages
+// are paused rather than lost, and resume when the node comes back.  The
+// *cost* of real-world state loss is modelled separately by the coordinated
+// checkpoint/restart layer below: with checkpointing enabled, every restart
+// charges a global rollback stall of restart_cost plus the work executed
+// since the last checkpoint (re-execution), and periodic checkpoints charge
+// a global freeze of checkpoint_cost each.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/time.h"
+
+namespace psk::fault {
+
+/// One node crashes at `first_at`, stays down for `downtime`, then restarts.
+/// With `period > 0` the crash recurs every period (measured from the
+/// previous crash); `period_jitter` perturbs each period multiplicatively
+/// using the machine's seeded RNG, so different seeds explore different
+/// alignments while a fixed seed stays bit-identical.
+struct CrashSpec {
+  int node = 0;
+  sim::Time first_at = 0.0;
+  sim::Time downtime = 0.0;
+  sim::Time period = 0.0;       // 0 = one-shot
+  double period_jitter = 0.0;   // multiplicative uniform amplitude
+};
+
+/// One node's link (both directions) carries zero bytes for `duration`
+/// starting at `first_at`.  A short period + short duration models a
+/// flapping link.  The node keeps computing; messages are delayed, not lost.
+struct LinkOutageSpec {
+  int node = 0;
+  sim::Time first_at = 0.0;
+  sim::Time duration = 0.0;
+  sim::Time period = 0.0;
+  double period_jitter = 0.0;
+};
+
+/// One node's CPUs freeze for `duration` (OS hiccup, thermal throttle, RAS
+/// scrub): jobs pause and resume, the link stays up.
+struct CpuStallSpec {
+  int node = 0;
+  sim::Time first_at = 0.0;
+  sim::Time duration = 0.0;
+  sim::Time period = 0.0;
+  double period_jitter = 0.0;
+};
+
+/// Coordinated (blocking) checkpoint/restart model.  Every `interval`
+/// simulated seconds all nodes freeze for `checkpoint_cost` to take a
+/// consistent snapshot; checkpoints are skipped while any node is crashed.
+/// When a crashed node restarts, all nodes freeze for
+///     restart_cost + (crash_time - last_checkpoint)
+/// charging both the restart protocol and the re-execution of work done
+/// since the last consistent cut.
+struct CheckpointConfig {
+  bool enabled = false;
+  sim::Time interval = 0.0;
+  sim::Time checkpoint_cost = 0.0;
+  sim::Time restart_cost = 0.0;
+};
+
+struct FaultSchedule {
+  std::vector<CrashSpec> crashes;
+  std::vector<LinkOutageSpec> outages;
+  std::vector<CpuStallSpec> stalls;
+  CheckpointConfig checkpoint;
+
+  bool empty() const {
+    return crashes.empty() && outages.empty() && stalls.empty() &&
+           !checkpoint.enabled;
+  }
+};
+
+/// Counters accumulated while the schedule runs; read them after the
+/// simulation completes (the events share ownership, so the pointer stays
+/// valid even if the machine outlives the caller's interest).
+struct FaultStats {
+  int crashes = 0;
+  int restarts = 0;
+  int outages = 0;
+  int stalls = 0;
+  int checkpoints = 0;
+  int rollbacks = 0;
+  /// Simulated seconds of progress re-executed after rollbacks (the
+  /// crash-to-last-checkpoint gaps).
+  double reexecuted = 0.0;
+};
+
+/// Arms `schedule` on `machine` as daemon events and returns the live stats.
+/// Call before Engine::run(); validates node indices and durations.
+std::shared_ptr<const FaultStats> install(sim::Machine& machine,
+                                          const FaultSchedule& schedule);
+
+}  // namespace psk::fault

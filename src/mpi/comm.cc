@@ -48,11 +48,64 @@ Request Comm::irecv_internal(int src, int tag) {
 
 sim::Task Comm::wait_internal(Request request) {
   util::require(request.valid(), "wait on invalid request");
-  if (!engine_->request_done(rank_, request)) {
+  const sim::Time timeout = engine_->config().op_timeout;
+  if (timeout <= 0) {
+    // Untimed legacy path: wait forever (a lost peer shows up as deadlock).
+    if (!engine_->request_done(rank_, request)) {
+      co_await sim::make_awaitable([this, request](std::function<void()> r) {
+        engine_->set_waiter(rank_, request, std::move(r));
+      });
+    }
+    co_return;
+  }
+
+  // Timed path: race the request waiter against a timer, retrying with an
+  // exponentially growing window.  Transient faults (node down, link flap)
+  // cost expiries but complete once the fault clears; a permanently lost
+  // peer throws TimeoutError after op_max_retries expiries instead of
+  // hanging the simulation.
+  sim::Time window = timeout;
+  int expiries = 0;
+  while (!engine_->request_done(rank_, request)) {
+    // Whichever side loses the race may still fire later, after this frame
+    // has moved on, so the guard and resume thunk live on the heap, owned by
+    // the two event closures.  The awaitable's start lambda must capture only
+    // trivially-destructible state: like all other AwaitCallback users here
+    // it may be torn down more than once by the coroutine machinery, so a
+    // shared_ptr captured there would be over-released (caught by ASan).
+    struct WaitRace {
+      bool settled = false;
+      std::function<void()> resume;
+    };
+    auto race = std::make_shared<WaitRace>();
+    sim::EventQueue::Handle timer;
     co_await sim::make_awaitable(
-        [this, request](std::function<void()> resume) {
-          engine_->set_waiter(rank_, request, std::move(resume));
+        [this, request, window, &race,
+         &timer](std::function<void()> resume) {
+          race->resume = std::move(resume);
+          auto fire = [race = race] {
+            if (race->settled) return;
+            race->settled = true;
+            race->resume();
+          };
+          engine_->set_waiter(rank_, request, fire);
+          timer = engine_->machine().engine().after(window, std::move(fire));
         });
+    if (engine_->request_done(rank_, request)) {
+      timer.cancel();
+      break;
+    }
+    // Timer won: deregister the stale waiter before the next set_waiter.
+    engine_->cancel_waiter(rank_, request);
+    engine_->record_wait_timeout();
+    ++expiries;
+    if (expiries > engine_->config().op_max_retries) {
+      throw TimeoutError(
+          "MPI wait timed out on rank " + std::to_string(rank_) + " after " +
+          std::to_string(expiries) + " expiries (last window " +
+          std::to_string(window) + " s simulated); peer presumed lost");
+    }
+    window *= 2;
   }
 }
 

@@ -49,6 +49,13 @@ void MessageEngine::set_waiter(int rank, Request request,
   state.waiter = std::move(resume);
 }
 
+void MessageEngine::cancel_waiter(int rank, Request request) {
+  auto& state = requests_[static_cast<std::size_t>(rank)][request.id];
+  util::require(!state.done,
+                "MessageEngine: cancel_waiter on completed request");
+  state.waiter = nullptr;
+}
+
 void MessageEngine::complete_request(int rank, std::uint32_t id) {
   if (id == Request::kInvalid) return;
   auto& state = requests_[static_cast<std::size_t>(rank)][id];

@@ -48,8 +48,17 @@ class MessageEngine {
   /// !request_done(rank, request) and no waiter registered yet.
   void set_waiter(int rank, Request request, std::function<void()> resume);
 
+  /// Drops the registered waiter of a still-incomplete request (a timed
+  /// wait whose timer won the race deregisters itself before retrying).
+  void cancel_waiter(int rank, Request request);
+
   /// Total messages fully delivered (for tests and reporting).
   std::uint64_t messages_delivered() const { return delivered_; }
+
+  /// Timed-wait expiries observed across all ranks (each backoff retry
+  /// counts once); a cheap health signal for fault experiments.
+  std::uint64_t wait_timeouts() const { return wait_timeouts_; }
+  void record_wait_timeout() { ++wait_timeouts_; }
 
  private:
   struct Message {
@@ -88,6 +97,7 @@ class MessageEngine {
   std::map<ChannelKey, Channel> channels_;
   std::vector<std::vector<RequestState>> requests_;  // [rank][id]
   std::uint64_t delivered_ = 0;
+  std::uint64_t wait_timeouts_ = 0;
 };
 
 }  // namespace psk::mpi

@@ -132,6 +132,15 @@ struct MpiConfig {
   /// Additional overhead per call while a CallObserver is attached (models
   /// the profiling library's cost; the paper reports it is well under 1%).
   sim::Time trace_overhead = 0.3e-6;
+  /// Timed waits: when > 0, every blocking wait on a request races a timer
+  /// of this many simulated seconds.  On expiry the wait re-arms with a
+  /// doubled window (exponential backoff), so transient faults -- a node
+  /// down for a while, a flapping link -- cost retries but complete; after
+  /// `op_max_retries` expiries the wait throws TimeoutError instead of
+  /// hanging forever.  0 (the default) keeps the untimed legacy path, which
+  /// is bit-identical to pre-timeout behaviour.
+  sim::Time op_timeout = 0.0;
+  int op_max_retries = 8;
 };
 
 }  // namespace psk::mpi

@@ -1,0 +1,195 @@
+#include "runner/journal.h"
+
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace psk::runner {
+
+namespace {
+
+// Journal line format (text, one completed cell per line):
+//     <key> TAB <status> TAB <payload-or-detail> NEWLINE
+// Keys and payloads are escaped (backslash, tab, newline), so a literal TAB
+// only ever separates fields and a literal NEWLINE only ever ends a record.
+// A line without its trailing newline -- the process died mid-append -- is
+// ignored on replay, as is any line that fails to parse; later records for
+// the same key win, so an interrupted-then-resumed journal stays valid.
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool unescape(const std::string& text, std::string& out) {
+  out.clear();
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (++i == text.size()) return false;  // trailing backslash: truncated
+    switch (text[i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+bool status_from_name(const std::string& name, CellResult::Status& status) {
+  if (name == "ok") status = CellResult::Status::kOk;
+  else if (name == "failed") status = CellResult::Status::kFailed;
+  else if (name == "timeout") status = CellResult::Status::kTimeout;
+  else return false;
+  return true;
+}
+
+/// Parses one complete journal line (newline already stripped).
+bool parse_line(const std::string& line, std::string& key,
+                CellResult& result) {
+  const std::size_t tab1 = line.find('\t');
+  if (tab1 == std::string::npos) return false;
+  const std::size_t tab2 = line.find('\t', tab1 + 1);
+  if (tab2 == std::string::npos) return false;
+  if (!unescape(line.substr(0, tab1), key)) return false;
+  if (!status_from_name(line.substr(tab1 + 1, tab2 - tab1 - 1),
+                        result.status)) {
+    return false;
+  }
+  std::string text;
+  if (!unescape(line.substr(tab2 + 1), text)) return false;
+  if (result.status == CellResult::Status::kOk) {
+    result.payload = std::move(text);
+    result.detail.clear();
+  } else {
+    result.payload.clear();
+    result.detail = std::move(text);
+  }
+  return true;
+}
+
+void replay(const std::string& path,
+            const std::unordered_map<std::string, std::size_t>& index_of,
+            std::vector<CellResult>& results, std::vector<char>& have) {
+  std::ifstream in(path);
+  if (!in) return;  // nothing journaled yet: run everything
+  std::string line;
+  std::size_t ignored = 0;
+  // getline() consumes the final unterminated fragment too, but the eof
+  // flag distinguishes it: a record is only trusted when its newline made
+  // it to disk.
+  while (std::getline(in, line)) {
+    if (in.eof()) break;  // truncated final line: the append was cut short
+    std::string key;
+    CellResult result;
+    if (!parse_line(line, key, result)) {
+      ++ignored;
+      continue;
+    }
+    const auto it = index_of.find(key);
+    if (it == index_of.end()) {
+      ++ignored;  // journal from a different grid: don't trust it blindly
+      continue;
+    }
+    results[it->second] = std::move(result);
+    have[it->second] = 1;
+  }
+  if (ignored > 0) {
+    util::log_warn() << "journal " << path << ": ignored " << ignored
+                     << " unparsable or unknown-key line(s)";
+  }
+}
+
+}  // namespace
+
+std::string status_name(CellResult::Status status) {
+  switch (status) {
+    case CellResult::Status::kOk: return "ok";
+    case CellResult::Status::kFailed: return "failed";
+    case CellResult::Status::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::vector<CellResult> journaled_sweep(
+    const std::vector<std::string>& keys,
+    const std::function<std::string(std::size_t)>& body,
+    const JournaledSweepOptions& options) {
+  std::unordered_map<std::string, std::size_t> index_of;
+  index_of.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    util::require(index_of.emplace(keys[i], i).second,
+                  "journaled_sweep: duplicate cell key: " + keys[i]);
+  }
+
+  std::vector<CellResult> results(keys.size());
+  std::vector<char> have(keys.size(), 0);
+  if (options.resume && !options.journal_path.empty()) {
+    replay(options.journal_path, index_of, results, have);
+  }
+
+  std::ofstream journal;
+  std::mutex journal_mutex;
+  if (!options.journal_path.empty()) {
+    journal.open(options.journal_path, options.resume
+                                           ? std::ios::out | std::ios::app
+                                           : std::ios::out | std::ios::trunc);
+    util::require(journal.is_open(), "journaled_sweep: cannot open journal " +
+                                         options.journal_path);
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!have[i]) pending.push_back(i);
+  }
+
+  SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs;
+  sweep(
+      pending.size(),
+      [&](std::size_t p) {
+        const std::size_t i = pending[p];
+        CellResult result;
+        try {
+          result.payload = body(i);
+        } catch (const TimeoutError& e) {
+          result.status = CellResult::Status::kTimeout;
+          result.detail = e.what();
+        } catch (const std::exception& e) {
+          result.status = CellResult::Status::kFailed;
+          result.detail = e.what();
+        }
+        if (journal.is_open()) {
+          const std::string& text =
+              result.status == CellResult::Status::kOk ? result.payload
+                                                       : result.detail;
+          const std::string line = escape(keys[i]) + '\t' +
+                                   status_name(result.status) + '\t' +
+                                   escape(text) + '\n';
+          const std::lock_guard<std::mutex> lock(journal_mutex);
+          journal << line << std::flush;
+        }
+        results[i] = std::move(result);
+      },
+      sweep_options);
+  return results;
+}
+
+}  // namespace psk::runner

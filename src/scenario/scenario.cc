@@ -1,7 +1,9 @@
 #include "scenario/scenario.h"
 
 #include <array>
+#include <string>
 
+#include "fault/fault.h"
 #include "util/error.h"
 
 namespace psk::scenario {
@@ -80,6 +82,37 @@ void Scenario::apply(sim::Machine& machine) const {
       schedule_cpu_flutter(machine, affected_node, *this);
       break;
   }
+  if (has_fault()) {
+    fault::FaultSchedule schedule;
+    switch (fault.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kCrashNode:
+        schedule.crashes.push_back({affected_node, fault.first_at,
+                                    fault.downtime, fault.period,
+                                    fault.period_jitter});
+        break;
+      case FaultKind::kLinkOutage:
+        schedule.outages.push_back({affected_node, fault.first_at,
+                                    fault.downtime, fault.period,
+                                    fault.period_jitter});
+        break;
+      case FaultKind::kCpuStall:
+        schedule.stalls.push_back({affected_node, fault.first_at,
+                                   fault.downtime, fault.period,
+                                   fault.period_jitter});
+        break;
+    }
+    if (fault.checkpoint_interval > 0) {
+      schedule.checkpoint.enabled = true;
+      schedule.checkpoint.interval = fault.checkpoint_interval;
+      schedule.checkpoint.checkpoint_cost = fault.checkpoint_cost;
+      schedule.checkpoint.restart_cost = fault.restart_cost;
+    }
+    // The armed events share ownership of the stats block; callers who want
+    // the counters can call fault::install themselves.
+    fault::install(machine, schedule);
+  }
 }
 
 namespace {
@@ -109,6 +142,40 @@ constexpr Scenario kMemoryHogScenario{
     Kind::kMemOneNode, "mem-one-node",
     "one memory-bound competitor on one node", 1, 5.0e9, 1.25e6, 0, 0.18,
     3.0, 0.30, 25.0};
+
+// Fault profiles are recurring (MTBF-style) rather than one-shot so that
+// both a long application run and a short skeleton run sample them; the
+// skeleton typically sees fewer windows, and that sampling gap is exactly
+// the graceful-degradation story the ext_faults bench measures.
+constexpr FaultProfile kCrashProfile{FaultKind::kCrashNode, 20.0, 10.0, 60.0,
+                                     0.10};
+constexpr FaultProfile kFlapProfile{FaultKind::kLinkOutage, 5.0, 1.5, 7.0,
+                                    0.20};
+constexpr FaultProfile kStallProfile{FaultKind::kCpuStall, 5.0, 2.0, 15.0,
+                                     0.20};
+constexpr FaultProfile kCheckpointedCrashProfile{
+    FaultKind::kCrashNode, 20.0, 10.0, 60.0, 0.10, 30.0, 1.0, 2.0};
+
+constexpr std::array<Scenario, 6> kFaultScenarios = {{
+    {Kind::kDedicated, "crash-one-node",
+     "one node crashes ~every 60s and restarts 10s later", 2, 0.0, 1.25e6, 0,
+     0.0, 0.0, 0.0, 0.0, kCrashProfile},
+    {Kind::kDedicated, "flap-one-link",
+     "one link flaps: 1.5s black-outs ~every 7s", 2, 0.0, 1.25e6, 0, 0.0,
+     0.0, 0.0, 0.0, kFlapProfile},
+    {Kind::kDedicated, "crash-checkpointed",
+     "crash-one-node under 30s coordinated checkpoints with rollback", 2,
+     0.0, 1.25e6, 0, 0.0, 0.0, 0.0, 0.0, kCheckpointedCrashProfile},
+    {Kind::kDedicated, "stall-one-node",
+     "one node's CPUs freeze 2s ~every 15s (link stays up)", 2, 0.0, 1.25e6,
+     0, 0.0, 0.0, 0.0, 0.0, kStallProfile},
+    {Kind::kCpuOneNode, "crash-plus-cpu",
+     "crash-one-node plus two competing processes on the same node", 2, 0.0,
+     1.25e6, 0, 0.18, 3.0, 0.30, 25.0, kCrashProfile},
+    {Kind::kNetOneLink, "flap-plus-net",
+     "flap-one-link plus the same link shaped to 10 Mbps", 2, 0.0, 1.25e6, 0,
+     0.18, 3.0, 0.30, 25.0, kFlapProfile},
+}};
 }  // namespace
 
 std::span<const Scenario> paper_scenarios() { return kPaperScenarios; }
@@ -117,13 +184,29 @@ const Scenario& dedicated() { return kDedicatedScenario; }
 
 const Scenario& memory_hog() { return kMemoryHogScenario; }
 
+std::span<const Scenario> fault_scenarios() { return kFaultScenarios; }
+
 const Scenario& find_scenario(const std::string& name) {
   if (name == kDedicatedScenario.name) return kDedicatedScenario;
   if (name == kMemoryHogScenario.name) return kMemoryHogScenario;
   for (const Scenario& scenario : kPaperScenarios) {
     if (name == scenario.name) return scenario;
   }
-  throw ConfigError("unknown scenario: " + name);
+  for (const Scenario& scenario : kFaultScenarios) {
+    if (name == scenario.name) return scenario;
+  }
+  std::string valid = kDedicatedScenario.name;
+  for (const Scenario& scenario : kPaperScenarios) {
+    valid += ", ";
+    valid += scenario.name;
+  }
+  valid += ", ";
+  valid += kMemoryHogScenario.name;
+  for (const Scenario& scenario : kFaultScenarios) {
+    valid += ", ";
+    valid += scenario.name;
+  }
+  throw ConfigError("unknown scenario: " + name + " (valid: " + valid + ")");
 }
 
 }  // namespace psk::scenario

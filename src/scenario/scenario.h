@@ -1,4 +1,5 @@
-// The paper's resource-sharing scenarios (section 4.2).
+// The paper's resource-sharing scenarios (section 4.2), plus fault
+// extensions.
 //
 // Five sharing configurations plus the dedicated baseline:
 //   S1  two competing compute processes on one node
@@ -8,6 +9,17 @@
 //   S5  S1 + S3 (one loaded node, one shaped link)
 // "At least two processes are required to create significant CPU contention
 // on dual processor nodes."
+//
+// The fault extensions go beyond the paper: resources do not merely degrade,
+// they go away and come back (node crash/restart windows, link black-outs
+// and flaps, transient CPU stalls, optionally under a coordinated
+// checkpoint/restart model):
+//   F1  one node crashes mid-run and restarts
+//   F2  one link flaps (periodic short black-outs)
+//   F3  F1 under periodic coordinated checkpoints with rollback on restart
+// plus a transient CPU-stall scenario and fault x sharing composites.  A
+// fault profile composes with the sharing Kind, so a composite is just a
+// sharing scenario that also carries a fault.
 #pragma once
 
 #include <span>
@@ -27,6 +39,33 @@ enum class Kind {
   /// Extension (not one of the paper's five): a memory-bound competitor on
   /// one node -- cores stay free, the memory bus contends.
   kMemOneNode,
+};
+
+/// What kind of fault the scenario injects (orthogonal to the sharing Kind).
+enum class FaultKind {
+  kNone,
+  /// The affected node crashes, stays down, and restarts (recurring with
+  /// `period` so short skeleton runs can sample it too).
+  kCrashNode,
+  /// The affected node's link carries zero bytes for `downtime` at a time
+  /// (a short period models a flapping link).
+  kLinkOutage,
+  /// The affected node's CPUs freeze transiently; its link stays up.
+  kCpuStall,
+};
+
+/// Constexpr-friendly fault description; expanded to a fault::FaultSchedule
+/// by Scenario::apply().  Times are simulated seconds.
+struct FaultProfile {
+  FaultKind kind = FaultKind::kNone;
+  sim::Time first_at = 0.0;
+  sim::Time downtime = 0.0;
+  sim::Time period = 0.0;       // 0 = one-shot
+  double period_jitter = 0.0;   // multiplicative, drawn from the machine RNG
+  /// Coordinated checkpoint/restart knobs (enabled when interval > 0).
+  sim::Time checkpoint_interval = 0.0;
+  sim::Time checkpoint_cost = 0.0;
+  sim::Time restart_cost = 0.0;
 };
 
 struct Scenario {
@@ -58,7 +97,14 @@ struct Scenario {
   double net_flutter = 0.30;
   double net_flutter_period = 25.0;
 
-  /// Applies the sharing configuration to a freshly built machine.
+  /// Fault injected on top of the sharing configuration (kNone for the
+  /// paper's scenarios).
+  FaultProfile fault;
+
+  bool has_fault() const { return fault.kind != FaultKind::kNone; }
+
+  /// Applies the sharing configuration (and fault schedule, if any) to a
+  /// freshly built machine.
   void apply(sim::Machine& machine) const;
 };
 
@@ -72,7 +118,13 @@ const Scenario& dedicated();
 /// core free; contends only for the memory bus).
 const Scenario& memory_hog();
 
-/// Lookup by name ("cpu-one-node", ...); throws ConfigError when unknown.
+/// The fault scenarios: F1 crash-one-node, F2 flap-one-link, F3
+/// crash-checkpointed, stall-one-node, and the fault x sharing composites
+/// crash-plus-cpu and flap-plus-net.
+std::span<const Scenario> fault_scenarios();
+
+/// Lookup by name ("cpu-one-node", "crash-one-node", ...); throws
+/// ConfigError listing the valid names when unknown.
 const Scenario& find_scenario(const std::string& name);
 
 }  // namespace psk::scenario

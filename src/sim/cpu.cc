@@ -19,6 +19,7 @@ CpuNode::CpuNode(Engine& engine, int cores, double speed)
 }
 
 double CpuNode::per_job_rate() const {
+  if (stall_depth_ > 0) return 0.0;
   const std::size_t n = jobs_.size();
   if (n == 0) return speed_;
   const double share =
@@ -31,6 +32,19 @@ void CpuNode::set_speed(double speed) {
   util::require(speed > 0, "CpuNode: speed must be positive");
   sync();
   speed_ = speed;
+  reschedule();
+}
+
+void CpuNode::push_stall() {
+  sync();
+  ++stall_depth_;
+  reschedule();
+}
+
+void CpuNode::pop_stall() {
+  util::require(stall_depth_ > 0, "CpuNode::pop_stall: not stalled");
+  sync();
+  --stall_depth_;
   reschedule();
 }
 
@@ -74,6 +88,10 @@ void CpuNode::sync() {
 void CpuNode::reschedule() {
   pending_.cancel();
   const double base = per_job_rate();
+  // Stalled node: nothing progresses, so no completion can become due (a
+  // zero rate would otherwise produce NaN/inf ETAs below).  pop_stall()
+  // reschedules when the node comes back.
+  if (base <= 0) return;
   const double throttled = base * memory_throttle();
   Time min_eta = std::numeric_limits<Time>::infinity();
   for (const Job& job : jobs_) {
@@ -95,6 +113,7 @@ void CpuNode::on_completion_event() {
   // minimum-ETA set; with mixed memory intensities the ETA ordering can
   // differ from the remaining-work ordering, so compare ETAs.
   const double base = per_job_rate();
+  if (base <= 0) return;  // stalled between scheduling and firing
   const double throttled = base * memory_throttle();
   const auto eta_of = [&](const Job& job) {
     const double rate = job.mem_intensity > 0 ? throttled : base;

@@ -51,6 +51,16 @@ class CpuNode {
   /// Removes up to `count` persistent competing processes.
   void remove_load(int count);
 
+  /// Fault hooks: while the stall depth is positive the node makes no
+  /// progress at all (crashed node, transient OS stall, or a coordinated
+  /// checkpoint freeze).  Depths nest so overlapping causes compose -- a
+  /// crash during a checkpoint freeze keeps the node down until both end.
+  /// Jobs are not lost; they resume where they stopped when the last cause
+  /// clears (rollback cost is modelled separately by psk::fault).
+  void push_stall();
+  void pop_stall();
+  bool stalled() const { return stall_depth_ > 0; }
+
   /// Scheduler-unfairness factor applied to *application* jobs while the
   /// node is oversubscribed (more runnable jobs than cores).  Real
   /// schedulers do not divide time perfectly evenly among competitors; the
@@ -101,6 +111,7 @@ class CpuNode {
   Engine& engine_;
   int cores_;
   double speed_;
+  int stall_depth_ = 0;
   double unfairness_ = 1.0;
   double mem_bandwidth_ = 1e300;  // effectively unlimited by default
   int load_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include <chrono>
 #include <string>
 
 #include "util/error.h"
@@ -26,9 +27,28 @@ void Engine::spawn(Task task) {
 }
 
 void Engine::run() {
+  // Wall-clock watchdog state.  The check costs one branch per event in the
+  // common (disabled) case and one clock read per kCheckStride events when
+  // armed, so even hung simulations notice the deadline promptly.
+  constexpr std::uint64_t kCheckStride = 1024;
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t next_check = dispatched_ + kCheckStride;
+
   Time t = 0.0;
   EventQueue::Callback callback;
   while (queue_.pop(t, callback)) {
+    if (wall_deadline_ > 0 && dispatched_ >= next_check) {
+      next_check = dispatched_ + kCheckStride;
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - wall_start;
+      if (elapsed.count() > wall_deadline_) {
+        throw TimeoutError(
+            "simulation wall deadline exceeded (" +
+            std::to_string(wall_deadline_) + " s wall) at t=" +
+            std::to_string(now_) + " with " +
+            std::to_string(unfinished_tasks()) + " tasks unfinished");
+      }
+    }
     if (t > time_limit_) {
       throw DeadlockError(
           "simulation time limit exceeded (" + std::to_string(time_limit_) +

@@ -48,6 +48,16 @@ class Engine {
   void set_time_limit(Time limit) { time_limit_ = limit; }
   Time time_limit() const { return time_limit_; }
 
+  /// Per-simulation deadline watchdog: run() throws TimeoutError once this
+  /// many wall-clock seconds elapse (0 disables).  Simulations are pure
+  /// event loops, so a hung run is an unbounded event churn -- the check
+  /// runs between events and converts the hang into a catchable error that
+  /// sweep executors record as a `timeout` cell.  Note this watches *wall*
+  /// time: runs near the deadline are not reproducible, so size it orders
+  /// of magnitude above a healthy run.
+  void set_wall_deadline(double seconds) { wall_deadline_ = seconds; }
+  double wall_deadline() const { return wall_deadline_; }
+
   /// Number of spawned tasks that have not completed.
   std::size_t unfinished_tasks() const;
 
@@ -76,6 +86,7 @@ class Engine {
   bool task_failed_ = false;
   Time now_ = 0.0;
   Time time_limit_ = 1.0e9;  // ~30 simulated years: any real run is shorter
+  double wall_deadline_ = 0.0;
   std::uint64_t dispatched_ = 0;
   util::Rng rng_;
 };

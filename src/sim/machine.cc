@@ -30,6 +30,7 @@ Machine::Machine(const ClusterConfig& config)
     nodes_.emplace_back(engine_, config.cores_per_node, config.cpu_speed);
     nodes_.back().set_memory_bandwidth(config.memory_bandwidth_bps);
   }
+  crash_depth_.assign(static_cast<std::size_t>(config.nodes), 0);
 }
 
 CpuNode& Machine::node(int index) {
@@ -37,6 +38,38 @@ CpuNode& Machine::node(int index) {
                 "Machine::node: index " + std::to_string(index) +
                     " out of range");
   return nodes_[static_cast<std::size_t>(index)];
+}
+
+void Machine::crash_node(int index) {
+  CpuNode& target = node(index);  // validates the index
+  ++crash_depth_[static_cast<std::size_t>(index)];
+  target.push_stall();
+  network_.push_link_fault(index);
+}
+
+void Machine::restore_node(int index) {
+  node(index);
+  util::require(crash_depth_[static_cast<std::size_t>(index)] > 0,
+                "Machine::restore_node: node " + std::to_string(index) +
+                    " is not crashed");
+  --crash_depth_[static_cast<std::size_t>(index)];
+  nodes_[static_cast<std::size_t>(index)].pop_stall();
+  network_.pop_link_fault(index);
+}
+
+bool Machine::node_up(int index) const {
+  util::require(index >= 0 && index < config_.nodes,
+                "Machine::node_up: index " + std::to_string(index) +
+                    " out of range");
+  return crash_depth_[static_cast<std::size_t>(index)] == 0;
+}
+
+void Machine::stall_all_nodes() {
+  for (CpuNode& n : nodes_) n.push_stall();
+}
+
+void Machine::resume_all_nodes() {
+  for (CpuNode& n : nodes_) n.pop_stall();
 }
 
 void Machine::compute(int node_index, double work,

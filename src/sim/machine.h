@@ -56,6 +56,22 @@ class Machine {
   CpuNode& node(int index);
   Network& network() { return network_; }
 
+  /// Fault hooks (see psk::fault for scheduling).  A crashed node stops
+  /// computing and its link carries no traffic until restored; state is not
+  /// lost -- jobs and in-flight messages resume where they paused
+  /// (rollback/re-execution cost is the checkpoint model's job).  Effects
+  /// nest with the global stall below (a crash during a checkpoint freeze
+  /// keeps the node down until both clear).
+  void crash_node(int index);
+  void restore_node(int index);
+  bool node_up(int index) const;
+
+  /// Coordinated freeze of every node's CPUs (the blocking-checkpoint and
+  /// rollback model): computation pauses everywhere, in-flight messages
+  /// keep draining.  Calls nest.
+  void stall_all_nodes();
+  void resume_all_nodes();
+
   /// Computation of `work` work-seconds on a node (cpu jitter applied).
   /// `mem_bytes` is the memory traffic of the phase (0 = cache resident).
   void compute(int node, double work, std::function<void()> on_complete,
@@ -84,6 +100,7 @@ class Machine {
   Engine engine_;
   std::vector<CpuNode> nodes_;
   Network network_;
+  std::vector<int> crash_depth_;
 };
 
 }  // namespace psk::sim

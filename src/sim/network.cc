@@ -21,7 +21,8 @@ Network::Network(Engine& engine, int node_count, double bandwidth_bps,
       local_bandwidth_(local_bandwidth_bps),
       local_latency_(local_latency),
       up_(static_cast<std::size_t>(node_count), bandwidth_bps),
-      down_(static_cast<std::size_t>(node_count), bandwidth_bps) {
+      down_(static_cast<std::size_t>(node_count), bandwidth_bps),
+      fault_depth_(static_cast<std::size_t>(node_count), 0) {
   util::require(node_count >= 1, "Network: need at least one node");
   util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
   util::require(local_bandwidth_bps > 0,
@@ -65,6 +66,27 @@ double Network::uplink_bandwidth(int node) const {
 double Network::downlink_bandwidth(int node) const {
   check_node(node);
   return down_[static_cast<std::size_t>(node)];
+}
+
+void Network::push_link_fault(int node) {
+  check_node(node);
+  sync();
+  ++fault_depth_[static_cast<std::size_t>(node)];
+  rerate();
+}
+
+void Network::pop_link_fault(int node) {
+  check_node(node);
+  util::require(fault_depth_[static_cast<std::size_t>(node)] > 0,
+                "Network::pop_link_fault: link not faulted");
+  sync();
+  --fault_depth_[static_cast<std::size_t>(node)];
+  rerate();
+}
+
+bool Network::link_up(int node) const {
+  check_node(node);
+  return fault_depth_[static_cast<std::size_t>(node)] == 0;
 }
 
 void Network::transfer(int src, int dst, std::uint64_t bytes,
@@ -129,15 +151,27 @@ void Network::rerate() {
   pending_.cancel();
   if (flows_.empty()) return;
 
+  // Paused flows (an endpoint's link is faulted) progress at rate zero and
+  // release their share of the healthy endpoint's link to active traffic.
+  const auto paused = [this](const Flow& flow) {
+    return fault_depth_[static_cast<std::size_t>(flow.src)] > 0 ||
+           fault_depth_[static_cast<std::size_t>(flow.dst)] > 0;
+  };
+
   std::vector<int> out(static_cast<std::size_t>(node_count_), 0);
   std::vector<int> in(static_cast<std::size_t>(node_count_), 0);
   for (const Flow& flow : flows_) {
+    if (paused(flow)) continue;
     ++out[static_cast<std::size_t>(flow.src)];
     ++in[static_cast<std::size_t>(flow.dst)];
   }
 
   Time min_eta = std::numeric_limits<Time>::infinity();
   for (Flow& flow : flows_) {
+    if (paused(flow)) {
+      flow.rate = 0.0;
+      continue;
+    }
     const double up_share = up_[static_cast<std::size_t>(flow.src)] /
                             out[static_cast<std::size_t>(flow.src)];
     const double down_share = down_[static_cast<std::size_t>(flow.dst)] /
@@ -160,7 +194,12 @@ void Network::on_completion_event() {
   // below the clock's ULP.
   double min_remaining = std::numeric_limits<double>::infinity();
   for (const Flow& flow : flows_) {
-    if (!flow.background) min_remaining = std::min(min_remaining, flow.remaining);
+    // Paused (rate-zero) flows never complete here, and must not drag
+    // min_remaining down: a nearly-finished flow stuck behind a link fault
+    // would otherwise "complete" an unrelated active flow early.
+    if (!flow.background && flow.rate > 0) {
+      min_remaining = std::min(min_remaining, flow.remaining);
+    }
   }
   if (min_remaining == std::numeric_limits<double>::infinity()) return;
 
@@ -175,7 +214,7 @@ void Network::on_completion_event() {
   std::vector<std::function<void()>> finished;
   auto it = flows_.begin();
   while (it != flows_.end()) {
-    if (!it->background &&
+    if (!it->background && it->rate > 0 &&
         it->remaining <= min_remaining + it->rate * clock_ulp) {
       finished.push_back(std::move(it->on_complete));
       it = flows_.erase(it);

@@ -46,6 +46,15 @@ class Network {
   double downlink_bandwidth(int node) const;
   Time latency() const { return latency_; }
 
+  /// Fault hooks: while a node's fault depth is positive, both directions
+  /// of its link carry zero bytes (black-out, flap, or crashed node).
+  /// Flows are paused, not dropped -- bytes in flight resume when the last
+  /// fault clears.  Depths nest so overlapping causes compose.  Intra-node
+  /// (shared-memory) copies are unaffected.
+  void push_link_fault(int node);
+  void pop_link_fault(int node);
+  bool link_up(int node) const;
+
   /// Starts a transfer of `bytes` from `src` to `dst`; `on_complete` fires
   /// when the last byte arrives.  Zero-byte transfers still pay latency.
   void transfer(int src, int dst, std::uint64_t bytes,
@@ -86,6 +95,7 @@ class Network {
   Time local_latency_;
   std::vector<double> up_;
   std::vector<double> down_;
+  std::vector<int> fault_depth_;
   std::list<Flow> flows_;
   Time last_sync_ = 0.0;
   EventQueue::Handle pending_;

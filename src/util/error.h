@@ -36,6 +36,15 @@ class FormatError : public Error {
   explicit FormatError(const std::string& what) : Error(what) {}
 };
 
+/// An operation exceeded its configured deadline: a timed MPI wait ran out
+/// of retries (the peer's node stayed down), or a simulation blew its
+/// wall-clock watchdog budget.  Sweep executors record these as `timeout`
+/// cells instead of failing the whole run.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace util {
 
 /// Throws ConfigError with `what` when `cond` is false.

@@ -1,11 +1,14 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace psk::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +22,16 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level || message.empty()) return;
+  if (level < log_level() || message.empty()) return;
+  // One formatted write per line so concurrent pool workers never
+  // interleave their output mid-line.
+  std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

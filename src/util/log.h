@@ -1,8 +1,10 @@
 // Minimal leveled logging to stderr.
 //
 // The libraries are quiet by default; benches and examples raise the level
-// for progress output.  Not thread-safe by design: the simulator is
-// single-threaded and deterministic.
+// for progress output.  Thread-safe: each simulation is single-threaded,
+// but the runner pool executes many simulations concurrently and their
+// progress lines must not interleave mid-line, so log_line performs one
+// formatted write under a mutex.
 #pragma once
 
 #include <sstream>

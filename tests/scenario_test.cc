@@ -28,6 +28,39 @@ TEST(Scenarios, FindByName) {
   EXPECT_THROW(find_scenario("nope"), psk::ConfigError);
 }
 
+TEST(Scenarios, UnknownNameErrorListsValidNames) {
+  try {
+    find_scenario("crash-one-nod");  // near miss
+    FAIL() << "expected ConfigError";
+  } catch (const psk::ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("crash-one-nod"), std::string::npos) << what;
+    // The message enumerates every registry: dedicated, paper sharing,
+    // memory extension, and fault scenarios.
+    EXPECT_NE(what.find("dedicated"), std::string::npos) << what;
+    EXPECT_NE(what.find("cpu-one-node"), std::string::npos) << what;
+    EXPECT_NE(what.find("mem-one-node"), std::string::npos) << what;
+    EXPECT_NE(what.find("crash-one-node"), std::string::npos) << what;
+    EXPECT_NE(what.find("flap-one-link"), std::string::npos) << what;
+  }
+}
+
+TEST(Scenarios, FaultRegistryAppliesInjection) {
+  // A fault scenario's apply() must arm the schedule: the crash window
+  // pushes the run time of a fixed compute task past its fault-free value.
+  sim::ClusterConfig config = quiet_cluster();
+  sim::Machine machine(config);
+  find_scenario("crash-one-node").apply(machine);
+  double done_at = -1;
+  machine.engine().spawn([](sim::Machine& m, double& done) -> sim::Task {
+    co_await m.compute_await(0, 30.0);
+    done = m.engine().now();
+  }(machine, done_at));
+  machine.engine().run();
+  // First crash at t=20 for 10 s: 30 s of work cannot finish before t=40.
+  EXPECT_GE(done_at, 40.0);
+}
+
 TEST(Scenarios, DedicatedLeavesMachineUntouched) {
   sim::Machine machine(quiet_cluster());
   dedicated().apply(machine);

@@ -1,7 +1,7 @@
 // psk: command-line front end for the performance-skeleton framework.
 //
 //   psk apps                               list bundled benchmarks
-//   psk scenarios                          list sharing scenarios
+//   psk scenarios                          list sharing and fault scenarios
 //   psk trace    --app=LU [--class=B] --out=lu.trace
 //   psk compress --trace=lu.trace [--target-ratio=30] --out=lu.sig
 //   psk skeleton --trace=lu.trace --target=2.0 --out=lu.skel
@@ -43,7 +43,8 @@ int usage() {
       "usage: psk <command> [--flag=value ...]\n"
       "commands:\n"
       "  apps                                   list bundled benchmarks\n"
-      "  scenarios                              list sharing scenarios\n"
+      "  scenarios                              list sharing and fault "
+      "scenarios\n"
       "  trace    --app=A [--class=B] --out=F [--binary]\n"
       "  compress --trace=F [--target-ratio=R] --out=F\n"
       "  skeleton --trace=F --target=SECONDS --out=F\n"
@@ -73,10 +74,15 @@ int cmd_apps() {
 }
 
 int cmd_scenarios() {
-  std::printf("%-15s %s\n", scenario::dedicated().name,
+  std::printf("%-18s %s\n", scenario::dedicated().name,
               scenario::dedicated().description);
   for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
-    std::printf("%-15s %s\n", scenario.name, scenario.description);
+    std::printf("%-18s %s\n", scenario.name, scenario.description);
+  }
+  std::printf("%-18s %s\n", scenario::memory_hog().name,
+              scenario::memory_hog().description);
+  for (const scenario::Scenario& scenario : scenario::fault_scenarios()) {
+    std::printf("%-18s %s\n", scenario.name, scenario.description);
   }
   return 0;
 }
@@ -170,9 +176,15 @@ int cmd_predict(const util::Cli& cli) {
 
   const std::string which = cli.get("scenario", "");
   std::vector<core::GridCell> cells;
-  for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
-    if (!which.empty() && which != scenario.name) continue;
-    cells.push_back(core::GridCell{config.benchmarks[0], target, &scenario});
+  if (which.empty()) {
+    for (const scenario::Scenario& scenario : scenario::paper_scenarios()) {
+      cells.push_back(core::GridCell{config.benchmarks[0], target, &scenario});
+    }
+  } else {
+    // find_scenario covers every registry (paper, memory, fault) and throws
+    // a ConfigError listing the valid names on a typo.
+    cells.push_back(core::GridCell{config.benchmarks[0], target,
+                                   &scenario::find_scenario(which)});
   }
   const auto records = driver.predict_cells(cells);
   std::printf("%-15s %10s %10s %8s\n", "scenario", "predicted", "actual",
