@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig base = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   base.benchmarks = {"SP", "MG"};
   base.skeleton_sizes = {1.0};
   bench::print_banner("Ablation: compression target Q = K/divisor",
@@ -47,5 +48,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nreading: Q = K/2 (divisor 2) balances signature size against "
       "accuracy, matching\nthe paper's recommendation.\n");
+  bench::write_observability(base, obs);
   return 0;
 }

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig base = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   base.benchmarks = {"SP", "CG", "MG"};
   base.skeleton_sizes = {2.0};
   bench::print_banner("Ablation: compute averaging",
@@ -51,5 +52,6 @@ int main(int argc, char** argv) {
       "\nreading: duration-sensitive clustering produces larger signatures; "
       "its effect on\nunbalanced-scenario error shows how much the averaging "
       "approximation costs.\n");
+  bench::write_observability(base, obs);
   return 0;
 }

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig base = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   base.benchmarks = {"IS", "LU"};
   base.skeleton_sizes = {1.0};
   bench::print_banner("Ablation: eager threshold",
@@ -49,5 +50,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nreading: dedicated/intended ratios above 1 are latency that did "
       "not scale;\nthe effect shifts with the protocol switch point.\n");
+  bench::write_observability(base, obs);
   return 0;
 }

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig base = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   base.benchmarks = {"CG", "MG", "IS"};
   base.skeleton_sizes = {2.0};
   bench::print_banner("Ablation: environment volatility",
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
       "\nreading: at 0x the only noise is the +-2%% run jitter; error grows "
       "smoothly with\namplitude while the baseline's structural error "
       "dominates at every level.\n");
+  bench::write_observability(base, obs);
   return 0;
 }

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig base = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   base.benchmarks = {"IS", "MG"};
   base.skeleton_sizes = {0.5};
   bench::print_banner("Ablation: residual byte scaling",
@@ -45,5 +46,6 @@ int main(int argc, char** argv) {
       "\nreading: full-size residuals inflate the skeleton's runtime (and "
       "over-weight\nbandwidth effects); bytes/K under-weights them but keeps "
       "the skeleton short --\nthe paper's trade-off.\n");
+  bench::write_observability(base, obs);
   return 0;
 }

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Ablation: similarity threshold",
                       "Compression ratio at fixed thresholds",
                       config);
@@ -40,5 +41,6 @@ int main(int argc, char** argv) {
       "paper's cap is safe.\nIS saturates at ~(iteration count) because its "
       "trace is short; the timestep codes\nreach two to three orders of "
       "magnitude.\n");
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

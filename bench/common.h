@@ -7,14 +7,24 @@
 //                     hardware thread; 1 = the historical serial path;
 //                     results are bit-identical either way)
 //   --verbose         progress logging to stderr
+//   --trace-out=F     Chrome trace_event JSON timeline of a dedicated
+//                     serial fixed-seed run of the first benchmark
+//   --metrics-out=F   flat key=value metrics dump of the same run
+//   --obs-scenario=S  scenario for that instrumented run (default
+//                     dedicated)
+//   --phase-profile   wall-clock pipeline phase timings to stderr
+// Unknown flags are rejected with the valid list (ConfigError, exit 2).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/recorder.h"
+#include "scenario/scenario.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -27,10 +37,41 @@ inline std::vector<double> parse_sizes(const std::string& text) {
   return util::parse_positive_doubles(text, "--sizes");
 }
 
-inline core::ExperimentConfig config_from_cli(int argc, char** argv) {
+/// What the shared --trace-out/--metrics-out/--phase-profile flags asked
+/// for; see obs_request() and write_observability().
+struct ObsRequest {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string scenario = "dedicated";
+  bool phase_profile = false;
+
+  bool wants_dump() const {
+    return !trace_out.empty() || !metrics_out.empty();
+  }
+};
+
+inline ObsRequest obs_request(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  ObsRequest request;
+  request.trace_out = cli.get("trace-out", "");
+  request.metrics_out = cli.get("metrics-out", "");
+  request.scenario = cli.get("obs-scenario", "dedicated");
+  request.phase_profile = cli.get_bool("phase-profile", false);
+  return request;
+}
+
+inline core::ExperimentConfig config_from_cli(
+    int argc, char** argv,
+    const std::vector<std::string>& extra_known = {}) {
   const util::Cli cli(argc, argv);
   core::ExperimentConfig config;
   try {
+    std::vector<std::string> known = {"class",       "sizes",
+                                      "jobs",        "verbose",
+                                      "trace-out",   "metrics-out",
+                                      "obs-scenario", "phase-profile"};
+    known.insert(known.end(), extra_known.begin(), extra_known.end());
+    cli.require_known(known);
     config.app_class = apps::class_from_name(cli.get("class", "B"));
     config.skeleton_sizes = parse_sizes(cli.get("sizes", "10,5,2,1,0.5"));
     config.jobs = static_cast<int>(cli.get_int("jobs", 0));
@@ -44,6 +85,39 @@ inline core::ExperimentConfig config_from_cli(int argc, char** argv) {
     util::set_log_level(util::LogLevel::kInfo);
   }
   return config;
+}
+
+/// Honours --trace-out/--metrics-out (instrumented serial re-run of the
+/// first benchmark under --obs-scenario) and --phase-profile.  Call at the
+/// end of main; pass the bench's driver when one is in scope so the phase
+/// profile covers the whole run, or nullptr to use a fresh driver.
+inline void write_observability(const core::ExperimentConfig& config,
+                                const ObsRequest& request,
+                                core::ExperimentDriver* driver = nullptr) {
+  std::optional<core::ExperimentDriver> local;
+  if (request.wants_dump() && driver == nullptr) {
+    local.emplace(config);
+    driver = &*local;
+  }
+  if (request.wants_dump()) {
+    obs::Recorder recorder;
+    const double elapsed =
+        driver->observe_app(config.benchmarks.at(0),
+                            scenario::find_scenario(request.scenario),
+                            recorder);
+    if (!request.metrics_out.empty()) {
+      recorder.write_metrics_file(request.metrics_out, elapsed);
+      std::printf("metrics -> %s\n", request.metrics_out.c_str());
+    }
+    if (!request.trace_out.empty()) {
+      recorder.write_trace_file(request.trace_out, elapsed);
+      std::printf("trace -> %s (open in chrome://tracing)\n",
+                  request.trace_out.c_str());
+    }
+  }
+  if (request.phase_profile && driver != nullptr) {
+    std::fprintf(stderr, "%s", driver->phases().render().c_str());
+  }
 }
 
 inline void print_banner(const char* figure, const char* description,

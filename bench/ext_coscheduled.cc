@@ -24,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Extension: co-scheduled MPI competitor",
                       "Skeleton vs share-based prediction when the "
                       "competitor is another parallel job",
@@ -93,5 +94,6 @@ int main(int argc, char** argv) {
       "phases interleave\n(a communicating job donates its core); the "
       "skeleton experiences the competitor's\nrhythm directly and lands far "
       "closer -- the paper's core argument.\n");
+  bench::write_observability(config, obs);
   return 0;
 }

@@ -23,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Extension: duration-distribution replay",
                       "Mean-compute replay (paper) vs sampling each phase "
                       "from the cluster's duration distribution (2 s "
@@ -67,5 +68,6 @@ int main(int argc, char** argv) {
       "\nreading: sampling restores the irregularity that averaging "
       "removed, which mostly\nmatters when one node's contention interacts "
       "with synchronization (unbalanced\nscenarios).\n");
+  bench::write_observability(config, obs);
   return 0;
 }

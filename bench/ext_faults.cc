@@ -67,7 +67,9 @@ bool decode(const std::string& payload, PredictionRecord& record) {
 
 int main(int argc, char** argv) {
   using namespace psk;
-  core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  core::ExperimentConfig config = bench::config_from_cli(
+      argc, argv, {"journal", "resume", "deadline", "op-timeout"});
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   config.skeleton_sizes = {10.0, 2.0};
 
   const util::Cli cli(argc, argv);
@@ -182,5 +184,6 @@ int main(int argc, char** argv) {
     std::printf("%zu cell(s) failed, %zu timed out (see stderr)\n", failed,
                 timed_out);
   }
+  bench::write_observability(config, obs, &driver);
   return failed > 0 ? 1 : 0;
 }

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   config.benchmarks = {"EP", "FT"};
   bench::print_banner("Extension: EP and FT",
                       "Prediction error for the extended suite (paper's "
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
               "paper's six codes\n(EP's skeleton is nearly pure busy-work; "
               "FT's is dominated by one scaled alltoall).\n",
               overall.mean());
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

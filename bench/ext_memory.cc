@@ -41,6 +41,7 @@ void strip_memory(psk::sig::SigSeq& seq) {
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Extension: memory activity",
                       "Memory-aware vs memory-less skeletons under a "
                       "memory-bound competitor (2 s skeletons)",
@@ -94,5 +95,6 @@ int main(int argc, char** argv) {
       "\nreading: the memory-bound codes slow down although a core is free; "
       "only the\nskeleton that reproduces the memory traffic predicts it -- "
       "the paper's criterion 2\nmade quantitative.\n");
+  bench::write_observability(config, obs);
   return 0;
 }

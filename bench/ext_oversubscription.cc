@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Extension: oversubscribed node counts",
                       "4-rank skeletons executed on 4/2/1-node clusters "
                       "predict the application there",
@@ -70,5 +71,6 @@ int main(int argc, char** argv) {
       "\nreading: intra-node messages ride the fast local channel, so "
       "oversubscribed\nplacements shift the compute/communication balance -- "
       "the skeleton tracks it\nbecause it reproduces both parts.\n");
+  bench::write_observability(config, obs);
   return 0;
 }

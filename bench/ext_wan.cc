@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   config.skeleton_sizes = {10.0, 2.0};
   // WAN-like interconnect between the four "sites".
   config.framework.cluster.latency = 10e-3;
@@ -51,5 +52,6 @@ int main(int argc, char** argv) {
               "the latency-heavy\nenvironment degrades small skeletons "
               "hardest, as the paper anticipates).\n",
               overall.mean());
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

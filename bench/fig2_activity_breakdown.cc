@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner(
       "Figure 2", "Compute%% / MPI%% for each application and its skeletons",
       config);
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
       "\nshape check: each skeleton's MPI%% should be broadly similar to its "
       "application's\n(the paper notes moderate variation, largest for 0.5 s "
       "skeletons).\n");
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

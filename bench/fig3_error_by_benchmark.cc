@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Figure 3",
                       "Prediction error per benchmark x skeleton size, "
                       "averaged over the five sharing scenarios",
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render().c_str());
   std::printf("\noverall average prediction error: %.1f%% (paper: 6.7%%)\n",
               overall.mean());
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

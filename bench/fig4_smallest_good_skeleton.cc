@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Figure 4",
                       "Estimated minimum execution time of the smallest "
                       "good skeleton",
@@ -42,5 +43,6 @@ int main(int argc, char** argv) {
       "\nshape check: CG smallest (inner-iteration loop dominates), IS "
       "largest (one full\nall-to-all exchange required), LU in between -- "
       "as in the paper's table.\n");
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Figure 5",
                       "Prediction error per skeleton size x benchmark, "
                       "averaged over the five sharing scenarios",
@@ -51,5 +52,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(* = flagged 'not good' by the framework: the skeleton is smaller "
       "than the\n     estimated smallest good skeleton of Figure 4)\n");
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   // Only the largest configured size is used (the paper uses 10 s).
   double size = config.skeleton_sizes.empty() ? 10.0
                                               : config.skeleton_sizes.front();
@@ -78,5 +79,6 @@ int main(int argc, char** argv) {
               net, cpu,
               net > cpu ? "higher, as in the paper"
                         : "NOT higher (paper expects higher)");
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

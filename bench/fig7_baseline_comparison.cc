@@ -21,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace psk;
   core::ExperimentConfig config = bench::config_from_cli(argc, argv);
+  const bench::ObsRequest obs = bench::obs_request(argc, argv);
   bench::print_banner("Figure 7",
                       "MIN / AVG / MAX error: skeletons vs Class-S vs "
                       "average prediction (scenario: cpu-and-net)",
@@ -85,5 +86,6 @@ int main(int argc, char** argv) {
               best_skeleton_avg < average.mean
                   ? "skeletons win, as in the paper"
                   : "NOT winning (paper expects a wide margin)");
+  bench::write_observability(config, obs, &driver);
   return 0;
 }

@@ -5,11 +5,14 @@
 // must stay cheap relative to running the application).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "apps/nas.h"
 #include "core/framework.h"
 #include "mpi/world.h"
+#include "obs/recorder.h"
 #include "sig/cluster.h"
 #include "sig/compress.h"
 #include "sim/engine.h"
@@ -128,6 +131,55 @@ void BM_FullPipelineSpClassS(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineSpClassS);
 
+/// Instrumented serial MG class-S simulation for --trace-out/--metrics-out;
+/// mirrors BM_SimulateMgClassS with a Recorder attached.
+void write_observability(const std::string& trace_out,
+                         const std::string& metrics_out) {
+  obs::Recorder recorder;
+  sim::Machine machine(sim::ClusterConfig::paper_testbed());
+  machine.attach_obs(&recorder);
+  mpi::World world(machine, 4);
+  world.launch(apps::find_benchmark("MG").make(apps::NasClass::kS));
+  const double elapsed = world.run();
+  if (!metrics_out.empty()) {
+    recorder.write_metrics_file(metrics_out, elapsed);
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    recorder.write_trace_file(trace_out, elapsed);
+    std::printf("trace -> %s (open in chrome://tracing)\n",
+                trace_out.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags it
+// does not know, so the shared --trace-out/--metrics-out are peeled off here
+// before benchmark::Initialize sees argv.
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    write_observability(trace_out, metrics_out);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,8 +20,19 @@ long long size_key(double value) {
 }
 }  // namespace
 
+namespace {
+/// Injects the driver's profiler unless the caller supplied one; returns
+/// the options for the framework member initializer.
+core::FrameworkOptions& ensure_profiler(core::FrameworkOptions& options,
+                                        obs::PhaseProfiler* phases) {
+  if (options.profiler == nullptr) options.profiler = phases;
+  return options;
+}
+}  // namespace
+
 ExperimentDriver::ExperimentDriver(ExperimentConfig config)
-    : config_(std::move(config)), framework_(config_.framework) {}
+    : config_(std::move(config)),
+      framework_(ensure_profiler(config_.framework, &phases_)) {}
 
 mpi::RankMain ExperimentDriver::program(const std::string& app,
                                         apps::NasClass cls) const {
@@ -44,6 +55,7 @@ const trace::Trace& ExperimentDriver::app_trace(const std::string& app) {
 double ExperimentDriver::compute_app_time(const std::string& app,
                                           const scenario::Scenario& scenario,
                                           int repetition) const {
+  obs::PhaseProfiler::Scope scope(framework_.options().profiler, "measure");
   return framework_.run_app(program(app, config_.app_class), scenario,
                             static_cast<std::uint64_t>(repetition) * 13);
 }
@@ -107,11 +119,35 @@ const skeleton::Skeleton& ExperimentDriver::skeleton_for_size(
 double ExperimentDriver::compute_skeleton_time(
     const skeleton::Skeleton& skeleton, double size_seconds,
     const scenario::Scenario& scenario, int repetition) const {
+  obs::PhaseProfiler::Scope scope(framework_.options().profiler, "measure");
   const std::uint64_t seed_offset =
       1 +
       static_cast<std::uint64_t>(std::llabs(size_key(size_seconds)) % 97) +
       static_cast<std::uint64_t>(repetition) * 31;
   return framework_.run_skeleton(skeleton, scenario, seed_offset);
+}
+
+double ExperimentDriver::observe_app(const std::string& app,
+                                     const scenario::Scenario& scenario,
+                                     obs::Recorder& recorder) {
+  recorder.metrics().set_info("app", app);
+  recorder.metrics().set_info("class", apps::class_name(config_.app_class));
+  return framework_.run_app(program(app, config_.app_class), scenario,
+                            /*seed_offset=*/0, &recorder);
+}
+
+double ExperimentDriver::observe_skeleton(const std::string& app,
+                                          double size_seconds,
+                                          const scenario::Scenario& scenario,
+                                          obs::Recorder& recorder) {
+  const skeleton::Skeleton& skel = skeleton_for_size(app, size_seconds);
+  recorder.metrics().set_info("app", app + "-skeleton");
+  recorder.metrics().set_info("class", apps::class_name(config_.app_class));
+  // Same seed derivation as compute_skeleton_time's first repetition, so
+  // the instrumented timeline matches the first measured cell exactly.
+  const std::uint64_t seed_offset =
+      1 + static_cast<std::uint64_t>(std::llabs(size_key(size_seconds)) % 97);
+  return framework_.run_skeleton(skel, scenario, seed_offset, {}, &recorder);
 }
 
 double ExperimentDriver::skeleton_time(const std::string& app,
@@ -221,6 +257,7 @@ void ExperimentDriver::warm(const std::vector<GridCell>& cells) {
 
   runner::SweepOptions sweep_options;
   sweep_options.jobs = jobs;
+  sweep_options.profiler = &phases_;
 
   // Phase A: one dedicated-testbed tracing simulation per distinct
   // still-untraced benchmark.  Traces are independent seeded simulations,
@@ -382,6 +419,7 @@ void ExperimentDriver::fan_out_measurements(
   std::vector<double> skeleton_elapsed(skeleton_runs.size());
   runner::SweepOptions sweep_options;
   sweep_options.jobs = jobs;
+  sweep_options.profiler = &phases_;
   runner::sweep(
       app_runs.size() + skeleton_runs.size(),
       [&](std::size_t i) {

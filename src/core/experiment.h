@@ -18,6 +18,8 @@
 
 #include "apps/nas.h"
 #include "core/framework.h"
+#include "obs/phase.h"
+#include "obs/recorder.h"
 #include "scenario/scenario.h"
 #include "sig/signature.h"
 #include "skeleton/skeleton.h"
@@ -128,6 +130,27 @@ class ExperimentDriver {
   trace::ActivityBreakdown skeleton_activity(const std::string& app,
                                              double size_seconds);
 
+  // ---- Observability -----------------------------------------------------
+  /// Wall-clock time spent in each pipeline phase (record / fold / cluster /
+  /// compress / scale / measure / sweep) across everything this driver ran.
+  /// The data is wall-clock truth, not deterministic -- render it to stderr
+  /// or a report, never into a reproducible dump.  When the caller supplied
+  /// its own FrameworkOptions::profiler, that one is fed instead and this
+  /// stays empty.
+  const obs::PhaseProfiler& phases() const { return phases_; }
+
+  /// Dedicated instrumented runs: a fresh, serial, fixed-seed simulation of
+  /// the app (or skeleton) under `scenario`, feeding `recorder`.  Returns
+  /// the run's elapsed simulated time (pass it to the recorder's write
+  /// methods as end_time).  Independent of config().jobs, so the recorder
+  /// contents are bit-identical for any parallelism setting.
+  double observe_app(const std::string& app,
+                     const scenario::Scenario& scenario,
+                     obs::Recorder& recorder);
+  double observe_skeleton(const std::string& app, double size_seconds,
+                          const scenario::Scenario& scenario,
+                          obs::Recorder& recorder);
+
   // ---- Figure 7 baselines ------------------------------------------------
   /// Class-S prediction: the class S benchmark is used as a hand-made
   /// skeleton for the class B one.
@@ -160,6 +183,10 @@ class ExperimentDriver {
   void fan_out_measurements(const std::vector<GridCell>& cells, int jobs);
 
   ExperimentConfig config_;
+  /// Declared before framework_: the constructor injects &phases_ into
+  /// config_.framework.profiler (unless the caller set one) before
+  /// framework_ is built from it.
+  obs::PhaseProfiler phases_;
   SkeletonFramework framework_;
 
   // Construction caches (traces_, signatures_, skeletons_, good_estimates_)

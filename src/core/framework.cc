@@ -37,8 +37,14 @@ trace::Trace SkeletonFramework::record(const mpi::RankMain& app,
   cluster.net_jitter = 0;
   sim::Machine machine(cluster);
   mpi::World world(machine, options_.ranks, options_.mpi);
-  trace::Trace trace = trace::record_run(world, app, name);
-  trace::fold_nonblocking(trace);
+  trace::Trace trace = [&] {
+    obs::PhaseProfiler::Scope scope(options_.profiler, "record");
+    return trace::record_run(world, app, name);
+  }();
+  {
+    obs::PhaseProfiler::Scope scope(options_.profiler, "fold");
+    trace::fold_nonblocking(trace);
+  }
   return trace;
 }
 
@@ -47,11 +53,13 @@ sig::Signature SkeletonFramework::make_signature(
   sig::CompressOptions compress_options = options_.compress;
   compress_options.target_ratio =
       std::max(1.0, k / options_.compression_ratio_divisor);
+  compress_options.profiler = options_.profiler;
   return sig::compress(folded_trace, compress_options);
 }
 
 skeleton::Skeleton SkeletonFramework::make_skeleton(
     const sig::Signature& signature, double k) const {
+  obs::PhaseProfiler::Scope scope(options_.profiler, "scale");
   return skeleton::build_skeleton(signature, k, options_.scale);
 }
 
@@ -149,12 +157,14 @@ std::uint64_t SkeletonFramework::scenario_run_seed(
 
 double SkeletonFramework::run_app(const mpi::RankMain& app,
                                   const scenario::Scenario& scenario,
-                                  std::uint64_t seed_offset) const {
+                                  std::uint64_t seed_offset,
+                                  obs::Recorder* obs) const {
   sim::ClusterConfig cluster = options_.cluster;
   cluster.seed = scenario_run_seed(scenario, seed_offset);
   sim::Machine machine(cluster);
   machine.engine().set_time_limit(options_.run_time_limit);
   machine.engine().set_wall_deadline(options_.wall_deadline_seconds);
+  machine.attach_obs(obs);
   scenario.apply(machine);
   mpi::World world(machine, options_.ranks, options_.mpi);
   world.launch(app);
@@ -177,13 +187,14 @@ double SkeletonFramework::run_app_controlled(const mpi::RankMain& app) const {
 double SkeletonFramework::run_skeleton(const skeleton::Skeleton& skeleton,
                                        const scenario::Scenario& scenario,
                                        std::uint64_t seed_offset,
-                                       const skeleton::ReplayOptions& replay)
-    const {
+                                       const skeleton::ReplayOptions& replay,
+                                       obs::Recorder* obs) const {
   sim::ClusterConfig cluster = options_.cluster;
   cluster.seed = scenario_run_seed(scenario, seed_offset);
   sim::Machine machine(cluster);
   machine.engine().set_time_limit(options_.run_time_limit);
   machine.engine().set_wall_deadline(options_.wall_deadline_seconds);
+  machine.attach_obs(obs);
   scenario.apply(machine);
   mpi::World world(machine, options_.ranks, options_.mpi);
   return skeleton::run_skeleton(world, skeleton, replay);

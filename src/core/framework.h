@@ -16,6 +16,8 @@
 #include <string>
 
 #include "mpi/world.h"
+#include "obs/phase.h"
+#include "obs/recorder.h"
 #include "scenario/scenario.h"
 #include "sig/compress.h"
 #include "sim/machine.h"
@@ -49,6 +51,10 @@ struct FrameworkOptions {
   /// it orders of magnitude above a healthy run: it watches wall time, so
   /// runs near the limit are not reproducible.
   double wall_deadline_seconds = 0.0;
+  /// Optional wall-clock phase profiler for the construction pipeline
+  /// (record / fold / cluster / compress / scale phases).  Not owned; must
+  /// outlive the framework.  Null = no profiling.
+  obs::PhaseProfiler* profiler = nullptr;
 
   static sim::ClusterConfig default_cluster();
 };
@@ -84,21 +90,26 @@ class SkeletonFramework {
                                const std::string& name,
                                double target_seconds) const;
 
-  /// Measured application execution time under a scenario.
+  /// Measured application execution time under a scenario.  When `obs` is
+  /// non-null the run's machine feeds it (metrics + activity spans); the
+  /// caller writes the files afterwards, closing instruments at the
+  /// returned elapsed time.
   double run_app(const mpi::RankMain& app,
                  const scenario::Scenario& scenario,
-                 std::uint64_t seed_offset = 0) const;
+                 std::uint64_t seed_offset = 0,
+                 obs::Recorder* obs = nullptr) const;
 
   /// Untraced run on the *controlled* testbed (same jitter-free conditions
   /// as record()); the delta against the traced time is the tracing
   /// overhead the paper reports as "well under 1%".
   double run_app_controlled(const mpi::RankMain& app) const;
 
-  /// Measured skeleton execution time under a scenario.
+  /// Measured skeleton execution time under a scenario.  `obs` as run_app.
   double run_skeleton(const skeleton::Skeleton& skeleton,
                       const scenario::Scenario& scenario,
                       std::uint64_t seed_offset = 0,
-                      const skeleton::ReplayOptions& replay = {}) const;
+                      const skeleton::ReplayOptions& replay = {},
+                      obs::Recorder* obs = nullptr) const;
 
  private:
   std::uint64_t scenario_run_seed(const scenario::Scenario& scenario,

@@ -26,7 +26,64 @@ int Comm::next_collective_tag() {
 void Comm::record(CallRecord record) {
   record.pre_mem_bytes = pending_mem_bytes_;
   pending_mem_bytes_ = 0;
+  if (obs_ != nullptr) observe_call(record);
   if (observer_ != nullptr) observer_->on_call(rank_, record);
+}
+
+void Comm::attach_obs(obs::Recorder* recorder) {
+  obs_ = recorder;
+  if (recorder == nullptr) {
+    obs_compute_seconds_ = nullptr;
+    obs_send_seconds_ = nullptr;
+    obs_recv_seconds_ = nullptr;
+    obs_collective_seconds_ = nullptr;
+    obs_wait_seconds_ = nullptr;
+    return;
+  }
+  const std::string prefix = "rank." + std::to_string(rank_) + ".";
+  obs::MetricsRegistry& metrics = recorder->metrics();
+  obs_compute_seconds_ = &metrics.counter(prefix + "compute_seconds");
+  obs_send_seconds_ = &metrics.counter(prefix + "send_seconds");
+  obs_recv_seconds_ = &metrics.counter(prefix + "recv_seconds");
+  obs_collective_seconds_ = &metrics.counter(prefix + "collective_seconds");
+  obs_wait_seconds_ = &metrics.counter(prefix + "wait_seconds");
+  recorder->tracer().set_process_name(obs::Recorder::kRankPid, "ranks");
+  recorder->tracer().set_thread_name(obs::Recorder::kRankPid, rank_,
+                                     "rank " + std::to_string(rank_));
+}
+
+void Comm::observe_call(const CallRecord& r) {
+  obs::Counter* bucket = obs_collective_seconds_;
+  const char* category = "collective";
+  switch (r.type) {
+    case CallType::kSend:
+    case CallType::kIsend:
+    case CallType::kSendrecv:
+      bucket = obs_send_seconds_;
+      category = "send";
+      break;
+    case CallType::kRecv:
+    case CallType::kIrecv:
+      bucket = obs_recv_seconds_;
+      category = "recv";
+      break;
+    case CallType::kWait:
+    case CallType::kWaitall:
+      bucket = obs_wait_seconds_;
+      category = "wait";
+      break;
+    default:
+      break;
+  }
+  const double duration = r.t_end - r.t_start;
+  bucket->add(duration);
+  // Nonblocking initiations have zero extent; a span would only clutter
+  // the timeline.
+  if (duration > 0) {
+    obs_->tracer().complete(obs::Recorder::kRankPid, rank_,
+                            call_type_name(r.type), category, r.t_start,
+                            r.t_end);
+  }
 }
 
 sim::Task Comm::call_overhead() {
@@ -128,9 +185,18 @@ sim::Task Comm::sendrecv_internal(int dst, Bytes send_bytes, int src,
 // ------------------------------------------------------------ public p2p
 
 sim::Task Comm::compute(double work, Bytes mem_bytes) {
+  const sim::Time t0 = now();
   pending_mem_bytes_ += static_cast<double>(mem_bytes);
   co_await engine_->machine().compute_await(engine_->node_of(rank_), work,
                                             static_cast<double>(mem_bytes));
+  if (obs_ != nullptr) {
+    const sim::Time t1 = now();
+    obs_compute_seconds_->add(t1 - t0);
+    if (t1 > t0) {
+      obs_->tracer().complete(obs::Recorder::kRankPid, rank_, "compute",
+                              "compute", t0, t1);
+    }
+  }
 }
 
 sim::Task Comm::send(int dst, Bytes bytes, int tag) {

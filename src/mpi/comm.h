@@ -13,6 +13,7 @@
 
 #include "mpi/message_engine.h"
 #include "mpi/types.h"
+#include "obs/recorder.h"
 #include "sim/task.h"
 
 namespace psk::mpi {
@@ -63,6 +64,14 @@ class Comm {
   void set_observer(CallObserver* observer) { observer_ = observer; }
   CallObserver* observer() const { return observer_; }
 
+  /// Starts feeding the observability recorder (normally called by World
+  /// when its machine carries one): per-rank time-split counters
+  /// (compute / send / recv / collective / wait seconds) and per-call
+  /// activity spans on the rank track.  Orthogonal to the CallObserver --
+  /// observability sees compute and collective internals a PMPI tracer
+  /// cannot.  Null recorder detaches.
+  void attach_obs(obs::Recorder* recorder);
+
  private:
   friend class World;
   Comm(World& world, MessageEngine& engine, int rank)
@@ -97,10 +106,22 @@ class Comm {
 
   void record(CallRecord record);
 
+  /// Feeds one recorded call to the attached recorder (time-split counter
+  /// plus activity span).  Only called when a recorder is attached.
+  void observe_call(const CallRecord& record);
+
   World* world_;
   MessageEngine* engine_;
   int rank_;
   CallObserver* observer_ = nullptr;
+  // Observability handles; null when unobserved (the hot-path cost of
+  // disabled instrumentation is the obs_ null check in record/compute).
+  obs::Recorder* obs_ = nullptr;
+  obs::Counter* obs_compute_seconds_ = nullptr;
+  obs::Counter* obs_send_seconds_ = nullptr;
+  obs::Counter* obs_recv_seconds_ = nullptr;
+  obs::Counter* obs_collective_seconds_ = nullptr;
+  obs::Counter* obs_wait_seconds_ = nullptr;
   std::uint32_t collective_seq_ = 0;
   /// Memory traffic accumulated since the last recorded call (attributed to
   /// the next record's computation gap, like a PAPI counter read per call).

@@ -30,6 +30,10 @@ World::World(sim::Machine& machine, std::vector<int> rank_to_node,
   comms_.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
     comms_.push_back(std::unique_ptr<Comm>(new Comm(*this, engine_, r)));
+    if (machine.obs() != nullptr) comms_.back()->attach_obs(machine.obs());
+  }
+  if (machine.obs() != nullptr) {
+    machine.obs()->metrics().set_info("ranks", std::to_string(ranks));
   }
   end_times_.assign(static_cast<std::size_t>(ranks), 0.0);
 }

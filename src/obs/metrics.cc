@@ -1,0 +1,118 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "util/error.h"
+
+namespace psk::obs {
+
+void Gauge::set(double t, double value) {
+  if (t > last_t_) {
+    integral_ += last_value_ * (t - last_t_);
+    last_t_ = t;
+  }
+  last_value_ = value;
+  max_ = std::max(max_, value);
+}
+
+double Gauge::integral(double end_time) const {
+  double total = integral_;
+  if (end_time > last_t_) total += last_value_ * (end_time - last_t_);
+  return total;
+}
+
+double Gauge::mean(double end_time) const {
+  if (end_time <= 0) return 0;
+  return integral(end_time) / end_time;
+}
+
+TimeHistogram::TimeHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      seconds_(bounds_.size() + 1, 0.0) {
+  util::require(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "TimeHistogram: upper bounds must be sorted ascending");
+}
+
+std::size_t TimeHistogram::bucket_of(double value) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void TimeHistogram::observe(double t, double value) {
+  if (t > last_t_) {
+    seconds_[bucket_of(last_value_)] += t - last_t_;
+    last_t_ = t;
+  }
+  last_value_ = value;
+}
+
+std::vector<double> TimeHistogram::bucket_seconds(double end_time) const {
+  std::vector<double> result = seconds_;
+  if (end_time > last_t_) {
+    result[bucket_of(last_value_)] += end_time - last_t_;
+  }
+  return result;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+TimeHistogram& MetricsRegistry::histogram(const std::string& name,
+                                          std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, TimeHistogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+void MetricsRegistry::set_info(const std::string& key,
+                               const std::string& value) {
+  info_[key] = value;
+}
+
+std::string format_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+void MetricsRegistry::write_kv(std::ostream& out, double end_time) const {
+  // One sorted key space: info lines first (they sort under "info."), then
+  // the instruments.  std::map iteration keeps everything deterministic.
+  for (const auto& [key, value] : info_) {
+    out << "info." << key << "=" << value << "\n";
+  }
+  for (const auto& [name, counter] : counters_) {
+    out << name << "=" << format_value(counter.value()) << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << ".mean=" << format_value(gauge.mean(end_time)) << "\n";
+    out << name << ".max=" << format_value(gauge.max()) << "\n";
+    out << name << ".last=" << format_value(gauge.last()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::vector<double> seconds = histogram.bucket_seconds(end_time);
+    const std::vector<double>& bounds = histogram.upper_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      out << name << ".le_" << format_value(bounds[i]) << "="
+          << format_value(seconds[i]) << "\n";
+    }
+    out << name << ".inf=" << format_value(seconds.back()) << "\n";
+  }
+}
+
+std::string MetricsRegistry::to_kv(double end_time) const {
+  std::ostringstream out;
+  write_kv(out, end_time);
+  return out.str();
+}
+
+}  // namespace psk::obs

@@ -1,0 +1,112 @@
+// Lightweight metrics registry for simulation observability.
+//
+// Three instrument kinds:
+//   Counter        accumulated double (bytes moved, busy core-seconds, ...)
+//   Gauge          value tracked over simulated time with a time-weighted
+//                  integral (runnable jobs, active flows)
+//   TimeHistogram  time-weighted occupancy histogram: how long the tracked
+//                  quantity sat in each value bucket
+//
+// Hot-path discipline: instruments are resolved ONCE from the registry (an
+// ordered-map lookup) when a component attaches; the component then updates
+// them through raw pointers -- no lookups, no virtual dispatch, no
+// allocation.  A component whose instrument pointer is null skips all
+// bookkeeping, so that single null check is the entire cost of disabled
+// instrumentation.
+//
+// Dumps are deterministic: instruments live in ordered maps and values are
+// formatted with a fixed precision, so runs computing identical doubles
+// produce byte-identical files regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace psk::obs {
+
+class Counter {
+ public:
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// A value over simulated time.  set(t, v) closes the segment since the
+/// previous set at the previous value; integral/mean interpret the value as
+/// held constant between sets (and 0 before the first set).
+class Gauge {
+ public:
+  void set(double t, double value);
+  double last() const { return last_value_; }
+  double max() const { return max_; }
+  /// Integral of the gauge over [0, end_time].
+  double integral(double end_time) const;
+  /// Time-weighted mean over [0, end_time]; 0 when end_time <= 0.
+  double mean(double end_time) const;
+
+ private:
+  double last_value_ = 0;
+  double last_t_ = 0;
+  double integral_ = 0;
+  double max_ = 0;
+};
+
+/// Time-weighted histogram: bucket i covers values <= upper_bounds[i] (one
+/// implicit overflow bucket above the last bound).  observe(t, v) charges
+/// the time since the previous observation to the previous value's bucket.
+class TimeHistogram {
+ public:
+  explicit TimeHistogram(std::vector<double> upper_bounds);
+
+  void observe(double t, double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket occupancy seconds over [0, end_time] (last value held to
+  /// end_time); size is upper_bounds().size() + 1.
+  std::vector<double> bucket_seconds(double end_time) const;
+
+ private:
+  std::size_t bucket_of(double value) const;
+
+  std::vector<double> bounds_;
+  std::vector<double> seconds_;
+  double last_value_ = 0;
+  double last_t_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Instrument handles are stable for the registry's lifetime (node-based
+  /// map storage); resolve once at attach time, update through the pointer.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  TimeHistogram& histogram(const std::string& name,
+                           std::vector<double> upper_bounds);
+
+  /// Free-form run labels (scenario name, app name) included in the dump.
+  void set_info(const std::string& key, const std::string& value);
+
+  /// Flat `key=value` lines, keys sorted, one instrument per line family:
+  /// counters dump their value; gauges dump .mean/.max/.last; histograms
+  /// dump .le_<bound>/.inf occupancy seconds.  `end_time` closes all
+  /// time-weighted instruments.  Deterministic for identical inputs.
+  void write_kv(std::ostream& out, double end_time) const;
+  std::string to_kv(double end_time) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, TimeHistogram> histograms_;
+  std::map<std::string, std::string> info_;
+};
+
+/// Fixed-precision number formatting shared by the kv and trace dumps
+/// ("%.12g": deterministic for identical doubles, readable in diffs).
+std::string format_value(double value);
+
+}  // namespace psk::obs

@@ -1,0 +1,39 @@
+#include "obs/phase.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace psk::obs {
+
+void PhaseProfiler::add(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Phase& phase = phases_[name];
+  phase.seconds += seconds;
+  phase.calls += 1;
+}
+
+std::map<std::string, PhaseProfiler::Phase> PhaseProfiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+std::string PhaseProfiler::render() const {
+  const std::map<std::string, Phase> phases = snapshot();
+  std::vector<std::pair<std::string, Phase>> rows(phases.begin(),
+                                                  phases.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.seconds > b.second.seconds;
+  });
+  std::string out = "phase           calls     wall s\n";
+  for (const auto& [name, phase] : rows) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-15s %5llu %10.3f\n", name.c_str(),
+                  static_cast<unsigned long long>(phase.calls),
+                  phase.seconds);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace psk::obs

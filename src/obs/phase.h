@@ -1,0 +1,61 @@
+// Wall-clock phase profiler for the construction pipeline.
+//
+// Answers "where does the tool's own time go": record, fold, cluster,
+// compress, scale, codegen, measure.  Phases accumulate wall seconds and
+// call counts under a mutex, so pool workers may report concurrently; the
+// report is therefore wall-clock truth for this run but NOT deterministic
+// across machines -- which is why phase timings are rendered separately and
+// never written into the deterministic --metrics-out dump.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace psk::obs {
+
+class PhaseProfiler {
+ public:
+  struct Phase {
+    double seconds = 0;
+    std::uint64_t calls = 0;
+  };
+
+  void add(const std::string& name, double seconds);
+
+  /// RAII timer: charges the elapsed wall time to `name` on destruction.
+  /// A null profiler makes the scope a no-op, so call sites need no branch.
+  class Scope {
+   public:
+    Scope(PhaseProfiler* profiler, std::string name)
+        : profiler_(profiler),
+          name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      if (profiler_ == nullptr) return;
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      profiler_->add(name_, elapsed.count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseProfiler* profiler_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  std::map<std::string, Phase> snapshot() const;
+
+  /// Human-readable table (phase, calls, total seconds), longest first.
+  std::string render() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Phase> phases_;
+};
+
+}  // namespace psk::obs

@@ -1,0 +1,25 @@
+#include "obs/recorder.h"
+
+#include <fstream>
+
+#include "util/error.h"
+
+namespace psk::obs {
+
+void Recorder::write_metrics_file(const std::string& path,
+                                  double end_time) const {
+  std::ofstream out(path);
+  util::require(out.good(), "obs: cannot open metrics file " + path);
+  metrics_.write_kv(out, end_time);
+  util::require(out.good(), "obs: failed writing metrics file " + path);
+}
+
+void Recorder::write_trace_file(const std::string& path,
+                                double end_time) const {
+  std::ofstream out(path);
+  util::require(out.good(), "obs: cannot open trace file " + path);
+  tracer_.write_chrome_json(out, end_time);
+  util::require(out.good(), "obs: failed writing trace file " + path);
+}
+
+}  // namespace psk::obs

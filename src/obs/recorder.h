@@ -1,0 +1,41 @@
+// Recorder: one observability context for one simulated run.
+//
+// Bundles the metrics registry and the span tracer that the sim / MPI
+// layers feed.  Attach one Recorder to one sim::Machine before the run
+// (Machine::attach_obs); mpi::World picks it up automatically.  A Recorder
+// must not be shared by concurrent runs -- parallel sweeps give each
+// instrumented run its own Recorder (or, like the experiment driver, record
+// a dedicated serial run so the dump is identical for any --jobs value).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace psk::obs {
+
+class Recorder {
+ public:
+  /// Trace track (pid) conventions shared by the instrumented layers.
+  static constexpr int kRankPid = 0;  // per-rank MPI activity spans
+  static constexpr int kNodePid = 1;  // per-node CPU stall / fault windows
+  static constexpr int kNetPid = 2;   // per-node link fault windows
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Writes the flat key=value metrics dump / the Chrome trace_event JSON;
+  /// `end_time` (simulated seconds, typically the run's elapsed time)
+  /// closes time-weighted instruments and still-open spans.
+  void write_metrics_file(const std::string& path, double end_time) const;
+  void write_trace_file(const std::string& path, double end_time) const;
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace psk::obs

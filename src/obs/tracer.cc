@@ -1,0 +1,124 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace psk::obs {
+
+namespace {
+
+/// Minimal JSON string escape (names here are ASCII identifiers, but keep
+/// the export valid for anything a caller passes).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string micros(double seconds) {
+  return format_value(seconds * 1e6);
+}
+
+}  // namespace
+
+Tracer::SpanId Tracer::begin(int pid, int tid, std::string name,
+                             std::string category, double t) {
+  Span span;
+  span.pid = pid;
+  span.tid = tid;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.t_start = t;
+  span.open = true;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Tracer::end(SpanId id, double t) {
+  util::require(id < spans_.size(), "Tracer::end: invalid span id");
+  Span& span = spans_[id];
+  util::require(span.open, "Tracer::end: span already closed");
+  span.t_end = t;
+  span.open = false;
+}
+
+void Tracer::complete(int pid, int tid, std::string name,
+                      std::string category, double t_start, double t_end) {
+  Span span;
+  span.pid = pid;
+  span.tid = tid;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.t_start = t_start;
+  span.t_end = t_end;
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::set_process_name(int pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+void Tracer::set_thread_name(int pid, int tid, std::string name) {
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+void Tracer::write_chrome_json(std::ostream& out, double end_time) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    separator();
+    out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    separator();
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << key.first
+        << ",\"tid\":" << key.second << ",\"args\":{\"name\":\""
+        << json_escape(name) << "\"}}";
+  }
+  for (const Span& span : spans_) {
+    const double t_end = span.open ? end_time : span.t_end;
+    separator();
+    out << "{\"ph\":\"X\",\"name\":\"" << json_escape(span.name)
+        << "\",\"cat\":\"" << json_escape(span.category)
+        << "\",\"pid\":" << span.pid << ",\"tid\":" << span.tid
+        << ",\"ts\":" << micros(span.t_start)
+        << ",\"dur\":" << micros(std::max(0.0, t_end - span.t_start)) << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string Tracer::to_chrome_json(double end_time) const {
+  std::ostringstream out;
+  write_chrome_json(out, end_time);
+  return out.str();
+}
+
+}  // namespace psk::obs

@@ -1,0 +1,63 @@
+// Simulated-time span tracer with Chrome trace_event export.
+//
+// Components record activity spans in simulated seconds on (pid, tid)
+// tracks; write_chrome_json() emits the Chrome trace_event JSON array
+// format, so any run opens directly in chrome://tracing or Perfetto.
+// Timestamps are exported in microseconds of *simulated* time.
+//
+// Spans are appended in simulation event order by a single-threaded engine,
+// so the export is deterministic for a fixed seed regardless of how many
+// runner-pool workers execute *other* simulations concurrently.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psk::obs {
+
+class Tracer {
+ public:
+  using SpanId = std::size_t;
+  static constexpr SpanId kNoSpan = static_cast<SpanId>(-1);
+
+  /// Opens a span; close it with end().  Spans still open at export time
+  /// are closed at the export's end_time (a fault window that never cleared
+  /// spans to the end of the run).
+  SpanId begin(int pid, int tid, std::string name, std::string category,
+               double t);
+  void end(SpanId id, double t);
+
+  /// Records a closed span in one call (the common case for MPI ops).
+  void complete(int pid, int tid, std::string name, std::string category,
+                double t_start, double t_end);
+
+  /// Track labels shown by the trace viewer.
+  void set_process_name(int pid, std::string name);
+  void set_thread_name(int pid, int tid, std::string name);
+
+  std::size_t span_count() const { return spans_.size(); }
+
+  void write_chrome_json(std::ostream& out, double end_time) const;
+  std::string to_chrome_json(double end_time) const;
+
+ private:
+  struct Span {
+    int pid = 0;
+    int tid = 0;
+    std::string name;
+    std::string category;
+    double t_start = 0;
+    double t_end = 0;
+    bool open = false;
+  };
+
+  std::vector<Span> spans_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int>, std::string> thread_names_;
+};
+
+}  // namespace psk::obs

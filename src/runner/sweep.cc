@@ -6,6 +6,7 @@ namespace psk::runner {
 
 void sweep(std::size_t count, const std::function<void(std::size_t)>& body,
            const SweepOptions& options) {
+  obs::PhaseProfiler::Scope scope(options.profiler, "sweep");
   const int jobs = resolve_jobs(options.jobs);
   const std::size_t useful =
       std::min(count, static_cast<std::size_t>(jobs));

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/phase.h"
 #include "runner/pool.h"
 
 namespace psk::runner {
@@ -21,6 +22,9 @@ namespace psk::runner {
 struct SweepOptions {
   /// Worker threads: 0 = one per hardware thread, 1 = serial inline.
   int jobs = 0;
+  /// Optional wall-clock phase profiler: the whole sweep charges its time
+  /// to the "sweep" phase (per-cell work is simulated time, not phases).
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// Runs body(i) for every i in [0, count), concurrently when options allow.

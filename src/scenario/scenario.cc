@@ -50,6 +50,9 @@ void Scenario::apply(sim::Machine& machine) const {
   const int nodes = machine.node_count();
   util::require(affected_node >= 0 && affected_node < nodes,
                 "Scenario: affected node out of range");
+  if (machine.obs() != nullptr) {
+    machine.obs()->metrics().set_info("scenario", name);
+  }
   switch (kind) {
     case Kind::kDedicated:
       break;
@@ -118,22 +121,22 @@ void Scenario::apply(sim::Machine& machine) const {
 namespace {
 constexpr Scenario kDedicatedScenario{
     Kind::kDedicated, "dedicated", "no competing load or traffic",
-    2, 0.0, 1.25e6, 0, 0.0, 0.0, 0.0, 0.0};
+    2, 0.0, 1.25e6, 0, 0.0, 0.0, 0.0, 0.0, {}};
 
 constexpr std::array<Scenario, 5> kPaperScenarios = {{
     {Kind::kCpuOneNode, "cpu-one-node",
      "two competing compute processes on one node", 2, 0.0, 1.25e6, 0, 0.18,
-     3.0, 0.30, 25.0},
+     3.0, 0.30, 25.0, {}},
     {Kind::kCpuAllNodes, "cpu-all-nodes",
      "two competing compute processes on every node", 2, 0.0, 1.25e6, 0,
-     0.18, 3.0, 0.30, 25.0},
+     0.18, 3.0, 0.30, 25.0, {}},
     {Kind::kNetOneLink, "net-one-link", "one link shaped to 10 Mbps", 2, 0.0,
-     1.25e6, 0, 0.18, 3.0, 0.30, 25.0},
+     1.25e6, 0, 0.18, 3.0, 0.30, 25.0, {}},
     {Kind::kNetAllLinks, "net-all-links", "every link shaped to 10 Mbps", 2, 0.0,
-     1.25e6, 0, 0.18, 3.0, 0.30, 25.0},
+     1.25e6, 0, 0.18, 3.0, 0.30, 25.0, {}},
     {Kind::kCpuAndNet, "cpu-and-net",
      "competing processes on one node and traffic on one link", 2, 0.0,
-     1.25e6, 0, 0.18, 3.0, 0.30, 25.0},
+     1.25e6, 0, 0.18, 3.0, 0.30, 25.0, {}},
 }};
 }  // namespace
 
@@ -141,7 +144,7 @@ namespace {
 constexpr Scenario kMemoryHogScenario{
     Kind::kMemOneNode, "mem-one-node",
     "one memory-bound competitor on one node", 1, 5.0e9, 1.25e6, 0, 0.18,
-    3.0, 0.30, 25.0};
+    3.0, 0.30, 25.0, {}};
 
 // Fault profiles are recurring (MTBF-style) rather than one-shot so that
 // both a long application run and a short skeleton run sample them; the

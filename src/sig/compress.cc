@@ -85,18 +85,24 @@ Signature build_signature(const trace::Trace& trace, double threshold,
   std::size_t total_events = 0;
   std::size_t total_leaves = 0;
   for (const trace::RankTrace& rank : trace.ranks) {
-    const ClusterResult clusters =
-        cluster_events(rank.events, cluster_options);
+    ClusterResult clusters;
+    {
+      obs::PhaseProfiler::Scope scope(options.profiler, "cluster");
+      clusters = cluster_events(rank.events, cluster_options);
+    }
     SigSeq seq;
     seq.reserve(clusters.symbols.size());
     for (int symbol : clusters.symbols) {
       seq.push_back(
           SigNode::leaf(clusters.prototypes[static_cast<std::size_t>(symbol)]));
     }
-    if (options.anchor_at_collectives) {
-      seq = fold_anchored(std::move(seq), options.max_period);
-    } else {
-      seq = fold_loops(std::move(seq), options.max_period);
+    {
+      obs::PhaseProfiler::Scope scope(options.profiler, "compress");
+      if (options.anchor_at_collectives) {
+        seq = fold_anchored(std::move(seq), options.max_period);
+      } else {
+        seq = fold_loops(std::move(seq), options.max_period);
+      }
     }
 
     RankSignature rank_signature;

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "obs/phase.h"
 #include "sig/cluster.h"
 #include "sig/signature.h"
 #include "trace/event.h"
@@ -43,6 +44,9 @@ struct CompressOptions {
   /// outer loop).  Off by default; the framework's consistency-retry ladder
   /// enables it when needed.
   bool anchor_at_collectives = false;
+  /// Optional wall-clock phase profiler: clustering and loop folding charge
+  /// their time to the "cluster" / "compress" phases.  Null = no profiling.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 /// Variant of fold_loops that folds each run between collectives

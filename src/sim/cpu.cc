@@ -38,6 +38,11 @@ void CpuNode::set_speed(double speed) {
 void CpuNode::push_stall() {
   sync();
   ++stall_depth_;
+  if (obs_ != nullptr && stall_depth_ == 1) {
+    stall_span_ = obs_->tracer().begin(obs::Recorder::kNodePid, obs_node_id_,
+                                       "cpu-stall", "fault", engine_.now());
+  }
+  observe_state();
   reschedule();
 }
 
@@ -45,6 +50,12 @@ void CpuNode::pop_stall() {
   util::require(stall_depth_ > 0, "CpuNode::pop_stall: not stalled");
   sync();
   --stall_depth_;
+  if (obs_ != nullptr && stall_depth_ == 0 &&
+      stall_span_ != obs::Tracer::kNoSpan) {
+    obs_->tracer().end(stall_span_, engine_.now());
+    stall_span_ = obs::Tracer::kNoSpan;
+  }
+  observe_state();
   reschedule();
 }
 
@@ -75,7 +86,17 @@ void CpuNode::sync() {
   const Time now = engine_.now();
   const double elapsed = now - last_sync_;
   last_sync_ = now;
-  if (elapsed <= 0 || jobs_.empty()) return;
+  if (elapsed <= 0) return;
+  // Membership and stall state are constant between syncs, so charging the
+  // whole interval to one bucket here is exact.
+  if (obs_busy_seconds_ != nullptr) {
+    if (stall_depth_ > 0) {
+      obs_stall_seconds_->add(elapsed);
+    } else if (!jobs_.empty()) {
+      obs_busy_seconds_->add(elapsed);
+    }
+  }
+  if (jobs_.empty()) return;
   const double base = per_job_rate() * elapsed;
   const double throttled = base * memory_throttle();
   for (Job& job : jobs_) {
@@ -138,6 +159,7 @@ void CpuNode::on_completion_event() {
       ++it;
     }
   }
+  observe_state();
   reschedule();
   for (auto& callback : finished) callback();
 }
@@ -150,6 +172,7 @@ void CpuNode::submit(double work, std::function<void()> on_complete,
   job.on_complete = std::move(on_complete);
   job.mem_intensity = std::max(0.0, mem_bytes_per_work);
   jobs_.push_back(std::move(job));
+  observe_state();
   reschedule();
 }
 
@@ -164,6 +187,7 @@ void CpuNode::add_load(int count, double mem_bytes_per_work) {
     jobs_.push_back(std::move(job));
   }
   load_ += count;
+  observe_state();
   reschedule();
 }
 
@@ -181,7 +205,36 @@ void CpuNode::remove_load(int count) {
     }
   }
   load_ -= removed;
+  observe_state();
   reschedule();
+}
+
+void CpuNode::attach_obs(obs::Recorder* recorder, int node_id) {
+  obs_ = recorder;
+  obs_node_id_ = node_id;
+  if (recorder == nullptr) {
+    obs_busy_seconds_ = nullptr;
+    obs_stall_seconds_ = nullptr;
+    obs_utilization_ = nullptr;
+    return;
+  }
+  const std::string prefix = "node." + std::to_string(node_id) + ".";
+  obs::MetricsRegistry& metrics = recorder->metrics();
+  obs_busy_seconds_ = &metrics.counter(prefix + "busy_seconds");
+  obs_stall_seconds_ = &metrics.counter(prefix + "stall_seconds");
+  obs_utilization_ = &metrics.gauge(prefix + "utilization");
+  recorder->tracer().set_thread_name(obs::Recorder::kNodePid, node_id,
+                                     "node " + std::to_string(node_id));
+  observe_state();
+}
+
+void CpuNode::observe_state() {
+  if (obs_utilization_ == nullptr) return;
+  const double n = static_cast<double>(jobs_.size());
+  const double utilization =
+      stall_depth_ > 0 ? 0.0
+                       : std::min(1.0, n / static_cast<double>(cores_));
+  obs_utilization_->set(engine_.now(), utilization);
 }
 
 }  // namespace psk::sim

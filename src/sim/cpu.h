@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "sim/time.h"
 
@@ -91,6 +92,12 @@ class CpuNode {
   /// contention).
   double memory_throttle() const;
 
+  /// Starts feeding the recorder: busy/stall seconds counters, a
+  /// time-weighted utilization gauge, and "cpu-stall" spans on the node
+  /// track.  Instrument handles are resolved here once; with no recorder
+  /// attached every hot-path hook is a single null check.
+  void attach_obs(obs::Recorder* recorder, int node_id);
+
  private:
   struct Job {
     double remaining;  // work-seconds still owed; load jobs use +infinity
@@ -108,6 +115,9 @@ class CpuNode {
 
   void on_completion_event();
 
+  /// Pushes the current utilization to the gauge; no-op when not observed.
+  void observe_state();
+
   Engine& engine_;
   int cores_;
   double speed_;
@@ -118,6 +128,14 @@ class CpuNode {
   std::vector<Job> jobs_;
   Time last_sync_ = 0.0;
   EventQueue::Handle pending_;
+
+  // Observability handles; null when the node is unobserved.
+  obs::Recorder* obs_ = nullptr;
+  int obs_node_id_ = 0;
+  obs::Counter* obs_busy_seconds_ = nullptr;
+  obs::Counter* obs_stall_seconds_ = nullptr;
+  obs::Gauge* obs_utilization_ = nullptr;
+  obs::Tracer::SpanId stall_span_ = obs::Tracer::kNoSpan;
 };
 
 }  // namespace psk::sim

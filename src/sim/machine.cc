@@ -33,6 +33,20 @@ Machine::Machine(const ClusterConfig& config)
   crash_depth_.assign(static_cast<std::size_t>(config.nodes), 0);
 }
 
+void Machine::attach_obs(obs::Recorder* recorder) {
+  obs_ = recorder;
+  for (int i = 0; i < config_.nodes; ++i) {
+    nodes_[static_cast<std::size_t>(i)].attach_obs(recorder, i);
+  }
+  network_.attach_obs(recorder);
+  if (recorder != nullptr) {
+    recorder->tracer().set_process_name(obs::Recorder::kNodePid, "cpu nodes");
+    recorder->metrics().set_info("nodes", std::to_string(config_.nodes));
+    recorder->metrics().set_info(
+        "cores_per_node", std::to_string(config_.cores_per_node));
+  }
+}
+
 CpuNode& Machine::node(int index) {
   util::require(index >= 0 && index < config_.nodes,
                 "Machine::node: index " + std::to_string(index) +

@@ -56,6 +56,13 @@ class Machine {
   CpuNode& node(int index);
   Network& network() { return network_; }
 
+  /// Attaches one observability recorder to the whole cluster: every node
+  /// and the network resolve their instrument handles from it.  Call before
+  /// the run starts; pass nullptr to detach.  The recorder must outlive the
+  /// machine (or the detach).
+  void attach_obs(obs::Recorder* recorder);
+  obs::Recorder* obs() { return obs_; }
+
   /// Fault hooks (see psk::fault for scheduling).  A crashed node stops
   /// computing and its link carries no traffic until restored; state is not
   /// lost -- jobs and in-flight messages resume where they paused
@@ -101,6 +108,7 @@ class Machine {
   std::vector<CpuNode> nodes_;
   Network network_;
   std::vector<int> crash_depth_;
+  obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace psk::sim

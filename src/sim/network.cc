@@ -72,6 +72,11 @@ void Network::push_link_fault(int node) {
   check_node(node);
   sync();
   ++fault_depth_[static_cast<std::size_t>(node)];
+  if (obs_ != nullptr && fault_depth_[static_cast<std::size_t>(node)] == 1) {
+    fault_spans_[static_cast<std::size_t>(node)] =
+        obs_->tracer().begin(obs::Recorder::kNetPid, node, "link-down",
+                             "fault", engine_.now());
+  }
   rerate();
 }
 
@@ -81,6 +86,12 @@ void Network::pop_link_fault(int node) {
                 "Network::pop_link_fault: link not faulted");
   sync();
   --fault_depth_[static_cast<std::size_t>(node)];
+  if (obs_ != nullptr && fault_depth_[static_cast<std::size_t>(node)] == 0 &&
+      fault_spans_[static_cast<std::size_t>(node)] != obs::Tracer::kNoSpan) {
+    obs_->tracer().end(fault_spans_[static_cast<std::size_t>(node)],
+                       engine_.now());
+    fault_spans_[static_cast<std::size_t>(node)] = obs::Tracer::kNoSpan;
+  }
   rerate();
 }
 
@@ -95,6 +106,9 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
   check_node(dst);
   if (src == dst) {
     // Intra-node message: shared-memory copy, no link involvement.
+    if (obs_local_bytes_ != nullptr) {
+      obs_local_bytes_->add(static_cast<double>(bytes));
+    }
     const Time duration =
         local_latency_ + static_cast<double>(bytes) / local_bandwidth_;
     engine_.after(duration, std::move(on_complete));
@@ -115,6 +129,7 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
 void Network::admit(Flow flow) {
   sync();
   flows_.push_back(std::move(flow));
+  observe_flows();
   rerate();
 }
 
@@ -128,12 +143,14 @@ void Network::add_background_flow(int src, int dst) {
   flow.remaining = kInfiniteBytes;
   flow.background = true;
   flows_.push_back(std::move(flow));
+  observe_flows();
   rerate();
 }
 
 void Network::clear_background_flows() {
   sync();
   flows_.remove_if([](const Flow& f) { return f.background; });
+  observe_flows();
   rerate();
 }
 
@@ -143,7 +160,14 @@ void Network::sync() {
   last_sync_ = now;
   if (elapsed <= 0) return;
   for (Flow& flow : flows_) {
-    if (!flow.background) flow.remaining -= flow.rate * elapsed;
+    // Rates are constant between syncs, so rate * elapsed is the exact byte
+    // count each flow moved in the interval (background flows included --
+    // they occupy real link share).
+    const double moved = flow.rate * elapsed;
+    if (!flow.background) flow.remaining -= moved;
+    if (obs_ != nullptr) {
+      obs_tx_bytes_[static_cast<std::size_t>(flow.src)]->add(moved);
+    }
   }
 }
 
@@ -222,8 +246,43 @@ void Network::on_completion_event() {
       ++it;
     }
   }
+  observe_flows();
   rerate();
   for (auto& callback : finished) callback();
+}
+
+void Network::attach_obs(obs::Recorder* recorder) {
+  obs_ = recorder;
+  if (recorder == nullptr) {
+    obs_tx_bytes_.clear();
+    obs_local_bytes_ = nullptr;
+    obs_flows_gauge_ = nullptr;
+    obs_flows_hist_ = nullptr;
+    fault_spans_.clear();
+    return;
+  }
+  obs::MetricsRegistry& metrics = recorder->metrics();
+  obs_tx_bytes_.resize(static_cast<std::size_t>(node_count_));
+  for (int node = 0; node < node_count_; ++node) {
+    obs_tx_bytes_[static_cast<std::size_t>(node)] =
+        &metrics.counter("net.node." + std::to_string(node) + ".tx_bytes");
+  }
+  obs_local_bytes_ = &metrics.counter("net.local_bytes");
+  obs_flows_gauge_ = &metrics.gauge("net.active_flows");
+  obs_flows_hist_ = &metrics.histogram("net.active_flows.occupancy",
+                                       {0.0, 1.0, 2.0, 4.0, 8.0, 16.0});
+  fault_spans_.assign(static_cast<std::size_t>(node_count_),
+                      obs::Tracer::kNoSpan);
+  recorder->tracer().set_process_name(obs::Recorder::kNetPid, "network");
+  observe_flows();
+}
+
+void Network::observe_flows() {
+  if (obs_flows_gauge_ == nullptr) return;
+  const double count = static_cast<double>(flows_.size());
+  const Time now = engine_.now();
+  obs_flows_gauge_->set(now, count);
+  obs_flows_hist_->observe(now, count);
 }
 
 }  // namespace psk::sim

@@ -20,6 +20,7 @@
 #include <list>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "sim/time.h"
 
@@ -67,6 +68,12 @@ class Network {
 
   std::size_t active_flows() const { return flows_.size(); }
 
+  /// Starts feeding the recorder: per-node transmitted-bytes counters, a
+  /// time-weighted active-flow gauge plus occupancy histogram, and
+  /// "link-down" spans on the network track.  Null handles keep every
+  /// hot-path hook down to a single pointer check.
+  void attach_obs(obs::Recorder* recorder);
+
  private:
   struct Flow {
     int src;
@@ -88,6 +95,10 @@ class Network {
   void on_completion_event();
   void admit(Flow flow);
 
+  /// Pushes the current flow count to the gauge/histogram; no-op when
+  /// unobserved.
+  void observe_flows();
+
   Engine& engine_;
   int node_count_;
   Time latency_;
@@ -99,6 +110,14 @@ class Network {
   std::list<Flow> flows_;
   Time last_sync_ = 0.0;
   EventQueue::Handle pending_;
+
+  // Observability handles; empty/null when the network is unobserved.
+  obs::Recorder* obs_ = nullptr;
+  std::vector<obs::Counter*> obs_tx_bytes_;     // per source node
+  obs::Counter* obs_local_bytes_ = nullptr;     // same-node copies
+  obs::Gauge* obs_flows_gauge_ = nullptr;
+  obs::TimeHistogram* obs_flows_hist_ = nullptr;
+  std::vector<obs::Tracer::SpanId> fault_spans_;  // per node
 };
 
 }  // namespace psk::sim

@@ -84,8 +84,10 @@ FoldStats rewrite_leftovers(std::vector<TraceEvent>& events,
   std::vector<TraceEvent> out;
   out.reserve(events.size());
   double carried_compute = 0;
+  double end_of_trace = 0;
 
   for (TraceEvent& event : events) {
+    if (event.t_end > end_of_trace) end_of_trace = event.t_end;
     event.pre_compute += carried_compute;
     carried_compute = 0;
     switch (event.type) {
@@ -130,6 +132,26 @@ FoldStats rewrite_leftovers(std::vector<TraceEvent>& events,
         break;
     }
   }
+  // Any Irecv whose Wait never appeared (a truncated trace, or an
+  // application that legitimately abandons requests at exit) would silently
+  // lose its bytes here.  Flush each as a blocking Recv pinned to
+  // end-of-trace so the transfer survives into the signature; the first
+  // flushed Recv absorbs any compute carried past the last surviving event.
+  for (auto& [id, part] : pending_recvs) {
+    (void)id;
+    TraceEvent recv;
+    recv.type = CallType::kRecv;
+    recv.peer = part.peer;
+    recv.bytes = part.bytes;
+    recv.tag = part.tag;
+    recv.t_start = end_of_trace;
+    recv.t_end = end_of_trace;
+    recv.pre_compute = carried_compute;
+    carried_compute = 0;
+    stats.pending_recvs_flushed += 1;
+    out.push_back(std::move(recv));
+  }
+
   events = std::move(out);
   trailing_compute = carried_compute;
   return stats;

@@ -12,8 +12,10 @@
 // call, or never waited) are conservatively rewritten into their blocking
 // equivalents so that downstream stages never see request ids: an Isend
 // becomes a Send at its call site; an Irecv is dropped and its matching
-// Wait becomes a Recv from the Irecv's peer.  SPMD applications are
-// rewritten symmetrically on all ranks, preserving match counts.
+// Wait becomes a Recv from the Irecv's peer.  An Irecv whose Wait never
+// appears at all (e.g. a truncated trace) is flushed as a trailing blocking
+// Recv at end-of-trace so its bytes survive folding.  SPMD applications
+// are rewritten symmetrically on all ranks, preserving match counts.
 #pragma once
 
 #include <cstddef>
@@ -26,11 +28,14 @@ struct FoldStats {
   std::size_t regions_created = 0;
   std::size_t events_folded = 0;      // raw events absorbed into regions
   std::size_t fallback_rewrites = 0;  // leftover nonblocking ops rewritten
+  std::size_t pending_recvs_flushed = 0;  // Irecvs with no Wait in the trace,
+                                          // emitted as trailing Recvs
 
   FoldStats& operator+=(const FoldStats& other) {
     regions_created += other.regions_created;
     events_folded += other.events_folded;
     fallback_rewrites += other.fallback_rewrites;
+    pending_recvs_flushed += other.pending_recvs_flushed;
     return *this;
   }
 };

@@ -33,20 +33,50 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 
 double Cli::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return def;
+  const std::string& token = it->second;
+  char* parsed_end = nullptr;
+  const double value = std::strtod(token.c_str(), &parsed_end);
+  require(!token.empty() && parsed_end == token.c_str() + token.size(),
+          "--" + name + ": cannot parse '" + token + "' as a number");
+  return value;
 }
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   const auto it = flags_.find(name);
-  return it == flags_.end()
-             ? def
-             : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return def;
+  const std::string& token = it->second;
+  char* parsed_end = nullptr;
+  const std::int64_t value = std::strtoll(token.c_str(), &parsed_end, 10);
+  require(!token.empty() && parsed_end == token.c_str() + token.size(),
+          "--" + name + ": cannot parse '" + token + "' as an integer");
+  return value;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+void Cli::require_known(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const auto& candidate : known) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    std::string valid;
+    for (const auto& candidate : known) {
+      if (!valid.empty()) valid += ", ";
+      valid += "--" + candidate;
+    }
+    throw ConfigError("unknown flag --" + name + " (valid flags: " + valid +
+                      ")");
+  }
 }
 
 std::vector<double> parse_positive_doubles(const std::string& text,

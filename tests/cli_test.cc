@@ -1,0 +1,102 @@
+// End-to-end regression tests for the CLI hardening: malformed numeric flag
+// values and typo'd flag names must fail loudly (non-zero exit, diagnostic
+// naming the problem) in the psk tool and in the bench binaries, instead of
+// being silently misparsed as 0 or ignored.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+std::string binary_dir() { return std::string(PSK_BUILD_DIR); }
+
+struct CommandResult {
+  int exit_code = 0;
+  std::string stderr_text;
+};
+
+/// Runs `command`, capturing stderr; stdout is discarded.  The capture file
+/// is unique per test process: ctest runs these concurrently.
+CommandResult run_command(const std::string& command) {
+  static int sequence = 0;
+  const std::string err_path = testing::TempDir() + "/cli_test_stderr_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(sequence++) + ".txt";
+  const int status = std::system(
+      (command + " > /dev/null 2> " + err_path).c_str());
+  CommandResult result;
+  result.exit_code = status;
+  std::ifstream in(err_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  result.stderr_text = text.str();
+  return result;
+}
+
+CommandResult run_psk(const std::string& args) {
+  return run_command(binary_dir() + "/tools/psk " + args);
+}
+
+TEST(CliHardening, PskRejectsMalformedNumericFlag) {
+  // --jobs=abc used to strtoll-parse as 0 (thread-count autodetect) and run.
+  const CommandResult result = run_psk("predict --app=MG --jobs=abc");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.stderr_text.find("--jobs"), std::string::npos);
+  EXPECT_NE(result.stderr_text.find("abc"), std::string::npos);
+}
+
+TEST(CliHardening, PskRejectsPartiallyNumericFlag) {
+  const CommandResult result = run_psk("predict --app=MG --target=2.0x");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.stderr_text.find("--target"), std::string::npos);
+}
+
+TEST(CliHardening, PskRejectsTypoFlagListingValidOnes) {
+  // --job=4 used to be silently ignored; it must now name the valid flags.
+  const CommandResult result = run_psk("predict --app=MG --job=4");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.stderr_text.find("unknown flag --job"), std::string::npos);
+  EXPECT_NE(result.stderr_text.find("--jobs"), std::string::npos);
+}
+
+TEST(CliHardening, PskRejectsUnknownFlagOnEveryCommand) {
+  for (const char* command :
+       {"apps", "scenarios", "run", "info", "report", "codegen"}) {
+    const CommandResult result =
+        run_psk(std::string(command) + " --no-such-flag=1");
+    EXPECT_NE(result.exit_code, 0) << command;
+    EXPECT_NE(result.stderr_text.find("unknown flag --no-such-flag"),
+              std::string::npos)
+        << command;
+  }
+}
+
+TEST(CliHardening, BenchBinaryRejectsTypoFlag) {
+  // --resum (for --resume) used to silently run a full non-resumed sweep.
+  const CommandResult result =
+      run_command(binary_dir() + "/bench/ext_faults --resum");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.stderr_text.find("unknown flag --resum"),
+            std::string::npos);
+  EXPECT_NE(result.stderr_text.find("--resume"), std::string::npos);
+}
+
+TEST(CliHardening, BenchBinaryRejectsMalformedJobs) {
+  const CommandResult result =
+      run_command(binary_dir() + "/bench/ext_faults --jobs=two");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.stderr_text.find("--jobs"), std::string::npos);
+}
+
+TEST(CliHardening, PskStillAcceptsValidFlags) {
+  EXPECT_EQ(run_psk("apps").exit_code, 0);
+  EXPECT_EQ(run_psk("scenarios").exit_code, 0);
+}
+
+}  // namespace

@@ -221,9 +221,10 @@ TEST(Fold, LeftoverIrecvBecomesRecvAtWait) {
   EXPECT_TRUE(is_fully_folded(rank));
 }
 
-TEST(Fold, TrailingDroppedEventComputeMovesToFinalSegment) {
-  // A trace that ends with a leftover Irecv (never waited): its preceding
-  // computation must not vanish -- it becomes part of final_compute.
+TEST(Fold, TrailingUnwaitedIrecvFlushedAsRecvKeepingCompute) {
+  // A trace that ends with a leftover Irecv (never waited, e.g. truncated
+  // recording): its bytes must survive folding as a trailing blocking Recv,
+  // and its preceding computation rides along as that Recv's pre-compute.
   RankTrace rank;
   rank.events.push_back(make_event(CallType::kSend, 1, 10, 0, 1, 0));
   TraceEvent dangling = make_event(CallType::kIrecv, 2, 64, 1, 1, 0.75);
@@ -232,10 +233,50 @@ TEST(Fold, TrailingDroppedEventComputeMovesToFinalSegment) {
   rank.total_time = 2.0;
   rank.final_compute = 0.25;
 
-  fold_nonblocking(rank);
+  const FoldStats stats = fold_nonblocking(rank);
   EXPECT_TRUE(is_fully_folded(rank));
-  ASSERT_EQ(rank.events.size(), 1u);  // only the Send survives
-  EXPECT_NEAR(rank.final_compute, 1.0, 1e-12);  // 0.25 + carried 0.75
+  EXPECT_EQ(stats.pending_recvs_flushed, 1u);
+  ASSERT_EQ(rank.events.size(), 2u);
+  EXPECT_EQ(rank.events[0].type, CallType::kSend);
+  EXPECT_EQ(rank.events[1].type, CallType::kRecv);
+  EXPECT_EQ(rank.events[1].peer, 2);
+  EXPECT_EQ(rank.events[1].bytes, 64u);
+  EXPECT_NEAR(rank.events[1].pre_compute, 0.75, 1e-12);
+  EXPECT_NEAR(rank.final_compute, 0.25, 1e-12);  // untouched
+}
+
+TEST(Fold, TruncatedTracePreservesTotalBytes) {
+  // Several in-flight Irecvs at end-of-trace: no byte may vanish, and the
+  // flushed Recvs land at the trace's end time in request order.
+  RankTrace rank;
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent e = make_event(CallType::kIrecv, i + 1,
+                              static_cast<Bytes>(100 * (i + 1)),
+                              0.5 * i, 0.5 * i, 0.1);
+    e.request = static_cast<std::uint32_t>(i);
+    rank.events.push_back(e);
+  }
+  rank.events.push_back(make_event(CallType::kSend, 0, 40, 1.5, 1.9, 0.05));
+  rank.total_time = 2.0;
+
+  auto total_bytes = [](const RankTrace& r) {
+    Bytes sum = 0;
+    for (const TraceEvent& e : r.events) sum += e.bytes;
+    return sum;
+  };
+  const Bytes before = total_bytes(rank);
+
+  const FoldStats stats = fold_nonblocking(rank);
+  EXPECT_TRUE(is_fully_folded(rank));
+  EXPECT_EQ(stats.pending_recvs_flushed, 3u);
+  EXPECT_EQ(total_bytes(rank), before);
+  // The three flushed Recvs trail the Send, at the last recorded time.
+  ASSERT_EQ(rank.events.size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(rank.events[i].type, CallType::kRecv);
+    EXPECT_EQ(rank.events[i].peer, static_cast<int>(i));
+    EXPECT_NEAR(rank.events[i].t_start, 1.9, 1e-12);
+  }
 }
 
 TEST(Fold, ConsecutiveRegionsFoldSeparately) {

@@ -240,5 +240,60 @@ TEST(Cli, ParsePositiveDoublesErrorNamesFlag) {
   }
 }
 
+TEST(Cli, NumericGettersRejectMalformedValues) {
+  // strtod/strtoll would silently yield 0 for these; the getters must
+  // validate the whole token and throw instead.
+  const char* argv[] = {"prog", "--jobs=abc", "--rate=4x", "--empty=",
+                        "--trail=1.5e"};
+  Cli cli(5, argv);
+  EXPECT_THROW(cli.get_int("jobs", 7), ConfigError);
+  EXPECT_THROW(cli.get_double("rate", 7), ConfigError);
+  EXPECT_THROW(cli.get_int("empty", 7), ConfigError);
+  EXPECT_THROW(cli.get_double("empty", 7), ConfigError);
+  EXPECT_THROW(cli.get_double("trail", 7), ConfigError);
+  EXPECT_THROW(cli.get_int("rate", 7), ConfigError);  // int getter, "4x"
+}
+
+TEST(Cli, NumericGetterErrorNamesFlagAndValue) {
+  const char* argv[] = {"prog", "--jobs=abc"};
+  Cli cli(2, argv);
+  try {
+    cli.get_int("jobs", 0);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--jobs"), std::string::npos);
+    EXPECT_NE(what.find("abc"), std::string::npos);
+  }
+}
+
+TEST(Cli, NumericGettersAcceptValidForms) {
+  const char* argv[] = {"prog", "--a=-3", "--b=2.5e-1", "--c=007"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("a", 0), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0), 0.25);
+  EXPECT_EQ(cli.get_int("c", 0), 7);
+}
+
+TEST(Cli, RequireKnownAcceptsDeclaredFlags) {
+  const char* argv[] = {"prog", "--jobs=4", "--verbose", "positional"};
+  Cli cli(4, argv);
+  EXPECT_NO_THROW(cli.require_known({"jobs", "verbose", "unused"}));
+}
+
+TEST(Cli, RequireKnownRejectsTypoListingValidFlags) {
+  const char* argv[] = {"prog", "--job=4"};
+  Cli cli(2, argv);
+  try {
+    cli.require_known({"jobs", "verbose"});
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--job"), std::string::npos);
+    EXPECT_NE(what.find("--jobs"), std::string::npos);
+    EXPECT_NE(what.find("--verbose"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace psk::util

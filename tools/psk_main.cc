@@ -21,6 +21,7 @@
 #include "codegen/emit_c.h"
 #include "core/experiment.h"
 #include "core/framework.h"
+#include "obs/recorder.h"
 #include "scenario/scenario.h"
 #include "sig/compress.h"
 #include "sig/io.h"
@@ -50,12 +51,21 @@ int usage() {
       "  skeleton --trace=F --target=SECONDS --out=F\n"
       "  codegen  --skeleton=F --out=F.c        emit the C skeleton program\n"
       "  run      --skeleton=F [--scenario=S] [--seed=N]\n"
+      "           [--trace-out=F.json] [--metrics-out=F]\n"
       "  predict  --app=A [--class=B] --target=SECONDS [--scenario=S]\n"
-      "           [--jobs=N]\n"
+      "           [--jobs=N] [--trace-out=F.json] [--metrics-out=F]\n"
+      "           [--phase-profile]\n"
       "  report   --out=F.md [--class=B] [--apps=CG,MG,...] [--jobs=N]\n"
+      "           [--phase-profile]\n"
       "  info     --trace=F | --signature=F | --skeleton=F\n"
       "--jobs=N runs the measurement grid on N worker threads (default: one\n"
-      "per hardware thread; 1 = serial; results are identical either way)\n");
+      "per hardware thread; 1 = serial; results are identical either way)\n"
+      "--trace-out writes a Chrome trace_event JSON timeline of the\n"
+      "instrumented run (open in chrome://tracing or Perfetto);\n"
+      "--metrics-out writes a flat key=value metrics dump.  Both come from a\n"
+      "dedicated serial fixed-seed run, so they are byte-identical for any\n"
+      "--jobs value.  --phase-profile prints wall-clock pipeline phase\n"
+      "timings to stderr.\n");
   return 2;
 }
 
@@ -157,11 +167,25 @@ int cmd_run(const util::Cli& cli) {
   const scenario::Scenario& scenario =
       scenario::find_scenario(cli.get("scenario", "dedicated"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
+  const std::string trace_out = cli.get("trace-out", "");
+  const std::string metrics_out = cli.get("metrics-out", "");
+  const bool observed = !trace_out.empty() || !metrics_out.empty();
 
   core::SkeletonFramework framework;
-  const double elapsed = framework.run_skeleton(skeleton, scenario, seed);
+  obs::Recorder recorder;
+  const double elapsed = framework.run_skeleton(
+      skeleton, scenario, seed, {}, observed ? &recorder : nullptr);
   std::printf("skeleton '%s' under %s: %.3f s\n", skeleton.app_name.c_str(),
               scenario.name, elapsed);
+  if (!metrics_out.empty()) {
+    recorder.write_metrics_file(metrics_out, elapsed);
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    recorder.write_trace_file(trace_out, elapsed);
+    std::printf("trace -> %s (open in chrome://tracing)\n",
+                trace_out.c_str());
+  }
   return 0;
 }
 
@@ -193,6 +217,28 @@ int cmd_predict(const util::Cli& cli) {
     std::printf("%-15s %8.2f s %8.2f s %7.1f%%%s\n", record.scenario.c_str(),
                 record.predicted, record.app_scenario, record.error_percent,
                 record.good ? "" : "  [skeleton below good size]");
+  }
+
+  const std::string trace_out = cli.get("trace-out", "");
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    // A dedicated serial fixed-seed re-run of the full application under the
+    // first requested scenario, so the dump is identical for any --jobs.
+    obs::Recorder recorder;
+    const double elapsed = driver.observe_app(config.benchmarks[0],
+                                              *cells[0].scenario, recorder);
+    if (!metrics_out.empty()) {
+      recorder.write_metrics_file(metrics_out, elapsed);
+      std::printf("metrics -> %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      recorder.write_trace_file(trace_out, elapsed);
+      std::printf("trace -> %s (open in chrome://tracing)\n",
+                  trace_out.c_str());
+    }
+  }
+  if (cli.get_bool("phase-profile", false)) {
+    std::fprintf(stderr, "%s", driver.phases().render().c_str());
   }
   return 0;
 }
@@ -262,6 +308,9 @@ int cmd_report(const util::Cli& cli) {
       << "%**\n";
   out.close();
   std::printf("wrote %s\n", out_path.c_str());
+  if (cli.get_bool("phase-profile", false)) {
+    std::fprintf(stderr, "%s", driver.phases().render().c_str());
+  }
   return 0;
 }
 
@@ -327,16 +376,50 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const util::Cli cli(argc - 1, argv + 1);
   try {
-    if (command == "apps") return cmd_apps();
-    if (command == "scenarios") return cmd_scenarios();
-    if (command == "trace") return cmd_trace(cli);
-    if (command == "compress") return cmd_compress(cli);
-    if (command == "skeleton") return cmd_skeleton(cli);
-    if (command == "codegen") return cmd_codegen(cli);
-    if (command == "run") return cmd_run(cli);
-    if (command == "predict") return cmd_predict(cli);
-    if (command == "report") return cmd_report(cli);
-    if (command == "info") return cmd_info(cli);
+    // Each command declares the full set of flags it consults, so a typo'd
+    // flag ("--job=4") fails with the valid list instead of being ignored.
+    if (command == "apps") {
+      cli.require_known({});
+      return cmd_apps();
+    }
+    if (command == "scenarios") {
+      cli.require_known({});
+      return cmd_scenarios();
+    }
+    if (command == "trace") {
+      cli.require_known({"app", "class", "out", "binary"});
+      return cmd_trace(cli);
+    }
+    if (command == "compress") {
+      cli.require_known({"trace", "target-ratio", "out"});
+      return cmd_compress(cli);
+    }
+    if (command == "skeleton") {
+      cli.require_known({"trace", "target", "out"});
+      return cmd_skeleton(cli);
+    }
+    if (command == "codegen") {
+      cli.require_known({"skeleton", "out"});
+      return cmd_codegen(cli);
+    }
+    if (command == "run") {
+      cli.require_known(
+          {"skeleton", "scenario", "seed", "trace-out", "metrics-out"});
+      return cmd_run(cli);
+    }
+    if (command == "predict") {
+      cli.require_known({"app", "class", "target", "scenario", "jobs",
+                         "trace-out", "metrics-out", "phase-profile"});
+      return cmd_predict(cli);
+    }
+    if (command == "report") {
+      cli.require_known({"out", "class", "apps", "jobs", "phase-profile"});
+      return cmd_report(cli);
+    }
+    if (command == "info") {
+      cli.require_known({"trace", "signature", "skeleton"});
+      return cmd_info(cli);
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "psk %s: %s\n", command.c_str(), error.what());
     return 1;
