@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
     const trace::Trace& trace = driver.app_trace(app);
     std::vector<double> row;
     for (double t : thresholds) {
-      row.push_back(sig::compress_at_threshold(trace, t).compression_ratio);
+      row.push_back(sig::compress_at_threshold(
+                        trace, sig::ThresholdCompressOptions{t, {}})
+                        .compression_ratio);
     }
     table.add_row_numeric(app, row, 1);
   }

@@ -13,15 +13,25 @@
 //   --obs-scenario=S  scenario for that instrumented run (default
 //                     dedicated)
 //   --phase-profile   wall-clock pipeline phase timings to stderr
+//   --cache-dir=D     persistent content-addressed result cache shared
+//                     across invocations (warm re-runs skip the simulator)
+//   --cache-mem=N     in-memory cache capacity in entries (default 4096)
+//   --no-cache        disable result memoization entirely
+//   --cache-stats=F   key=value cache hit/miss counter dump to file F
+//                     (bare --cache-stats prints to stderr); never written
+//                     to stdout, so cold and warm runs stay byte-identical
 // Unknown flags are rejected with the valid list (ConfigError, exit 2).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "core/experiment.h"
 #include "obs/recorder.h"
 #include "scenario/scenario.h"
@@ -44,6 +54,8 @@ struct ObsRequest {
   std::string metrics_out;
   std::string scenario = "dedicated";
   bool phase_profile = false;
+  /// --cache-stats destination: empty = off, "true" = stderr, else a file.
+  std::string cache_stats;
 
   bool wants_dump() const {
     return !trace_out.empty() || !metrics_out.empty();
@@ -57,6 +69,7 @@ inline ObsRequest obs_request(int argc, char** argv) {
   request.metrics_out = cli.get("metrics-out", "");
   request.scenario = cli.get("obs-scenario", "dedicated");
   request.phase_profile = cli.get_bool("phase-profile", false);
+  request.cache_stats = cli.get("cache-stats", "");
   return request;
 }
 
@@ -69,13 +82,24 @@ inline core::ExperimentConfig config_from_cli(
     std::vector<std::string> known = {"class",       "sizes",
                                       "jobs",        "verbose",
                                       "trace-out",   "metrics-out",
-                                      "obs-scenario", "phase-profile"};
+                                      "obs-scenario", "phase-profile",
+                                      "cache-dir",   "cache-mem",
+                                      "no-cache",    "cache-stats"};
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     cli.require_known(known);
     config.app_class = apps::class_from_name(cli.get("class", "B"));
     config.skeleton_sizes = parse_sizes(cli.get("sizes", "10,5,2,1,0.5"));
     config.jobs = static_cast<int>(cli.get_int("jobs", 0));
     util::require(config.jobs >= 0, "--jobs must be >= 0");
+    if (!cli.get_bool("no-cache", false)) {
+      cache::CacheOptions cache_options;
+      const std::int64_t entries = cli.get_int("cache-mem", 4096);
+      util::require(entries >= 0, "--cache-mem must be >= 0");
+      cache_options.memory_entries = static_cast<std::size_t>(entries);
+      cache_options.disk_dir = cli.get("cache-dir", "");
+      config.framework.result_cache =
+          std::make_shared<cache::ResultCache>(cache_options);
+    }
   } catch (const ConfigError& error) {
     std::fprintf(stderr, "%s: %s\n", argc > 0 ? argv[0] : "bench",
                  error.what());
@@ -117,6 +141,20 @@ inline void write_observability(const core::ExperimentConfig& config,
   }
   if (request.phase_profile && driver != nullptr) {
     std::fprintf(stderr, "%s", driver->phases().render().c_str());
+  }
+  if (!request.cache_stats.empty() &&
+      config.framework.result_cache != nullptr) {
+    const std::string text =
+        cache::stats_kv(config.framework.result_cache->stats());
+    if (request.cache_stats == "true") {  // bare --cache-stats
+      std::fprintf(stderr, "%s", text.c_str());
+    } else {
+      std::ofstream out(request.cache_stats);
+      util::require(out.good(),
+                    "--cache-stats: cannot open " + request.cache_stats);
+      out << text;
+      std::fprintf(stderr, "cache stats -> %s\n", request.cache_stats.c_str());
+    }
   }
 }
 

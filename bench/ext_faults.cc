@@ -79,6 +79,19 @@ int main(int argc, char** argv) {
   sweep_options.resume = cli.get_bool("resume", false);
   config.framework.wall_deadline_seconds = cli.get_double("deadline", 0.0);
   config.framework.mpi.op_timeout = cli.get_double("op-timeout", 0.0);
+  // Everything that versions the payload bytes goes into the domain: cells
+  // only match across journals / shared caches when class, repetition count
+  // and the simulated-time MPI timeout agree too, not just the
+  // app|size|scenario key.  (--deadline is a wall-clock watchdog; timeouts
+  // are never cached, so it stays out of the domain.)
+  char op_timeout_text[32];
+  std::snprintf(op_timeout_text, sizeof op_timeout_text, "%g",
+                config.framework.mpi.op_timeout);
+  sweep_options.domain =
+      std::string("ext-faults/1|class=") + apps::class_name(config.app_class) +
+      "|reps=" + std::to_string(config.repetitions) + "|op-timeout=" +
+      op_timeout_text;
+  sweep_options.cache = config.framework.result_cache.get();
   try {
     util::require(!sweep_options.resume || !sweep_options.journal_path.empty(),
                   "--resume requires --journal=PATH");

@@ -5,14 +5,18 @@
 // must stay cheap relative to running the application).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/nas.h"
+#include "cache/cache.h"
 #include "core/framework.h"
 #include "mpi/world.h"
 #include "obs/recorder.h"
+#include "scenario/scenario.h"
 #include "sig/cluster.h"
 #include "sig/compress.h"
 #include "sim/engine.h"
@@ -130,6 +134,44 @@ void BM_FullPipelineSpClassS(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPipelineSpClassS);
+
+const skeleton::Skeleton& shared_skeleton() {
+  static const skeleton::Skeleton skeleton = [] {
+    core::SkeletonFramework framework;
+    const trace::Trace& trace = shared_trace();
+    const double k = std::max(1.0, trace.elapsed() / 0.05);
+    return framework.make_skeleton(framework.make_signature(trace, k), k);
+  }();
+  return skeleton;
+}
+
+/// The repeated-cell workload without memoization: every iteration pays the
+/// full sim::Engine replay.  Baseline for BM_SkeletonRunWarmCache.
+void BM_SkeletonRunUncached(benchmark::State& state) {
+  const skeleton::Skeleton& skeleton = shared_skeleton();
+  core::SkeletonFramework framework;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        framework.run_skeleton(skeleton, scenario::dedicated()));
+  }
+}
+BENCHMARK(BM_SkeletonRunUncached);
+
+/// The same workload against a warm content-addressed cache: after the
+/// priming run every iteration is a key build + memory-LRU hit, skipping
+/// the simulator entirely (and returning the bit-identical double).
+void BM_SkeletonRunWarmCache(benchmark::State& state) {
+  const skeleton::Skeleton& skeleton = shared_skeleton();
+  core::FrameworkOptions options;
+  options.result_cache = std::make_shared<cache::ResultCache>();
+  core::SkeletonFramework framework(options);
+  framework.run_skeleton(skeleton, scenario::dedicated());  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        framework.run_skeleton(skeleton, scenario::dedicated()));
+  }
+}
+BENCHMARK(BM_SkeletonRunWarmCache);
 
 /// Instrumented serial MG class-S simulation for --trace-out/--metrics-out;
 /// mirrors BM_SimulateMgClassS with a Recorder attached.

@@ -1,0 +1,207 @@
+#include "archive/archive.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sig/io.h"
+#include "skeleton/io.h"
+#include "trace/io.h"
+
+namespace psk::archive {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8 + 2 + 2 + 4 + 8;
+constexpr std::size_t kChecksumSize = 8;
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{ErrorCode::kIo, "cannot open " + path + " for reading"};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Error{ErrorCode::kIo, "read failure on " + path};
+  }
+  return buffer.str();
+}
+
+/// Writes `bytes` to `path` via a temp file + rename, so a crash mid-write
+/// never leaves a torn file at the destination.
+Status write_file_atomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Error{ErrorCode::kIo, "cannot open " + tmp + " for writing"};
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Error{ErrorCode::kIo, "write failure on " + tmp};
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Error{ErrorCode::kIo, "cannot rename " + tmp + " to " + path};
+  }
+  return {};
+}
+
+template <typename T>
+Status save_as(const std::string& path, PayloadKind kind,
+               std::uint32_t payload_version, const T& value) {
+  std::string payload;
+  encode(payload, value);
+  std::string bytes;
+  bytes.reserve(kHeaderSize + payload.size() + kChecksumSize);
+  write_frame(bytes, kind, payload_version, payload);
+  return write_file_atomic(path, bytes);
+}
+
+/// Loads the frame for `kind` from `path`, or kBadMagic when the file is a
+/// pre-archive (legacy) format the caller should fall back to.
+Result<Frame> load_frame(const std::string& path, PayloadKind kind) {
+  Result<std::string> bytes = read_file(path);
+  if (!bytes.ok()) return bytes.error();
+  Result<Frame> frame = read_frame(bytes.value());
+  if (!frame.ok()) return frame.error();
+  if (frame.value().kind != kind) {
+    return Error{ErrorCode::kBadKind,
+                 path + " holds a " +
+                     payload_kind_name(frame.value().kind) + ", wanted a " +
+                     payload_kind_name(kind)};
+  }
+  return frame;
+}
+
+/// Wraps a legacy (pre-archive) loader, translating its exceptions into
+/// typed errors.
+template <typename Fn>
+auto load_legacy(const std::string& path, Fn fn)
+    -> Result<decltype(fn(path))> {
+  try {
+    return fn(path);
+  } catch (const psk::FormatError& e) {
+    return Error{ErrorCode::kCorrupt, path + ": " + e.what()};
+  } catch (const psk::Error& e) {
+    return Error{ErrorCode::kIo, path + ": " + e.what()};
+  }
+}
+
+}  // namespace
+
+const char* payload_kind_name(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kTrace: return "trace";
+    case PayloadKind::kSignature: return "signature";
+    case PayloadKind::kSkeleton: return "skeleton";
+  }
+  return "unknown payload";
+}
+
+void write_frame(std::string& out, PayloadKind kind,
+                 std::uint32_t payload_version, std::string_view payload) {
+  out.append(kMagic);
+  put_u16(out, kContainerVersion);
+  put_u16(out, static_cast<std::uint16_t>(kind));
+  put_u32(out, payload_version);
+  put_u64(out, payload.size());
+  out.append(payload);
+  put_u64(out, fingerprint64(payload));
+}
+
+bool looks_like_archive(std::string_view bytes) {
+  return bytes.substr(0, kMagic.size()) == kMagic;
+}
+
+Result<Frame> read_frame(std::string_view bytes) {
+  if (!looks_like_archive(bytes)) {
+    return Error{ErrorCode::kBadMagic, "not a psk archive"};
+  }
+  Cursor in(bytes.substr(kMagic.size()));
+  const std::uint16_t container_version = in.u16();
+  const std::uint16_t raw_kind = in.u16();
+  const std::uint32_t payload_version = in.u32();
+  const std::uint64_t payload_size = in.u64();
+  if (!in.ok()) return in.error();
+  if (container_version != kContainerVersion) {
+    return Error{ErrorCode::kBadVersion,
+                 "container version " + std::to_string(container_version)};
+  }
+  if (raw_kind < static_cast<std::uint16_t>(PayloadKind::kTrace) ||
+      raw_kind > static_cast<std::uint16_t>(PayloadKind::kSkeleton)) {
+    return Error{ErrorCode::kCorrupt,
+                 "unknown payload kind " + std::to_string(raw_kind)};
+  }
+  if (in.remaining() != payload_size + kChecksumSize) {
+    return Error{ErrorCode::kCorrupt,
+                 "frame size mismatch (payload says " +
+                     std::to_string(payload_size) + " byte(s), file has " +
+                     std::to_string(in.remaining()) + ")"};
+  }
+  Frame frame;
+  frame.kind = static_cast<PayloadKind>(raw_kind);
+  frame.payload_version = payload_version;
+  frame.payload =
+      std::string(bytes.substr(kHeaderSize, static_cast<std::size_t>(payload_size)));
+  Cursor tail(bytes.substr(kHeaderSize + static_cast<std::size_t>(payload_size)));
+  const std::uint64_t checksum = tail.u64();
+  if (checksum != fingerprint64(frame.payload)) {
+    return Error{ErrorCode::kCorrupt, "payload checksum mismatch"};
+  }
+  return frame;
+}
+
+Status save(const std::string& path, const trace::Trace& trace) {
+  return save_as(path, PayloadKind::kTrace, kTraceVersion, trace);
+}
+
+Status save(const std::string& path, const sig::Signature& signature) {
+  return save_as(path, PayloadKind::kSignature, kSignatureVersion, signature);
+}
+
+Status save(const std::string& path, const skeleton::Skeleton& skeleton) {
+  return save_as(path, PayloadKind::kSkeleton, kSkeletonVersion, skeleton);
+}
+
+Result<trace::Trace> load_trace(const std::string& path) {
+  Result<Frame> frame = load_frame(path, PayloadKind::kTrace);
+  if (frame.ok()) {
+    return decode_trace(frame.value().payload, frame.value().payload_version);
+  }
+  if (frame.error().code != ErrorCode::kBadMagic) return frame.error();
+  // Versioned fallback: pre-archive text and binary trace files.
+  return load_legacy(path, [](const std::string& p) {
+    return trace::load_trace(p);
+  });
+}
+
+Result<sig::Signature> load_signature(const std::string& path) {
+  Result<Frame> frame = load_frame(path, PayloadKind::kSignature);
+  if (frame.ok()) {
+    return decode_signature(frame.value().payload,
+                            frame.value().payload_version);
+  }
+  if (frame.error().code != ErrorCode::kBadMagic) return frame.error();
+  return load_legacy(path, [](const std::string& p) {
+    return sig::load_signature(p);
+  });
+}
+
+Result<skeleton::Skeleton> load_skeleton(const std::string& path) {
+  Result<Frame> frame = load_frame(path, PayloadKind::kSkeleton);
+  if (frame.ok()) {
+    return decode_skeleton(frame.value().payload,
+                           frame.value().payload_version);
+  }
+  if (frame.error().code != ErrorCode::kBadMagic) return frame.error();
+  return load_legacy(path, [](const std::string& p) {
+    return skeleton::load_skeleton(p);
+  });
+}
+
+}  // namespace psk::archive

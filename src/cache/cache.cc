@@ -1,0 +1,266 @@
+#include "cache/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "archive/wire.h"
+#include "obs/metrics.h"
+
+namespace psk::cache {
+
+namespace {
+
+// On-disk entry layout (all integers little-endian):
+//   magic "PSKCACH1", u16 entry version, u32 key size, key bytes,
+//   u32 value size, value bytes, u64 FNV-1a over everything between the
+//   version field and the checksum.
+constexpr std::string_view kEntryMagic = "PSKCACH1";
+constexpr std::uint16_t kEntryVersion = 1;
+
+std::string encode_entry(const CacheKey& key, std::string_view value) {
+  std::string out;
+  out.reserve(kEntryMagic.size() + 2 + 4 + key.bytes.size() + 4 +
+              value.size() + 8);
+  out.append(kEntryMagic);
+  archive::put_u16(out, kEntryVersion);
+  archive::put_string(out, key.bytes);
+  archive::put_string(out, value);
+  archive::put_u64(out, archive::fingerprint64(
+                            std::string_view(out).substr(kEntryMagic.size())));
+  return out;
+}
+
+/// Decodes a disk entry, verifying framing, checksum and the echoed key.
+/// Returns the value, or nullopt with `*verify_failed = true` when the
+/// entry is torn/corrupt or echoes a different key (hash collision).
+std::optional<std::string> decode_entry(std::string_view bytes,
+                                        const CacheKey& key,
+                                        bool* verify_failed) {
+  *verify_failed = true;  // every early-out below is a verification failure
+  if (bytes.substr(0, kEntryMagic.size()) != kEntryMagic) return std::nullopt;
+  if (bytes.size() < kEntryMagic.size() + 8) return std::nullopt;
+  const std::string_view body =
+      bytes.substr(kEntryMagic.size(), bytes.size() - kEntryMagic.size() - 8);
+  archive::Cursor tail(bytes.substr(kEntryMagic.size() + body.size()));
+  if (tail.u64() != archive::fingerprint64(body)) return std::nullopt;
+  archive::Cursor in(body);
+  if (in.u16() != kEntryVersion) return std::nullopt;
+  const std::string echoed_key = in.string();
+  std::string value = in.string();
+  if (!in.ok() || !in.at_end()) return std::nullopt;
+  if (echoed_key != key.bytes) return std::nullopt;  // collision caught
+  *verify_failed = false;
+  return value;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ KeyBuilder
+
+KeyBuilder::KeyBuilder(std::string_view domain) {
+  archive::put_string(bytes_, domain);
+}
+
+KeyBuilder& KeyBuilder::f64(double value) {
+  archive::put_f64(bytes_, value);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::u64(std::uint64_t value) {
+  archive::put_u64(bytes_, value);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::i64(std::int64_t value) {
+  archive::put_i64(bytes_, value);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::flag(bool value) {
+  archive::put_bool(bytes_, value);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::text(std::string_view value) {
+  archive::put_string(bytes_, value);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::raw(std::string_view canonical_bytes) {
+  archive::put_string(bytes_, canonical_bytes);
+  return *this;
+}
+
+CacheKey KeyBuilder::finish() && {
+  CacheKey key;
+  key.hash = archive::fingerprint64(bytes_);
+  key.bytes = std::move(bytes_);
+  return key;
+}
+
+// ------------------------------------------------------------ ResultCache
+
+ResultCache::ResultCache(Options options) : options_(std::move(options)) {
+  if (!options_.disk_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.disk_dir, ec);
+    if (ec) options_.disk_dir.clear();  // unusable directory: disk tier off
+  }
+}
+
+const ResultCache::Entry* ResultCache::find_in_memory(const CacheKey& key) {
+  auto it = index_.find(key.hash);
+  if (it == index_.end()) return nullptr;
+  if (it->second->key_bytes != key.bytes) {
+    ++stats_.verify_failures;  // 64-bit collision in the memory tier
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+  return &*it->second;
+}
+
+void ResultCache::insert_in_memory(const CacheKey& key,
+                                   std::string_view value) {
+  if (options_.memory_entries == 0) return;
+  auto it = index_.find(key.hash);
+  if (it != index_.end()) {
+    it->second->key_bytes = key.bytes;
+    it->second->value = std::string(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key.hash, key.bytes, std::string(value)});
+  index_.emplace(key.hash, lru_.begin());
+  while (lru_.size() > options_.memory_entries) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::string ResultCache::entry_path(std::uint64_t hash) const {
+  return options_.disk_dir + "/" + archive::fingerprint_hex(hash) + ".pskc";
+}
+
+std::optional<std::string> ResultCache::read_disk(const CacheKey& key) {
+  std::ifstream in(entry_path(key.hash), std::ios::binary);
+  if (!in) return std::nullopt;  // plain miss: no entry on disk
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  const std::string bytes = buffer.str();
+  bool verify_failed = false;
+  std::optional<std::string> value = decode_entry(bytes, key, &verify_failed);
+  if (verify_failed) ++stats_.verify_failures;
+  return value;
+}
+
+void ResultCache::write_disk(const CacheKey& key, std::string_view value) {
+  const std::string path = entry_path(key.hash);
+  const std::string tmp = path + ".tmp";
+  const std::string bytes = encode_entry(key, value);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
+std::optional<std::string> ResultCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  if (const Entry* entry = find_in_memory(key)) {
+    ++stats_.hits;
+    return entry->value;
+  }
+  if (!options_.disk_dir.empty()) {
+    if (std::optional<std::string> value = read_disk(key)) {
+      ++stats_.disk_hits;
+      insert_in_memory(key, *value);  // promote for the next lookup
+      return value;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(const CacheKey& key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  insert_in_memory(key, value);
+  if (!options_.disk_dir.empty()) write_disk(key, value);
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ResultCache::publish(obs::MetricsRegistry& metrics) const {
+  publish_stats(metrics, stats());
+}
+
+void publish_stats(obs::MetricsRegistry& metrics, const CacheStats& stats) {
+  metrics.counter("cache.lookup").add(static_cast<double>(stats.lookups));
+  metrics.counter("cache.hit").add(static_cast<double>(stats.hits));
+  metrics.counter("cache.disk_hit").add(static_cast<double>(stats.disk_hits));
+  metrics.counter("cache.miss").add(static_cast<double>(stats.misses));
+  metrics.counter("cache.store").add(static_cast<double>(stats.stores));
+  metrics.counter("cache.evict").add(static_cast<double>(stats.evictions));
+  metrics.counter("cache.verify_fail")
+      .add(static_cast<double>(stats.verify_failures));
+  metrics.counter("cache.hit_rate").add(stats.hit_rate());
+}
+
+std::string stats_kv(const CacheStats& stats) {
+  obs::MetricsRegistry metrics;
+  publish_stats(metrics, stats);
+  return metrics.to_kv(0.0);
+}
+
+// ------------------------------------------------------------ sweep cells
+
+CacheKey sweep_cell_key(std::string_view domain, std::string_view cell) {
+  KeyBuilder builder("sweep-cell/1");
+  builder.text(domain).text(cell);
+  return std::move(builder).finish();
+}
+
+std::uint64_t sweep_cell_hash(std::string_view domain,
+                              std::string_view cell) {
+  return sweep_cell_key(domain, cell).hash;
+}
+
+// ----------------------------------------------------------- value codec
+
+std::string encode_values(const std::vector<double>& values) {
+  std::string out;
+  out.reserve(4 + values.size() * 8);
+  archive::put_u32(out, static_cast<std::uint32_t>(values.size()));
+  for (const double value : values) archive::put_f64(out, value);
+  return out;
+}
+
+std::optional<std::vector<double>> decode_values(std::string_view bytes) {
+  archive::Cursor in(bytes);
+  const std::uint32_t count = in.u32();
+  if (!in.ok() || in.remaining() != static_cast<std::size_t>(count) * 8) {
+    return std::nullopt;
+  }
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) values.push_back(in.f64());
+  if (!in.ok() || !in.at_end()) return std::nullopt;
+  return values;
+}
+
+}  // namespace psk::cache

@@ -1,0 +1,179 @@
+// Content-addressed result cache for simulation measurements.
+//
+// Every measurement in this repo is a seeded, deterministic simulation: the
+// same (signature, scaling, scenario, sim config, seed) cell always computes
+// the same doubles, bit for bit.  That makes results safe to memoize by
+// *content*: a cache key is the canonical little-endian serialization of
+// everything that determines the measurement (see cache/keys.h for the
+// domain builders), addressed by its 64-bit FNV-1a fingerprint.
+//
+// Two tiers:
+//   - a thread-safe in-memory LRU (capacity counted in entries), and
+//   - an optional on-disk store (one file per key under `disk_dir`).
+//
+// Both tiers echo the full key next to the value and verify it on every
+// lookup, so a 64-bit hash collision degrades to a miss (counted in
+// verify_failures), never to a wrong result.  Disk writes go through a
+// temp file + atomic rename: a crashed run cannot leave a torn entry, and
+// a torn/corrupt file found on disk is ignored as a miss.
+//
+// Values are opaque byte strings; encode_values()/decode_values() provide
+// the standard codec for the common double-vector payload.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace psk::obs {
+class MetricsRegistry;
+}
+
+namespace psk::cache {
+
+/// A content-addressed key: the canonical serialized form of everything
+/// that determines a measurement, plus its 64-bit fingerprint.  The full
+/// bytes travel with the key so both tiers can verify against collisions.
+struct CacheKey {
+  std::uint64_t hash = 0;
+  std::string bytes;
+};
+
+/// Builds a CacheKey from typed fields.  The domain tag (e.g. "app-run/1")
+/// namespaces key families and carries their layout version: bump it
+/// whenever the field sequence changes and stale entries silently miss.
+class KeyBuilder {
+ public:
+  explicit KeyBuilder(std::string_view domain);
+
+  KeyBuilder& f64(double value);
+  KeyBuilder& u64(std::uint64_t value);
+  KeyBuilder& i64(std::int64_t value);
+  KeyBuilder& flag(bool value);
+  /// Length-prefixed text field.
+  KeyBuilder& text(std::string_view value);
+  /// Appends pre-encoded canonical bytes (archive::encode output),
+  /// length-prefixed so adjacent fields cannot alias.
+  KeyBuilder& raw(std::string_view canonical_bytes);
+
+  CacheKey finish() &&;
+
+ private:
+  std::string bytes_;
+};
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;            // served from the memory tier
+  std::uint64_t disk_hits = 0;       // served from disk (then promoted)
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;       // LRU entries dropped at capacity
+  std::uint64_t verify_failures = 0; // key-echo mismatch or corrupt entry
+
+  std::uint64_t total_hits() const { return hits + disk_hits; }
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(total_hits()) /
+                              static_cast<double>(lookups);
+  }
+};
+
+struct CacheOptions {
+  /// Memory-tier capacity in entries; 0 disables the memory tier.
+  std::size_t memory_entries = 4096;
+  /// On-disk store directory (created if missing); empty disables disk.
+  std::string disk_dir;
+};
+
+class ResultCache {
+ public:
+  using Options = CacheOptions;
+
+  explicit ResultCache(Options options = {});
+
+  /// Returns the cached value, or nullopt on miss.  Thread-safe.
+  std::optional<std::string> lookup(const CacheKey& key);
+
+  /// Inserts/overwrites in both tiers.  Thread-safe.
+  void store(const CacheKey& key, std::string_view value);
+
+  CacheStats stats() const;
+
+  /// Publishes the stats as obs counters (cache.hit, cache.disk_hit,
+  /// cache.miss, cache.store, cache.evict, cache.verify_fail,
+  /// cache.hit_rate).
+  void publish(obs::MetricsRegistry& metrics) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::string key_bytes;
+    std::string value;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Memory-tier lookup; assumes lock held.  Promotes on hit.
+  const Entry* find_in_memory(const CacheKey& key);
+  void insert_in_memory(const CacheKey& key, std::string_view value);
+  std::string entry_path(std::uint64_t hash) const;
+  std::optional<std::string> read_disk(const CacheKey& key);
+  void write_disk(const CacheKey& key, std::string_view value);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  CacheStats stats_;
+};
+
+/// Publishes a stats snapshot into a registry (same counters as
+/// ResultCache::publish).
+void publish_stats(obs::MetricsRegistry& metrics, const CacheStats& stats);
+
+/// Deterministic key=value rendering of the stats (the obs counter dump),
+/// suitable for a --cache-stats artifact file.
+std::string stats_kv(const CacheStats& stats);
+
+// ----------------------------------------------------------- value codec
+
+/// Canonical encoding of a double-vector payload (count + IEEE-754 bits).
+std::string encode_values(const std::vector<double>& values);
+/// Decodes; nullopt when `bytes` is not a well-formed value payload.
+std::optional<std::vector<double>> decode_values(std::string_view bytes);
+
+// ------------------------------------------------------------ sweep cells
+
+/// Canonical key for a free-form sweep cell under a caller-chosen domain
+/// string.  The domain keeps unrelated sweeps (or incompatible versions of
+/// the same sweep) from colliding in a shared cache; journaled_sweep keys
+/// its journal lines by the hash of this key.
+CacheKey sweep_cell_key(std::string_view domain, std::string_view cell);
+std::uint64_t sweep_cell_hash(std::string_view domain, std::string_view cell);
+
+/// Get-or-compute for the ubiquitous single-double measurement.  A null
+/// cache degenerates to calling `compute` directly, so call sites stay
+/// branch-free.  `Fn` is any callable returning double.
+template <typename Fn>
+double memoize_scalar(ResultCache* cache, const CacheKey& key, Fn&& compute) {
+  if (cache != nullptr) {
+    if (std::optional<std::string> hit = cache->lookup(key)) {
+      if (std::optional<std::vector<double>> values = decode_values(*hit);
+          values && values->size() == 1) {
+        return (*values)[0];
+      }
+    }
+  }
+  const double value = compute();
+  if (cache != nullptr) cache->store(key, encode_values({value}));
+  return value;
+}
+
+}  // namespace psk::cache

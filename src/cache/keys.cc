@@ -1,0 +1,53 @@
+#include "cache/keys.h"
+
+#include "archive/codec.h"
+#include "archive/wire.h"
+
+namespace psk::cache {
+
+namespace {
+
+void add_context(KeyBuilder& builder, const scenario::Scenario& scenario,
+                 const RunContext& context) {
+  std::string scenario_bytes;
+  archive::encode(scenario_bytes, scenario);
+  std::string cluster_bytes;
+  archive::encode(cluster_bytes, *context.cluster);
+  std::string mpi_bytes;
+  archive::encode(mpi_bytes, *context.mpi);
+  builder.raw(scenario_bytes)
+      .raw(cluster_bytes)
+      .raw(mpi_bytes)
+      .i64(context.ranks)
+      .u64(context.dedicated_seed)
+      .u64(context.scenario_seed)
+      .u64(context.seed_offset)
+      .f64(context.run_time_limit);
+}
+
+}  // namespace
+
+CacheKey app_run_key(std::string_view app, std::string_view app_class,
+                     const scenario::Scenario& scenario,
+                     const RunContext& context) {
+  KeyBuilder builder("app-run/1");
+  builder.text(app).text(app_class);
+  add_context(builder, scenario, context);
+  return std::move(builder).finish();
+}
+
+CacheKey skeleton_run_key(const skeleton::Skeleton& skeleton,
+                          const scenario::Scenario& scenario,
+                          const skeleton::ReplayOptions& replay,
+                          const RunContext& context) {
+  KeyBuilder builder("skeleton-run/1");
+  std::string skeleton_bytes;
+  archive::encode(skeleton_bytes, skeleton);
+  builder.raw(skeleton_bytes)
+      .flag(replay.sample_compute_distribution)
+      .u64(replay.sample_seed);
+  add_context(builder, scenario, context);
+  return std::move(builder).finish();
+}
+
+}  // namespace psk::cache

@@ -1,0 +1,54 @@
+// Domain cache-key builders: the canonical serialization of everything
+// that determines a measurement result.
+//
+// Soundness contract: a key must include every input the simulation reads
+// -- the workload identity (benchmark + class, or the full skeleton bytes),
+// the scenario descriptor (fault profiles included: caching is never sound
+// across differing fault scenarios, so the scenario's canonical bytes are
+// part of the key), the cluster and MPI configs, and the complete seed
+// derivation material (dedicated/scenario seeds plus the per-measurement
+// offset).  Anything missing would alias distinct measurements; anything
+// extra only costs hit rate.
+//
+// These builders live apart from cache.h so the cache core stays free of
+// domain dependencies (runner links the core; only core/bench need these).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "cache/cache.h"
+#include "mpi/types.h"
+#include "scenario/scenario.h"
+#include "sim/machine.h"
+#include "skeleton/skeleton.h"
+
+namespace psk::cache {
+
+/// Measurement-environment key material shared by every run kind.
+struct RunContext {
+  const sim::ClusterConfig* cluster = nullptr;
+  const mpi::MpiConfig* mpi = nullptr;
+  int ranks = 0;
+  std::uint64_t dedicated_seed = 0;
+  std::uint64_t scenario_seed = 0;
+  std::uint64_t seed_offset = 0;
+  double run_time_limit = 0;
+};
+
+/// Key for a measured application run: the workload is identified by
+/// (benchmark name, NAS class) -- a deterministic generator -- so those
+/// two strings stand in for the program.
+CacheKey app_run_key(std::string_view app, std::string_view app_class,
+                     const scenario::Scenario& scenario,
+                     const RunContext& context);
+
+/// Key for a measured skeleton run: the skeleton's canonical archive bytes
+/// are self-describing (scaled per-rank sequences + construction metadata),
+/// so the key is sound regardless of how the skeleton was built.
+CacheKey skeleton_run_key(const skeleton::Skeleton& skeleton,
+                          const scenario::Scenario& scenario,
+                          const skeleton::ReplayOptions& replay,
+                          const RunContext& context);
+
+}  // namespace psk::cache

@@ -56,8 +56,20 @@ double ExperimentDriver::compute_app_time(const std::string& app,
                                           const scenario::Scenario& scenario,
                                           int repetition) const {
   obs::PhaseProfiler::Scope scope(framework_.options().profiler, "measure");
-  return framework_.run_app(program(app, config_.app_class), scenario,
-                            static_cast<std::uint64_t>(repetition) * 13);
+  const std::uint64_t seed_offset =
+      static_cast<std::uint64_t>(repetition) * 13;
+  const auto execute = [&] {
+    return framework_.run_app(program(app, config_.app_class), scenario,
+                              seed_offset);
+  };
+  cache::ResultCache* cache = framework_.options().result_cache.get();
+  if (cache == nullptr) return execute();
+  // The (benchmark, NAS class) pair identifies the workload: app programs
+  // are deterministic generators of their inputs.
+  const cache::CacheKey key =
+      cache::app_run_key(app, apps::class_name(config_.app_class), scenario,
+                         framework_.run_context(seed_offset));
+  return cache::memoize_scalar(cache, key, execute);
 }
 
 double ExperimentDriver::app_time(const std::string& app,
@@ -83,8 +95,20 @@ double ExperimentDriver::class_s_time(const std::string& app,
     auto it = class_s_times_.find(key);
     if (it != class_s_times_.end()) return it->second;
   }
-  const double elapsed = framework_.run_app(
-      program(app, apps::NasClass::kS), scenario, /*seed_offset=*/7);
+  const auto execute = [&] {
+    return framework_.run_app(program(app, apps::NasClass::kS), scenario,
+                              /*seed_offset=*/7);
+  };
+  cache::ResultCache* cache = framework_.options().result_cache.get();
+  double elapsed;
+  if (cache == nullptr) {
+    elapsed = execute();
+  } else {
+    const cache::CacheKey cache_key = cache::app_run_key(
+        app, apps::class_name(apps::NasClass::kS), scenario,
+        framework_.run_context(/*seed_offset=*/7));
+    elapsed = cache::memoize_scalar(cache, cache_key, execute);
+  }
   std::lock_guard<std::mutex> lock(time_mutex_);
   return class_s_times_.try_emplace(key, elapsed).first->second;
 }

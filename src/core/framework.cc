@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 
+#include "cache/keys.h"
 #include "skeleton/validate.h"
 #include "trace/fold.h"
 #include "util/error.h"
@@ -90,8 +91,9 @@ skeleton::Skeleton SkeletonFramework::make_consistent_skeleton(
     for (;; ++step) {
       const double threshold = step * compress_options.threshold_step;
       if (threshold > compress_options.max_threshold + 1e-12) break;
-      signature = sig::compress_at_threshold(folded_trace, threshold,
-                                             compress_options);
+      signature = sig::compress_at_threshold(
+          folded_trace,
+          sig::ThresholdCompressOptions{threshold, compress_options});
       candidate = make_skeleton(signature, k);
       report = skeleton::check_consistency(candidate);
       if (report.consistent) {
@@ -184,20 +186,41 @@ double SkeletonFramework::run_app_controlled(const mpi::RankMain& app) const {
   return world.run();
 }
 
+cache::RunContext SkeletonFramework::run_context(
+    std::uint64_t seed_offset) const {
+  cache::RunContext context;
+  context.cluster = &options_.cluster;
+  context.mpi = &options_.mpi;
+  context.ranks = options_.ranks;
+  context.dedicated_seed = options_.dedicated_seed;
+  context.scenario_seed = options_.scenario_seed;
+  context.seed_offset = seed_offset;
+  context.run_time_limit = options_.run_time_limit;
+  return context;
+}
+
 double SkeletonFramework::run_skeleton(const skeleton::Skeleton& skeleton,
                                        const scenario::Scenario& scenario,
                                        std::uint64_t seed_offset,
                                        const skeleton::ReplayOptions& replay,
                                        obs::Recorder* obs) const {
-  sim::ClusterConfig cluster = options_.cluster;
-  cluster.seed = scenario_run_seed(scenario, seed_offset);
-  sim::Machine machine(cluster);
-  machine.engine().set_time_limit(options_.run_time_limit);
-  machine.engine().set_wall_deadline(options_.wall_deadline_seconds);
-  machine.attach_obs(obs);
-  scenario.apply(machine);
-  mpi::World world(machine, options_.ranks, options_.mpi);
-  return skeleton::run_skeleton(world, skeleton, replay);
+  const auto execute = [&] {
+    sim::ClusterConfig cluster = options_.cluster;
+    cluster.seed = scenario_run_seed(scenario, seed_offset);
+    sim::Machine machine(cluster);
+    machine.engine().set_time_limit(options_.run_time_limit);
+    machine.engine().set_wall_deadline(options_.wall_deadline_seconds);
+    machine.attach_obs(obs);
+    scenario.apply(machine);
+    mpi::World world(machine, options_.ranks, options_.mpi);
+    return skeleton::run_skeleton(world, skeleton, replay);
+  };
+  // Instrumented runs always execute: the recorder wants the timeline, and
+  // the cache holds only the elapsed time.
+  if (options_.result_cache == nullptr || obs != nullptr) return execute();
+  const cache::CacheKey key = cache::skeleton_run_key(
+      skeleton, scenario, replay, run_context(seed_offset));
+  return cache::memoize_scalar(options_.result_cache.get(), key, execute);
 }
 
 }  // namespace psk::core

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "cache/keys.h"
 #include "mpi/world.h"
 #include "obs/phase.h"
 #include "obs/recorder.h"
@@ -55,6 +57,15 @@ struct FrameworkOptions {
   /// (record / fold / cluster / compress / scale phases).  Not owned; must
   /// outlive the framework.  Null = no profiling.
   obs::PhaseProfiler* profiler = nullptr;
+  /// Optional content-addressed result cache (cache/cache.h).  When set,
+  /// run_skeleton() memoizes its measured time by the canonical key of
+  /// (skeleton bytes, scenario, replay options, sim config, seeds) and the
+  /// experiment driver memoizes app runs likewise.  Results are
+  /// bit-identical with the cache on, off, cold or warm -- measurements
+  /// are seeded deterministic simulations.  Instrumented runs (obs != null)
+  /// always execute: the cache stores only the elapsed time, not the
+  /// recorder's timeline.
+  std::shared_ptr<cache::ResultCache> result_cache;
 
   static sim::ClusterConfig default_cluster();
 };
@@ -110,6 +121,10 @@ class SkeletonFramework {
                       std::uint64_t seed_offset = 0,
                       const skeleton::ReplayOptions& replay = {},
                       obs::Recorder* obs = nullptr) const;
+
+  /// Cache-key material describing this framework's measurement
+  /// environment at the given per-measurement seed offset (cache/keys.h).
+  cache::RunContext run_context(std::uint64_t seed_offset) const;
 
  private:
   std::uint64_t scenario_run_seed(const scenario::Scenario& scenario,

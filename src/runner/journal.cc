@@ -1,9 +1,12 @@
 #include "runner/journal.h"
 
+#include <algorithm>
 #include <fstream>
 #include <mutex>
 #include <unordered_map>
 
+#include "archive/wire.h"
+#include "cache/cache.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -12,7 +15,12 @@ namespace psk::runner {
 namespace {
 
 // Journal line format (text, one completed cell per line):
-//     <key> TAB <status> TAB <payload-or-detail> NEWLINE
+//     <cell-hash> TAB <key> TAB <status> TAB <payload-or-detail> NEWLINE
+// The leading field is the 16-hex-digit content hash of (domain, key) --
+// the canonical cell identity, so replay matches cells by hash no matter
+// how the grid was ordered when the journal was written; the echoed key
+// guards against hash collisions.  Pre-hash journals carry three fields
+// (no hash); replay still accepts them, matching by key string.
 // Keys and payloads are escaped (backslash, tab, newline), so a literal TAB
 // only ever separates fields and a literal NEWLINE only ever ends a record.
 // A line without its trailing newline -- the process died mid-append -- is
@@ -84,7 +92,21 @@ bool parse_line(const std::string& line, std::string& key,
   return true;
 }
 
-void replay(const std::string& path,
+bool parse_hash(const std::string& field, std::uint64_t& hash) {
+  if (field.size() != 16) return false;
+  hash = 0;
+  for (const char c : field) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    hash = (hash << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return true;
+}
+
+void replay(const std::string& path, const std::vector<std::string>& keys,
+            const std::unordered_map<std::uint64_t, std::size_t>& hash_index,
             const std::unordered_map<std::string, std::size_t>& index_of,
             std::vector<CellResult>& results, std::vector<char>& have) {
   std::ifstream in(path);
@@ -96,19 +118,35 @@ void replay(const std::string& path,
   // it to disk.
   while (std::getline(in, line)) {
     if (in.eof()) break;  // truncated final line: the append was cut short
+    // Escaping guarantees raw TABs only separate fields, so the field count
+    // tells the format apart: 4 fields = hash-keyed, 3 = pre-hash legacy.
+    const auto tabs = std::count(line.begin(), line.end(), '\t');
     std::string key;
     CellResult result;
-    if (!parse_line(line, key, result)) {
-      ++ignored;
-      continue;
+    std::size_t index = 0;
+    bool matched = false;
+    if (tabs == 3) {
+      const std::size_t tab1 = line.find('\t');
+      std::uint64_t hash = 0;
+      if (parse_hash(line.substr(0, tab1), hash) &&
+          parse_line(line.substr(tab1 + 1), key, result)) {
+        const auto it = hash_index.find(hash);
+        // The echoed key must agree: a hash matching a different key is a
+        // collision and the record cannot be trusted.
+        matched = it != hash_index.end() && keys[it->second] == key;
+        if (matched) index = it->second;
+      }
+    } else if (tabs == 2 && parse_line(line, key, result)) {
+      const auto it = index_of.find(key);
+      matched = it != index_of.end();
+      if (matched) index = it->second;
     }
-    const auto it = index_of.find(key);
-    if (it == index_of.end()) {
+    if (!matched) {
       ++ignored;  // journal from a different grid: don't trust it blindly
       continue;
     }
-    results[it->second] = std::move(result);
-    have[it->second] = 1;
+    results[index] = std::move(result);
+    have[index] = 1;
   }
   if (ignored > 0) {
     util::log_warn() << "journal " << path << ": ignored " << ignored
@@ -137,11 +175,20 @@ std::vector<CellResult> journaled_sweep(
     util::require(index_of.emplace(keys[i], i).second,
                   "journaled_sweep: duplicate cell key: " + keys[i]);
   }
+  // Canonical cell identities: content hashes of (domain, key).
+  std::vector<std::uint64_t> hashes(keys.size());
+  std::unordered_map<std::uint64_t, std::size_t> hash_index;
+  hash_index.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    hashes[i] = cache::sweep_cell_hash(options.domain, keys[i]);
+    util::require(hash_index.emplace(hashes[i], i).second,
+                  "journaled_sweep: cell hash collision on key: " + keys[i]);
+  }
 
   std::vector<CellResult> results(keys.size());
   std::vector<char> have(keys.size(), 0);
   if (options.resume && !options.journal_path.empty()) {
-    replay(options.journal_path, index_of, results, have);
+    replay(options.journal_path, keys, hash_index, index_of, results, have);
   }
 
   std::ofstream journal;
@@ -167,20 +214,41 @@ std::vector<CellResult> journaled_sweep(
       [&](std::size_t p) {
         const std::size_t i = pending[p];
         CellResult result;
-        try {
-          result.payload = body(i);
-        } catch (const TimeoutError& e) {
-          result.status = CellResult::Status::kTimeout;
-          result.detail = e.what();
-        } catch (const std::exception& e) {
-          result.status = CellResult::Status::kFailed;
-          result.detail = e.what();
+        bool from_cache = false;
+        if (options.cache != nullptr) {
+          // Cross-journal reuse: another run sharing the cache directory may
+          // have computed this cell already (same domain + key = same
+          // deterministic payload by contract).
+          const cache::CacheKey cell_key =
+              cache::sweep_cell_key(options.domain, keys[i]);
+          if (std::optional<std::string> hit = options.cache->lookup(cell_key)) {
+            result.payload = std::move(*hit);
+            from_cache = true;
+          }
+        }
+        if (!from_cache) {
+          try {
+            result.payload = body(i);
+          } catch (const TimeoutError& e) {
+            result.status = CellResult::Status::kTimeout;
+            result.detail = e.what();
+          } catch (const std::exception& e) {
+            result.status = CellResult::Status::kFailed;
+            result.detail = e.what();
+          }
+          if (options.cache != nullptr &&
+              result.status == CellResult::Status::kOk) {
+            options.cache->store(
+                cache::sweep_cell_key(options.domain, keys[i]),
+                result.payload);
+          }
         }
         if (journal.is_open()) {
           const std::string& text =
               result.status == CellResult::Status::kOk ? result.payload
                                                        : result.detail;
-          const std::string line = escape(keys[i]) + '\t' +
+          const std::string line = archive::fingerprint_hex(hashes[i]) + '\t' +
+                                   escape(keys[i]) + '\t' +
                                    status_name(result.status) + '\t' +
                                    escape(text) + '\n';
           const std::lock_guard<std::mutex> lock(journal_mutex);

@@ -23,6 +23,10 @@
 
 #include "runner/sweep.h"
 
+namespace psk::cache {
+class ResultCache;
+}
+
 namespace psk::runner {
 
 struct CellResult {
@@ -49,6 +53,16 @@ struct JournaledSweepOptions {
   /// Without resume, an existing journal is truncated and the sweep starts
   /// fresh.
   bool resume = false;
+  /// Namespace for the journal's cell hashes and the shared result cache.
+  /// Encode everything that versions the payload format here (sweep name,
+  /// grid config fingerprint): cells only match across runs/journals when
+  /// both the domain and the cell key agree.
+  std::string domain;
+  /// Optional content-addressed cache consulted before running a cell body
+  /// and filled with every ok payload -- lets a sweep reuse cells computed
+  /// by *other* journals/runs sharing the cache directory.  Not owned; may
+  /// be null.  Failed/timeout cells are journaled but never cached.
+  cache::ResultCache* cache = nullptr;
 };
 
 /// Runs body(i) for every key, returning one CellResult per key in input

@@ -56,7 +56,7 @@ bool collapse_period(SigSeq& seq, std::size_t p, std::size_t max_period) {
       }
       SigSeq body(seq.begin() + static_cast<std::ptrdiff_t>(i),
                   seq.begin() + static_cast<std::ptrdiff_t>(i + q));
-      body = fold_loops(std::move(body), max_period);
+      body = fold_loops(std::move(body), FoldOptions{max_period});
       out.push_back(SigNode::loop(repeats, std::move(body)));
       i += static_cast<std::size_t>(repeats) * q;
       changed = true;
@@ -99,9 +99,9 @@ Signature build_signature(const trace::Trace& trace, double threshold,
     {
       obs::PhaseProfiler::Scope scope(options.profiler, "compress");
       if (options.anchor_at_collectives) {
-        seq = fold_anchored(std::move(seq), options.max_period);
+        seq = fold_anchored(std::move(seq), FoldOptions{options.max_period});
       } else {
-        seq = fold_loops(std::move(seq), options.max_period);
+        seq = fold_loops(std::move(seq), FoldOptions{options.max_period});
       }
     }
 
@@ -126,12 +126,12 @@ Signature build_signature(const trace::Trace& trace, double threshold,
 
 }  // namespace
 
-SigSeq fold_anchored(SigSeq seq, std::size_t max_period) {
+SigSeq fold_anchored(SigSeq seq, const FoldOptions& options) {
   SigSeq out;
   SigSeq segment;
   const auto flush_segment = [&] {
     if (segment.empty()) return;
-    SigSeq folded = fold_loops(std::move(segment), max_period);
+    SigSeq folded = fold_loops(std::move(segment), options);
     out.insert(out.end(), std::make_move_iterator(folded.begin()),
                std::make_move_iterator(folded.end()));
     segment.clear();
@@ -149,7 +149,7 @@ SigSeq fold_anchored(SigSeq seq, std::size_t max_period) {
   return out;
 }
 
-SigSeq fold_loops(SigSeq seq, std::size_t max_period) {
+SigSeq fold_loops(SigSeq seq, const FoldOptions& options) {
   // "Starting with the largest matches and working down to sub-string
   // matches of a single symbol" (paper section 3.2): descending periods,
   // repeated until no repeat of any length remains.  Largest-first matters:
@@ -158,21 +158,37 @@ SigSeq fold_loops(SigSeq seq, std::size_t max_period) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (std::size_t p = std::min(max_period, seq.size() / 2); p >= 1; --p) {
-      changed = collapse_period(seq, p, max_period) || changed;
+    for (std::size_t p = std::min(options.max_period, seq.size() / 2); p >= 1;
+         --p) {
+      changed = collapse_period(seq, p, options.max_period) || changed;
       if (seq.size() < 2) break;
     }
   }
   return seq;
 }
 
+SigSeq fold_anchored(SigSeq seq, std::size_t max_period) {
+  return fold_anchored(std::move(seq), FoldOptions{max_period});
+}
+
+SigSeq fold_loops(SigSeq seq, std::size_t max_period) {
+  return fold_loops(std::move(seq), FoldOptions{max_period});
+}
+
 Signature compress_at_threshold(const trace::Trace& folded_trace,
-                                double threshold,
-                                const CompressOptions& options) {
+                                const ThresholdCompressOptions& options) {
   util::require(trace::is_fully_folded(folded_trace),
                 "compress: trace contains raw nonblocking events; run "
                 "trace::fold_nonblocking first");
-  return build_signature(folded_trace, threshold, options, nullptr, nullptr);
+  return build_signature(folded_trace, options.threshold, options.compress,
+                         nullptr, nullptr);
+}
+
+Signature compress_at_threshold(const trace::Trace& folded_trace,
+                                double threshold,
+                                const CompressOptions& options) {
+  return compress_at_threshold(folded_trace,
+                               ThresholdCompressOptions{threshold, options});
 }
 
 Signature compress(const trace::Trace& folded_trace,

@@ -49,14 +49,26 @@ struct CompressOptions {
   obs::PhaseProfiler* profiler = nullptr;
 };
 
+/// Named options for the tandem-repeat folders (replaces the positional
+/// max_period tail).
+struct FoldOptions {
+  /// Longest loop body considered by the folder.
+  std::size_t max_period = 512;
+};
+
 /// Variant of fold_loops that folds each run between collectives
 /// independently (see CompressOptions::anchor_at_collectives).
-SigSeq fold_anchored(SigSeq seq, std::size_t max_period = 512);
+SigSeq fold_anchored(SigSeq seq, const FoldOptions& options = {});
 
 /// Folds maximal tandem repeats into loop nodes, smallest period first,
 /// iterating to a fixpoint (inner loops collapse first, enabling outer
 /// ones).  Exposed for unit testing.
-SigSeq fold_loops(SigSeq seq, std::size_t max_period = 512);
+SigSeq fold_loops(SigSeq seq, const FoldOptions& options = {});
+
+/// Deprecated positional forms, kept as thin forwarders for one release:
+/// prefer the FoldOptions overloads above.
+SigSeq fold_anchored(SigSeq seq, std::size_t max_period);
+SigSeq fold_loops(SigSeq seq, std::size_t max_period);
 
 /// Compresses a *folded* trace (see trace::fold_nonblocking) into an
 /// execution signature.  Throws ConfigError when the trace still contains
@@ -65,7 +77,20 @@ SigSeq fold_loops(SigSeq seq, std::size_t max_period = 512);
 Signature compress(const trace::Trace& folded_trace,
                    const CompressOptions& options = {});
 
+/// Named options for the fixed-threshold single pass (replaces the
+/// positional threshold tail).
+struct ThresholdCompressOptions {
+  /// The similarity threshold applied to every rank (no search).
+  double threshold = 0.0;
+  CompressOptions compress;
+};
+
 /// One clustering+folding pass at a fixed threshold (no search).
+Signature compress_at_threshold(const trace::Trace& folded_trace,
+                                const ThresholdCompressOptions& options);
+
+/// Deprecated positional form, kept as a thin forwarder for one release:
+/// prefer the ThresholdCompressOptions overload above.
 Signature compress_at_threshold(const trace::Trace& folded_trace,
                                 double threshold,
                                 const CompressOptions& options = {});

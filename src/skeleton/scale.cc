@@ -48,7 +48,7 @@ void emit_remainder(const SigSeq& body, std::uint64_t r, double k,
       out.push_back(SigNode::loop(full, std::move(one)));
     }
     if (leftover > 0) {
-      const SigEvent scaled = scale_event(event, k, options);
+      const SigEvent scaled = scale_event(event, ScaleSpec{k, options});
       if (leftover == 1) {
         out.push_back(SigNode::leaf(scaled));
       } else {
@@ -62,8 +62,9 @@ void emit_remainder(const SigSeq& body, std::uint64_t r, double k,
 
 }  // namespace
 
-SigEvent scale_event(const SigEvent& event, double factor,
-                     const ScaleOptions& options) {
+SigEvent scale_event(const SigEvent& event, const ScaleSpec& spec) {
+  const double factor = spec.factor;
+  const ScaleOptions& options = spec.options;
   util::require(factor >= 1.0, "scale_event: factor must be >= 1");
   SigEvent scaled = event;
   scaled.pre_compute /= factor;
@@ -79,8 +80,9 @@ SigEvent scale_event(const SigEvent& event, double factor,
   return scaled;
 }
 
-sig::SigSeq scale_sequence(const SigSeq& seq, double k,
-                           const ScaleOptions& options) {
+sig::SigSeq scale_sequence(const SigSeq& seq, const ScaleSpec& spec) {
+  const double k = spec.factor;
+  const ScaleOptions& options = spec.options;
   util::require(k >= 1.0, "scale_sequence: K must be >= 1");
   SigSeq out;
   if (k <= kUnityTolerance) {
@@ -93,7 +95,8 @@ sig::SigSeq scale_sequence(const SigSeq& seq, double k,
   for (const SigNode& node : seq) {
     if (node.kind == SigNode::Kind::kLeaf) {
       // Operation outside any loop: parameter scaling is the only option.
-      out.push_back(SigNode::leaf(scale_event(node.event, k, options)));
+      out.push_back(
+          SigNode::leaf(scale_event(node.event, ScaleSpec{k, options})));
       continue;
     }
     const std::uint64_t n = node.iterations;
@@ -111,12 +114,22 @@ sig::SigSeq scale_sequence(const SigSeq& seq, double k,
     } else {
       // Step 4: count collapses to one iteration; the residual factor
       // distributes into the body.
-      SigSeq scaled_body =
-          scale_sequence(node.body, k / static_cast<double>(n), options);
+      SigSeq scaled_body = scale_sequence(
+          node.body, ScaleSpec{k / static_cast<double>(n), options});
       out.push_back(SigNode::loop(1, std::move(scaled_body)));
     }
   }
   return out;
+}
+
+sig::SigSeq scale_sequence(const sig::SigSeq& seq, double k,
+                           const ScaleOptions& options) {
+  return scale_sequence(seq, ScaleSpec{k, options});
+}
+
+sig::SigEvent scale_event(const sig::SigEvent& event, double factor,
+                          const ScaleOptions& options) {
+  return scale_event(event, ScaleSpec{factor, options});
 }
 
 }  // namespace psk::skeleton

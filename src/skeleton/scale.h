@@ -30,11 +30,25 @@ struct ScaleOptions {
   bool unroll_remainders = true;
 };
 
-/// Scales one rank's node sequence by K (>= 1).  K = 1 returns a copy.
+/// The full specification of one scaling operation: the factor K plus the
+/// behaviour knobs (replaces the positional double + options tail).
+struct ScaleSpec {
+  /// Scaling factor K (>= 1).
+  double factor = 1.0;
+  ScaleOptions options;
+};
+
+/// Scales one rank's node sequence by spec.factor (>= 1); factor = 1
+/// returns a copy.
+sig::SigSeq scale_sequence(const sig::SigSeq& seq, const ScaleSpec& spec);
+
+/// Parameter-scales a single event (compute and bytes divided by factor).
+sig::SigEvent scale_event(const sig::SigEvent& event, const ScaleSpec& spec);
+
+/// Deprecated positional forms, kept as thin forwarders for one release:
+/// prefer the ScaleSpec overloads above.
 sig::SigSeq scale_sequence(const sig::SigSeq& seq, double k,
                            const ScaleOptions& options = {});
-
-/// Parameter-scales a single event by `factor` (compute and bytes divided).
 sig::SigEvent scale_event(const sig::SigEvent& event, double factor,
                           const ScaleOptions& options = {});
 

@@ -44,8 +44,8 @@ void scan_dominant(const SigSeq& seq, double rank_total, double multiplier,
 
 }  // namespace
 
-GoodSkeletonEstimate estimate_good_skeleton(const sig::Signature& signature,
-                                            double dominance_fraction) {
+GoodSkeletonEstimate estimate_good_skeleton(
+    const sig::Signature& signature, const GoodSkeletonOptions& options) {
   GoodSkeletonEstimate estimate;
   // Every rank must retain a full dominant iteration, so the requirement is
   // the strictest (largest) per-rank minimum.
@@ -53,7 +53,7 @@ GoodSkeletonEstimate estimate_good_skeleton(const sig::Signature& signature,
     double best_body_time = std::numeric_limits<double>::infinity();
     double best_coverage = 0;
     scan_dominant(rank.roots, rank.total_time, /*multiplier=*/1.0,
-                  dominance_fraction, best_body_time, best_coverage);
+                  options.dominance_fraction, best_body_time, best_coverage);
     if (best_body_time == std::numeric_limits<double>::infinity()) {
       // No dominant loop: only the whole run reproduces the behaviour.
       best_body_time = rank.total_time;
@@ -65,6 +65,12 @@ GoodSkeletonEstimate estimate_good_skeleton(const sig::Signature& signature,
     }
   }
   return estimate;
+}
+
+GoodSkeletonEstimate estimate_good_skeleton(const sig::Signature& signature,
+                                            double dominance_fraction) {
+  return estimate_good_skeleton(signature,
+                                GoodSkeletonOptions{dominance_fraction});
 }
 
 Skeleton build_skeleton(const sig::Signature& signature, double k,
@@ -80,7 +86,7 @@ Skeleton build_skeleton(const sig::Signature& signature, double k,
   for (const sig::RankSignature& rank : signature.ranks) {
     sig::RankSignature scaled;
     scaled.rank = rank.rank;
-    scaled.roots = scale_sequence(rank.roots, k, options);
+    scaled.roots = scale_sequence(rank.roots, ScaleSpec{k, options});
     scaled.total_time = rank.total_time / k;
     scaled.final_compute = rank.final_compute / k;
     skeleton.ranks.push_back(std::move(scaled));

@@ -12,6 +12,7 @@
 #include <fstream>
 
 #include "apps/nas.h"
+#include "cache/cache.h"
 #include "core/experiment.h"
 #include "runner/journal.h"
 #include "runner/pool.h"
@@ -250,6 +251,111 @@ TEST(JournaledSweep, JournaledFailureIsNotRetriedOnResume) {
       resume);
   EXPECT_EQ(calls, 0);  // both cells came from the journal
   EXPECT_EQ(replayed, broken);
+  std::remove(path.c_str());
+}
+
+TEST(JournaledSweep, SharedCacheSkipsBodiesAcrossJournals) {
+  // Two independent sweeps (no journals at all) sharing one result cache:
+  // the second run serves every cell from the cache without calling a body.
+  const std::vector<std::string> keys = demo_keys();
+  cache::ResultCache shared;
+  JournaledSweepOptions options;
+  options.jobs = 2;
+  options.domain = "runner-test/cache/1";
+  options.cache = &shared;
+
+  std::atomic<int> first_calls{0};
+  const std::vector<CellResult> first = journaled_sweep(
+      keys,
+      [&](std::size_t i) {
+        first_calls.fetch_add(1);
+        return demo_body(i);
+      },
+      options);
+  EXPECT_EQ(first_calls.load(), static_cast<int>(keys.size()));
+
+  std::atomic<int> second_calls{0};
+  const std::vector<CellResult> second = journaled_sweep(
+      keys,
+      [&](std::size_t i) {
+        second_calls.fetch_add(1);
+        return demo_body(i);
+      },
+      options);
+  EXPECT_EQ(second_calls.load(), 0);
+  EXPECT_EQ(second, first);
+
+  // A different domain must NOT reuse those entries: same keys, different
+  // sweep semantics (e.g. a changed fault scenario) recompute from scratch.
+  std::atomic<int> other_calls{0};
+  JournaledSweepOptions other = options;
+  other.domain = "runner-test/cache/2";
+  journaled_sweep(
+      keys,
+      [&](std::size_t i) {
+        other_calls.fetch_add(1);
+        return demo_body(i);
+      },
+      other);
+  EXPECT_EQ(other_calls.load(), static_cast<int>(keys.size()));
+}
+
+TEST(JournaledSweep, LegacyThreeFieldJournalStillReplays) {
+  // Journals written before the hash column (key TAB status TAB payload)
+  // must still resume: the replay falls back to matching by escaped key.
+  const std::string path = testing::TempDir() + "psk_legacy.journal";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "k1\tok\tpayload-one\n";
+  }
+  int calls = 0;
+  JournaledSweepOptions resume;
+  resume.journal_path = path;
+  resume.resume = true;
+  const std::vector<CellResult> results = journaled_sweep(
+      {"k1", "k2"},
+      [&](std::size_t i) {
+        ++calls;
+        return "computed-" + std::to_string(i);
+      },
+      resume);
+  EXPECT_EQ(calls, 1);  // only k2 ran
+  EXPECT_EQ(results[0].payload, "payload-one");
+  EXPECT_EQ(results[1].payload, "computed-1");
+  std::remove(path.c_str());
+}
+
+TEST(JournaledSweep, ResumeMatchesCellsByKeyNotLinePosition) {
+  // Resume is keyed by cell hash, not journal line order: a journal written
+  // in one order replays correctly into a sweep that enumerates the same
+  // cells in a different order.
+  const std::vector<std::string> keys = demo_keys();
+  std::vector<std::string> reversed(keys.rbegin(), keys.rend());
+  const std::string path = testing::TempDir() + "psk_reorder.journal";
+
+  JournaledSweepOptions fresh;
+  fresh.journal_path = path;
+  fresh.domain = "runner-test/reorder";
+  journaled_sweep(keys, demo_body, fresh);
+
+  std::atomic<int> reran{0};
+  JournaledSweepOptions resume = fresh;
+  resume.resume = true;
+  const std::vector<CellResult> got = journaled_sweep(
+      reversed,
+      [&](std::size_t i) {
+        reran.fetch_add(1);
+        return demo_body(i);
+      },
+      resume);
+  EXPECT_EQ(reran.load(), 0);
+  ASSERT_EQ(got.size(), keys.size());
+  for (std::size_t i = 0; i < reversed.size(); ++i) {
+    // reversed[i] is keys[n-1-i]; its payload was journaled as
+    // demo_body(n-1-i).
+    EXPECT_EQ(got[i].payload, demo_body(keys.size() - 1 - i))
+        << "cell " << i;
+  }
   std::remove(path.c_str());
 }
 

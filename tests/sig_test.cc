@@ -253,7 +253,8 @@ TEST(Fold, PeriodicWithTailKeepsRemainder) {
 
 TEST(Fold, MaxPeriodRespected) {
   // Period-3 repetition but max_period = 2: only shorter folds allowed.
-  const SigSeq folded = fold_loops(seq_from_ids({0, 1, 2, 0, 1, 2}), 2);
+  const SigSeq folded =
+      fold_loops(seq_from_ids({0, 1, 2, 0, 1, 2}), FoldOptions{2});
   EXPECT_EQ(leaf_count(folded), 6u);  // nothing folded
 }
 
@@ -359,8 +360,10 @@ TEST(Compress, SymmetricRanksCompressSymmetrically) {
 
 TEST(Compress, FixedThresholdVariantReportsRatio) {
   const trace::Trace trace = traced_app("MG", apps::NasClass::kS);
-  const Signature loose = compress_at_threshold(trace, 0.1);
-  const Signature tight = compress_at_threshold(trace, 0.0);
+  const Signature loose =
+      compress_at_threshold(trace, ThresholdCompressOptions{0.1, {}});
+  const Signature tight =
+      compress_at_threshold(trace, ThresholdCompressOptions{0.0, {}});
   EXPECT_GE(loose.compression_ratio, tight.compression_ratio);
   EXPECT_DOUBLE_EQ(loose.threshold, 0.1);
 }
@@ -390,6 +393,33 @@ TEST(Compress, ThresholdScheduleIsExactMultipleOfStep) {
   const double steps = signature.threshold / options.threshold_step;
   EXPECT_NEAR(steps, std::round(steps), 1e-9);
   EXPECT_LE(signature.threshold, options.max_threshold + 1e-12);
+}
+
+// --------------------------------------- option-struct / positional parity
+
+TEST(OptionStructs, FoldOverloadsAreEquivalent) {
+  const std::vector<int> ids = {0, 1, 2, 0, 1, 2, 0, 1, 2, 3};
+  EXPECT_EQ(fold_loops(seq_from_ids(ids), FoldOptions{2}),
+            fold_loops(seq_from_ids(ids), std::size_t{2}));
+  EXPECT_EQ(fold_anchored(seq_from_ids(ids), FoldOptions{4}),
+            fold_anchored(seq_from_ids(ids), std::size_t{4}));
+  // Default-constructed options reproduce the historical default cap.
+  EXPECT_EQ(fold_loops(seq_from_ids(ids)),
+            fold_loops(seq_from_ids(ids), FoldOptions{}));
+}
+
+TEST(OptionStructs, CompressAtThresholdOverloadsAreEquivalent) {
+  const trace::Trace trace = traced_app("MG", apps::NasClass::kS);
+  const Signature via_struct =
+      compress_at_threshold(trace, ThresholdCompressOptions{0.05, {}});
+  const Signature via_positional = compress_at_threshold(trace, 0.05);
+  EXPECT_DOUBLE_EQ(via_struct.threshold, via_positional.threshold);
+  EXPECT_DOUBLE_EQ(via_struct.compression_ratio,
+                   via_positional.compression_ratio);
+  ASSERT_EQ(via_struct.ranks.size(), via_positional.ranks.size());
+  for (std::size_t r = 0; r < via_struct.ranks.size(); ++r) {
+    EXPECT_EQ(via_struct.ranks[r].roots, via_positional.ranks[r].roots);
+  }
 }
 
 }  // namespace

@@ -53,7 +53,7 @@ Totals totals_of(const SigSeq& seq) {
 TEST(Scale, UnityIsIdentity) {
   SigSeq seq;
   seq.push_back(SigNode::leaf(leaf_event(0, 2.0)));
-  const SigSeq scaled = scale_sequence(seq, 1.0);
+  const SigSeq scaled = scale_sequence(seq, ScaleSpec{1.0, {}});
   EXPECT_EQ(sig::expanded_count(scaled), 1u);
   EXPECT_DOUBLE_EQ(sig::expand(scaled)[0].pre_compute, 2.0);
 }
@@ -64,7 +64,7 @@ TEST(Scale, LoopIterationsDividedByK) {
   SigSeq seq;
   seq.push_back(SigNode::loop(100, body));
 
-  const SigSeq scaled = scale_sequence(seq, 10.0);
+  const SigSeq scaled = scale_sequence(seq, ScaleSpec{10.0, {}});
   ASSERT_FALSE(scaled.empty());
   EXPECT_EQ(scaled[0].kind, SigNode::Kind::kLoop);
   EXPECT_EQ(scaled[0].iterations, 10u);
@@ -81,7 +81,7 @@ TEST(Scale, RemainderUnrolledAndGrouped) {
   SigSeq seq;
   seq.push_back(SigNode::loop(25, body));
 
-  const SigSeq scaled = scale_sequence(seq, 10.0);
+  const SigSeq scaled = scale_sequence(seq, ScaleSpec{10.0, {}});
   const Totals totals = totals_of(scaled);
   // Represented totals: 25/10 = 2.5 of the original body.
   EXPECT_NEAR(totals.compute, 2.5, 1e-9);
@@ -99,7 +99,7 @@ TEST(Scale, RemainderGroupsOfKCollapse) {
   SigSeq seq;
   seq.push_back(SigNode::loop(15, body));
 
-  const SigSeq scaled = scale_sequence(seq, 4.0);
+  const SigSeq scaled = scale_sequence(seq, ScaleSpec{4.0, {}});
   const Totals totals = totals_of(scaled);
   EXPECT_NEAR(totals.compute, 1.5 * 15.0 / 4.0, 1e-9);
 }
@@ -111,7 +111,7 @@ TEST(Scale, LoopSmallerThanKScalesInside) {
   SigSeq seq;
   seq.push_back(SigNode::loop(4, body));
 
-  const SigSeq scaled = scale_sequence(seq, 16.0);
+  const SigSeq scaled = scale_sequence(seq, ScaleSpec{16.0, {}});
   ASSERT_EQ(scaled.size(), 1u);
   EXPECT_EQ(scaled[0].iterations, 1u);
   const Totals totals = totals_of(scaled);
@@ -129,7 +129,7 @@ TEST(Scale, NestedLoopsDistributeK) {
   SigSeq seq;
   seq.push_back(SigNode::loop(20, outer_body));
 
-  const SigSeq scaled = scale_sequence(seq, 100.0);
+  const SigSeq scaled = scale_sequence(seq, ScaleSpec{100.0, {}});
   const Totals totals = totals_of(scaled);
   EXPECT_NEAR(totals.compute, 20 * 30 * 0.1 / 100.0, 1e-9);
   // The inner loop survives with full-fidelity events.
@@ -140,7 +140,7 @@ TEST(Scale, NestedLoopsDistributeK) {
 TEST(Scale, TopLevelLeafParameterScaled) {
   SigSeq seq;
   seq.push_back(SigNode::leaf(leaf_event(0, 6.0, 9000)));
-  const SigSeq scaled = scale_sequence(seq, 3.0);
+  const SigSeq scaled = scale_sequence(seq, ScaleSpec{3.0, {}});
   const std::vector<SigEvent> expanded = sig::expand(scaled);
   ASSERT_EQ(expanded.size(), 1u);
   EXPECT_NEAR(expanded[0].pre_compute, 2.0, 1e-12);
@@ -152,7 +152,7 @@ TEST(Scale, ByteScalingCanBeDisabled) {
   seq.push_back(SigNode::leaf(leaf_event(0, 6.0, 9000)));
   ScaleOptions options;
   options.scale_message_bytes = false;
-  const SigSeq scaled = scale_sequence(seq, 3.0, options);
+  const SigSeq scaled = scale_sequence(seq, ScaleSpec{3.0, options});
   EXPECT_NEAR(sig::expand(scaled)[0].bytes, 9000.0, 1e-9);
   EXPECT_NEAR(sig::expand(scaled)[0].pre_compute, 2.0, 1e-12);
 }
@@ -167,7 +167,7 @@ TEST(Scale, RepresentedWorkScalesLinearly) {
   const Totals original = totals_of(seq);
 
   for (double k : {2.0, 3.0, 7.0, 16.0, 60.0, 240.0, 1000.0}) {
-    const Totals scaled = totals_of(scale_sequence(seq, k));
+    const Totals scaled = totals_of(scale_sequence(seq, ScaleSpec{k, {}}));
     EXPECT_NEAR(scaled.compute * k, original.compute,
                 original.compute * 0.25)
         << "K=" << k;
@@ -176,7 +176,7 @@ TEST(Scale, RepresentedWorkScalesLinearly) {
 
 TEST(Scale, RejectsBadK) {
   SigSeq seq;
-  EXPECT_THROW(scale_sequence(seq, 0.5), psk::ConfigError);
+  EXPECT_THROW(scale_sequence(seq, ScaleSpec{0.5, {}}), psk::ConfigError);
 }
 
 // --------------------------------------------------------------- pipelines
@@ -348,6 +348,36 @@ TEST(Predict, EndToEndCpuSharingScenario) {
 
   const double predicted = predict_app_time(calibration, skel_shared);
   EXPECT_LT(prediction_error_percent(predicted, app_shared), 12.0);
+}
+
+// --------------------------------------- option-struct / positional parity
+
+TEST(OptionStructs, ScaleOverloadsAreEquivalent) {
+  SigSeq seq;
+  SigSeq body;
+  body.push_back(SigNode::leaf(leaf_event(0, 0.5)));
+  seq.push_back(SigNode::loop(30, std::move(body)));
+  seq.push_back(SigNode::leaf(leaf_event(1, 2.0)));
+  ScaleOptions options;
+  options.scale_message_bytes = false;
+  EXPECT_EQ(scale_sequence(seq, ScaleSpec{7.0, options}),
+            scale_sequence(seq, 7.0, options));
+  EXPECT_EQ(scale_sequence(seq, ScaleSpec{7.0, {}}),
+            scale_sequence(seq, 7.0));
+  const SigEvent event = leaf_event(2, 1.5);
+  EXPECT_EQ(SigNode::leaf(scale_event(event, ScaleSpec{3.0, {}})),
+            SigNode::leaf(scale_event(event, 3.0)));
+}
+
+TEST(OptionStructs, GoodSkeletonOverloadsAreEquivalent) {
+  const sig::Signature signature = signature_of("IS", apps::NasClass::kS, 5);
+  const GoodSkeletonEstimate via_struct =
+      estimate_good_skeleton(signature, GoodSkeletonOptions{0.3});
+  const GoodSkeletonEstimate via_positional =
+      estimate_good_skeleton(signature, 0.3);
+  EXPECT_DOUBLE_EQ(via_struct.min_good_time, via_positional.min_good_time);
+  EXPECT_DOUBLE_EQ(via_struct.dominant_coverage,
+                   via_positional.dominant_coverage);
 }
 
 }  // namespace

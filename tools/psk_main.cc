@@ -14,10 +14,12 @@
 // artifact for real clusters.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "apps/nas.h"
+#include "cache/cache.h"
 #include "codegen/emit_c.h"
 #include "core/experiment.h"
 #include "core/framework.h"
@@ -60,6 +62,12 @@ int usage() {
       "  info     --trace=F | --signature=F | --skeleton=F\n"
       "--jobs=N runs the measurement grid on N worker threads (default: one\n"
       "per hardware thread; 1 = serial; results are identical either way)\n"
+      "run/predict/report also accept --cache-dir=D (persistent\n"
+      "content-addressed result cache shared across invocations),\n"
+      "--cache-mem=N (in-memory LRU entries, default 4096), --no-cache\n"
+      "(disable memoization entirely) and --cache-stats[=F] (key=value\n"
+      "hit/miss counters to stderr or file F).  Results are bit-identical\n"
+      "with the cache on, off, cold or warm.\n"
       "--trace-out writes a Chrome trace_event JSON timeline of the\n"
       "instrumented run (open in chrome://tracing or Perfetto);\n"
       "--metrics-out writes a flat key=value metrics dump.  Both come from a\n"
@@ -73,6 +81,36 @@ std::string require_flag(const util::Cli& cli, const std::string& name) {
   const std::string value = cli.get(name, "");
   util::require(!value.empty(), "missing required flag --" + name);
   return value;
+}
+
+/// Builds the result cache the --cache-* flags describe; null when the user
+/// passed --no-cache (call sites then run every simulation).
+std::shared_ptr<cache::ResultCache> cache_from_cli(const util::Cli& cli) {
+  if (cli.get_bool("no-cache", false)) return nullptr;
+  cache::CacheOptions options;
+  const std::int64_t entries = cli.get_int("cache-mem", 4096);
+  util::require(entries >= 0, "--cache-mem must be >= 0");
+  options.memory_entries = static_cast<std::size_t>(entries);
+  options.disk_dir = cli.get("cache-dir", "");
+  return std::make_shared<cache::ResultCache>(options);
+}
+
+/// Honours --cache-stats / --cache-stats=FILE.  The dump goes to stderr or
+/// a side file, never stdout, so cold and warm runs stay byte-identical on
+/// the primary output.
+void report_cache_stats(const util::Cli& cli,
+                        const cache::ResultCache* cache) {
+  const std::string where = cli.get("cache-stats", "");
+  if (where.empty() || cache == nullptr) return;
+  const std::string text = cache::stats_kv(cache->stats());
+  if (where == "true") {  // bare --cache-stats
+    std::fprintf(stderr, "%s", text.c_str());
+    return;
+  }
+  std::ofstream out(where);
+  util::require(out.good(), "--cache-stats: cannot open " + where);
+  out << text;
+  std::printf("cache stats -> %s\n", where.c_str());
 }
 
 int cmd_apps() {
@@ -171,12 +209,15 @@ int cmd_run(const util::Cli& cli) {
   const std::string metrics_out = cli.get("metrics-out", "");
   const bool observed = !trace_out.empty() || !metrics_out.empty();
 
-  core::SkeletonFramework framework;
+  core::FrameworkOptions framework_options;
+  framework_options.result_cache = cache_from_cli(cli);
+  core::SkeletonFramework framework(framework_options);
   obs::Recorder recorder;
   const double elapsed = framework.run_skeleton(
       skeleton, scenario, seed, {}, observed ? &recorder : nullptr);
   std::printf("skeleton '%s' under %s: %.3f s\n", skeleton.app_name.c_str(),
               scenario.name, elapsed);
+  report_cache_stats(cli, framework_options.result_cache.get());
   if (!metrics_out.empty()) {
     recorder.write_metrics_file(metrics_out, elapsed);
     std::printf("metrics -> %s\n", metrics_out.c_str());
@@ -196,6 +237,7 @@ int cmd_predict(const util::Cli& cli) {
   const double target = cli.get_double("target", 2.0);
   config.skeleton_sizes = {target};
   config.jobs = static_cast<int>(cli.get_int("jobs", 0));
+  config.framework.result_cache = cache_from_cli(cli);
   core::ExperimentDriver driver(config);
 
   const std::string which = cli.get("scenario", "");
@@ -240,6 +282,7 @@ int cmd_predict(const util::Cli& cli) {
   if (cli.get_bool("phase-profile", false)) {
     std::fprintf(stderr, "%s", driver.phases().render().c_str());
   }
+  report_cache_stats(cli, config.framework.result_cache.get());
   return 0;
 }
 
@@ -254,6 +297,7 @@ int cmd_report(const util::Cli& cli) {
     while (std::getline(in, name, ',')) config.benchmarks.push_back(name);
   }
   config.jobs = static_cast<int>(cli.get_int("jobs", 0));
+  config.framework.result_cache = cache_from_cli(cli);
   core::ExperimentDriver driver(config);
   // Evaluate the whole grid through the runner pool up front; the report
   // loops below then assemble records from warm caches.
@@ -311,6 +355,7 @@ int cmd_report(const util::Cli& cli) {
   if (cli.get_bool("phase-profile", false)) {
     std::fprintf(stderr, "%s", driver.phases().render().c_str());
   }
+  report_cache_stats(cli, config.framework.result_cache.get());
   return 0;
 }
 
@@ -403,17 +448,20 @@ int main(int argc, char** argv) {
       return cmd_codegen(cli);
     }
     if (command == "run") {
-      cli.require_known(
-          {"skeleton", "scenario", "seed", "trace-out", "metrics-out"});
+      cli.require_known({"skeleton", "scenario", "seed", "trace-out",
+                         "metrics-out", "cache-dir", "cache-mem", "no-cache",
+                         "cache-stats"});
       return cmd_run(cli);
     }
     if (command == "predict") {
       cli.require_known({"app", "class", "target", "scenario", "jobs",
-                         "trace-out", "metrics-out", "phase-profile"});
+                         "trace-out", "metrics-out", "phase-profile",
+                         "cache-dir", "cache-mem", "no-cache", "cache-stats"});
       return cmd_predict(cli);
     }
     if (command == "report") {
-      cli.require_known({"out", "class", "apps", "jobs", "phase-profile"});
+      cli.require_known({"out", "class", "apps", "jobs", "phase-profile",
+                         "cache-dir", "cache-mem", "no-cache", "cache-stats"});
       return cmd_report(cli);
     }
     if (command == "info") {
