@@ -135,6 +135,8 @@ int main(int argc, char** argv) {
   keys.reserve(cells.size());
   for (const GridCell& cell : cells) keys.push_back(cell_key(cell));
 
+  runner::JournalReplayStats replay_stats;
+  sweep_options.replay_stats = &replay_stats;
   const std::vector<runner::CellResult> results = runner::journaled_sweep(
       keys,
       [&](std::size_t i) {
@@ -143,6 +145,9 @@ int main(int argc, char** argv) {
                                      *cell.scenario));
       },
       sweep_options);
+  if (sweep_options.resume) {
+    std::printf("resume: %s\n", replay_stats.render().c_str());
+  }
 
   // Aggregate by scenario; failed/timeout cells are reported, not averaged.
   std::map<std::string, util::RunningStats> by_scenario;

@@ -1,0 +1,7 @@
+psk-signature 1
+app x
+threshold 0.1
+ratio 1
+ranks 1
+rank 0 1 0
+loop -3 1

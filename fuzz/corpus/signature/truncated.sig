@@ -1,0 +1,8 @@
+psk-signature 1
+app seed
+threshold 0.050000000000000003
+ratio 2
+ranks 2
+rank 0 1.5 0.25 1
+  L 3 1
+    E Send 1 0 4096 0.1000000000000000

@@ -1,0 +1,37 @@
+// Standalone corpus replay driver.
+//
+// Links against a fuzz harness when the toolchain has no libFuzzer (GCC):
+// each command-line argument is read as one input file and fed to
+// LLVMFuzzerTestOneInput once.  The interface matches libFuzzer's own
+// positional-argument replay mode, so the ctest corpus-replay targets work
+// identically in both builds; a harness crash aborts the process and fails
+// the test either way.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s corpus-file...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  std::printf("replayed %d file(s)\n", argc - 1);
+  return 0;
+}

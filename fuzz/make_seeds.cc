@@ -1,0 +1,155 @@
+// Regenerates the checked-in fuzz seed corpus (fuzz/corpus/...).
+//
+// Run with the corpus root as the only argument:
+//     fuzz_make_seeds fuzz/corpus
+// Seeds are small, valid-by-construction documents plus a few deliberately
+// damaged variants (truncations, a flipped checksum byte), so every parser
+// branch the harnesses guard -- accept, reject, salvage-prefix -- has at
+// least one covering input before the fuzzer mutates anything.  Output is
+// deterministic: regenerating must not dirty the checkout.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "archive/archive.h"
+#include "archive/codec.h"
+#include "sig/io.h"
+#include "sig/signature.h"
+#include "skeleton/io.h"
+#include "skeleton/skeleton.h"
+#include "trace/event.h"
+#include "trace/io.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace psk;
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  util::require(out.good(), "cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  util::require(out.good(), "cannot write " + path);
+}
+
+trace::Trace sample_trace() {
+  trace::Trace t;
+  t.app_name = "seed";
+  for (int rank = 0; rank < 2; ++rank) {
+    trace::RankTrace rt;
+    rt.rank = rank;
+    rt.total_time = 1.5;
+    rt.final_compute = 0.25;
+    trace::TraceEvent send;
+    send.type = mpi::CallType::kSend;
+    send.peer = 1 - rank;
+    send.bytes = 4096;
+    send.tag = 7;
+    send.t_start = 0.1;
+    send.t_end = 0.2;
+    send.pre_compute = 0.1;
+    trace::TraceEvent recv = send;
+    recv.type = mpi::CallType::kRecv;
+    rt.events = rank == 0 ? std::vector{send, recv} : std::vector{recv, send};
+    t.ranks.push_back(rt);
+  }
+  return t;
+}
+
+sig::Signature sample_signature() {
+  sig::Signature s;
+  s.app_name = "seed";
+  s.threshold = 0.05;
+  s.compression_ratio = 2;
+  for (int rank = 0; rank < 2; ++rank) {
+    sig::RankSignature rs;
+    rs.rank = rank;
+    rs.total_time = 1.5;
+    rs.final_compute = 0.25;
+    sig::SigEvent event;
+    event.type = rank == 0 ? mpi::CallType::kSend : mpi::CallType::kRecv;
+    event.peer = 1 - rank;
+    event.bytes = 4096;
+    event.pre_compute = 0.1;
+    event.mean_duration = 0.1;
+    event.cluster_id = rank;
+    rs.roots.push_back(sig::SigNode::loop(3, {sig::SigNode::leaf(event)}));
+    s.ranks.push_back(rs);
+  }
+  return s;
+}
+
+skeleton::Skeleton sample_skeleton() {
+  skeleton::Skeleton k;
+  const sig::Signature s = sample_signature();
+  k.app_name = s.app_name;
+  k.scaling_factor = 10;
+  k.intended_time = 0.15;
+  k.min_good_time = 0.1;
+  k.good = true;
+  k.ranks = s.ranks;
+  return k;
+}
+
+std::string framed(archive::PayloadKind kind, const std::string& payload) {
+  std::string out;
+  archive::write_frame(out, kind, 1, payload);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s corpus-root\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argv[1];
+
+  // ------------------------------------------------------------ trace text
+  const std::string trace_text = trace::trace_to_string(sample_trace());
+  write_file(root + "/trace_text/valid.trace", trace_text);
+  write_file(root + "/trace_text/truncated.trace",
+             trace_text.substr(0, trace_text.size() * 2 / 3));
+  write_file(root + "/trace_text/header_only.trace", "psk-trace 1\napp x\n");
+  write_file(root + "/trace_text/garbage.trace", "not a trace\n\x01\x02\xff");
+  write_file(root + "/trace_text/empty.trace", "");
+
+  // ------------------------------------------------------- signature text
+  const std::string sig_text = sig::signature_to_string(sample_signature());
+  const std::string skel_text = skeleton::skeleton_to_string(sample_skeleton());
+  write_file(root + "/signature/valid.sig", sig_text);
+  write_file(root + "/signature/valid.skel", skel_text);
+  write_file(root + "/signature/truncated.sig",
+             sig_text.substr(0, sig_text.size() / 2));
+  write_file(root + "/signature/negative_iters.sig",
+             "psk-signature 1\napp x\nthreshold 0.1\nratio 1\nranks 1\n"
+             "rank 0 1 0\nloop -3 1\n");
+
+  // -------------------------------------------------------------- archive
+  std::string payload;
+  archive::encode(payload, sample_trace());
+  const std::string trace_arch = framed(archive::PayloadKind::kTrace, payload);
+  write_file(root + "/archive/trace.pskarch", trace_arch);
+  write_file(root + "/archive/trace_truncated.pskarch",
+             trace_arch.substr(0, trace_arch.size() - 9));
+  std::string flipped = trace_arch;
+  flipped[flipped.size() / 2] ^= 0x40;  // body bit flip: checksum must catch
+  write_file(root + "/archive/trace_bitflip.pskarch", flipped);
+
+  payload.clear();
+  archive::encode(payload, sample_signature());
+  write_file(root + "/archive/signature.pskarch",
+             framed(archive::PayloadKind::kSignature, payload));
+
+  payload.clear();
+  archive::encode(payload, sample_skeleton());
+  const std::string skel_arch =
+      framed(archive::PayloadKind::kSkeleton, payload);
+  write_file(root + "/archive/skeleton.pskarch", skel_arch);
+  write_file(root + "/archive/header_only.pskarch", skel_arch.substr(0, 24));
+  write_file(root + "/archive/magic_only.pskarch", "PSKARCH1");
+
+  std::printf("seed corpus written under %s\n", root.c_str());
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "archive/codec.h"
 
+#include <algorithm>
+
 namespace psk::archive {
 
 namespace {
@@ -11,6 +13,15 @@ constexpr std::uint64_t kMaxEvents = 1ull << 32;
 constexpr std::uint64_t kMaxParts = 1u << 20;
 constexpr std::uint64_t kMaxNodes = 1ull << 28;
 constexpr int kMaxNodeDepth = 256;
+
+// Counts below the caps above can still be far larger than the remaining
+// payload supports; clamp reserve() so the decode loop (which fails fast on
+// a truncated cursor) is what bounds memory, not one up-front allocation.
+constexpr std::size_t kReserveCap = 4096;
+
+std::size_t clamped_reserve(std::uint64_t count) {
+  return static_cast<std::size_t>(std::min<std::uint64_t>(count, kReserveCap));
+}
 
 constexpr auto kLastCallType = static_cast<std::uint8_t>(mpi::CallType::kExchange);
 
@@ -65,7 +76,7 @@ trace::TraceEvent decode_event(Cursor& in) {
     in.fail("implausible part count");
     return event;
   }
-  event.parts.reserve(parts);
+  event.parts.reserve(clamped_reserve(parts));
   for (std::uint32_t i = 0; i < parts && in.ok(); ++i) {
     mpi::PeerBytes part;
     part.peer = in.i32();
@@ -80,7 +91,7 @@ trace::TraceEvent decode_event(Cursor& in) {
     in.fail("implausible request count");
     return event;
   }
-  event.requests.reserve(requests);
+  event.requests.reserve(clamped_reserve(requests));
   for (std::uint32_t i = 0; i < requests && in.ok(); ++i) {
     event.requests.push_back(in.u32());
   }
@@ -130,7 +141,7 @@ sig::SigEvent decode_sig_event(Cursor& in) {
     in.fail("implausible part count");
     return event;
   }
-  event.parts.reserve(parts);
+  event.parts.reserve(clamped_reserve(parts));
   for (std::uint32_t i = 0; i < parts && in.ok(); ++i) {
     sig::SigEvent::Part part;
     part.peer = in.i32();
@@ -174,7 +185,7 @@ sig::SigNode decode_node(Cursor& in, int depth) {
     return {};
   }
   sig::SigSeq body;
-  body.reserve(children);
+  body.reserve(clamped_reserve(children));
   for (std::uint32_t i = 0; i < children && in.ok(); ++i) {
     body.push_back(decode_node(in, depth + 1));
   }
@@ -199,7 +210,7 @@ sig::RankSignature decode_rank_signature(Cursor& in) {
     in.fail("implausible root count");
     return rank;
   }
-  rank.roots.reserve(roots);
+  rank.roots.reserve(clamped_reserve(roots));
   for (std::uint32_t i = 0; i < roots && in.ok(); ++i) {
     rank.roots.push_back(decode_node(in, 0));
   }
@@ -313,7 +324,7 @@ Result<trace::Trace> decode_trace(std::string_view payload,
       in.fail("implausible event count");
       break;
     }
-    rank.events.reserve(static_cast<std::size_t>(events));
+    rank.events.reserve(clamped_reserve(events));
     for (std::uint64_t e = 0; e < events && in.ok(); ++e) {
       rank.events.push_back(decode_event(in));
     }
@@ -348,6 +359,140 @@ Result<sig::Signature> decode_signature(std::string_view payload,
                  "trailing bytes after signature payload"};
   }
   return signature;
+}
+
+Result<trace::Trace> decode_trace_prefix(std::string_view payload,
+                                         std::uint32_t version,
+                                         PrefixStats& stats) {
+  stats = PrefixStats{};
+  if (version != kTraceVersion) {
+    return Error{ErrorCode::kBadVersion,
+                 "trace payload version " + std::to_string(version)};
+  }
+  Cursor in(payload);
+  const auto checkpoint = [&] {
+    stats.bytes_consumed = payload.size() - in.remaining();
+  };
+  trace::Trace trace;
+  trace.app_name = in.string();
+  const std::uint32_t ranks = in.u32();
+  if (!in.ok() || ranks > kMaxRanks) {
+    return Error{ErrorCode::kCorrupt, in.ok() ? "implausible rank count"
+                                              : in.error().message};
+  }
+  stats.ranks_expected = ranks;
+  checkpoint();
+  bool stopped = false;
+  for (std::uint32_t r = 0; r < ranks && !stopped; ++r) {
+    trace::RankTrace rank;
+    rank.rank = in.i32();
+    rank.total_time = in.f64();
+    rank.final_compute = in.f64();
+    const std::uint64_t events = in.u64();
+    if (!in.ok() || events > kMaxEvents) {
+      stats.detail = in.ok() ? "implausible event count at rank " +
+                                   std::to_string(r)
+                             : in.error().message;
+      break;
+    }
+    stats.events_expected += events;
+    ++stats.ranks_kept;
+    checkpoint();
+    rank.events.reserve(clamped_reserve(events));
+    for (std::uint64_t e = 0; e < events; ++e) {
+      trace::TraceEvent event = decode_event(in);
+      if (!in.ok()) {
+        stats.detail = in.error().message;
+        stopped = true;
+        break;
+      }
+      rank.events.push_back(std::move(event));
+      ++stats.events_kept;
+      checkpoint();
+    }
+    trace.ranks.push_back(std::move(rank));
+  }
+  stats.complete = !stopped && stats.ranks_kept == ranks && in.ok() &&
+                   in.at_end();
+  if (!stats.complete && stats.detail.empty()) {
+    stats.detail = in.at_end() ? "rank headers missing"
+                               : "trailing bytes after trace payload";
+  }
+  return trace;
+}
+
+namespace {
+
+/// Shared rank-forest prefix loop of the signature/skeleton salvors: keeps
+/// whole ranks decoded before the first failure.
+void decode_rank_prefix(Cursor& in, std::string_view payload,
+                        std::uint32_t ranks,
+                        std::vector<sig::RankSignature>& out,
+                        PrefixStats& stats) {
+  stats.ranks_expected = ranks;
+  stats.bytes_consumed = payload.size() - in.remaining();
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    sig::RankSignature rank = decode_rank_signature(in);
+    if (!in.ok()) {
+      stats.detail = in.error().message;
+      break;
+    }
+    out.push_back(std::move(rank));
+    ++stats.ranks_kept;
+    stats.bytes_consumed = payload.size() - in.remaining();
+  }
+  stats.complete = stats.ranks_kept == ranks && in.ok() && in.at_end();
+  if (!stats.complete && stats.detail.empty()) {
+    stats.detail = "trailing bytes after payload";
+  }
+}
+
+}  // namespace
+
+Result<sig::Signature> decode_signature_prefix(std::string_view payload,
+                                               std::uint32_t version,
+                                               PrefixStats& stats) {
+  stats = PrefixStats{};
+  if (version != kSignatureVersion) {
+    return Error{ErrorCode::kBadVersion,
+                 "signature payload version " + std::to_string(version)};
+  }
+  Cursor in(payload);
+  sig::Signature signature;
+  signature.app_name = in.string();
+  signature.threshold = in.f64();
+  signature.compression_ratio = in.f64();
+  const std::uint32_t ranks = in.u32();
+  if (!in.ok() || ranks > kMaxRanks) {
+    return Error{ErrorCode::kCorrupt, in.ok() ? "implausible rank count"
+                                              : in.error().message};
+  }
+  decode_rank_prefix(in, payload, ranks, signature.ranks, stats);
+  return signature;
+}
+
+Result<skeleton::Skeleton> decode_skeleton_prefix(std::string_view payload,
+                                                  std::uint32_t version,
+                                                  PrefixStats& stats) {
+  stats = PrefixStats{};
+  if (version != kSkeletonVersion) {
+    return Error{ErrorCode::kBadVersion,
+                 "skeleton payload version " + std::to_string(version)};
+  }
+  Cursor in(payload);
+  skeleton::Skeleton skeleton;
+  skeleton.app_name = in.string();
+  skeleton.scaling_factor = in.f64();
+  skeleton.intended_time = in.f64();
+  skeleton.min_good_time = in.f64();
+  skeleton.good = in.boolean();
+  const std::uint32_t ranks = in.u32();
+  if (!in.ok() || ranks > kMaxRanks) {
+    return Error{ErrorCode::kCorrupt, in.ok() ? "implausible rank count"
+                                              : in.error().message};
+  }
+  decode_rank_prefix(in, payload, ranks, skeleton.ranks, stats);
+  return skeleton;
 }
 
 Result<skeleton::Skeleton> decode_skeleton(std::string_view payload,

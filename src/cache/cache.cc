@@ -1,6 +1,8 @@
 #include "cache/cache.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -8,6 +10,7 @@
 
 #include "archive/wire.h"
 #include "obs/metrics.h"
+#include "util/log.h"
 
 namespace psk::cache {
 
@@ -158,21 +161,30 @@ std::optional<std::string> ResultCache::read_disk(const CacheKey& key) {
   return value;
 }
 
-void ResultCache::write_disk(const CacheKey& key, std::string_view value) {
+bool ResultCache::write_disk(const CacheKey& key, std::string_view value) {
   const std::string path = entry_path(key.hash);
   const std::string tmp = path + ".tmp";
   const std::string bytes = encode_entry(key, value);
   {
+    errno = 0;
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return;
+    if (!out) return false;
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out) {
+      const int write_errno = errno;  // keep the root cause, not remove()'s
       std::remove(tmp.c_str());
-      return;
+      errno = write_errno;
+      return false;
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int rename_errno = errno;
+    std::remove(tmp.c_str());
+    errno = rename_errno;
+    return false;
+  }
+  return true;
 }
 
 std::optional<std::string> ResultCache::lookup(const CacheKey& key) {
@@ -197,7 +209,19 @@ void ResultCache::store(const CacheKey& key, std::string_view value) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
   insert_in_memory(key, value);
-  if (!options_.disk_dir.empty()) write_disk(key, value);
+  if (options_.disk_dir.empty() || disk_writes_disabled_) return;
+  if (write_disk(key, value)) return;
+  // Mid-sweep disk trouble (ENOSPC, permissions revoked, dead mount) must
+  // not abort hours of measurements: degrade to memory-only, once, loudly.
+  // The disk tier stays readable -- entries already persisted keep hitting.
+  ++stats_.disk_write_failures;
+  disk_writes_disabled_ = true;
+  const int saved_errno = errno;
+  util::log_warn() << "cache: disk write to " << options_.disk_dir
+                   << " failed ("
+                   << (saved_errno != 0 ? std::strerror(saved_errno)
+                                        : "unknown error")
+                   << "); continuing memory-only";
 }
 
 CacheStats ResultCache::stats() const {
@@ -218,6 +242,8 @@ void publish_stats(obs::MetricsRegistry& metrics, const CacheStats& stats) {
   metrics.counter("cache.evict").add(static_cast<double>(stats.evictions));
   metrics.counter("cache.verify_fail")
       .add(static_cast<double>(stats.verify_failures));
+  metrics.counter("cache.disk_write_fail")
+      .add(static_cast<double>(stats.disk_write_failures));
   metrics.counter("cache.hit_rate").add(stats.hit_rate());
 }
 

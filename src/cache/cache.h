@@ -75,6 +75,10 @@ struct CacheStats {
   std::uint64_t stores = 0;
   std::uint64_t evictions = 0;       // LRU entries dropped at capacity
   std::uint64_t verify_failures = 0; // key-echo mismatch or corrupt entry
+  /// Disk-tier writes that failed (ENOSPC, EACCES, ...).  The first failure
+  /// disables further disk writes for this cache -- the sweep continues on
+  /// the memory tier alone -- so this is normally 0 or 1.
+  std::uint64_t disk_write_failures = 0;
 
   std::uint64_t total_hits() const { return hits + disk_hits; }
   double hit_rate() const {
@@ -125,13 +129,18 @@ class ResultCache {
   void insert_in_memory(const CacheKey& key, std::string_view value);
   std::string entry_path(std::uint64_t hash) const;
   std::optional<std::string> read_disk(const CacheKey& key);
-  void write_disk(const CacheKey& key, std::string_view value);
+  /// Returns false when the entry could not be persisted (disk full,
+  /// permissions revoked mid-run, ...).
+  bool write_disk(const CacheKey& key, std::string_view value);
 
   Options options_;
   mutable std::mutex mutex_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, LruList::iterator> index_;
   CacheStats stats_;
+  /// Set after the first failed disk write: the disk tier stays readable
+  /// (existing entries keep hitting) but no further writes are attempted.
+  bool disk_writes_disabled_ = false;
 };
 
 /// Publishes a stats snapshot into a registry (same counters as

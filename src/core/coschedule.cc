@@ -1,5 +1,7 @@
 #include "core/coschedule.h"
 
+#include "guard/deadlock.h"
+
 namespace psk::core {
 
 CoscheduleResult run_coscheduled(const CoscheduleConfig& config,
@@ -16,6 +18,12 @@ CoscheduleResult run_coscheduled(const CoscheduleConfig& config,
   mpi::World secondary_world(machine, secondary_ranks, config.mpi);
   primary_world.launch(primary);
   secondary_world.launch(secondary);
+
+  // One monitor per world: the engine fires only when *both* jobs are
+  // globally blocked, so one job deadlocking while the other still makes
+  // progress is reported at the instant the healthy job finishes or blocks.
+  guard::DeadlockMonitor primary_monitor(primary_world);
+  guard::DeadlockMonitor secondary_monitor(secondary_world);
 
   machine.engine().run();
 

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "cache/keys.h"
+#include "guard/deadlock.h"
 #include "skeleton/validate.h"
 #include "trace/fold.h"
 #include "util/error.h"
@@ -38,6 +39,7 @@ trace::Trace SkeletonFramework::record(const mpi::RankMain& app,
   cluster.net_jitter = 0;
   sim::Machine machine(cluster);
   mpi::World world(machine, options_.ranks, options_.mpi);
+  guard::DeadlockMonitor deadlock_monitor(world);
   trace::Trace trace = [&] {
     obs::PhaseProfiler::Scope scope(options_.profiler, "record");
     return trace::record_run(world, app, name);
@@ -169,6 +171,7 @@ double SkeletonFramework::run_app(const mpi::RankMain& app,
   machine.attach_obs(obs);
   scenario.apply(machine);
   mpi::World world(machine, options_.ranks, options_.mpi);
+  guard::DeadlockMonitor deadlock_monitor(world);
   world.launch(app);
   return world.run();
 }
@@ -182,6 +185,7 @@ double SkeletonFramework::run_app_controlled(const mpi::RankMain& app) const {
   machine.engine().set_time_limit(options_.run_time_limit);
   machine.engine().set_wall_deadline(options_.wall_deadline_seconds);
   mpi::World world(machine, options_.ranks, options_.mpi);
+  guard::DeadlockMonitor deadlock_monitor(world);
   world.launch(app);
   return world.run();
 }
@@ -213,6 +217,7 @@ double SkeletonFramework::run_skeleton(const skeleton::Skeleton& skeleton,
     machine.attach_obs(obs);
     scenario.apply(machine);
     mpi::World world(machine, options_.ranks, options_.mpi);
+    guard::DeadlockMonitor deadlock_monitor(world);
     return skeleton::run_skeleton(world, skeleton, replay);
   };
   // Instrumented runs always execute: the recorder wants the timeline, and

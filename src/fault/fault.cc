@@ -41,6 +41,13 @@ void check_spec(const sim::Machine& machine, int node, sim::Time first_at,
 // scenario-flutter idiom): each firing performs the down transition,
 // schedules the matching up transition, and -- for periodic specs -- arms
 // the next firing relative to this one.
+//
+// Every event armed here is a *daemon* event: fault machinery keeps the
+// queue busy forever, but by itself never completes an MPI request, so it
+// must not count as pending progress (that would mask deadlock detection).
+// Up-transitions are safe as daemons because in-flight work they resume is
+// visible elsewhere -- paused flows via Network::transfers_pending(),
+// stalled compute via tasks that are unfinished yet not MPI-blocked.
 
 void arm_crash(sim::Machine& machine, const StatePtr& state, CrashSpec spec,
                sim::Time delay);
@@ -53,12 +60,12 @@ void arm_stall(sim::Machine& machine, const StatePtr& state, CpuStallSpec spec,
 
 void arm_crash(sim::Machine& machine, const StatePtr& state, CrashSpec spec,
                sim::Time delay) {
-  machine.engine().after(delay, [&machine, state, spec] {
+  machine.engine().daemon_after(delay, [&machine, state, spec] {
     const sim::Time crash_time = machine.engine().now();
     machine.crash_node(spec.node);
     ++state->stats.crashes;
     ++state->active_crashes;
-    machine.engine().after(
+    machine.engine().daemon_after(
         spec.downtime, [&machine, state, crash_time, node = spec.node] {
           // Restart.  Under checkpointing the whole machine additionally
           // rolls back: restart protocol plus re-execution of everything
@@ -77,7 +84,7 @@ void arm_crash(sim::Machine& machine, const StatePtr& state, CrashSpec spec,
             const sim::Time recovery = state->checkpoint.restart_cost + lost;
             if (recovery > 0) {
               machine.stall_all_nodes();
-              machine.engine().after(
+              machine.engine().daemon_after(
                   recovery, [&machine] { machine.resume_all_nodes(); });
             }
           }
@@ -91,10 +98,10 @@ void arm_crash(sim::Machine& machine, const StatePtr& state, CrashSpec spec,
 
 void arm_outage(sim::Machine& machine, const StatePtr& state,
                 LinkOutageSpec spec, sim::Time delay) {
-  machine.engine().after(delay, [&machine, state, spec] {
+  machine.engine().daemon_after(delay, [&machine, state, spec] {
     machine.network().push_link_fault(spec.node);
     ++state->stats.outages;
-    machine.engine().after(spec.duration, [&machine, node = spec.node] {
+    machine.engine().daemon_after(spec.duration, [&machine, node = spec.node] {
       machine.network().pop_link_fault(node);
     });
     if (spec.period > 0) {
@@ -106,12 +113,13 @@ void arm_outage(sim::Machine& machine, const StatePtr& state,
 
 void arm_stall(sim::Machine& machine, const StatePtr& state, CpuStallSpec spec,
                sim::Time delay) {
-  machine.engine().after(delay, [&machine, state, spec] {
+  machine.engine().daemon_after(delay, [&machine, state, spec] {
     machine.node(spec.node).push_stall();
     ++state->stats.stalls;
-    machine.engine().after(spec.duration, [&machine, node = spec.node] {
-      machine.node(node).pop_stall();
-    });
+    machine.engine().daemon_after(spec.duration,
+                                  [&machine, node = spec.node] {
+                                    machine.node(node).pop_stall();
+                                  });
     if (spec.period > 0) {
       arm_stall(machine, state, spec,
                 next_period(machine, spec.period, spec.period_jitter));
@@ -120,7 +128,8 @@ void arm_stall(sim::Machine& machine, const StatePtr& state, CpuStallSpec spec,
 }
 
 void arm_checkpoints(sim::Machine& machine, const StatePtr& state) {
-  machine.engine().after(state->checkpoint.interval, [&machine, state] {
+  machine.engine().daemon_after(state->checkpoint.interval,
+                                [&machine, state] {
     // Skip (do not even count) checkpoints attempted while a node is down:
     // a coordinated protocol cannot reach a crashed participant.  The
     // interval clock keeps ticking either way.
@@ -129,8 +138,9 @@ void arm_checkpoints(sim::Machine& machine, const StatePtr& state) {
       state->last_checkpoint = machine.engine().now();
       if (state->checkpoint.checkpoint_cost > 0) {
         machine.stall_all_nodes();
-        machine.engine().after(state->checkpoint.checkpoint_cost,
-                               [&machine] { machine.resume_all_nodes(); });
+        machine.engine().daemon_after(
+            state->checkpoint.checkpoint_cost,
+            [&machine] { machine.resume_all_nodes(); });
       }
     }
     arm_checkpoints(machine, state);

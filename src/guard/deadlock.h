@@ -1,0 +1,81 @@
+// Deterministic deadlock detection for simulated MPI programs.
+//
+// A replayed skeleton can deadlock -- an unmatched Recv, a circular wait --
+// and before this layer existed the simulation would burn simulated time
+// until Engine's coarse time limit (daemon events such as load flutter keep
+// the event queue busy forever) or trip the wall-clock watchdog hours later.
+//
+// DeadlockMonitor implements sim::QuiescenceMonitor over one mpi::World:
+// the engine consults it after every event, and at the exact simulated
+// instant where every unfinished rank is suspended in an MPI wait, no
+// progress event is pending and no transfer is in flight, the monitor
+// raises DeadlockDetected carrying a structured DeadlockReport (blocked
+// ranks, their pending ops, and the wait-for cycle).  Detection is a pure
+// function of simulated state, so it fires at the same simulated time on
+// every run regardless of --jobs or wall-clock speed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mpi/world.h"
+#include "sim/engine.h"
+#include "sim/time.h"
+#include "util/error.h"
+
+namespace psk::guard {
+
+/// Structured description of a detected deadlock.
+struct DeadlockReport {
+  /// Simulated time at which the simulation went globally idle.
+  sim::Time time = 0.0;
+  /// World size (blocked.size() of them are suspended).
+  int total_ranks = 0;
+  /// One entry per blocked rank: the pending op it is suspended on.
+  std::vector<mpi::MessageEngine::PendingWait> blocked;
+  /// The wait-for cycle (each rank waits on the next, last waits on first);
+  /// empty when the waits chain to a peer that never posted (lost-peer
+  /// deadlock, e.g. an unmatched Recv from a finished rank).
+  std::vector<int> cycle;
+
+  /// Multi-line human-readable rendering (also the exception message).
+  std::string render() const;
+};
+
+/// Thrown by DeadlockMonitor::report_deadlock.  Derives from DeadlockError
+/// so existing catch sites (sweep executors, the CLI) keep working; callers
+/// that want the structure catch DeadlockDetected first.
+class DeadlockDetected : public DeadlockError {
+ public:
+  explicit DeadlockDetected(DeadlockReport report);
+  const DeadlockReport& report() const { return report_; }
+
+ private:
+  DeadlockReport report_;
+};
+
+/// Builds a report from the world's current blocked state (normally called
+/// by DeadlockMonitor at the moment of detection).
+DeadlockReport build_deadlock_report(mpi::World& world);
+
+/// RAII monitor: registers with the world's engine on construction,
+/// deregisters on destruction.  Attach one per World before running; keep
+/// it alive for the duration of engine.run()/world.run().
+class DeadlockMonitor : public sim::QuiescenceMonitor {
+ public:
+  explicit DeadlockMonitor(mpi::World& world);
+  ~DeadlockMonitor() override;
+
+  DeadlockMonitor(const DeadlockMonitor&) = delete;
+  DeadlockMonitor& operator=(const DeadlockMonitor&) = delete;
+
+  std::size_t blocked_tasks() const override;
+  bool quiescent() const override;
+  [[noreturn]] void report_deadlock() override;
+
+ private:
+  mpi::World& world_;
+};
+
+}  // namespace psk::guard

@@ -47,12 +47,14 @@ void MessageEngine::set_waiter(int rank, Request request,
   util::require(!state.done, "MessageEngine: waiter on completed request");
   util::require(!state.waiter, "MessageEngine: request already has a waiter");
   state.waiter = std::move(resume);
+  ++waiters_;
 }
 
 void MessageEngine::cancel_waiter(int rank, Request request) {
   auto& state = requests_[static_cast<std::size_t>(rank)][request.id];
   util::require(!state.done,
                 "MessageEngine: cancel_waiter on completed request");
+  if (state.waiter) --waiters_;
   state.waiter = nullptr;
 }
 
@@ -65,7 +67,29 @@ void MessageEngine::complete_request(int rank, std::uint32_t id) {
     // arising inside another rank's call cannot re-enter coroutine frames.
     machine_.engine().after(0, std::move(state.waiter));
     state.waiter = nullptr;
+    --waiters_;
   }
+}
+
+std::vector<MessageEngine::PendingWait> MessageEngine::pending_waits() const {
+  std::vector<PendingWait> waits;
+  waits.reserve(waiters_);
+  for (std::size_t rank = 0; rank < requests_.size(); ++rank) {
+    const auto& table = requests_[rank];
+    for (std::size_t id = 0; id < table.size(); ++id) {
+      const RequestState& state = table[id];
+      if (!state.waiter) continue;
+      PendingWait wait;
+      wait.rank = static_cast<int>(rank);
+      wait.is_send = state.is_send;
+      wait.peer = state.peer;
+      wait.tag = state.tag;
+      wait.bytes = state.bytes;
+      wait.request = static_cast<std::uint32_t>(id);
+      waits.push_back(wait);
+    }
+  }
+  return waits;
 }
 
 void MessageEngine::start_transfer(const std::shared_ptr<Message>& message,
@@ -96,6 +120,13 @@ Request MessageEngine::post_send(int src, int dst, Bytes bytes, int tag) {
                     dst < rank_count(),
                 "post_send: rank out of range");
   const Request request = alloc_request(src);
+  {
+    RequestState& state = requests_[static_cast<std::size_t>(src)][request.id];
+    state.is_send = true;
+    state.peer = dst;
+    state.tag = tag;
+    state.bytes = bytes;
+  }
 
   auto message = std::make_shared<Message>();
   message->src = src;
@@ -133,6 +164,12 @@ Request MessageEngine::post_recv(int dst, int src, int tag) {
                     dst < rank_count(),
                 "post_recv: rank out of range");
   const Request request = alloc_request(dst);
+  {
+    RequestState& state = requests_[static_cast<std::size_t>(dst)][request.id];
+    state.is_send = false;
+    state.peer = src;
+    state.tag = tag;
+  }
 
   Channel& channel = channels_[ChannelKey{src, dst, tag}];
   // Match the oldest not-yet-received send on this channel (FIFO ordering).

@@ -60,6 +60,26 @@ class MessageEngine {
   std::uint64_t wait_timeouts() const { return wait_timeouts_; }
   void record_wait_timeout() { ++wait_timeouts_; }
 
+  /// One rank suspended in a wait on an incomplete request.  The op fields
+  /// describe what the rank is waiting *for*: its own pending send or recv.
+  struct PendingWait {
+    int rank = -1;
+    bool is_send = false;
+    int peer = -1;
+    int tag = 0;
+    Bytes bytes = 0;
+    std::uint32_t request = Request::kInvalid;
+  };
+
+  /// Number of ranks currently suspended in a wait (each rank registers at
+  /// most one waiter at a time).  O(1); maintained by set_waiter /
+  /// cancel_waiter / complete_request.
+  std::size_t waiting_rank_count() const { return waiters_; }
+
+  /// Snapshot of every rank suspended in a wait, ordered by rank.  O(total
+  /// requests); intended for deadlock reporting, not per-event use.
+  std::vector<PendingWait> pending_waits() const;
+
  private:
   struct Message {
     int src = -1;
@@ -77,6 +97,11 @@ class MessageEngine {
   struct RequestState {
     bool done = false;
     std::function<void()> waiter;
+    // What this request stands for, kept for deadlock diagnostics.
+    bool is_send = false;
+    int peer = -1;
+    int tag = 0;
+    Bytes bytes = 0;
   };
 
   using ChannelKey = std::tuple<int, int, int>;  // src, dst, tag
@@ -98,6 +123,7 @@ class MessageEngine {
   std::vector<std::vector<RequestState>> requests_;  // [rank][id]
   std::uint64_t delivered_ = 0;
   std::uint64_t wait_timeouts_ = 0;
+  std::size_t waiters_ = 0;  // ranks currently suspended in a wait
 };
 
 }  // namespace psk::mpi

@@ -7,6 +7,7 @@
 
 #include "archive/wire.h"
 #include "cache/cache.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -108,28 +109,33 @@ bool parse_hash(const std::string& field, std::uint64_t& hash) {
 void replay(const std::string& path, const std::vector<std::string>& keys,
             const std::unordered_map<std::uint64_t, std::size_t>& hash_index,
             const std::unordered_map<std::string, std::size_t>& index_of,
-            std::vector<CellResult>& results, std::vector<char>& have) {
+            std::vector<CellResult>& results, std::vector<char>& have,
+            JournalReplayStats& stats) {
   std::ifstream in(path);
   if (!in) return;  // nothing journaled yet: run everything
   std::string line;
-  std::size_t ignored = 0;
   // getline() consumes the final unterminated fragment too, but the eof
   // flag distinguishes it: a record is only trusted when its newline made
   // it to disk.
   while (std::getline(in, line)) {
-    if (in.eof()) break;  // truncated final line: the append was cut short
+    if (in.eof()) {  // truncated final line: the append was cut short
+      stats.torn_tail = 1;
+      break;
+    }
     // Escaping guarantees raw TABs only separate fields, so the field count
     // tells the format apart: 4 fields = hash-keyed, 3 = pre-hash legacy.
     const auto tabs = std::count(line.begin(), line.end(), '\t');
     std::string key;
     CellResult result;
     std::size_t index = 0;
+    bool parsed = false;
     bool matched = false;
     if (tabs == 3) {
       const std::size_t tab1 = line.find('\t');
       std::uint64_t hash = 0;
       if (parse_hash(line.substr(0, tab1), hash) &&
           parse_line(line.substr(tab1 + 1), key, result)) {
+        parsed = true;
         const auto it = hash_index.find(hash);
         // The echoed key must agree: a hash matching a different key is a
         // collision and the record cannot be trusted.
@@ -137,24 +143,45 @@ void replay(const std::string& path, const std::vector<std::string>& keys,
         if (matched) index = it->second;
       }
     } else if (tabs == 2 && parse_line(line, key, result)) {
+      parsed = true;
       const auto it = index_of.find(key);
       matched = it != index_of.end();
       if (matched) index = it->second;
     }
     if (!matched) {
-      ++ignored;  // journal from a different grid: don't trust it blindly
+      // A journal from a different grid (or a damaged line): don't trust
+      // it blindly, re-run the cell instead.
+      if (parsed) ++stats.dropped_unknown;
+      else ++stats.dropped_unparsable;
       continue;
     }
+    ++stats.replayed;
     results[index] = std::move(result);
     have[index] = 1;
   }
-  if (ignored > 0) {
-    util::log_warn() << "journal " << path << ": ignored " << ignored
-                     << " unparsable or unknown-key line(s)";
+  if (stats.dropped() > 0) {
+    util::log_warn() << "journal " << path << ": " << stats.render();
   }
 }
 
 }  // namespace
+
+std::string JournalReplayStats::render() const {
+  std::string out = "replayed " + std::to_string(replayed) + " cell(s)";
+  if (dropped() > 0) {
+    out += ", dropped " + std::to_string(dropped()) + " line(s) (" +
+           std::to_string(dropped_unparsable) + " unparsable, " +
+           std::to_string(dropped_unknown) + " unknown-key, " +
+           std::to_string(torn_tail) + " torn tail)";
+  }
+  return out;
+}
+
+void JournalReplayStats::publish(obs::MetricsRegistry& metrics) const {
+  metrics.counter("journal.replayed").add(static_cast<double>(replayed));
+  metrics.counter("journal.dropped").add(static_cast<double>(dropped()));
+  metrics.counter("journal.torn").add(static_cast<double>(torn_tail));
+}
 
 std::string status_name(CellResult::Status status) {
   switch (status) {
@@ -187,9 +214,12 @@ std::vector<CellResult> journaled_sweep(
 
   std::vector<CellResult> results(keys.size());
   std::vector<char> have(keys.size(), 0);
+  JournalReplayStats replay_stats;
   if (options.resume && !options.journal_path.empty()) {
-    replay(options.journal_path, keys, hash_index, index_of, results, have);
+    replay(options.journal_path, keys, hash_index, index_of, results, have,
+           replay_stats);
   }
+  if (options.replay_stats != nullptr) *options.replay_stats = replay_stats;
 
   std::ofstream journal;
   std::mutex journal_mutex;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -25,6 +26,9 @@
 
 namespace psk::cache {
 class ResultCache;
+}
+namespace psk::obs {
+class MetricsRegistry;
 }
 
 namespace psk::runner {
@@ -42,6 +46,26 @@ struct CellResult {
 
 /// "ok" / "failed" / "timeout" (the journal's status column).
 std::string status_name(CellResult::Status status);
+
+/// What a resume found in the journal.  A torn tail (the process died
+/// mid-append) and unparsable/unknown-key lines are dropped, not errors:
+/// the sweep re-runs those cells.  Exposed so --resume callers can tell the
+/// user how much work the journal actually saved.
+struct JournalReplayStats {
+  std::uint64_t replayed = 0;             // lines accepted (cells skipped)
+  std::uint64_t dropped_unparsable = 0;   // lines that failed to parse
+  std::uint64_t dropped_unknown = 0;      // parsed, but not a cell of this grid
+  std::uint64_t torn_tail = 0;            // 1 when the final line had no newline
+
+  std::uint64_t dropped() const {
+    return dropped_unparsable + dropped_unknown + torn_tail;
+  }
+  /// One-line summary, e.g. "replayed 12 cell(s), dropped 2 line(s) (1
+  /// unparsable, 0 unknown-key, 1 torn tail)".
+  std::string render() const;
+  /// Publishes journal.replayed / journal.dropped / journal.torn counters.
+  void publish(obs::MetricsRegistry& metrics) const;
+};
 
 struct JournaledSweepOptions {
   /// Worker threads: 0 = one per hardware thread, 1 = serial inline.
@@ -63,6 +87,9 @@ struct JournaledSweepOptions {
   /// by *other* journals/runs sharing the cache directory.  Not owned; may
   /// be null.  Failed/timeout cells are journaled but never cached.
   cache::ResultCache* cache = nullptr;
+  /// When set, filled with what the resume replay found (zeroes when not
+  /// resuming).  Not owned; may be null.
+  JournalReplayStats* replay_stats = nullptr;
 };
 
 /// Runs body(i) for every key, returning one CellResult per key in input

@@ -20,7 +20,9 @@ void schedule_cpu_flutter(sim::Machine& machine, int node,
   const double amp = scenario.cpu_flutter;
   const double period = scenario.cpu_flutter_period;
   const double delay = engine.rng().uniform(0.5, 1.5) * period;
-  engine.after(delay, [&machine, node, amp, period] {
+  // Daemon event: flutter reschedules itself forever and must not count as
+  // pending progress, or it would mask deadlock detection.
+  engine.daemon_after(delay, [&machine, node, amp, period] {
     Scenario next;
     next.cpu_flutter = amp;
     next.cpu_flutter_period = period;
@@ -39,7 +41,7 @@ void schedule_net_flutter(sim::Machine& machine, int node,
   Scenario next = scenario;
   const double delay =
       engine.rng().uniform(0.5, 1.5) * scenario.net_flutter_period;
-  engine.after(delay, [&machine, node, next] {
+  engine.daemon_after(delay, [&machine, node, next] {
     schedule_net_flutter(machine, node, next);
   });
 }

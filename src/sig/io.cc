@@ -1,5 +1,6 @@
 #include "sig/io.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -11,6 +12,15 @@
 namespace psk::sig {
 
 namespace {
+
+// Bounds on untrusted input: loop nests deeper than this are rejected
+// before the recursive reader can overflow the stack, corrupt count fields
+// cannot trigger huge up-front allocations, and the rank count is parsed as
+// an integer with a plausibility cap (a cast from a huge double would be
+// undefined behaviour).
+constexpr int kMaxNodeDepth = 256;
+constexpr std::size_t kReserveCap = 4096;
+constexpr std::uint64_t kMaxRanks = 1u << 16;
 
 std::string format_double(double value) {
   std::array<char, 40> buf{};
@@ -96,7 +106,11 @@ class NodeReader {
     return line;
   }
 
-  SigNode read_node() {
+  SigNode read_node(int depth = 0) {
+    if (depth > kMaxNodeDepth) {
+      throw FormatError("signature: loop nesting deeper than " +
+                        std::to_string(kMaxNodeDepth));
+    }
     const std::string line = next_line();
     const auto fields = split(line, ' ');
     util::require(!fields.empty(), "signature: empty node line");
@@ -107,9 +121,9 @@ class NodeReader {
       const std::uint64_t iterations = parse_u64(fields[1]);
       const std::size_t children = parse_u64(fields[2]);
       SigSeq body;
-      body.reserve(children);
+      body.reserve(std::min(children, kReserveCap));
       for (std::size_t i = 0; i < children; ++i) {
-        body.push_back(read_node());
+        body.push_back(read_node(depth + 1));
       }
       return SigNode::loop(iterations, std::move(body));
     }
@@ -154,7 +168,7 @@ class NodeReader {
     rank.total_time = parse_double(fields[2]);
     rank.final_compute = parse_double(fields[3]);
     const std::size_t roots = parse_u64(fields[4]);
-    rank.roots.reserve(roots);
+    rank.roots.reserve(std::min(roots, kReserveCap));
     for (std::size_t i = 0; i < roots; ++i) {
       rank.roots.push_back(read_node());
     }
@@ -212,7 +226,18 @@ Signature read_signature(std::istream& in) {
   };
   signature.threshold = read_scalar("threshold");
   signature.compression_ratio = read_scalar("ratio");
-  const auto rank_count = static_cast<std::size_t>(read_scalar("ranks"));
+  std::size_t rank_count = 0;
+  {
+    const auto fields = split(reader.next_line(), ' ');
+    if (fields.size() != 2 || fields[0] != "ranks") {
+      throw FormatError("signature: missing ranks line");
+    }
+    const std::uint64_t parsed = parse_u64(fields[1]);
+    if (parsed > kMaxRanks) {
+      throw FormatError("signature: implausible rank count " + fields[1]);
+    }
+    rank_count = static_cast<std::size_t>(parsed);
+  }
   for (std::size_t r = 0; r < rank_count; ++r) {
     signature.ranks.push_back(reader.read_rank());
   }

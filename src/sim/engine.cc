@@ -15,6 +15,30 @@ EventQueue::Handle Engine::after(Time delay, EventQueue::Callback callback) {
   return at(now_ + (delay > 0 ? delay : 0), std::move(callback));
 }
 
+EventQueue::Handle Engine::daemon_at(Time t, EventQueue::Callback callback) {
+  return queue_.schedule(t < now_ ? now_ : t, std::move(callback),
+                         /*daemon=*/true);
+}
+
+EventQueue::Handle Engine::daemon_after(Time delay,
+                                        EventQueue::Callback callback) {
+  return daemon_at(now_ + (delay > 0 ? delay : 0), std::move(callback));
+}
+
+void Engine::add_quiescence_monitor(QuiescenceMonitor* monitor) {
+  util::require(monitor != nullptr, "Engine: null quiescence monitor");
+  monitors_.push_back(monitor);
+}
+
+void Engine::remove_quiescence_monitor(QuiescenceMonitor* monitor) {
+  for (auto it = monitors_.begin(); it != monitors_.end(); ++it) {
+    if (*it == monitor) {
+      monitors_.erase(it);
+      return;
+    }
+  }
+}
+
 void Engine::spawn(Task task) {
   util::require(task.valid(), "Engine::spawn: invalid task");
   task.set_failure_flag(&task_failed_);
@@ -71,12 +95,37 @@ void Engine::run() {
     // Spawned work finished: stop even if daemon-style recurring events
     // (load flutter, bandwidth flutter) are still queued.
     if (!tasks_.empty() && unfinished_tasks() == 0) return;
+    // Deterministic deadlock detection: fires at the simulated instant the
+    // last progress event drained, long before the time limit.
+    if (!monitors_.empty()) check_quiescence();
   }
   std::size_t stuck = unfinished_tasks();
   if (stuck > 0) {
+    // Give registered monitors first shot at a structured report; fall back
+    // to the legacy coarse error when none claims the blocked tasks.
+    check_quiescence();
     throw DeadlockError("simulation deadlock: " + std::to_string(stuck) +
                         " of " + std::to_string(tasks_.size()) +
                         " tasks still suspended at t=" + std::to_string(now_));
+  }
+}
+
+void Engine::check_quiescence() {
+  if (monitors_.empty() || tasks_.empty()) return;
+  if (queue_.progress_size() > 0) return;  // something can still move
+  const std::size_t unfinished = unfinished_tasks();
+  if (unfinished == 0) return;
+  std::size_t blocked = 0;
+  for (QuiescenceMonitor* monitor : monitors_) {
+    if (!monitor->quiescent()) return;  // in-flight work can still complete
+    blocked += monitor->blocked_tasks();
+  }
+  // Only declare deadlock when every unfinished task is accounted for as
+  // blocked; tasks the monitors do not understand (e.g. crash-stalled
+  // compute) keep the benefit of the doubt until the queue truly drains.
+  if (blocked < unfinished) return;
+  for (QuiescenceMonitor* monitor : monitors_) {
+    if (monitor->blocked_tasks() > 0) monitor->report_deadlock();
   }
 }
 

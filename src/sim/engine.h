@@ -16,6 +16,30 @@
 
 namespace psk::sim {
 
+/// Observer consulted by Engine::run() when the simulation goes quiescent:
+/// tasks are still unfinished but no progress event is pending.  Higher
+/// layers (the MPI runtime via psk::guard) implement this to recognise the
+/// moment as a deadlock and raise a structured report instead of letting
+/// daemon events burn simulated time until the coarse time limit.
+class QuiescenceMonitor {
+ public:
+  virtual ~QuiescenceMonitor() = default;
+
+  /// Number of engine tasks currently blocked in an operation this monitor
+  /// understands (e.g. ranks suspended in an untimed MPI wait).
+  virtual std::size_t blocked_tasks() const = 0;
+
+  /// False while the monitored subsystem still has in-flight work that can
+  /// complete on its own (e.g. paused network flows that resume when a
+  /// faulted link comes back up).
+  virtual bool quiescent() const = 0;
+
+  /// Called once deadlock is established; expected to throw a descriptive
+  /// error (guard::DeadlockDetected).  Only invoked on monitors reporting
+  /// blocked_tasks() > 0.
+  virtual void report_deadlock() = 0;
+};
+
 class Engine {
  public:
   explicit Engine(std::uint64_t seed = 1) : rng_(seed) {}
@@ -31,6 +55,13 @@ class Engine {
 
   /// Schedules `callback` after a relative delay (clamped to >= 0).
   EventQueue::Handle after(Time delay, EventQueue::Callback callback);
+
+  /// Daemon variants of at()/after(): the event fires normally but does not
+  /// count as pending progress.  Use these for self-rescheduling background
+  /// machinery (load flutter, fault injection) that would otherwise mask
+  /// deadlocks by keeping the queue busy forever.
+  EventQueue::Handle daemon_at(Time t, EventQueue::Callback callback);
+  EventQueue::Handle daemon_after(Time delay, EventQueue::Callback callback);
 
   /// Takes ownership of a top-level task and starts it at the current time.
   /// Typically called once per simulated rank before run().
@@ -61,6 +92,21 @@ class Engine {
   /// Number of spawned tasks that have not completed.
   std::size_t unfinished_tasks() const;
 
+  /// Registers/unregisters a quiescence monitor.  While at least one monitor
+  /// is registered, run() checks after every dispatched event whether the
+  /// simulation has gone globally idle with tasks still suspended -- no
+  /// pending progress event, every monitor quiescent, and every unfinished
+  /// task accounted for as blocked -- and if so asks a blocked monitor to
+  /// report the deadlock (which throws).  Monitors must outlive run() or be
+  /// removed first.
+  void add_quiescence_monitor(QuiescenceMonitor* monitor);
+  void remove_quiescence_monitor(QuiescenceMonitor* monitor);
+
+  /// Live non-daemon events still scheduled (see EventQueue::progress_size).
+  std::size_t pending_progress_events() const {
+    return queue_.progress_size();
+  }
+
   /// Awaitable that suspends the calling coroutine for `delay` seconds.
   auto sleep(Time delay) {
     struct Awaiter {
@@ -79,8 +125,13 @@ class Engine {
   std::uint64_t events_dispatched() const { return dispatched_; }
 
  private:
+  /// Throws (via QuiescenceMonitor::report_deadlock) when the simulation is
+  /// provably deadlocked; no-op otherwise.  Cheap unless progress drained.
+  void check_quiescence();
+
   EventQueue queue_;
   std::vector<Task> tasks_;
+  std::vector<QuiescenceMonitor*> monitors_;
   /// Set by any spawned task's promise when an exception escapes it (see
   /// Task::set_failure_flag); lets run() check for failure in O(1).
   bool task_failed_ = false;

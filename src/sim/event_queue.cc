@@ -4,12 +4,19 @@
 
 namespace psk::sim {
 
-EventQueue::Handle EventQueue::schedule(Time t, Callback callback) {
+EventQueue::Handle EventQueue::schedule(Time t, Callback callback,
+                                        bool daemon) {
   auto state = std::make_shared<Handle::State>();
   state->callback = std::move(callback);
+  state->owner = this;
+  state->daemon = daemon;
   Handle handle{std::weak_ptr<Handle::State>(state)};
   heap_.push(Entry{t, next_seq_++, std::move(state)});
-  ++live_;
+  if (daemon) {
+    ++daemon_live_;
+  } else {
+    ++progress_live_;
+  }
   return handle;
 }
 
@@ -17,12 +24,15 @@ bool EventQueue::pop(Time& t, Callback& callback) {
   while (!heap_.empty()) {
     Entry top = heap_.top();
     heap_.pop();
-    if (top.state->cancelled) {
-      --live_;  // live_ counts heap entries; cancelled ones leave here.
-      continue;
-    }
+    // Cancelled entries already left the live counters in Handle::cancel;
+    // their heap slots are reclaimed lazily here.
+    if (top.state->cancelled) continue;
     top.state->fired = true;
-    --live_;
+    if (top.state->daemon) {
+      --daemon_live_;
+    } else {
+      --progress_live_;
+    }
     t = top.t;
     callback = std::move(top.state->callback);
     return true;

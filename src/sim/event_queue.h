@@ -2,6 +2,14 @@
 //
 // Events at equal timestamps fire in schedule order (stable), which keeps the
 // whole simulation deterministic.
+//
+// Every event is either a *progress* event (the default: something that can
+// move the simulated workload forward -- a transfer completing, a compute
+// block finishing, a timer) or a *daemon* event (self-rescheduling background
+// machinery such as load flutter or fault injection that keeps the queue
+// non-empty forever without ever unblocking a task).  The queue tracks the
+// two classes separately so the engine can recognise global quiescence --
+// "no progress event pending" -- even while daemons keep ticking.
 #pragma once
 
 #include <cstdint>
@@ -26,9 +34,7 @@ class EventQueue {
 
     /// Prevents the event from firing; safe to call repeatedly and after the
     /// event has already fired.
-    void cancel() {
-      if (auto s = state_.lock()) s->cancelled = true;
-    }
+    void cancel();
 
     /// True while the event is scheduled and not cancelled or fired.
     bool pending() const {
@@ -40,26 +46,50 @@ class EventQueue {
     friend class EventQueue;
     struct State {
       Callback callback;
+      EventQueue* owner = nullptr;
       bool cancelled = false;
       bool fired = false;
+      bool daemon = false;
     };
     explicit Handle(std::weak_ptr<State> state) : state_(std::move(state)) {}
     std::weak_ptr<State> state_;
   };
 
-  /// Schedules `callback` at absolute time `t`.
-  Handle schedule(Time t, Callback callback);
+  /// Schedules `callback` at absolute time `t`.  Daemon events never count
+  /// toward progress_size().
+  Handle schedule(Time t, Callback callback, bool daemon = false);
 
   /// True when no live (non-cancelled) event remains.
-  bool empty() const { return live_ == 0; }
+  bool empty() const { return progress_live_ + daemon_live_ == 0; }
 
-  std::size_t size() const { return live_; }
+  std::size_t size() const { return progress_live_ + daemon_live_; }
+
+  /// Live non-daemon events: the ones that can move the workload forward.
+  /// Zero while tasks are still suspended means the simulation is
+  /// quiescent -- nothing pending can ever resume them.
+  std::size_t progress_size() const { return progress_live_; }
+
+  /// Live daemon (background) events.
+  std::size_t daemon_size() const { return daemon_live_; }
 
   /// Pops the earliest live event.  Returns false when the queue is empty;
   /// otherwise stores the event time in `t` and its callback in `callback`.
   bool pop(Time& t, Callback& callback);
 
  private:
+  friend class Handle;
+
+  /// Called by Handle::cancel exactly once per live event so the per-class
+  /// live counters stay exact the moment an event is cancelled (pop() then
+  /// skips the dead heap entry without touching the counters again).
+  void on_cancel(bool daemon) {
+    if (daemon) {
+      --daemon_live_;
+    } else {
+      --progress_live_;
+    }
+  }
+
   struct Entry {
     Time t;
     std::uint64_t seq;
@@ -74,7 +104,17 @@ class EventQueue {
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
-  std::size_t live_ = 0;
+  std::size_t progress_live_ = 0;
+  std::size_t daemon_live_ = 0;
 };
+
+inline void EventQueue::Handle::cancel() {
+  if (auto s = state_.lock()) {
+    if (!s->cancelled && !s->fired) {
+      s->cancelled = true;
+      if (s->owner != nullptr) s->owner->on_cancel(s->daemon);
+    }
+  }
+}
 
 }  // namespace psk::sim

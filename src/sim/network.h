@@ -68,6 +68,17 @@ class Network {
 
   std::size_t active_flows() const { return flows_.size(); }
 
+  /// Real transfers still carrying bytes (background flows excluded).  Used
+  /// by deadlock detection: a paused flow on a faulted link counts -- it
+  /// resumes when the fault clears, so the simulation is not quiescent.
+  std::size_t transfers_pending() const {
+    std::size_t n = 0;
+    for (const Flow& flow : flows_) {
+      if (!flow.background) ++n;
+    }
+    return n;
+  }
+
   /// Starts feeding the recorder: per-node transmitted-bytes counters, a
   /// time-weighted active-flow gauge plus occupancy histogram, and
   /// "link-down" spans on the network track.  Null handles keep every

@@ -14,6 +14,12 @@ namespace psk::trace {
 
 namespace {
 
+// Count fields in untrusted input only bound the *parse loop*; reserve() is
+// clamped so a corrupt count cannot trigger a multi-gigabyte allocation
+// (std::bad_alloc / std::length_error instead of FormatError) before the
+// loop hits truncated input.
+constexpr std::size_t kReserveCap = 4096;
+
 std::string format_double(double value) {
   std::array<char, 40> buf{};
   std::snprintf(buf.data(), buf.size(), "%.17g", value);
@@ -88,7 +94,7 @@ void write_event(std::ostream& out, const TraceEvent& event) {
   out << "\n";
 }
 
-TraceEvent parse_event(const std::string& line) {
+TraceEvent parse_event_impl(const std::string& line) {
   const auto fields = split(line, ' ');
   if (fields.size() != 14 || fields[0] != "E") {
     throw FormatError("trace: malformed event line: " + line);
@@ -127,6 +133,10 @@ TraceEvent parse_event(const std::string& line) {
 }
 
 }  // namespace
+
+TraceEvent parse_trace_event_line(const std::string& line) {
+  return parse_event_impl(line);
+}
 
 void write_trace(std::ostream& out, const Trace& trace) {
   out << "psk-trace 1\n";
@@ -182,9 +192,9 @@ Trace read_trace(std::istream& in) {
     rank.total_time = parse_double(fields[2]);
     rank.final_compute = parse_double(fields[3]);
     const std::size_t event_count = parse_u64(fields[4]);
-    rank.events.reserve(event_count);
+    rank.events.reserve(std::min(event_count, kReserveCap));
     for (std::size_t e = 0; e < event_count; ++e) {
-      rank.events.push_back(parse_event(next_line()));
+      rank.events.push_back(parse_event_impl(next_line()));
     }
     trace.ranks.push_back(std::move(rank));
   }
@@ -289,7 +299,7 @@ TraceEvent get_event(std::istream& in) {
   event.interior_mem_bytes = get<double>(in);
   const auto parts = get<std::uint32_t>(in);
   if (parts > (1u << 20)) throw FormatError("binary trace: too many parts");
-  event.parts.reserve(parts);
+  event.parts.reserve(std::min<std::size_t>(parts, kReserveCap));
   for (std::uint32_t i = 0; i < parts; ++i) {
     mpi::PeerBytes part;
     part.peer = get<std::int32_t>(in);
@@ -303,7 +313,7 @@ TraceEvent get_event(std::istream& in) {
   if (requests > (1u << 20)) {
     throw FormatError("binary trace: too many requests");
   }
-  event.requests.reserve(requests);
+  event.requests.reserve(std::min<std::size_t>(requests, kReserveCap));
   for (std::uint32_t i = 0; i < requests; ++i) {
     event.requests.push_back(get<std::uint32_t>(in));
   }
@@ -347,7 +357,8 @@ Trace read_trace_binary(std::istream& in) {
     if (events > (1ull << 32)) {
       throw FormatError("binary trace: implausible event count");
     }
-    rank.events.reserve(static_cast<std::size_t>(events));
+    rank.events.reserve(
+        std::min(static_cast<std::size_t>(events), kReserveCap));
     for (std::uint64_t e = 0; e < events; ++e) {
       rank.events.push_back(get_event(in));
     }

@@ -18,6 +18,11 @@ std::string trace_to_string(const Trace& trace);
 Trace read_trace(std::istream& in);
 Trace trace_from_string(const std::string& text);
 
+/// Parses one "E ..." event line of the text format; throws FormatError.
+/// Exposed for the guard salvage layer, which re-parses truncated documents
+/// line by line to keep every event up to the first unparsable one.
+TraceEvent parse_trace_event_line(const std::string& line);
+
 /// File convenience wrappers.  load_trace auto-detects text vs binary.
 void save_trace(const std::string& path, const Trace& trace);
 Trace load_trace(const std::string& path);

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -23,6 +24,8 @@
 #include "codegen/emit_c.h"
 #include "core/experiment.h"
 #include "core/framework.h"
+#include "guard/salvage.h"
+#include "guard/validate.h"
 #include "obs/recorder.h"
 #include "scenario/scenario.h"
 #include "sig/compress.h"
@@ -73,8 +76,63 @@ int usage() {
       "--metrics-out writes a flat key=value metrics dump.  Both come from a\n"
       "dedicated serial fixed-seed run, so they are byte-identical for any\n"
       "--jobs value.  --phase-profile prints wall-clock pipeline phase\n"
-      "timings to stderr.\n");
-  return 2;
+      "timings to stderr.\n"
+      "run/predict/report accept --validate=strict|salvage|off (default\n"
+      "strict): strict refuses semantically broken input, salvage recovers\n"
+      "what it can from truncated files and downgrades validation errors to\n"
+      "warnings, off skips the checks.\n"
+      "exit codes: 1 usage/configuration, 2 validation/format, 3 runtime\n"
+      "(simulation failure, deadlock, timeout).\n");
+  return 1;
+}
+
+enum class ValidateMode { kStrict, kSalvage, kOff };
+
+ValidateMode validate_mode(const util::Cli& cli) {
+  const std::string mode = cli.get("validate", "strict");
+  if (mode == "strict" || mode == "true") return ValidateMode::kStrict;
+  if (mode == "salvage") return ValidateMode::kSalvage;
+  if (mode == "off") return ValidateMode::kOff;
+  throw ConfigError("--validate must be strict, salvage or off (got '" +
+                    mode + "')");
+}
+
+/// Loads a skeleton honouring --validate: strict refuses both unparsable
+/// and semantically broken files; salvage recovers the intact prefix of a
+/// truncated file and downgrades validation errors to warnings; off loads
+/// with no checks beyond the parser's own.
+skeleton::Skeleton load_skeleton_checked(const std::string& path,
+                                         ValidateMode mode) {
+  if (mode == ValidateMode::kSalvage) {
+    guard::SalvageReport report;
+    std::optional<skeleton::Skeleton> value =
+        guard::salvage_skeleton_file(path, report);
+    if (!value.has_value()) throw FormatError(report.render());
+    if (!report.clean) {
+      std::fprintf(stderr, "psk: %s\n", report.render().c_str());
+    }
+    const guard::ValidationReport validation =
+        guard::validate_skeleton(*value);
+    if (!validation.ok() || validation.warning_count() > 0) {
+      std::fprintf(stderr, "psk: %s\n", validation.render().c_str());
+    }
+    return *std::move(value);
+  }
+  skeleton::Skeleton skeleton = skeleton::load_skeleton(path);
+  if (mode == ValidateMode::kStrict) {
+    guard::require_valid(guard::validate_skeleton(skeleton));
+  }
+  return skeleton;
+}
+
+/// predict/report construct their artifacts in-process; validation there
+/// checks the recorded trace (the root input of the whole pipeline).
+void check_app_trace(const trace::Trace& trace, ValidateMode mode) {
+  if (mode == ValidateMode::kOff) return;
+  const guard::ValidationReport report = guard::validate_trace(trace);
+  if (report.ok()) return;
+  if (mode == ValidateMode::kStrict) guard::require_valid(report);
+  std::fprintf(stderr, "psk: %s\n", report.render().c_str());
 }
 
 std::string require_flag(const util::Cli& cli, const std::string& name) {
@@ -201,7 +259,8 @@ int cmd_codegen(const util::Cli& cli) {
 
 int cmd_run(const util::Cli& cli) {
   const skeleton::Skeleton skeleton =
-      skeleton::load_skeleton(require_flag(cli, "skeleton"));
+      load_skeleton_checked(require_flag(cli, "skeleton"),
+                            validate_mode(cli));
   const scenario::Scenario& scenario =
       scenario::find_scenario(cli.get("scenario", "dedicated"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
@@ -211,6 +270,9 @@ int cmd_run(const util::Cli& cli) {
 
   core::FrameworkOptions framework_options;
   framework_options.result_cache = cache_from_cli(cli);
+  // Follow the file, not the default world size: a salvaged skeleton may
+  // have fewer ranks than it was built with and must still replay.
+  framework_options.ranks = skeleton.rank_count();
   core::SkeletonFramework framework(framework_options);
   obs::Recorder recorder;
   const double elapsed = framework.run_skeleton(
@@ -252,6 +314,8 @@ int cmd_predict(const util::Cli& cli) {
     cells.push_back(core::GridCell{config.benchmarks[0], target,
                                    &scenario::find_scenario(which)});
   }
+  check_app_trace(driver.app_trace(config.benchmarks[0]),
+                  validate_mode(cli));
   const auto records = driver.predict_cells(cells);
   std::printf("%-15s %10s %10s %8s\n", "scenario", "predicted", "actual",
               "error");
@@ -299,6 +363,10 @@ int cmd_report(const util::Cli& cli) {
   config.jobs = static_cast<int>(cli.get_int("jobs", 0));
   config.framework.result_cache = cache_from_cli(cli);
   core::ExperimentDriver driver(config);
+  const ValidateMode mode = validate_mode(cli);
+  for (const std::string& app : config.benchmarks) {
+    check_app_trace(driver.app_trace(app), mode);
+  }
   // Evaluate the whole grid through the runner pool up front; the report
   // loops below then assemble records from warm caches.
   driver.run_grid();
@@ -411,7 +479,7 @@ int cmd_info(const util::Cli& cli) {
     return 0;
   }
   std::fprintf(stderr, "info: pass --trace, --signature or --skeleton\n");
-  return 2;
+  return 1;
 }
 
 }  // namespace
@@ -448,29 +516,42 @@ int main(int argc, char** argv) {
       return cmd_codegen(cli);
     }
     if (command == "run") {
-      cli.require_known({"skeleton", "scenario", "seed", "trace-out",
-                         "metrics-out", "cache-dir", "cache-mem", "no-cache",
-                         "cache-stats"});
+      cli.require_known({"skeleton", "scenario", "seed", "validate",
+                         "trace-out", "metrics-out", "cache-dir", "cache-mem",
+                         "no-cache", "cache-stats"});
       return cmd_run(cli);
     }
     if (command == "predict") {
       cli.require_known({"app", "class", "target", "scenario", "jobs",
-                         "trace-out", "metrics-out", "phase-profile",
-                         "cache-dir", "cache-mem", "no-cache", "cache-stats"});
+                         "validate", "trace-out", "metrics-out",
+                         "phase-profile", "cache-dir", "cache-mem", "no-cache",
+                         "cache-stats"});
       return cmd_predict(cli);
     }
     if (command == "report") {
-      cli.require_known({"out", "class", "apps", "jobs", "phase-profile",
-                         "cache-dir", "cache-mem", "no-cache", "cache-stats"});
+      cli.require_known({"out", "class", "apps", "jobs", "validate",
+                         "phase-profile", "cache-dir", "cache-mem", "no-cache",
+                         "cache-stats"});
       return cmd_report(cli);
     }
     if (command == "info") {
       cli.require_known({"trace", "signature", "skeleton"});
       return cmd_info(cli);
     }
-  } catch (const std::exception& error) {
+    // Distinct exit codes so scripts can tell misuse from bad input from a
+    // failed simulation: 1 usage/config, 2 validation/format, 3 runtime.
+  } catch (const ConfigError& error) {
     std::fprintf(stderr, "psk %s: %s\n", command.c_str(), error.what());
     return 1;
+  } catch (const guard::ValidationError& error) {
+    std::fprintf(stderr, "psk %s: %s\n", command.c_str(), error.what());
+    return 2;
+  } catch (const FormatError& error) {
+    std::fprintf(stderr, "psk %s: %s\n", command.c_str(), error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "psk %s: %s\n", command.c_str(), error.what());
+    return 3;
   }
   return usage();
 }
