@@ -1,0 +1,5 @@
+psk-signature 1
+app x
+threshold 0.1
+ratio 1
+ranks 

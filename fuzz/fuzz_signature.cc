@@ -3,11 +3,15 @@
 // Skeleton files embed the signature node format, so one harness feeds the
 // same input to both parsers: any byte string either parses or throws
 // psk::Error.  Parsed values are run through the guard validators so their
-// recursive walks see fuzzer-shaped loop nests as well.
+// recursive walks see fuzzer-shaped loop nests as well, and the same bytes
+// are pushed through the salvage layer, whose job is precisely to survive
+// arbitrary damage (it must recover, reject, or throw psk::Error -- never
+// crash).
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "guard/salvage.h"
 #include "guard/validate.h"
 #include "sig/io.h"
 #include "skeleton/io.h"
@@ -26,6 +30,14 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     const psk::skeleton::Skeleton skeleton =
         psk::skeleton::skeleton_from_string(text);
     (void)psk::guard::validate_skeleton(skeleton).render();
+  } catch (const psk::Error&) {
+  }
+  try {
+    psk::guard::SalvageReport report;
+    (void)psk::guard::salvage_signature_bytes(text, report);
+    (void)report.render();
+    (void)psk::guard::salvage_skeleton_bytes(text, report);
+    (void)report.render();
   } catch (const psk::Error&) {
   }
   return 0;

@@ -114,6 +114,8 @@ int main(int argc, char** argv) {
   write_file(root + "/trace_text/header_only.trace", "psk-trace 1\napp x\n");
   write_file(root + "/trace_text/garbage.trace", "not a trace\n\x01\x02\xff");
   write_file(root + "/trace_text/empty.trace", "");
+  write_file(root + "/trace_text/negative_ranks.trace",
+             "psk-trace 1\napp x\nranks -1\n");
 
   // ------------------------------------------------------- signature text
   const std::string sig_text = sig::signature_to_string(sample_signature());
@@ -125,6 +127,12 @@ int main(int argc, char** argv) {
   write_file(root + "/signature/negative_iters.sig",
              "psk-signature 1\napp x\nthreshold 0.1\nratio 1\nranks 1\n"
              "rank 0 1 0\nloop -3 1\n");
+  // Torn exactly mid-"ranks N": the count field is gone, only the prefix
+  // and trailing space survive.
+  write_file(root + "/signature/torn_ranks.sig",
+             "psk-signature 1\napp x\nthreshold 0.1\nratio 1\nranks ");
+  write_file(root + "/signature/negative_ranks.sig",
+             "psk-signature 1\napp x\nthreshold 0.1\nratio 1\nranks -1\n");
 
   // -------------------------------------------------------------- archive
   std::string payload;

@@ -1,5 +1,6 @@
 #include "guard/salvage.h"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -32,6 +33,34 @@ std::vector<std::string> split_fields(const std::string& line) {
 
 bool starts_with(const std::string& line, const char* prefix) {
   return line.rfind(prefix, 0) == 0;
+}
+
+// Mirror the caps in sig/io.cc and archive/codec.cc.
+constexpr std::uint64_t kMaxRanks = 1u << 16;
+constexpr std::uint64_t kMaxEvents = 1ull << 32;
+
+// Parses a declared count field ("ranks N", per-rank event counts).
+// stoull alone is too permissive for salvage: it wraps negatives ("-1"
+// becomes 2^64-1) and stops at the first non-digit ("12garbage" parses as
+// 12), so require an exact round-trip and a plausible magnitude.
+std::optional<std::uint64_t> parse_count(const std::string& field,
+                                         std::uint64_t max) {
+  if (field.empty() || !std::isdigit(static_cast<unsigned char>(field[0]))) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stoull(field, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed != field.size() || value > max) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_ranks_count(const std::string& field) {
+  return parse_count(field, kMaxRanks);
 }
 
 /// Lines of a text document plus the byte offset where each line starts.
@@ -172,12 +201,12 @@ std::optional<trace::Trace> salvage_trace_text(const std::string& text,
       stop_at(idx, "missing ranks line");
       return std::nullopt;
     }
-    try {
-      declared_ranks = std::stoull(fields[1]);
-    } catch (const std::exception&) {
+    const std::optional<std::uint64_t> parsed = parse_ranks_count(fields[1]);
+    if (!parsed) {
       stop_at(idx, "bad ranks count '" + fields[1] + "'");
       return std::nullopt;
     }
+    declared_ranks = *parsed;
     ++idx;
   }
   report.ranks_expected = declared_ranks;
@@ -198,7 +227,10 @@ std::optional<trace::Trace> salvage_trace_text(const std::string& text,
       rank.rank = std::stoi(fields[1]);
       rank.total_time = std::stod(fields[2]);
       rank.final_compute = std::stod(fields[3]);
-      declared_events = std::stoull(fields[4]);
+      const std::optional<std::uint64_t> events =
+          parse_count(fields[4], kMaxEvents);
+      if (!events) throw FormatError("bad event count");
+      declared_events = *events;
     } catch (const std::exception&) {
       stop_at(idx, "rank " + std::to_string(r) + " header unparsable");
       break;
@@ -256,15 +288,19 @@ std::optional<Value> salvage_rank_blocks(const std::string& text,
     report.detail = "ranks line missing";
     return std::nullopt;
   }
-  std::uint64_t declared = 0;
-  try {
-    declared = std::stoull(split_fields(doc.lines[ranks_line])[1]);
-  } catch (const std::exception&) {
+  // A file torn mid-"ranks N" can leave just "ranks " (no count field),
+  // so check the field count before touching fields[1].
+  const auto ranks_fields = split_fields(doc.lines[ranks_line]);
+  const std::optional<std::uint64_t> parsed =
+      ranks_fields.size() == 2 ? parse_ranks_count(ranks_fields[1])
+                               : std::nullopt;
+  if (!parsed) {
     report.line = ranks_line + 1;
     report.byte_offset = doc.offsets[ranks_line];
     report.detail = "bad ranks count";
     return std::nullopt;
   }
+  const std::uint64_t declared = *parsed;
   report.ranks_expected = declared;
   std::vector<std::size_t> rank_starts;
   for (std::size_t i = ranks_line + 1; i < doc.lines.size(); ++i) {
@@ -306,6 +342,118 @@ std::string render_units(std::uint64_t kept, std::uint64_t expected,
                          const char* unit) {
   return std::to_string(kept) + " of " + std::to_string(expected) + " " +
          unit;
+}
+
+// ------------------------------------------- lenient paths, shared by the
+// file salvors (after the strict loader has refused) and the in-memory
+// entry points (which have no strict fast-path).
+
+std::optional<trace::Trace> salvage_trace_damaged(const std::string& bytes,
+                                                  SalvageReport& report) {
+  if (archive::looks_like_archive(bytes)) {
+    const ArchiveHeader header = probe_archive(bytes);
+    if (!header.usable) {
+      report.detail = header.detail;
+      return std::nullopt;
+    }
+    if (header.kind != archive::PayloadKind::kTrace) {
+      report.detail = std::string("archive holds a ") +
+                      archive::payload_kind_name(header.kind) +
+                      ", not a trace";
+      return std::nullopt;
+    }
+    archive::PrefixStats stats;
+    archive::Result<trace::Trace> partial = archive::decode_trace_prefix(
+        header.payload, header.payload_version, stats);
+    if (!partial.ok()) {
+      report.detail = partial.error().message;
+      return std::nullopt;
+    }
+    apply_prefix_stats(stats, report);
+    if (stats.ranks_kept == 0) return std::nullopt;
+    report.recovered = true;
+    return partial.take();
+  }
+  if (bytes.rfind("PSKTRB01", 0) == 0) {
+    // The legacy binary format has host-endian fields and no framing to
+    // resynchronize on; a truncated file is not salvageable.  Archives are.
+    report.detail = "truncated legacy binary trace (re-save as archive)";
+    return std::nullopt;
+  }
+  std::optional<trace::Trace> trace = salvage_trace_text(bytes, report);
+  report.recovered = trace.has_value();
+  return trace;
+}
+
+std::optional<sig::Signature> salvage_signature_damaged(
+    const std::string& bytes, SalvageReport& report) {
+  if (archive::looks_like_archive(bytes)) {
+    const ArchiveHeader header = probe_archive(bytes);
+    if (!header.usable) {
+      report.detail = header.detail;
+      return std::nullopt;
+    }
+    if (header.kind != archive::PayloadKind::kSignature) {
+      report.detail = std::string("archive holds a ") +
+                      archive::payload_kind_name(header.kind) +
+                      ", not a signature";
+      return std::nullopt;
+    }
+    archive::PrefixStats stats;
+    archive::Result<sig::Signature> partial = archive::decode_signature_prefix(
+        header.payload, header.payload_version, stats);
+    if (!partial.ok()) {
+      report.detail = partial.error().message;
+      return std::nullopt;
+    }
+    apply_prefix_stats(stats, report);
+    if (stats.ranks_kept == 0) return std::nullopt;
+    report.recovered = true;
+    return partial.take();
+  }
+  std::optional<sig::Signature> value = salvage_rank_blocks<sig::Signature>(
+      bytes, [](const std::string& text) {
+        return sig::signature_from_string(text);
+      },
+      report);
+  report.recovered = value.has_value();
+  return value;
+}
+
+std::optional<skeleton::Skeleton> salvage_skeleton_damaged(
+    const std::string& bytes, SalvageReport& report) {
+  if (archive::looks_like_archive(bytes)) {
+    const ArchiveHeader header = probe_archive(bytes);
+    if (!header.usable) {
+      report.detail = header.detail;
+      return std::nullopt;
+    }
+    if (header.kind != archive::PayloadKind::kSkeleton) {
+      report.detail = std::string("archive holds a ") +
+                      archive::payload_kind_name(header.kind) +
+                      ", not a skeleton";
+      return std::nullopt;
+    }
+    archive::PrefixStats stats;
+    archive::Result<skeleton::Skeleton> partial = archive::decode_skeleton_prefix(
+        header.payload, header.payload_version, stats);
+    if (!partial.ok()) {
+      report.detail = partial.error().message;
+      return std::nullopt;
+    }
+    apply_prefix_stats(stats, report);
+    if (stats.ranks_kept == 0) return std::nullopt;
+    report.recovered = true;
+    return partial.take();
+  }
+  std::optional<skeleton::Skeleton> value =
+      salvage_rank_blocks<skeleton::Skeleton>(
+          bytes, [](const std::string& text) {
+            return skeleton::skeleton_from_string(text);
+          },
+          report);
+  report.recovered = value.has_value();
+  return value;
 }
 
 }  // namespace
@@ -351,39 +499,14 @@ std::optional<trace::Trace> salvage_trace_file(const std::string& path,
   } else {
     report.detail = strict.error().message;
   }
-  if (archive::looks_like_archive(bytes)) {
-    const ArchiveHeader header = probe_archive(bytes);
-    if (!header.usable) {
-      report.detail = header.detail;
-      return std::nullopt;
-    }
-    if (header.kind != archive::PayloadKind::kTrace) {
-      report.detail = std::string("archive holds a ") +
-                      archive::payload_kind_name(header.kind) +
-                      ", not a trace";
-      return std::nullopt;
-    }
-    archive::PrefixStats stats;
-    archive::Result<trace::Trace> partial = archive::decode_trace_prefix(
-        header.payload, header.payload_version, stats);
-    if (!partial.ok()) {
-      report.detail = partial.error().message;
-      return std::nullopt;
-    }
-    apply_prefix_stats(stats, report);
-    if (stats.ranks_kept == 0) return std::nullopt;
-    report.recovered = true;
-    return partial.take();
-  }
-  if (bytes.rfind("PSKTRB01", 0) == 0) {
-    // The legacy binary format has host-endian fields and no framing to
-    // resynchronize on; a truncated file is not salvageable.  Archives are.
-    report.detail = "truncated legacy binary trace (re-save as archive)";
-    return std::nullopt;
-  }
-  std::optional<trace::Trace> trace = salvage_trace_text(bytes, report);
-  report.recovered = trace.has_value();
-  return trace;
+  return salvage_trace_damaged(bytes, report);
+}
+
+std::optional<trace::Trace> salvage_trace_bytes(const std::string& bytes,
+                                                SalvageReport& report) {
+  report = SalvageReport{};
+  report.path = "<memory>";
+  return salvage_trace_damaged(bytes, report);
 }
 
 std::optional<sig::Signature> salvage_signature_file(const std::string& path,
@@ -399,37 +522,14 @@ std::optional<sig::Signature> salvage_signature_file(const std::string& path,
   } else {
     report.detail = strict.error().message;
   }
-  if (archive::looks_like_archive(bytes)) {
-    const ArchiveHeader header = probe_archive(bytes);
-    if (!header.usable) {
-      report.detail = header.detail;
-      return std::nullopt;
-    }
-    if (header.kind != archive::PayloadKind::kSignature) {
-      report.detail = std::string("archive holds a ") +
-                      archive::payload_kind_name(header.kind) +
-                      ", not a signature";
-      return std::nullopt;
-    }
-    archive::PrefixStats stats;
-    archive::Result<sig::Signature> partial = archive::decode_signature_prefix(
-        header.payload, header.payload_version, stats);
-    if (!partial.ok()) {
-      report.detail = partial.error().message;
-      return std::nullopt;
-    }
-    apply_prefix_stats(stats, report);
-    if (stats.ranks_kept == 0) return std::nullopt;
-    report.recovered = true;
-    return partial.take();
-  }
-  std::optional<sig::Signature> value = salvage_rank_blocks<sig::Signature>(
-      bytes, [](const std::string& text) {
-        return sig::signature_from_string(text);
-      },
-      report);
-  report.recovered = value.has_value();
-  return value;
+  return salvage_signature_damaged(bytes, report);
+}
+
+std::optional<sig::Signature> salvage_signature_bytes(const std::string& bytes,
+                                                      SalvageReport& report) {
+  report = SalvageReport{};
+  report.path = "<memory>";
+  return salvage_signature_damaged(bytes, report);
 }
 
 std::optional<skeleton::Skeleton> salvage_skeleton_file(
@@ -445,38 +545,14 @@ std::optional<skeleton::Skeleton> salvage_skeleton_file(
   } else {
     report.detail = strict.error().message;
   }
-  if (archive::looks_like_archive(bytes)) {
-    const ArchiveHeader header = probe_archive(bytes);
-    if (!header.usable) {
-      report.detail = header.detail;
-      return std::nullopt;
-    }
-    if (header.kind != archive::PayloadKind::kSkeleton) {
-      report.detail = std::string("archive holds a ") +
-                      archive::payload_kind_name(header.kind) +
-                      ", not a skeleton";
-      return std::nullopt;
-    }
-    archive::PrefixStats stats;
-    archive::Result<skeleton::Skeleton> partial = archive::decode_skeleton_prefix(
-        header.payload, header.payload_version, stats);
-    if (!partial.ok()) {
-      report.detail = partial.error().message;
-      return std::nullopt;
-    }
-    apply_prefix_stats(stats, report);
-    if (stats.ranks_kept == 0) return std::nullopt;
-    report.recovered = true;
-    return partial.take();
-  }
-  std::optional<skeleton::Skeleton> value =
-      salvage_rank_blocks<skeleton::Skeleton>(
-          bytes, [](const std::string& text) {
-            return skeleton::skeleton_from_string(text);
-          },
-          report);
-  report.recovered = value.has_value();
-  return value;
+  return salvage_skeleton_damaged(bytes, report);
+}
+
+std::optional<skeleton::Skeleton> salvage_skeleton_bytes(
+    const std::string& bytes, SalvageReport& report) {
+  report = SalvageReport{};
+  report.path = "<memory>";
+  return salvage_skeleton_damaged(bytes, report);
 }
 
 }  // namespace psk::guard

@@ -56,4 +56,15 @@ std::optional<sig::Signature> salvage_signature_file(const std::string& path,
 std::optional<skeleton::Skeleton> salvage_skeleton_file(
     const std::string& path, SalvageReport& report);
 
+/// Salvage directly from an in-memory buffer.  These skip the strict
+/// fast-path (so an intact buffer is reported `recovered`, never `clean`)
+/// and never touch the filesystem; the fuzz harnesses use them to drive
+/// the lenient decoders with arbitrary bytes.
+std::optional<trace::Trace> salvage_trace_bytes(const std::string& bytes,
+                                                SalvageReport& report);
+std::optional<sig::Signature> salvage_signature_bytes(const std::string& bytes,
+                                                      SalvageReport& report);
+std::optional<skeleton::Skeleton> salvage_skeleton_bytes(
+    const std::string& bytes, SalvageReport& report);
+
 }  // namespace psk::guard

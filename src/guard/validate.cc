@@ -1,5 +1,6 @@
 #include "guard/validate.h"
 
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <tuple>
@@ -18,8 +19,9 @@ constexpr std::size_t kMaxIssues = 32;
 // is either corrupt or would have been rejected at parse time anyway.
 constexpr int kMaxNodeDepth = 256;
 
-/// True for finite, non-negative values; false for negatives and NaN.
-bool nonneg(double value) { return value >= 0; }
+/// True for finite, non-negative values; false for negatives, NaN, and
+/// infinities (which would otherwise poison downstream sim arithmetic).
+bool nonneg(double value) { return std::isfinite(value) && value >= 0; }
 
 class Checker {
  public:
@@ -37,7 +39,7 @@ class Checker {
                     double value) {
     if (!nonneg(value)) {
       std::ostringstream msg;
-      msg << field << " is " << value << " (must be >= 0)";
+      msg << field << " is " << value << " (must be finite and >= 0)";
       error(where, msg.str());
     }
   }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -247,6 +248,15 @@ TEST(Validate, NegativeGapAndBadPeerAreErrors) {
   EXPECT_GE(report.error_count(), 2u);
 }
 
+TEST(Validate, NonFiniteTimesAreErrors) {
+  trace::Trace trace = matched_pair_trace();
+  trace.ranks[0].events[0].pre_compute =
+      std::numeric_limits<double>::infinity();
+  trace.ranks[1].total_time = std::numeric_limits<double>::quiet_NaN();
+  const guard::ValidationReport report = guard::validate_trace(trace);
+  EXPECT_GE(report.error_count(), 2u) << report.render();
+}
+
 TEST(Validate, ValidationErrorCarriesReport) {
   trace::Trace trace = matched_pair_trace();
   trace.ranks[0].events[0].pre_compute = -1.0;
@@ -363,6 +373,53 @@ TEST(Salvage, TornSignatureDropsWholeRanks) {
   EXPECT_EQ(report.ranks_kept, 1u);
   EXPECT_EQ(salvaged->rank_count(), 1);
   EXPECT_NE(report.render().find("rank"), std::string::npos);
+}
+
+TEST(Salvage, RanksLineTornBeforeCountIsRejected) {
+  // A file torn exactly mid-"ranks N" leaves "ranks " with no count field;
+  // salvage must diagnose it, not index past the end of the split fields.
+  ScratchDir dir("salvage_torn_ranks");
+  const std::string path = dir.file("s.sig");
+  write_file(path, "psk-signature 1\napp x\nthreshold 0.1\nratio 1\nranks ");
+  guard::SalvageReport report;
+  EXPECT_FALSE(guard::salvage_signature_file(path, report).has_value());
+  EXPECT_FALSE(report.recovered);
+  EXPECT_NE(report.detail.find("bad ranks count"), std::string::npos)
+      << report.render();
+}
+
+TEST(Salvage, ImplausibleRanksCountIsRejected) {
+  // stoull would wrap "ranks -1" to 2^64-1; both text salvors must refuse
+  // it instead of reporting absurd expectations.
+  guard::SalvageReport report;
+  EXPECT_FALSE(guard::salvage_signature_bytes(
+                   "psk-signature 1\napp x\nthreshold 0.1\nratio 1\nranks -1\n",
+                   report)
+                   .has_value());
+  EXPECT_NE(report.detail.find("bad ranks count"), std::string::npos)
+      << report.render();
+  EXPECT_EQ(report.ranks_expected, 0u);
+  EXPECT_FALSE(
+      guard::salvage_trace_bytes("psk-trace 1\napp x\nranks -1\n", report)
+          .has_value());
+  EXPECT_NE(report.detail.find("bad ranks count"), std::string::npos)
+      << report.render();
+  EXPECT_EQ(report.ranks_expected, 0u);
+}
+
+TEST(Salvage, BytesEntryPointRecoversTornSignature) {
+  sig::Signature signature = tiny_signature();
+  sig::RankSignature second = signature.ranks[0];
+  second.rank = 1;
+  signature.ranks.push_back(second);
+  const std::string text = sig::signature_to_string(signature);
+  guard::SalvageReport report;
+  const auto salvaged =
+      guard::salvage_signature_bytes(text.substr(0, text.size() - 5), report);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_TRUE(report.recovered);
+  EXPECT_EQ(report.ranks_kept, 1u);
+  EXPECT_EQ(salvaged->rank_count(), 1);
 }
 
 TEST(Salvage, HopelessFileReturnsNullopt) {
