@@ -149,6 +149,11 @@ sim::Task Comm::wait_internal(Request request) {
           timer = engine_->machine().engine().after(window, std::move(fire));
         });
     if (engine_->request_done(rank_, request)) {
+      // Cancellation reclaims the timer's slot (and destroys its closure)
+      // immediately; only a small stale key stays queued until the event
+      // queue's dead-entry compaction or the cursor sweeps it.  These
+      // watchdogs are the queue's dominant cancel source, so they must not
+      // retain memory proportional to completed waits.
       timer.cancel();
       break;
     }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/error.h"
+
 namespace psk::sig {
 
 namespace {
@@ -117,6 +119,11 @@ double dissimilarity(const trace::TraceEvent& event, const SigEvent& proto,
 
 ClusterResult cluster_events(const std::vector<trace::TraceEvent>& events,
                              const ClusterOptions& options) {
+  // No column view supplied: scan prototypes directly.  dissimilarity()
+  // front-loads the cheap structural rejections, and single-shot callers
+  // tend to have few prototypes, so hashing fingerprints here would cost
+  // more than it filters.  The columns overload below must stay
+  // behaviorally identical (pinned by the SoA equivalence tests).
   ClusterResult result;
   result.symbols.reserve(events.size());
 
@@ -124,6 +131,49 @@ ClusterResult cluster_events(const std::vector<trace::TraceEvent>& events,
     int best = -1;
     double best_d = kIncompatible;
     for (std::size_t c = 0; c < result.prototypes.size(); ++c) {
+      const double d = dissimilarity(event, result.prototypes[c], options);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best >= 0 && best_d <= options.threshold + 1e-9) {
+      merge_into(result.prototypes[static_cast<std::size_t>(best)],
+                 result.counts[static_cast<std::size_t>(best)], event);
+      result.counts[static_cast<std::size_t>(best)] += 1;
+      result.symbols.push_back(best);
+    } else {
+      const int id = static_cast<int>(result.prototypes.size());
+      result.prototypes.push_back(prototype_from(event, id));
+      result.counts.push_back(1);
+      result.symbols.push_back(id);
+    }
+  }
+  return result;
+}
+
+ClusterResult cluster_events(const std::vector<trace::TraceEvent>& events,
+                             const trace::EventColumns& columns,
+                             const ClusterOptions& options) {
+  util::require(columns.size() == events.size(),
+                "cluster_events: columns do not match the event stream");
+  ClusterResult result;
+  result.symbols.reserve(events.size());
+  // Fingerprint column parallel to result.prototypes: the hot scan below
+  // walks this dense array and only dereferences a prototype on a hit.
+  std::vector<std::uint64_t> proto_fps;
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const trace::TraceEvent& event = events[e];
+    const std::uint64_t fp = columns.compat[e];
+    int best = -1;
+    double best_d = kIncompatible;
+    for (std::size_t c = 0; c < proto_fps.size(); ++c) {
+      // Unequal fingerprints prove structural incompatibility, for which
+      // dissimilarity() would return +infinity -- skipping cannot change
+      // the argmin.  Equal fingerprints prove nothing (collisions), so the
+      // exact comparison below still runs.
+      if (proto_fps[c] != fp) continue;
       const double d = dissimilarity(event, result.prototypes[c], options);
       if (d < best_d) {
         best_d = d;
@@ -141,6 +191,7 @@ ClusterResult cluster_events(const std::vector<trace::TraceEvent>& events,
     } else {
       const int id = static_cast<int>(result.prototypes.size());
       result.prototypes.push_back(prototype_from(event, id));
+      proto_fps.push_back(fp);
       result.counts.push_back(1);
       result.symbols.push_back(id);
     }

@@ -17,6 +17,7 @@
 
 #include "sig/signature.h"
 #include "trace/event.h"
+#include "trace/soa.h"
 
 namespace psk::sig {
 
@@ -59,6 +60,17 @@ double dissimilarity(const trace::TraceEvent& event, const SigEvent& proto,
 /// Greedy sequential clustering: each event joins the best prototype within
 /// the threshold or starts a new cluster.  Prototypes are running means.
 ClusterResult cluster_events(const std::vector<trace::TraceEvent>& events,
+                             const ClusterOptions& options);
+
+/// Column-accelerated form: `columns` must be make_columns(events).  The
+/// prototype scan rejects structurally incompatible pairs on a contiguous
+/// fingerprint column and only computes the exact dissimilarity on
+/// fingerprint hits, so the result is bit-identical to the form above
+/// (pinned by the SoA equivalence tests).  Callers that cluster the same
+/// events repeatedly (the compressor's threshold search) build the columns
+/// once and amortize the fingerprinting across every threshold step.
+ClusterResult cluster_events(const std::vector<trace::TraceEvent>& events,
+                             const trace::EventColumns& columns,
                              const ClusterOptions& options);
 
 }  // namespace psk::sig

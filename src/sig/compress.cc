@@ -11,9 +11,27 @@ namespace psk::sig {
 
 namespace {
 
+/// Contiguous copy of each node's structural hash; the repeat scans walk
+/// this column and fall back to the exact node comparison only when every
+/// hash in the block matches.  Hashes never change during a pass, so the
+/// column stays valid while nodes are moved out of `seq` (only already
+/// consumed positions are moved from).
+using FpColumn = std::vector<std::uint64_t>;
+
+FpColumn fingerprints_of(const SigSeq& seq) {
+  FpColumn fp(seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) fp[i] = seq[i].hash;
+  return fp;
+}
+
 /// True when seq[i..i+p) == seq[j..j+p) structurally.
-bool block_equal(const SigSeq& seq, std::size_t i, std::size_t j,
-                 std::size_t p) {
+bool block_equal(const SigSeq& seq, const FpColumn& fp, std::size_t i,
+                 std::size_t j, std::size_t p) {
+  for (std::size_t k = 0; k < p; ++k) {
+    if (fp[i + k] != fp[j + k]) return false;
+  }
+  // Hash equality is necessary but not sufficient (SigNode::operator==
+  // short-circuits on unequal hashes itself); confirm exactly.
   for (std::size_t k = 0; k < p; ++k) {
     if (!(seq[i + k] == seq[j + k])) return false;
   }
@@ -23,13 +41,13 @@ bool block_equal(const SigSeq& seq, std::size_t i, std::size_t j,
 /// Smallest period q such that seq[i..i+p) is a power of its prefix of
 /// length q (q divides p).  Canonicalizes an accidental large-period match
 /// like (XX)(XX) into the primitive unit X.
-std::size_t primitive_period(const SigSeq& seq, std::size_t i,
-                             std::size_t p) {
+std::size_t primitive_period(const SigSeq& seq, const FpColumn& fp,
+                             std::size_t i, std::size_t p) {
   for (std::size_t q = 1; q <= p / 2; ++q) {
     if (p % q != 0) continue;
     bool periodic = true;
     for (std::size_t offset = q; offset < p && periodic; offset += q) {
-      periodic = block_equal(seq, i, i + offset, q);
+      periodic = block_equal(seq, fp, i, i + offset, q);
     }
     if (periodic) return q;
   }
@@ -41,17 +59,18 @@ std::size_t primitive_period(const SigSeq& seq, std::size_t i,
 /// folded recursively, so a period-p hit yields the canonical nest.
 bool collapse_period(SigSeq& seq, std::size_t p, std::size_t max_period) {
   if (seq.size() < 2 * p) return false;
+  const FpColumn fp = fingerprints_of(seq);
   bool changed = false;
   SigSeq out;
   out.reserve(seq.size());
   std::size_t i = 0;
   while (i < seq.size()) {
-    if (i + 2 * p <= seq.size() && block_equal(seq, i, i + p, p)) {
-      const std::size_t q = primitive_period(seq, i, p);
+    if (i + 2 * p <= seq.size() && block_equal(seq, fp, i, i + p, p)) {
+      const std::size_t q = primitive_period(seq, fp, i, p);
       std::uint64_t repeats = 1;
       while (i + (repeats + 1) * q <= seq.size() &&
-             block_equal(seq, i, i + static_cast<std::size_t>(repeats) * q,
-                         q)) {
+             block_equal(seq, fp, i,
+                         i + static_cast<std::size_t>(repeats) * q, q)) {
         ++repeats;
       }
       SigSeq body(seq.begin() + static_cast<std::ptrdiff_t>(i),
@@ -69,8 +88,21 @@ bool collapse_period(SigSeq& seq, std::size_t p, std::size_t max_period) {
   return changed;
 }
 
-Signature build_signature(const trace::Trace& trace, double threshold,
-                          const CompressOptions& options,
+/// Column views of every rank's event stream, built once and reused across
+/// the compressor's threshold search (each threshold step re-clusters every
+/// rank; the columns depend only on the events).
+std::vector<trace::EventColumns> columns_of(const trace::Trace& trace) {
+  std::vector<trace::EventColumns> columns;
+  columns.reserve(trace.ranks.size());
+  for (const trace::RankTrace& rank : trace.ranks) {
+    columns.push_back(trace::make_columns(rank.events));
+  }
+  return columns;
+}
+
+Signature build_signature(const trace::Trace& trace,
+                          const std::vector<trace::EventColumns>& columns,
+                          double threshold, const CompressOptions& options,
                           std::size_t* total_events_out,
                           std::size_t* total_leaves_out) {
   ClusterOptions cluster_options;
@@ -84,11 +116,12 @@ Signature build_signature(const trace::Trace& trace, double threshold,
 
   std::size_t total_events = 0;
   std::size_t total_leaves = 0;
-  for (const trace::RankTrace& rank : trace.ranks) {
+  for (std::size_t r = 0; r < trace.ranks.size(); ++r) {
+    const trace::RankTrace& rank = trace.ranks[r];
     ClusterResult clusters;
     {
       obs::PhaseProfiler::Scope scope(options.profiler, "cluster");
-      clusters = cluster_events(rank.events, cluster_options);
+      clusters = cluster_events(rank.events, columns[r], cluster_options);
     }
     SigSeq seq;
     seq.reserve(clusters.symbols.size());
@@ -180,8 +213,9 @@ Signature compress_at_threshold(const trace::Trace& folded_trace,
   util::require(trace::is_fully_folded(folded_trace),
                 "compress: trace contains raw nonblocking events; run "
                 "trace::fold_nonblocking first");
-  return build_signature(folded_trace, options.threshold, options.compress,
-                         nullptr, nullptr);
+  return build_signature(folded_trace, columns_of(folded_trace),
+                         options.threshold, options.compress, nullptr,
+                         nullptr);
 }
 
 Signature compress_at_threshold(const trace::Trace& folded_trace,
@@ -201,6 +235,7 @@ Signature compress(const trace::Trace& folded_trace,
   util::require(options.threshold_step > 0,
                 "compress: threshold_step must be positive");
 
+  const std::vector<trace::EventColumns> columns = columns_of(folded_trace);
   Signature best;
   bool have_best = false;
   // Integer step index: a float accumulator (threshold += step) would never
@@ -209,8 +244,8 @@ Signature compress(const trace::Trace& folded_trace,
   for (int step = 0;; ++step) {
     const double threshold = step * options.threshold_step;
     if (threshold > options.max_threshold + 1e-12) break;
-    Signature signature =
-        build_signature(folded_trace, threshold, options, nullptr, nullptr);
+    Signature signature = build_signature(folded_trace, columns, threshold,
+                                          options, nullptr, nullptr);
     if (!have_best ||
         signature.compression_ratio > best.compression_ratio) {
       best = signature;

@@ -1,43 +1,130 @@
+// Cold paths of the event queue: cancellation, window rebuild, and dead-key
+// compaction.  The per-event hot paths (schedule/pop) are inline in
+// event_queue.h.
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace psk::sim {
 
-EventQueue::Handle EventQueue::schedule(Time t, Callback callback,
-                                        bool daemon) {
-  auto state = std::make_shared<Handle::State>();
-  state->callback = std::move(callback);
-  state->owner = this;
-  state->daemon = daemon;
-  Handle handle{std::weak_ptr<Handle::State>(state)};
-  heap_.push(Entry{t, next_seq_++, std::move(state)});
-  if (daemon) {
-    ++daemon_live_;
-  } else {
-    ++progress_live_;
-  }
-  return handle;
+namespace {
+
+/// Window width when every sampled key carries the same timestamp: any
+/// positive value works (all keys land in bucket 0), it only has to keep
+/// epoch + width * kBuckets finite and strictly above epoch.
+double degenerate_width(Time epoch) {
+  const double scaled = std::abs(epoch) * 1e-9;
+  return scaled > 1e-9 ? scaled : 1e-9;
 }
 
-bool EventQueue::pop(Time& t, Callback& callback) {
-  while (!heap_.empty()) {
-    Entry top = heap_.top();
-    heap_.pop();
-    // Cancelled entries already left the live counters in Handle::cancel;
-    // their heap slots are reclaimed lazily here.
-    if (top.state->cancelled) continue;
-    top.state->fired = true;
-    if (top.state->daemon) {
-      --daemon_live_;
-    } else {
-      --progress_live_;
+}  // namespace
+
+void EventQueue::rebuild_window() {
+  // Pull the globally smallest live keys out of the heap; heap pops come
+  // out in ascending (t, seq) order, so `scratch` ends up sorted.
+  std::vector<Key> scratch;
+  scratch.reserve(std::min(far_.size(), kWindowCap));
+  while (!far_.empty() && scratch.size() < kWindowCap) {
+    std::pop_heap(far_.begin(), far_.end(), KeyLater{});
+    const Key key = far_.back();
+    far_.pop_back();
+    if (stale(key)) {
+      --queued_keys_;
+      --dead_keys_;
+      continue;
     }
-    t = top.t;
-    callback = std::move(top.state->callback);
-    return true;
+    scratch.push_back(key);
   }
-  return false;
+  if (scratch.empty()) return;  // heap held only dead keys
+
+  epoch_ = scratch.front().t;
+  const double span = scratch.back().t - epoch_;
+  // kBuckets - 1 (not kBuckets) so the largest sampled key stays strictly
+  // below the horizon and maps into the last bucket.
+  set_width(span > 0 ? span / static_cast<double>(kBuckets - 1)
+                     : degenerate_width(epoch_));
+  horizon_ = epoch_ + width_ * static_cast<double>(kBuckets);
+
+  for (const Key& key : scratch) {
+    push_bucket(buckets_[bucket_of(key.t)], key);
+  }
+  // Opportunistically move heap keys that also fall inside the new window
+  // (bounded; any leftovers are still ordered correctly by the pop-time
+  // window-vs-heap comparison).
+  std::size_t moved = 0;
+  while (!far_.empty() && moved < kWindowCap) {
+    if (stale(far_.front())) {
+      settle_far_top();
+      continue;
+    }
+    if (!(far_.front().t < horizon_)) break;
+    const Key key = far_.front();
+    std::pop_heap(far_.begin(), far_.end(), KeyLater{});
+    far_.pop_back();
+    push_bucket(buckets_[bucket_of(key.t)], key);
+    ++moved;
+  }
+
+  window_active_ = true;
+  cur_bucket_ = 0;
+  cur_pos_ = 0;
+  cur_sorted_ = false;
+}
+
+void EventQueue::cancel_slot(std::uint32_t slot_index,
+                             std::uint32_t generation) {
+  if (slot_index >= slot_count_) return;
+  Slot& slot = slot_at(slot_index);
+  if (slot.generation != generation || !slot.live) return;
+
+  // Move the callback out first: destroying its captures may re-enter the
+  // queue (cancel other handles, schedule new events, even grow `slots_`).
+  Callback dead = std::move(slot.callback);
+  slot.callback = nullptr;
+  const bool daemon = slot.daemon;
+  free_slot(slot_index);
+  if (daemon) {
+    --daemon_live_;
+  } else {
+    --progress_live_;
+  }
+  ++dead_keys_;
+  if (dead_keys_ >= kCompactMin && dead_keys_ * 2 > queued_keys_) {
+    compact();
+  }
+  // `dead` destroyed here, after the queue is back in a consistent state.
+}
+
+void EventQueue::compact() {
+  ++compactions_;
+  const auto is_stale = [this](const Key& k) { return stale(k); };
+
+  std::erase_if(far_, is_stale);
+  std::make_heap(far_.begin(), far_.end(), KeyLater{});
+
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    std::vector<Key>& bucket = buckets_[b];
+    if (bucket.empty()) continue;
+    if (window_active_ && b == cur_bucket_ && cur_pos_ > 0) {
+      // Drop the consumed prefix too; the pending tail keeps its order
+      // (erase_if / remove_if are stable).
+      bucket.erase(bucket.begin(),
+                   bucket.begin() + static_cast<std::ptrdiff_t>(cur_pos_));
+      cur_pos_ = 0;
+    }
+    std::erase_if(bucket, is_stale);
+  }
+
+  // The consumed prefix of the current bucket was dropped above and earlier
+  // buckets are cleared as the cursor passes them, so every key still held
+  // is live and pending.
+  queued_keys_ = far_.size();
+  for (const std::vector<Key>& bucket : buckets_) {
+    queued_keys_ += bucket.size();
+  }
+  dead_keys_ = 0;
 }
 
 }  // namespace psk::sim

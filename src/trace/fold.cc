@@ -1,5 +1,6 @@
 #include "trace/fold.h"
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <utility>
@@ -157,6 +158,16 @@ FoldStats rewrite_leftovers(std::vector<TraceEvent>& events,
   return stats;
 }
 
+/// Type column only; fold_nonblocking needs nothing else from the SoA view.
+std::vector<std::uint8_t> soa_types_of(const std::vector<TraceEvent>& events) {
+  std::vector<std::uint8_t> types;
+  types.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    types.push_back(static_cast<std::uint8_t>(event.type));
+  }
+  return types;
+}
+
 }  // namespace
 
 FoldStats fold_nonblocking(RankTrace& rank) {
@@ -164,15 +175,26 @@ FoldStats fold_nonblocking(RankTrace& rank) {
   std::vector<TraceEvent> out;
   out.reserve(rank.events.size());
 
+  // Column of call types: blocking traces (the common case) reduce to one
+  // dense byte scan plus a bulk copy instead of striding over every
+  // TraceEvent looking for an Isend/Irecv.
+  const std::vector<std::uint8_t> types = soa_types_of(rank.events);
+
   std::size_t i = 0;
   while (i < rank.events.size()) {
-    const TraceEvent& event = rank.events[i];
-    if (mpi::is_nonblocking_start(event.type)) {
-      const std::size_t next = try_fold_region(rank.events, i, out, stats);
-      if (next != i) {
-        i = next;
-        continue;
-      }
+    std::size_t next_start = i;
+    while (next_start < types.size() &&
+           !mpi::is_nonblocking_start(
+               static_cast<mpi::CallType>(types[next_start]))) {
+      ++next_start;
+    }
+    // Events up to the next nonblocking start pass through unchanged.
+    for (; i < next_start; ++i) out.push_back(rank.events[i]);
+    if (i >= rank.events.size()) break;
+    const std::size_t next = try_fold_region(rank.events, i, out, stats);
+    if (next != i) {
+      i = next;
+      continue;
     }
     out.push_back(rank.events[i]);
     ++i;

@@ -1,0 +1,48 @@
+#include "trace/soa.h"
+
+namespace psk::trace {
+
+namespace {
+
+/// splitmix64-style avalanche; same construction as the signature layer's
+/// structural hash, kept local so the two never have to agree.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t compat_fingerprint(const TraceEvent& event) {
+  std::uint64_t h = mix(0xC0117A7, static_cast<std::uint64_t>(event.type));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(event.peer)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(event.tag)));
+  h = mix(h, event.parts.size());
+  for (const mpi::PeerBytes& part : event.parts) {
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(part.peer)));
+    h = mix(h, part.outgoing ? 1u : 0u);
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(part.tag)));
+  }
+  return h;
+}
+
+EventColumns make_columns(const std::vector<TraceEvent>& events) {
+  EventColumns columns;
+  columns.compat.reserve(events.size());
+  columns.type.reserve(events.size());
+  columns.bytes.reserve(events.size());
+  columns.pre_compute.reserve(events.size());
+  columns.interior_compute.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    columns.compat.push_back(compat_fingerprint(event));
+    columns.type.push_back(static_cast<std::uint8_t>(event.type));
+    columns.bytes.push_back(static_cast<double>(event.bytes));
+    columns.pre_compute.push_back(event.pre_compute);
+    columns.interior_compute.push_back(event.interior_compute);
+  }
+  return columns;
+}
+
+}  // namespace psk::trace

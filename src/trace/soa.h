@@ -1,0 +1,51 @@
+// Struct-of-arrays view over a rank's event stream.
+//
+// The clustering / folding / compression inner loops are dominated by
+// structural-compatibility rejections: most (event, prototype) pairs differ
+// in type, peer, tag, or parts shape and are discarded immediately.  With
+// the AoS TraceEvent (~150 bytes plus two heap vectors) every rejection
+// strides over a cache line or two of payload it never reads.  EventColumns
+// extracts the decision-carrying scalars into contiguous columns so those
+// loops scan dense arrays and only touch the full structs on a hit.
+//
+// The columns are a *view*: they add information derived from the events
+// but never replace the exact comparisons, so consumers stay bit-identical
+// to the AoS code paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace psk::trace {
+
+/// Column-wise copy of the fields the signature pipeline's inner loops
+/// consult, indexed like the source event vector.
+struct EventColumns {
+  /// Structural-compatibility fingerprint (see compat_fingerprint).
+  std::vector<std::uint64_t> compat;
+  /// Call type, as the underlying integer of mpi::CallType.
+  std::vector<std::uint8_t> type;
+  std::vector<double> bytes;
+  std::vector<double> pre_compute;
+  std::vector<double> interior_compute;
+
+  std::size_t size() const { return compat.size(); }
+  bool empty() const { return compat.empty(); }
+};
+
+/// Structural-compatibility fingerprint: a pure function of the fields that
+/// decide whether two events may share a cluster (type, peer, tag, and the
+/// parts structure -- per-part peer/direction/tag, not byte counts).
+/// Structurally compatible events therefore always carry equal
+/// fingerprints, so *unequal* fingerprints prove incompatibility and reject
+/// a pair without touching either struct.  Equal fingerprints prove nothing
+/// (hashes collide); callers must still verify with the exact comparison.
+std::uint64_t compat_fingerprint(const TraceEvent& event);
+
+/// Builds the column view of `events`.
+EventColumns make_columns(const std::vector<TraceEvent>& events);
+
+}  // namespace psk::trace

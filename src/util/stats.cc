@@ -28,16 +28,20 @@ Summary summarize(std::span<const double> xs) {
   return s;
 }
 
-double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  if (xs.size() == 1) return xs[0];
+double percentile_sorted(std::span<const double> sorted_xs, double p) {
+  if (sorted_xs.empty()) return 0.0;
+  if (sorted_xs.size() == 1) return sorted_xs[0];
   const double pos = std::clamp(p, 0.0, 100.0) / 100.0 *
-                     static_cast<double>(xs.size() - 1);
+                     static_cast<double>(sorted_xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const auto hi = std::min(lo + 1, sorted_xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+  return sorted_xs[lo] + (sorted_xs[hi] - sorted_xs[lo]) * frac;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, p);
 }
 
 double rel_diff(double a, double b) {

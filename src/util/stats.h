@@ -50,7 +50,14 @@ struct Summary {
 
 Summary summarize(std::span<const double> xs);
 
-/// p-th percentile (0..100) by linear interpolation; xs need not be sorted.
+/// p-th percentile (0..100) by linear interpolation over an
+/// ascending-sorted sample.  Callers querying several percentiles of one
+/// sample (p50/p95/p99) should sort once and use this; the by-value
+/// overload below re-sorts on every call.
+double percentile_sorted(std::span<const double> sorted_xs, double p);
+
+/// p-th percentile (0..100) by linear interpolation; xs need not be sorted
+/// (sorts its copy, then delegates to percentile_sorted).
 double percentile(std::vector<double> xs, double p);
 
 /// Relative difference |a-b| / max(|a|,|b|); 0 when both are 0.

@@ -1,7 +1,9 @@
 // Tests for event clustering, loop folding and signature compression.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -406,6 +408,98 @@ TEST(OptionStructs, FoldOverloadsAreEquivalent) {
   // Default-constructed options reproduce the historical default cap.
   EXPECT_EQ(fold_loops(seq_from_ids(ids)),
             fold_loops(seq_from_ids(ids), FoldOptions{}));
+}
+
+// ---------------------------------------------------------------- SoA view
+
+TEST(Soa, FingerprintIsPureOverStructuralFields) {
+  const trace::TraceEvent a = send_event(3, 2000);
+  trace::TraceEvent b = send_event(3, 1800);  // bytes differ: compatible
+  EXPECT_EQ(trace::compat_fingerprint(a), trace::compat_fingerprint(b));
+  b.pre_compute = 42.0;  // compute is not structural either
+  EXPECT_EQ(trace::compat_fingerprint(a), trace::compat_fingerprint(b));
+
+  trace::TraceEvent other_peer = send_event(4, 2000);
+  trace::TraceEvent other_tag = send_event(3, 2000, 0.0, 9);
+  trace::TraceEvent other_type = send_event(3, 2000);
+  other_type.type = CallType::kRecv;
+  EXPECT_NE(trace::compat_fingerprint(a),
+            trace::compat_fingerprint(other_peer));
+  EXPECT_NE(trace::compat_fingerprint(a),
+            trace::compat_fingerprint(other_tag));
+  EXPECT_NE(trace::compat_fingerprint(a),
+            trace::compat_fingerprint(other_type));
+
+  // Parts structure (peer/direction/tag, not bytes) is part of the key.
+  trace::TraceEvent ex1 = send_event(1, 0);
+  ex1.type = CallType::kExchange;
+  ex1.parts = {mpi::PeerBytes{2, 100, true, 0}};
+  trace::TraceEvent ex2 = ex1;
+  ex2.parts[0].bytes = 900;
+  trace::TraceEvent ex3 = ex1;
+  ex3.parts[0].outgoing = false;
+  EXPECT_EQ(trace::compat_fingerprint(ex1), trace::compat_fingerprint(ex2));
+  EXPECT_NE(trace::compat_fingerprint(ex1), trace::compat_fingerprint(ex3));
+}
+
+TEST(Soa, ColumnsMirrorTheEventStream) {
+  const trace::Trace trace = traced_app("CG", apps::NasClass::kS);
+  const std::vector<trace::TraceEvent>& events = trace.ranks[0].events;
+  const trace::EventColumns columns = trace::make_columns(events);
+  ASSERT_EQ(columns.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(columns.compat[i], trace::compat_fingerprint(events[i]));
+    EXPECT_EQ(columns.type[i], static_cast<std::uint8_t>(events[i].type));
+    EXPECT_DOUBLE_EQ(columns.bytes[i],
+                     static_cast<double>(events[i].bytes));
+    EXPECT_DOUBLE_EQ(columns.pre_compute[i], events[i].pre_compute);
+    EXPECT_DOUBLE_EQ(columns.interior_compute[i],
+                     events[i].interior_compute);
+  }
+}
+
+TEST(Soa, FingerprintPrefilterDoesNotChangeClustering) {
+  // Zeroing the fingerprint column disables the prefilter (equal
+  // fingerprints always fall through to the exact comparison), recovering
+  // the pre-SoA scan-everything behavior.  Both paths must agree exactly on
+  // a real folded trace (P2P + collectives + Exchange regions with parts).
+  const trace::Trace trace = traced_app("CG", apps::NasClass::kS);
+  for (const double threshold : {0.0, 0.05, 0.2}) {
+    ClusterOptions options;
+    options.threshold = threshold;
+    for (const trace::RankTrace& rank : trace.ranks) {
+      const trace::EventColumns columns = trace::make_columns(rank.events);
+      trace::EventColumns unfiltered = columns;
+      std::fill(unfiltered.compat.begin(), unfiltered.compat.end(), 0u);
+
+      const ClusterResult fast =
+          cluster_events(rank.events, columns, options);
+      const ClusterResult unfiltered_scan =
+          cluster_events(rank.events, unfiltered, options);
+      const ClusterResult aos = cluster_events(rank.events, options);
+
+      for (const ClusterResult* reference : {&unfiltered_scan, &aos}) {
+        EXPECT_EQ(fast.symbols, reference->symbols);
+        EXPECT_EQ(fast.counts, reference->counts);
+        ASSERT_EQ(fast.prototypes.size(), reference->prototypes.size());
+        for (std::size_t c = 0; c < fast.prototypes.size(); ++c) {
+          EXPECT_EQ(fast.prototypes[c].cluster_id,
+                    reference->prototypes[c].cluster_id);
+          EXPECT_DOUBLE_EQ(fast.prototypes[c].bytes,
+                           reference->prototypes[c].bytes);
+          EXPECT_DOUBLE_EQ(fast.prototypes[c].pre_compute,
+                           reference->prototypes[c].pre_compute);
+        }
+      }
+    }
+  }
+}
+
+TEST(Soa, MismatchedColumnsAreRejected) {
+  std::vector<trace::TraceEvent> events = {send_event(1, 1000)};
+  const trace::EventColumns empty;
+  EXPECT_THROW(cluster_events(events, empty, ClusterOptions{}),
+               ConfigError);
 }
 
 TEST(OptionStructs, CompressAtThresholdOverloadsAreEquivalent) {

@@ -110,6 +110,16 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
 }
 
+TEST(Stats, PercentileSortedMatchesByValueForm) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  for (const double p : {0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, p),
+                     percentile({4.0, 1.0, 3.0, 2.0}, p));
+  }
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(std::vector<double>{7.0}, 95.0), 7.0);
+}
+
 TEST(Stats, RelDiff) {
   EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(rel_diff(1.0, 2.0), 0.5);
