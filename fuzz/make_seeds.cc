@@ -17,6 +17,7 @@
 #include "sig/signature.h"
 #include "skeleton/io.h"
 #include "skeleton/skeleton.h"
+#include "svc/frame.h"
 #include "trace/event.h"
 #include "trace/io.h"
 #include "util/error.h"
@@ -157,6 +158,71 @@ int main(int argc, char** argv) {
   write_file(root + "/archive/skeleton.pskarch", skel_arch);
   write_file(root + "/archive/header_only.pskarch", skel_arch.substr(0, 24));
   write_file(root + "/archive/magic_only.pskarch", "PSKARCH1");
+
+  // Regression seed: a well-framed trace payload whose rank declares a
+  // hostile event count with no bytes behind it.  The decoder must reject
+  // it at the count field (kTruncated), before any allocation.
+  payload.clear();
+  archive::put_string(payload, "hostile");
+  archive::put_u32(payload, 1);                       // one rank
+  archive::put_i32(payload, 0);                       // rank id
+  archive::put_f64(payload, 1.0);                     // total_time
+  archive::put_f64(payload, 0.0);                     // final_compute
+  archive::put_u64(payload, std::uint64_t{1} << 31);  // events, all absent
+  write_file(root + "/archive/trace_hostile_count.pskarch",
+             framed(archive::PayloadKind::kTrace, payload));
+
+  // ------------------------------------------------------------ svc frames
+  svc::RequestHeader request;
+  request.id = 1;
+  request.op = svc::RequestOp::kPredict;
+  request.validate = svc::ValidateMode::kSalvage;
+  request.deadline_seconds = 2.0;
+  request.seed = 7;
+  request.repetitions = 2;
+  request.scenario = "dedicated";
+  request.archive_bytes = skel_arch;
+  std::string body;
+  svc::encode_request(body, request);
+  std::string stream;
+  svc::append_frame(stream, svc::FrameKind::kRequest, body);
+  write_file(root + "/svc_frame/request.pskf", stream);
+  write_file(root + "/svc_frame/request_truncated.pskf",
+             stream.substr(0, stream.size() * 2 / 3));
+  std::string frame_flipped = stream;
+  frame_flipped[frame_flipped.size() / 2] ^= 0x20;
+  write_file(root + "/svc_frame/request_bitflip.pskf", frame_flipped);
+
+  body.clear();
+  svc::RequestHeader ping;
+  ping.op = svc::RequestOp::kPing;
+  svc::encode_request(body, ping);
+  stream.clear();
+  svc::append_frame(stream, svc::FrameKind::kRequest, body);
+  svc::append_frame(stream, svc::FrameKind::kFlush, "");
+  write_file(root + "/svc_frame/ping_then_flush.pskf", stream);
+
+  svc::ResponseHeader response;
+  response.id = 1;
+  response.status = svc::StatusCode::kOk;
+  response.values = {0.25, 0.5};
+  body.clear();
+  svc::encode_response(body, response);
+  stream.clear();
+  svc::append_frame(stream, svc::FrameKind::kResponse, body);
+  write_file(root + "/svc_frame/response.pskf", stream);
+
+  // Header declaring a ~4 GiB body: the parser must reject at the length
+  // field, before buffering anything.
+  std::string huge("PSKF");
+  archive::put_u8(huge, svc::kProtocolVersion);
+  archive::put_u8(huge, static_cast<std::uint8_t>(svc::FrameKind::kRequest));
+  archive::put_u32(huge, 0xFFFFFFF0u);
+  write_file(root + "/svc_frame/huge_declared_length.pskf", huge);
+  write_file(root + "/svc_frame/bad_magic.pskf", "XSKF\x01\x01junk");
+  write_file(root + "/svc_frame/garbage.pskf",
+             std::string("\x00\xff\x7f pskf?", 8));
+  write_file(root + "/svc_frame/empty.pskf", "");
 
   std::printf("seed corpus written under %s\n", root.c_str());
   return 0;

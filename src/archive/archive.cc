@@ -137,7 +137,17 @@ Result<Frame> read_frame(std::string_view bytes) {
     return Error{ErrorCode::kCorrupt,
                  "unknown payload kind " + std::to_string(raw_kind)};
   }
-  if (in.remaining() != payload_size + kChecksumSize) {
+  // Declared size vs bytes actually present, checked before the payload is
+  // copied: a hostile size field costs nothing.  Overflow-safe comparison
+  // (payload_size + kChecksumSize could wrap).
+  if (in.remaining() < kChecksumSize ||
+      payload_size > in.remaining() - kChecksumSize) {
+    return Error{ErrorCode::kTruncated,
+                 "payload declares " + std::to_string(payload_size) +
+                     " byte(s) but only " + std::to_string(in.remaining()) +
+                     " remain"};
+  }
+  if (payload_size < in.remaining() - kChecksumSize) {
     return Error{ErrorCode::kCorrupt,
                  "frame size mismatch (payload says " +
                      std::to_string(payload_size) + " byte(s), file has " +

@@ -19,6 +19,18 @@ constexpr int kMaxNodeDepth = 256;
 // a truncated cursor) is what bounds memory, not one up-front allocation.
 constexpr std::size_t kReserveCap = 4096;
 
+// Minimum encoded sizes of the variable-count units, used to validate every
+// declared count against the bytes actually remaining (Cursor::check_count)
+// *before* the decode loop runs: a hostile count field fails immediately
+// with ErrorCode::kTruncated instead of grinding through a doomed decode.
+// Conservative lower bounds -- a unit can only be larger.
+constexpr std::size_t kMinPartBytes = 17;       // i32 + u64/f64 + bool + i32
+constexpr std::size_t kMinRequestBytes = 4;     // u32
+constexpr std::size_t kMinEventBytes = 77;      // fixed TraceEvent fields
+constexpr std::size_t kMinTraceRankBytes = 28;  // i32 + 2*f64 + u64 count
+constexpr std::size_t kMinSigRankBytes = 24;    // i32 + 2*f64 + u32 count
+constexpr std::size_t kMinNodeBytes = 13;       // loop: u8 + u64 + u32
+
 std::size_t clamped_reserve(std::uint64_t count) {
   return static_cast<std::size_t>(std::min<std::uint64_t>(count, kReserveCap));
 }
@@ -76,6 +88,7 @@ trace::TraceEvent decode_event(Cursor& in) {
     in.fail("implausible part count");
     return event;
   }
+  if (!in.check_count(parts, kMinPartBytes, "part")) return event;
   event.parts.reserve(clamped_reserve(parts));
   for (std::uint32_t i = 0; i < parts && in.ok(); ++i) {
     mpi::PeerBytes part;
@@ -91,6 +104,7 @@ trace::TraceEvent decode_event(Cursor& in) {
     in.fail("implausible request count");
     return event;
   }
+  if (!in.check_count(requests, kMinRequestBytes, "request")) return event;
   event.requests.reserve(clamped_reserve(requests));
   for (std::uint32_t i = 0; i < requests && in.ok(); ++i) {
     event.requests.push_back(in.u32());
@@ -141,6 +155,7 @@ sig::SigEvent decode_sig_event(Cursor& in) {
     in.fail("implausible part count");
     return event;
   }
+  if (!in.check_count(parts, kMinPartBytes, "part")) return event;
   event.parts.reserve(clamped_reserve(parts));
   for (std::uint32_t i = 0; i < parts && in.ok(); ++i) {
     sig::SigEvent::Part part;
@@ -184,6 +199,7 @@ sig::SigNode decode_node(Cursor& in, int depth) {
     in.fail("implausible loop body size");
     return {};
   }
+  if (!in.check_count(children, kMinNodeBytes, "loop body")) return {};
   sig::SigSeq body;
   body.reserve(clamped_reserve(children));
   for (std::uint32_t i = 0; i < children && in.ok(); ++i) {
@@ -210,6 +226,7 @@ sig::RankSignature decode_rank_signature(Cursor& in) {
     in.fail("implausible root count");
     return rank;
   }
+  if (!in.check_count(roots, kMinNodeBytes, "root")) return rank;
   rank.roots.reserve(clamped_reserve(roots));
   for (std::uint32_t i = 0; i < roots && in.ok(); ++i) {
     rank.roots.push_back(decode_node(in, 0));
@@ -314,6 +331,7 @@ Result<trace::Trace> decode_trace(std::string_view payload,
   trace.app_name = in.string();
   const std::uint32_t ranks = in.u32();
   if (ranks > kMaxRanks) in.fail("implausible rank count");
+  in.check_count(ranks, kMinTraceRankBytes, "rank");
   for (std::uint32_t r = 0; r < ranks && in.ok(); ++r) {
     trace::RankTrace rank;
     rank.rank = in.i32();
@@ -324,6 +342,7 @@ Result<trace::Trace> decode_trace(std::string_view payload,
       in.fail("implausible event count");
       break;
     }
+    if (!in.check_count(events, kMinEventBytes, "event")) break;
     rank.events.reserve(clamped_reserve(events));
     for (std::uint64_t e = 0; e < events && in.ok(); ++e) {
       rank.events.push_back(decode_event(in));
@@ -350,6 +369,7 @@ Result<sig::Signature> decode_signature(std::string_view payload,
   signature.compression_ratio = in.f64();
   const std::uint32_t ranks = in.u32();
   if (ranks > kMaxRanks) in.fail("implausible rank count");
+  in.check_count(ranks, kMinSigRankBytes, "rank");
   for (std::uint32_t r = 0; r < ranks && in.ok(); ++r) {
     signature.ranks.push_back(decode_rank_signature(in));
   }
@@ -510,6 +530,7 @@ Result<skeleton::Skeleton> decode_skeleton(std::string_view payload,
   skeleton.good = in.boolean();
   const std::uint32_t ranks = in.u32();
   if (ranks > kMaxRanks) in.fail("implausible rank count");
+  in.check_count(ranks, kMinSigRankBytes, "rank");
   for (std::uint32_t r = 0; r < ranks && in.ok(); ++r) {
     skeleton.ranks.push_back(decode_rank_signature(in));
   }

@@ -12,6 +12,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kBadVersion: return "unsupported version";
     case ErrorCode::kBadKind: return "wrong payload kind";
     case ErrorCode::kCorrupt: return "corrupt archive";
+    case ErrorCode::kTruncated: return "truncated archive";
   }
   return "unknown error";
 }
@@ -57,7 +58,8 @@ const unsigned char* Cursor::take(std::size_t n) {
   if (failed_) return nullptr;
   if (data_.size() - pos_ < n) {
     fail("truncated input (wanted " + std::to_string(n) + " byte(s) at offset " +
-         std::to_string(pos_) + ")");
+             std::to_string(pos_) + ")",
+         ErrorCode::kTruncated);
     return nullptr;
   }
   const auto* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
@@ -114,8 +116,11 @@ bool Cursor::boolean() {
 std::string Cursor::string() {
   const std::uint32_t size = u32();
   if (failed_) return {};
+  // Declared length vs bytes actually present, checked before the copy: a
+  // hostile length field cannot trigger a multi-GB allocation.
   if (data_.size() - pos_ < size) {
-    fail("truncated string (wanted " + std::to_string(size) + " byte(s))");
+    fail("truncated string (wanted " + std::to_string(size) + " byte(s))",
+         ErrorCode::kTruncated);
     return {};
   }
   std::string text(data_.substr(pos_, size));
@@ -123,11 +128,26 @@ std::string Cursor::string() {
   return text;
 }
 
-void Cursor::fail(const std::string& what) {
+void Cursor::fail(const std::string& what, ErrorCode code) {
   if (!failed_) {
     failed_ = true;
+    code_ = code;
     what_ = what;
   }
+}
+
+bool Cursor::check_count(std::uint64_t count, std::size_t min_unit_bytes,
+                         const char* what) {
+  if (failed_) return false;
+  // Division, not multiplication: count * min_unit_bytes could overflow.
+  if (min_unit_bytes > 0 &&
+      count > remaining() / static_cast<std::uint64_t>(min_unit_bytes)) {
+    fail(std::string(what) + " count " + std::to_string(count) +
+             " exceeds the " + std::to_string(remaining()) +
+             " byte(s) of remaining input",
+         ErrorCode::kTruncated);
+  }
+  return !failed_;
 }
 
 std::uint64_t fingerprint64(std::string_view bytes) {

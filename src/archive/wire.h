@@ -31,6 +31,7 @@ enum class ErrorCode {
   kBadVersion,   // container or payload version newer than this reader
   kBadKind,      // archive holds a different payload kind than requested
   kCorrupt,      // framing, checksum or field-level decode failure
+  kTruncated,    // declared sizes/counts exceed the bytes actually present
 };
 
 const char* error_code_name(ErrorCode code);
@@ -125,13 +126,23 @@ class Cursor {
   std::string string();
 
   /// Marks the cursor failed with `what` (for field-level validation).
-  void fail(const std::string& what);
+  /// Out-of-bounds reads record ErrorCode::kTruncated; semantic failures
+  /// default to kCorrupt.
+  void fail(const std::string& what, ErrorCode code = ErrorCode::kCorrupt);
+
+  /// Fails with kTruncated unless `count` units of at least
+  /// `min_unit_bytes` each can still fit in the remaining input.  Call it
+  /// on every declared count *before* the decode loop: a hostile count
+  /// field then costs one multiply, not a long failing decode.
+  /// Returns ok().
+  bool check_count(std::uint64_t count, std::size_t min_unit_bytes,
+                   const char* what);
 
   bool ok() const { return !failed_; }
   bool at_end() const { return failed_ || pos_ == data_.size(); }
   std::size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
-  /// The failure, rendered as a kCorrupt archive Error.
-  Error error() const { return Error{ErrorCode::kCorrupt, what_}; }
+  /// The failure as a typed archive Error.
+  Error error() const { return Error{code_, what_}; }
 
  private:
   const unsigned char* take(std::size_t n);
@@ -139,6 +150,7 @@ class Cursor {
   std::string_view data_;
   std::size_t pos_ = 0;
   bool failed_ = false;
+  ErrorCode code_ = ErrorCode::kCorrupt;
   std::string what_;
 };
 

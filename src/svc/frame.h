@@ -1,0 +1,132 @@
+// Wire protocol of the pskd prediction service.
+//
+// A session is a byte stream (stdin/stdout pipe or a local socket) carrying
+// length-prefixed frames in both directions.  Frame layout (all integers
+// explicit little-endian, like the PSKARCH1 container):
+//
+//   offset  size  field
+//   0       4     magic "PSKF"
+//   4       1     protocol version (currently 1)
+//   5       1     frame kind (FrameKind)
+//   6       4     body size N in bytes
+//   10      N     body
+//   10+N    8     FNV-1a fingerprint of the body
+//
+// The declared body size is validated against a hard cap *before* any
+// buffer is allocated: a hostile length field costs the parser nothing.
+// Request bodies carry a fixed header followed by an embedded PSKARCH1
+// container (the uploaded skeleton); response bodies carry a definite
+// status -- every request submitted to the service produces exactly one
+// response frame, including shed (kOverloaded) and expired (kTimeout)
+// ones.  See docs/FORMATS.md for the field-by-field body layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "archive/wire.h"
+#include "svc/status.h"
+
+namespace psk::svc {
+
+inline constexpr std::string_view kFrameMagic = "PSKF";
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard cap on a frame body.  Anything larger is rejected at the length
+/// field, before allocation (uploads are skeletons, not bulk traces).
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Cap on per-request repetitions, so one request cannot monopolise the
+/// service with an absurd repetition count.
+inline constexpr std::uint32_t kMaxRepetitions = 64;
+
+enum class FrameKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  /// Client asks the server to execute everything queued on this session
+  /// and write the responses (pipe-mode batch boundary).  Empty body.
+  kFlush = 3,
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kRequest;
+  std::string body;
+};
+
+/// Appends one framed message to `out`.
+void append_frame(std::string& out, FrameKind kind, std::string_view body);
+
+enum class ParseProgress {
+  kFrame,     // one complete frame parsed and consumed
+  kNeedMore,  // buffer holds a valid proper prefix; feed more bytes
+  kBad,       // the stream is unusable (bad magic/version/size/checksum)
+};
+
+/// Incremental frame parser over a growing buffer.  On kFrame, `frame` is
+/// filled and `consumed` says how many buffer bytes to discard.  On kBad,
+/// `error` says why; the stream cannot be resynchronised.  `max_body`
+/// bounds the declared body size (allocation happens only after the whole
+/// body arrived and the size passed the cap).
+ParseProgress try_parse_frame(std::string_view buffer, std::size_t max_body,
+                              Frame& frame, std::size_t& consumed,
+                              archive::Error& error);
+
+// ------------------------------------------------------------- request
+
+enum class RequestOp : std::uint8_t {
+  /// Liveness probe: no payload, responds kOk immediately (still queued
+  /// through admission, so a ping observes overload like any request).
+  kPing = 0,
+  /// Run the uploaded skeleton under a named scenario and return the
+  /// measured times, one per repetition.
+  kPredict = 1,
+};
+
+enum class ValidateMode : std::uint8_t {
+  kStrict = 0,
+  kSalvage = 1,
+  kOff = 2,
+};
+
+/// Parses a --validate flag value; throws ConfigError listing the valid
+/// modes on anything else (mirrors the unknown-scenario-name behaviour).
+ValidateMode parse_validate_mode(const std::string& text);
+const char* validate_mode_name(ValidateMode mode);
+
+struct RequestHeader {
+  std::uint32_t id = 0;
+  RequestOp op = RequestOp::kPredict;
+  ValidateMode validate = ValidateMode::kStrict;
+  /// Wall-clock budget in seconds from admission; 0 = server default.
+  double deadline_seconds = 0;
+  /// Measurement seed base; repetition r runs at seed + r.
+  std::uint64_t seed = 0;
+  std::uint32_t repetitions = 1;
+  std::string scenario = "dedicated";
+  /// Embedded PSKARCH1 container bytes (the uploaded skeleton).
+  std::string archive_bytes;
+};
+
+void encode_request(std::string& out, const RequestHeader& request);
+archive::Result<RequestHeader> decode_request(std::string_view body);
+
+// ------------------------------------------------------------ response
+
+struct ResponseHeader {
+  std::uint32_t id = 0;
+  StatusCode status = StatusCode::kInternal;
+  /// True when the service degraded to produce this answer (salvaged a
+  /// rejected upload, downgraded validation errors to warnings).
+  bool degraded = false;
+  /// Diagnostic, empty on success.  Deterministic for identical requests.
+  std::string message;
+  /// Measured skeleton times, one per repetition; empty unless kOk.
+  std::vector<double> values;
+};
+
+void encode_response(std::string& out, const ResponseHeader& response);
+archive::Result<ResponseHeader> decode_response(std::string_view body);
+
+}  // namespace psk::svc

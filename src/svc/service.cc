@@ -1,0 +1,348 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "archive/archive.h"
+#include "archive/codec.h"
+#include "guard/salvage.h"
+#include "guard/validate.h"
+#include "scenario/scenario.h"
+#include "util/error.h"
+
+namespace psk::svc {
+
+namespace {
+
+/// Wall clock in seconds on the steady (monotonic) clock.
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Bound on retained latency samples per status, so a long-lived daemon's
+/// percentile buffers cannot grow without limit.
+constexpr std::size_t kMaxLatencySamples = 1u << 16;
+
+/// Nearest-rank percentile of `samples` (copied and sorted); 0 when empty.
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(q * static_cast<double>(samples.size()));
+  const auto index = static_cast<std::size_t>(std::max(rank, 1.0)) - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), pool_(options_.workers) {}
+
+Service::~Service() { stop(); }
+
+std::optional<ResponseHeader> Service::submit(Request request) {
+  Pending pending;
+  pending.admitted_at = now_seconds();
+  pending.budget_seconds = request.header.deadline_seconds > 0
+                               ? request.header.deadline_seconds
+                               : options_.default_deadline_seconds;
+  pending.request = std::move(request);
+
+  Deliver deliver_shed;
+  std::optional<ResponseHeader> shed;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.size() >= options_.queue_capacity) {
+      ResponseHeader response;
+      response.id = pending.request.header.id;
+      response.status = StatusCode::kOverloaded;
+      response.message =
+          "admission queue full (capacity " +
+          std::to_string(options_.queue_capacity) + ")";
+      shed = std::move(response);
+      if (live_) deliver_shed = deliver_;
+    } else {
+      queue_.push_back(std::move(pending));
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.submitted;
+        ++stats_.admitted;
+        stats_.queue_depth = queue_.size();
+        stats_.queue_high_water =
+            std::max(stats_.queue_high_water, queue_.size());
+      }
+      if (live_) work_cv_.notify_one();
+      return std::nullopt;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.submitted;
+    ++stats_.shed;
+  }
+  // Shed responses complete instantly; they still flow through the same
+  // accounting (and live delivery) as executed ones -- no silent drops.
+  record_response(*shed, 0.0);
+  if (deliver_shed) deliver_shed(*shed);
+  return shed;
+}
+
+std::vector<ResponseHeader> Service::drain() {
+  std::vector<Pending> batch;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (live_) {
+      throw ConfigError("Service::drain() must not race the live dispatcher");
+    }
+    batch.swap(queue_);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.queue_depth = 0;
+  }
+  return run_batch(std::move(batch));
+}
+
+void Service::start(Deliver deliver) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (live_) throw ConfigError("Service::start() called twice");
+  deliver_ = std::move(deliver);
+  live_ = true;
+  stopping_ = false;
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+void Service::stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!live_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  live_ = false;
+  deliver_ = nullptr;
+}
+
+void Service::dispatcher_main() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) break;  // stopping_, and nothing left to drain
+      batch.swap(queue_);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      stats_.queue_depth = 0;
+    }
+    const std::vector<ResponseHeader> responses = run_batch(std::move(batch));
+    for (const ResponseHeader& response : responses) deliver_(response);
+  }
+}
+
+std::vector<ResponseHeader> Service::run_batch(std::vector<Pending> batch) {
+  std::vector<ResponseHeader> responses(batch.size());
+  if (batch.empty()) return responses;
+  pool_.parallel_for(batch.size(), [&](std::size_t index) {
+    const double started = now_seconds();
+    responses[index] = execute(batch[index]);
+    record_response(responses[index], (now_seconds() - started) * 1e3);
+  });
+  return responses;
+}
+
+ResponseHeader Service::execute(const Pending& pending) {
+  ResponseHeader response;
+  response.id = pending.request.header.id;
+  if (pending.request.cancel &&
+      pending.request.cancel->load(std::memory_order_relaxed)) {
+    response.status = StatusCode::kCanceled;
+    response.message = "request canceled before execution";
+    return response;
+  }
+  if (pending.budget_seconds > 0 &&
+      now_seconds() - pending.admitted_at >= pending.budget_seconds) {
+    response.status = StatusCode::kTimeout;
+    response.message = "deadline expired while queued";
+    return response;
+  }
+  if (pending.request.header.op == RequestOp::kPing) {
+    response.status = StatusCode::kOk;
+    return response;
+  }
+  return predict(pending);
+}
+
+ResponseHeader Service::predict(const Pending& pending) {
+  const RequestHeader& header = pending.request.header;
+  ResponseHeader response;
+  response.id = header.id;
+  response.status = StatusCode::kBadInput;
+
+  // Parse the uploaded container.  A strict parse failure is recoverable:
+  // in salvage mode (or strict mode with the salvage_fallback degradation
+  // enabled) the guard layer recovers the usable prefix and the response
+  // is marked degraded instead of failing the request.
+  skeleton::Skeleton skeleton;
+  archive::Result<archive::Frame> frame =
+      archive::read_frame(header.archive_bytes);
+  std::string parse_failure;
+  if (frame.ok()) {
+    if (frame.value().kind != archive::PayloadKind::kSkeleton) {
+      response.message =
+          std::string("uploaded archive holds a ") +
+          archive::payload_kind_name(frame.value().kind) +
+          ", wanted a skeleton";
+      return response;
+    }
+    archive::Result<skeleton::Skeleton> decoded = archive::decode_skeleton(
+        frame.value().payload, frame.value().payload_version);
+    if (decoded.ok()) {
+      skeleton = decoded.take();
+    } else {
+      parse_failure = decoded.error().render();
+    }
+  } else {
+    parse_failure = frame.error().render();
+  }
+  if (!parse_failure.empty()) {
+    const bool try_salvage =
+        header.validate == ValidateMode::kSalvage ||
+        (header.validate == ValidateMode::kStrict && options_.salvage_fallback);
+    if (!try_salvage) {
+      response.message = "upload rejected: " + parse_failure;
+      return response;
+    }
+    guard::SalvageReport report;
+    std::optional<skeleton::Skeleton> recovered =
+        guard::salvage_skeleton_bytes(header.archive_bytes, report);
+    if (!recovered) {
+      response.message = "upload rejected: " + parse_failure +
+                         " (salvage recovered nothing)";
+      return response;
+    }
+    skeleton = std::move(*recovered);
+    response.degraded = true;
+    response.message = "salvaged upload: kept " +
+                       std::to_string(report.ranks_kept) + " of " +
+                       std::to_string(report.ranks_expected) + " rank(s)";
+  }
+
+  // Semantic validation.  Strict uploads are refused on errors; salvage
+  // mode (and a strict upload already degraded by the salvage fallback)
+  // proceeds anyway -- the replay guards (run_time_limit / DeadlockError)
+  // turn genuinely broken skeletons into kBadInput rather than a hang.
+  if (header.validate == ValidateMode::kStrict && !response.degraded) {
+    const guard::ValidationReport report = guard::validate_skeleton(skeleton);
+    if (!report.ok()) {
+      response.message = report.render();
+      return response;
+    }
+  }
+
+  std::vector<double> values;
+  values.reserve(header.repetitions);
+  try {
+    const scenario::Scenario& scenario = scenario::find_scenario(header.scenario);
+    for (std::uint32_t rep = 0; rep < header.repetitions; ++rep) {
+      if (pending.request.cancel &&
+          pending.request.cancel->load(std::memory_order_relaxed)) {
+        response.status = StatusCode::kCanceled;
+        response.message = "request canceled during execution";
+        return response;
+      }
+      core::FrameworkOptions options = options_.framework;
+      // Follow the upload, not the configured world size: a salvaged
+      // skeleton may have fewer ranks and must still replay.
+      options.ranks = skeleton.rank_count();
+      if (pending.budget_seconds > 0) {
+        const double remaining =
+            pending.budget_seconds - (now_seconds() - pending.admitted_at);
+        if (remaining <= 0) {
+          // Partial repetitions are discarded: kTimeout never carries a
+          // partial result.
+          response.status = StatusCode::kTimeout;
+          response.message = "deadline exceeded during execution";
+          return response;
+        }
+        options.wall_deadline_seconds =
+            options.wall_deadline_seconds > 0
+                ? std::min(options.wall_deadline_seconds, remaining)
+                : remaining;
+      }
+      const core::SkeletonFramework framework(options);
+      values.push_back(
+          framework.run_skeleton(skeleton, scenario, header.seed + rep));
+    }
+  } catch (const TimeoutError&) {
+    response.status = StatusCode::kTimeout;
+    response.message = "deadline exceeded during execution";
+    return response;
+  } catch (const DeadlockError& e) {
+    response.message = std::string("skeleton deadlocked at replay: ") + e.what();
+    return response;
+  } catch (const guard::ValidationError& e) {
+    response.message = e.what();
+    return response;
+  } catch (const FormatError& e) {
+    response.message = e.what();
+    return response;
+  } catch (const ConfigError& e) {
+    response.message = e.what();
+    return response;
+  } catch (const std::exception& e) {
+    response.status = StatusCode::kInternal;
+    response.message = std::string("internal error: ") + e.what();
+    return response;
+  }
+
+  response.status = StatusCode::kOk;
+  response.values = std::move(values);
+  return response;
+}
+
+void Service::record_response(const ResponseHeader& response,
+                              double latency_ms) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.completed;
+  ++stats_.by_status[static_cast<int>(response.status)];
+  if (response.degraded) ++stats_.degraded;
+  std::vector<double>& samples =
+      latencies_ms_[static_cast<int>(response.status)];
+  if (samples.size() < kMaxLatencySamples) samples.push_back(latency_ms);
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Service::publish(obs::MetricsRegistry& metrics) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  metrics.counter("svc.submitted").add(static_cast<double>(stats_.submitted));
+  metrics.counter("svc.admitted").add(static_cast<double>(stats_.admitted));
+  metrics.counter("svc.shed").add(static_cast<double>(stats_.shed));
+  metrics.counter("svc.completed").add(static_cast<double>(stats_.completed));
+  metrics.counter("svc.degraded").add(static_cast<double>(stats_.degraded));
+  metrics.counter("svc.queue_depth.now")
+      .add(static_cast<double>(stats_.queue_depth));
+  metrics.counter("svc.queue_depth.high_water")
+      .add(static_cast<double>(stats_.queue_high_water));
+  for (int code = 0; code <= static_cast<int>(kLastStatusCode); ++code) {
+    const char* name = status_name(static_cast<StatusCode>(code));
+    metrics.counter(std::string("svc.status.") + name)
+        .add(static_cast<double>(stats_.by_status[code]));
+    const std::vector<double>& samples = latencies_ms_[code];
+    if (samples.empty()) continue;
+    metrics.counter(std::string("svc.latency_ms.") + name + ".p50")
+        .add(percentile(samples, 0.50));
+    metrics.counter(std::string("svc.latency_ms.") + name + ".p99")
+        .add(percentile(samples, 0.99));
+    metrics.counter(std::string("svc.latency_ms.") + name + ".p999")
+        .add(percentile(samples, 0.999));
+  }
+}
+
+}  // namespace psk::svc

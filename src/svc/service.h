@@ -1,0 +1,161 @@
+// The pskd prediction service: admission control, bounded queueing and
+// deterministic execution of uploaded skeletons.
+//
+// Robustness contract (the reason this layer exists):
+//   - Every submitted request produces exactly one response with a definite
+//     StatusCode.  Overload sheds with kOverloaded at admission time; it
+//     never silently drops.
+//   - The queue is bounded (ServiceOptions::queue_capacity); depth and
+//     shed counts are observable through stats()/publish().
+//   - Per-request deadlines are enforced twice: a request whose budget
+//     expired while queued fails fast with kTimeout before any simulation
+//     work, and the remaining budget is propagated into the framework's
+//     wall-clock watchdog so a request cannot overrun mid-execution.
+//     Timed-out requests never return partial values.
+//   - Cooperative cancellation: a request carries an optional cancel flag
+//     (set by the session layer when the client disconnects); canceled
+//     requests complete with kCanceled instead of burning simulation time.
+//   - Graceful degradation: when a strict upload fails to parse and
+//     salvage_fallback is on, the service recovers the usable prefix via
+//     psk::guard and answers with `degraded = true` instead of failing.
+//
+// Two drive modes sharing one execution path:
+//   - Batch mode (submit() + drain()): admission decisions happen at
+//     submit() against the current queue depth, so for a fixed
+//     submit/drain schedule the admit/shed pattern -- and, because every
+//     measurement is a seeded simulation, every response byte -- is
+//     identical at any worker count.  pskd's pipe mode and the
+//     deterministic tests use this.
+//   - Live mode (start() + submit() + stop()): a dispatcher thread drains
+//     the queue continuously and delivers responses through a callback;
+//     the load-generating benchmark uses this.  Modes must not be mixed:
+//     the underlying fork-join pool has a single-driver constraint.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/framework.h"
+#include "obs/metrics.h"
+#include "runner/pool.h"
+#include "svc/frame.h"
+
+namespace psk::svc {
+
+struct ServiceOptions {
+  /// Bound on requests admitted but not yet executed.  Submissions beyond
+  /// it shed with kOverloaded.
+  std::size_t queue_capacity = 64;
+  /// Worker threads for the execution pool; 0 = hardware concurrency.
+  int workers = 0;
+  /// Deadline applied when a request does not carry one; 0 disables the
+  /// server-side default (requests then only time out if they ask to).
+  double default_deadline_seconds = 30.0;
+  /// Recover the usable prefix of an unparseable strict upload instead of
+  /// rejecting it (the response is marked degraded).
+  bool salvage_fallback = true;
+  /// Template for per-request frameworks: cluster, ranks, seeds, result
+  /// cache.  Per-request wall deadlines overlay onto a copy of this.
+  core::FrameworkOptions framework;
+};
+
+/// One unit of work submitted to the service.
+struct Request {
+  RequestHeader header;
+  /// Optional cooperative cancel flag; the service checks it at dequeue
+  /// and between repetitions.  Null = not cancelable.
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+/// Monotonic counters describing service behaviour since construction.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;        // kOverloaded at admission
+  std::uint64_t completed = 0;   // responses produced, shed included
+  std::uint64_t by_status[static_cast<int>(kLastStatusCode) + 1] = {};
+  std::uint64_t degraded = 0;    // responses answered via salvage fallback
+  std::size_t queue_depth = 0;   // current
+  std::size_t queue_high_water = 0;
+};
+
+class Service {
+ public:
+  using Deliver = std::function<void(const ResponseHeader&)>;
+
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  const ServiceOptions& options() const { return options_; }
+
+  /// Submits one request.  Returns the immediate shed response
+  /// (kOverloaded) when the queue is full, nullopt when admitted.  In live
+  /// mode a shed response is also delivered through the callback, so the
+  /// caller can ignore the return value there.
+  std::optional<ResponseHeader> submit(Request request);
+
+  /// Batch mode: executes everything admitted since the last drain on the
+  /// worker pool and returns the responses in arrival order.  The caller
+  /// thread participates as a worker.  Must not be called while live mode
+  /// is running.
+  std::vector<ResponseHeader> drain();
+
+  /// Live mode: spawns a dispatcher thread that drains the queue
+  /// continuously, delivering each response through `deliver` in arrival
+  /// order (of its batch).  `deliver` is called from the dispatcher thread
+  /// -- and from the submitting thread for shed responses.
+  void start(Deliver deliver);
+  /// Drains outstanding requests, then stops the dispatcher.  Idempotent.
+  void stop();
+
+  ServiceStats stats() const;
+
+  /// Publishes stats as obs instruments (svc.* counters, queue depth and
+  /// per-status latency percentiles).  Call on a fresh registry.
+  void publish(obs::MetricsRegistry& metrics) const;
+
+ private:
+  struct Pending {
+    Request request;
+    /// Wall-clock admission time (steady clock seconds).
+    double admitted_at = 0;
+    /// Seconds of budget from admission; <= 0 means no deadline.
+    double budget_seconds = 0;
+  };
+
+  ResponseHeader execute(const Pending& pending);
+  ResponseHeader predict(const Pending& pending);
+  std::vector<ResponseHeader> run_batch(std::vector<Pending> batch);
+  void record_response(const ResponseHeader& response, double latency_ms);
+  void dispatcher_main();
+
+  ServiceOptions options_;
+  runner::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::vector<Pending> queue_;
+  bool live_ = false;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+  Deliver deliver_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  /// Completion latencies in milliseconds, per status code, for the
+  /// percentile lines in publish().
+  std::vector<double> latencies_ms_[static_cast<int>(kLastStatusCode) + 1];
+};
+
+}  // namespace psk::svc

@@ -1,0 +1,55 @@
+// Definite request outcomes of the pskd prediction service.
+//
+// Every request admitted to (or shed by) the service terminates in exactly
+// one of these statuses -- there is no silent-drop path.  The split between
+// retryable and terminal statuses is the client-side retry contract:
+// kOverloaded and kTimeout describe the *service's* state and are worth
+// retrying with backoff; kBadInput describes the *request* and will fail
+// identically forever.
+#pragma once
+
+#include <cstdint>
+
+namespace psk::svc {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// Terminal: the upload failed to decode/validate, the scenario name is
+  /// unknown, or the skeleton deadlocks at replay.  Retrying cannot help.
+  kBadInput = 1,
+  /// Retryable: the admission queue was full and the request was shed
+  /// explicitly instead of queued into unbounded latency.
+  kOverloaded = 2,
+  /// Retryable: the per-request deadline expired (before execution, or the
+  /// simulation blew its propagated wall budget).  Never carries a partial
+  /// result.
+  kTimeout = 3,
+  /// Terminal for this session: the client disconnected / cancelled while
+  /// the request was queued or between repetitions.
+  kCanceled = 4,
+  /// Server-side failure executing a well-formed request.
+  kInternal = 5,
+};
+
+inline constexpr std::uint8_t kLastStatusCode =
+    static_cast<std::uint8_t>(StatusCode::kInternal);
+
+const char* status_name(StatusCode code);
+
+/// The retry classification: true for statuses a client should retry with
+/// backoff (kOverloaded, kTimeout), false for terminal ones.
+bool is_retryable(StatusCode code);
+
+/// Deterministic exponential backoff schedule for retryable statuses.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double initial_backoff_seconds = 0.01;
+  double multiplier = 2.0;
+  double max_backoff_seconds = 1.0;
+
+  /// Backoff to sleep after failed attempt `attempt` (0-based):
+  /// min(initial * multiplier^attempt, max).
+  double backoff_seconds(int attempt) const;
+};
+
+}  // namespace psk::svc

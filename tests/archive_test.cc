@@ -266,6 +266,55 @@ TEST(Archive, CorruptedArchiveFileReportsCorrupt) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------- hostile declared sizes
+//
+// Declared sizes and counts are validated against the bytes actually
+// present *before* any decode loop or allocation, and report kTruncated
+// (distinct from kCorrupt: the data present may be fine, the rest is gone).
+
+TEST(Archive, TruncatedFrameReportsTruncated) {
+  std::string bytes;
+  archive::write_frame(bytes, archive::PayloadKind::kTrace, 1, "payload");
+  bytes.resize(bytes.size() - 10);  // torn mid-payload
+  const auto frame = archive::read_frame(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.error().code, archive::ErrorCode::kTruncated);
+}
+
+TEST(Archive, TrailingBytesReportCorrupt) {
+  std::string bytes;
+  archive::write_frame(bytes, archive::PayloadKind::kTrace, 1, "payload");
+  bytes.push_back('\0');
+  const auto frame = archive::read_frame(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.error().code, archive::ErrorCode::kCorrupt);
+}
+
+TEST(Archive, HostileRankCountFailsFastAsTruncated) {
+  // A tiny payload declaring 60000 ranks (within the plausibility cap) must
+  // fail at the count field, not after a long failing decode loop.
+  std::string payload;
+  archive::put_string(payload, "app");
+  archive::put_u32(payload, 60000);
+  const auto trace = archive::decode_trace(payload, 1);
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.error().code, archive::ErrorCode::kTruncated);
+  EXPECT_NE(trace.error().message.find("rank count"), std::string::npos);
+}
+
+TEST(Archive, HostileEventCountFailsFastAsTruncated) {
+  std::string payload;
+  archive::put_string(payload, "app");
+  archive::put_u32(payload, 1);                      // one rank
+  archive::put_i32(payload, 0);                      // rank id
+  archive::put_f64(payload, 1.0);                    // total_time
+  archive::put_f64(payload, 0.0);                    // final_compute
+  archive::put_u64(payload, std::uint64_t{1} << 31); // events, bytes absent
+  const auto trace = archive::decode_trace(payload, 1);
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.error().code, archive::ErrorCode::kTruncated);
+}
+
 TEST(Archive, OrThrowBridgesToFormatError) {
   EXPECT_THROW(
       archive::load_trace(temp_path("psk_no_such_file")).or_throw(),

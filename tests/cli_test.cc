@@ -2,6 +2,7 @@
 // values and typo'd flag names must fail loudly (non-zero exit, diagnostic
 // naming the problem) in the psk tool and in the bench binaries, instead of
 // being silently misparsed as 0 or ignored.
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -74,6 +75,25 @@ TEST(CliHardening, PskRejectsUnknownFlagOnEveryCommand) {
     EXPECT_NE(result.stderr_text.find("unknown flag --no-such-flag"),
               std::string::npos)
         << command;
+  }
+}
+
+TEST(CliHardening, PskRejectsUnknownValidateModeListingValidOnes) {
+  // --validate is parsed before any file I/O or tracing, so the typo fails
+  // with the configuration exit code (1) and the list of valid modes --
+  // even when the rest of the command line would fail later for other
+  // reasons (missing file, expensive trace).
+  for (const char* command :
+       {"run --skeleton=/nonexistent.skel", "predict --app=MG",
+        "report --out=/dev/null"}) {
+    const CommandResult result =
+        run_psk(std::string(command) + " --validate=bogus");
+    ASSERT_TRUE(WIFEXITED(result.exit_code)) << command;
+    EXPECT_EQ(WEXITSTATUS(result.exit_code), 1) << command;
+    EXPECT_NE(result.stderr_text.find("strict|salvage|off"),
+              std::string::npos)
+        << command << ": " << result.stderr_text;
+    EXPECT_NE(result.stderr_text.find("bogus"), std::string::npos) << command;
   }
 }
 

@@ -1,0 +1,615 @@
+// Tests for the pskd prediction service (psk::svc): frame parsing and
+// request/response codecs, deterministic admission control (identical
+// admit/shed decisions and byte-identical responses at any worker count),
+// deadline expiry without partial results, cooperative cancellation,
+// salvage-fallback degradation, live-mode concurrency, and the pskd binary
+// end to end over a pipe.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/nas.h"
+#include "archive/archive.h"
+#include "archive/codec.h"
+#include "archive/wire.h"
+#include "core/framework.h"
+#include "obs/metrics.h"
+#include "svc/frame.h"
+#include "svc/service.h"
+#include "svc/status.h"
+#include "util/error.h"
+
+namespace psk {
+namespace {
+
+skeleton::Skeleton sample_skeleton() {
+  core::SkeletonFramework framework;
+  const trace::Trace trace = framework.record(
+      apps::find_benchmark("MG").make(apps::NasClass::kS), "MG");
+  return framework.make_skeleton(framework.make_signature(trace, 10.0), 10.0);
+}
+
+/// PSKARCH1 container bytes of the shared sample skeleton (built once; the
+/// trace+compress pipeline is the slow part of these tests).
+const std::string& skeleton_upload() {
+  static const std::string bytes = [] {
+    std::string payload;
+    archive::encode(payload, sample_skeleton());
+    std::string out;
+    archive::write_frame(out, archive::PayloadKind::kSkeleton,
+                         archive::kSkeletonVersion, payload);
+    return out;
+  }();
+  return bytes;
+}
+
+svc::RequestHeader predict_request(std::uint32_t id,
+                                   std::uint32_t repetitions = 1) {
+  svc::RequestHeader request;
+  request.id = id;
+  request.op = svc::RequestOp::kPredict;
+  request.seed = 7;
+  request.repetitions = repetitions;
+  request.scenario = "dedicated";
+  request.archive_bytes = skeleton_upload();
+  return request;
+}
+
+std::string encoded(const svc::ResponseHeader& response) {
+  std::string body;
+  svc::encode_response(body, response);
+  return body;
+}
+
+// ------------------------------------------------------------------ frame
+
+TEST(SvcFrame, RoundTripAndIncrementalParse) {
+  std::string stream;
+  svc::append_frame(stream, svc::FrameKind::kRequest, "hello");
+  svc::append_frame(stream, svc::FrameKind::kFlush, "");
+
+  svc::Frame frame;
+  std::size_t consumed = 0;
+  archive::Error error;
+  // Every proper prefix must ask for more bytes, never misparse.
+  const std::size_t first = 4 + 1 + 1 + 4 + 5 + 8;
+  for (std::size_t n = 0; n < first; ++n) {
+    EXPECT_EQ(svc::try_parse_frame(std::string_view(stream).substr(0, n),
+                                   svc::kMaxFrameBytes, frame, consumed,
+                                   error),
+              svc::ParseProgress::kNeedMore)
+        << n;
+  }
+  ASSERT_EQ(svc::try_parse_frame(stream, svc::kMaxFrameBytes, frame, consumed,
+                                 error),
+            svc::ParseProgress::kFrame);
+  EXPECT_EQ(frame.kind, svc::FrameKind::kRequest);
+  EXPECT_EQ(frame.body, "hello");
+  EXPECT_EQ(consumed, first);
+
+  const std::string rest = stream.substr(consumed);
+  ASSERT_EQ(svc::try_parse_frame(rest, svc::kMaxFrameBytes, frame, consumed,
+                                 error),
+            svc::ParseProgress::kFrame);
+  EXPECT_EQ(frame.kind, svc::FrameKind::kFlush);
+  EXPECT_TRUE(frame.body.empty());
+  EXPECT_EQ(consumed, rest.size());
+}
+
+TEST(SvcFrame, HostileDeclaredLengthRejectedBeforeAllocation) {
+  // Header declaring a ~4 GiB body with no body present: must fail at the
+  // length field (kTruncated), not try to buffer 4 GiB.
+  std::string header("PSKF");
+  archive::put_u8(header, svc::kProtocolVersion);
+  archive::put_u8(header, static_cast<std::uint8_t>(svc::FrameKind::kRequest));
+  archive::put_u32(header, 0xFFFFFFF0u);
+  svc::Frame frame;
+  std::size_t consumed = 0;
+  archive::Error error;
+  EXPECT_EQ(svc::try_parse_frame(header, svc::kMaxFrameBytes, frame, consumed,
+                                 error),
+            svc::ParseProgress::kBad);
+  EXPECT_EQ(error.code, archive::ErrorCode::kTruncated);
+}
+
+TEST(SvcFrame, BadStreamsAreRejectedAtTheFirstWrongByte) {
+  svc::Frame frame;
+  std::size_t consumed = 0;
+  archive::Error error;
+  // Wrong magic fails on the very first byte, before any length arrives.
+  EXPECT_EQ(svc::try_parse_frame("X", svc::kMaxFrameBytes, frame, consumed,
+                                 error),
+            svc::ParseProgress::kBad);
+  EXPECT_EQ(error.code, archive::ErrorCode::kBadMagic);
+
+  std::string bad_version("PSKF");
+  archive::put_u8(bad_version, 99);
+  EXPECT_EQ(svc::try_parse_frame(bad_version, svc::kMaxFrameBytes, frame,
+                                 consumed, error),
+            svc::ParseProgress::kBad);
+  EXPECT_EQ(error.code, archive::ErrorCode::kBadVersion);
+
+  std::string flipped;
+  svc::append_frame(flipped, svc::FrameKind::kRequest, "body");
+  flipped[12] ^= 1;  // corrupt the body -> checksum mismatch
+  EXPECT_EQ(svc::try_parse_frame(flipped, svc::kMaxFrameBytes, frame,
+                                 consumed, error),
+            svc::ParseProgress::kBad);
+  EXPECT_EQ(error.code, archive::ErrorCode::kCorrupt);
+}
+
+TEST(SvcFrame, RequestCodecRoundTrips) {
+  svc::RequestHeader request;
+  request.id = 42;
+  request.op = svc::RequestOp::kPredict;
+  request.validate = svc::ValidateMode::kSalvage;
+  request.deadline_seconds = 2.5;
+  request.seed = 99;
+  request.repetitions = 3;
+  request.scenario = "cpu-one-node";
+  request.archive_bytes = "PSKARCH1 pretend payload";
+  std::string body;
+  svc::encode_request(body, request);
+  archive::Result<svc::RequestHeader> decoded = svc::decode_request(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().render();
+  EXPECT_EQ(decoded.value().id, 42u);
+  EXPECT_EQ(decoded.value().validate, svc::ValidateMode::kSalvage);
+  EXPECT_EQ(decoded.value().deadline_seconds, 2.5);
+  EXPECT_EQ(decoded.value().seed, 99u);
+  EXPECT_EQ(decoded.value().repetitions, 3u);
+  EXPECT_EQ(decoded.value().scenario, "cpu-one-node");
+  EXPECT_EQ(decoded.value().archive_bytes, request.archive_bytes);
+}
+
+TEST(SvcFrame, RequestCodecRejectsHostileFields) {
+  svc::RequestHeader request = predict_request(1);
+  request.repetitions = svc::kMaxRepetitions + 1;
+  std::string body;
+  svc::encode_request(body, request);
+  EXPECT_FALSE(svc::decode_request(body).ok());
+
+  request = predict_request(1);
+  request.deadline_seconds = -1.0;
+  body.clear();
+  svc::encode_request(body, request);
+  EXPECT_FALSE(svc::decode_request(body).ok());
+
+  EXPECT_FALSE(svc::decode_request("").ok());
+}
+
+TEST(SvcFrame, ResponseCodecRoundTripsAndRejectsTrailingBytes) {
+  svc::ResponseHeader response;
+  response.id = 7;
+  response.status = svc::StatusCode::kOk;
+  response.degraded = true;
+  response.message = "salvaged";
+  response.values = {0.25, 0.5};
+  std::string body = encoded(response);
+  archive::Result<svc::ResponseHeader> decoded = svc::decode_response(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().values, response.values);
+  EXPECT_TRUE(decoded.value().degraded);
+  body.push_back('x');
+  EXPECT_FALSE(svc::decode_response(body).ok());
+}
+
+TEST(SvcFrame, ValidateModeParsesAndListsValidOnes) {
+  EXPECT_EQ(svc::parse_validate_mode("strict"), svc::ValidateMode::kStrict);
+  EXPECT_EQ(svc::parse_validate_mode("salvage"), svc::ValidateMode::kSalvage);
+  EXPECT_EQ(svc::parse_validate_mode("off"), svc::ValidateMode::kOff);
+  try {
+    svc::parse_validate_mode("bogus");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("strict|salvage|off"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(SvcStatus, RetryClassificationAndBackoff) {
+  EXPECT_TRUE(svc::is_retryable(svc::StatusCode::kOverloaded));
+  EXPECT_TRUE(svc::is_retryable(svc::StatusCode::kTimeout));
+  EXPECT_FALSE(svc::is_retryable(svc::StatusCode::kBadInput));
+  EXPECT_FALSE(svc::is_retryable(svc::StatusCode::kOk));
+  const svc::RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), 0.01);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 0.02);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2), 0.04);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(30), 1.0);  // capped
+}
+
+// ---------------------------------------------------------------- service
+
+TEST(SvcService, PingAnswersOk) {
+  svc::Service service;
+  svc::Request ping;
+  ping.header.id = 1;
+  ping.header.op = svc::RequestOp::kPing;
+  EXPECT_FALSE(service.submit(std::move(ping)).has_value());
+  const std::vector<svc::ResponseHeader> responses = service.drain();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, svc::StatusCode::kOk);
+  EXPECT_EQ(responses[0].id, 1u);
+}
+
+/// Runs a fixed submit/drain schedule against a fresh service and returns
+/// every response's canonical encoding, in submission order.
+std::vector<std::string> run_schedule(int workers) {
+  svc::ServiceOptions options;
+  options.queue_capacity = 3;
+  options.workers = workers;
+  svc::Service service(options);
+  std::vector<std::string> bytes;
+  std::vector<std::size_t> pending_slots;
+  auto drain_into = [&] {
+    const std::vector<svc::ResponseHeader> responses = service.drain();
+    EXPECT_EQ(responses.size(), pending_slots.size());
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      bytes[pending_slots[i]] = encoded(responses[i]);
+    }
+    pending_slots.clear();
+  };
+  std::uint32_t id = 0;
+  for (const int burst : {6, 2, 3}) {
+    for (int i = 0; i < burst; ++i) {
+      svc::Request request;
+      request.header = predict_request(++id);
+      const std::size_t slot = bytes.size();
+      bytes.emplace_back();
+      if (std::optional<svc::ResponseHeader> shed =
+              service.submit(std::move(request))) {
+        bytes[slot] = encoded(*shed);
+      } else {
+        pending_slots.push_back(slot);
+      }
+    }
+    drain_into();
+  }
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 11u);
+  EXPECT_EQ(stats.completed, 11u);  // zero silent drops
+  EXPECT_EQ(stats.shed, 3u);        // 6-request burst into capacity 3
+  EXPECT_LE(stats.queue_high_water, 3u);
+  return bytes;
+}
+
+TEST(SvcService, OverloadDecisionsAndPayloadsAreWorkerCountInvariant) {
+  const std::vector<std::string> serial = run_schedule(1);
+  const std::vector<std::string> threaded = run_schedule(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "response " << i;
+  }
+  // The shed pattern itself is pinned: burst of 6 into capacity 3 sheds
+  // exactly the last 3, every later burst fits.
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    archive::Result<svc::ResponseHeader> response =
+        svc::decode_response(serial[i]);
+    ASSERT_TRUE(response.ok());
+    const bool expect_shed = i >= 3 && i < 6;
+    EXPECT_EQ(response.value().status, expect_shed
+                                           ? svc::StatusCode::kOverloaded
+                                           : svc::StatusCode::kOk)
+        << "response " << i;
+  }
+}
+
+TEST(SvcService, ExpiredDeadlineTimesOutWithoutPartialValues) {
+  svc::Service service;
+  svc::Request request;
+  request.header = predict_request(5, 3);
+  request.header.deadline_seconds = 1e-9;  // expired by execution time
+  EXPECT_FALSE(service.submit(std::move(request)).has_value());
+  const std::vector<svc::ResponseHeader> responses = service.drain();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, svc::StatusCode::kTimeout);
+  EXPECT_TRUE(responses[0].values.empty());  // never a partial result
+  EXPECT_TRUE(svc::is_retryable(responses[0].status));
+}
+
+TEST(SvcService, CanceledWhileQueuedAnswersCanceled) {
+  svc::Service service;
+  svc::Request request;
+  request.header = predict_request(9);
+  request.cancel = std::make_shared<std::atomic<bool>>(false);
+  const auto cancel = request.cancel;
+  EXPECT_FALSE(service.submit(std::move(request)).has_value());
+  cancel->store(true);  // client disconnected before we drained
+  const std::vector<svc::ResponseHeader> responses = service.drain();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, svc::StatusCode::kCanceled);
+  EXPECT_TRUE(responses[0].values.empty());
+  EXPECT_FALSE(svc::is_retryable(responses[0].status));
+}
+
+svc::ResponseHeader roundtrip_one(svc::Service& service, svc::Request request) {
+  service.submit(std::move(request));
+  const std::vector<svc::ResponseHeader> responses = service.drain();
+  EXPECT_EQ(responses.size(), 1u);
+  return responses.empty() ? svc::ResponseHeader{} : responses[0];
+}
+
+TEST(SvcService, WrongPayloadKindIsBadInput) {
+  core::SkeletonFramework framework;
+  const trace::Trace trace = framework.record(
+      apps::find_benchmark("MG").make(apps::NasClass::kS), "MG");
+  std::string payload;
+  archive::encode(payload, trace);
+  svc::Request request;
+  request.header = predict_request(2);
+  request.header.archive_bytes.clear();
+  archive::write_frame(request.header.archive_bytes,
+                       archive::PayloadKind::kTrace, archive::kTraceVersion,
+                       payload);
+  svc::Service service;
+  const svc::ResponseHeader response =
+      roundtrip_one(service, std::move(request));
+  EXPECT_EQ(response.status, svc::StatusCode::kBadInput);
+  EXPECT_NE(response.message.find("wanted a skeleton"), std::string::npos);
+}
+
+TEST(SvcService, UnknownScenarioIsBadInput) {
+  svc::Request request;
+  request.header = predict_request(3);
+  request.header.scenario = "no-such-scenario";
+  svc::Service service;
+  const svc::ResponseHeader response =
+      roundtrip_one(service, std::move(request));
+  EXPECT_EQ(response.status, svc::StatusCode::kBadInput);
+  EXPECT_FALSE(svc::is_retryable(response.status));
+}
+
+TEST(SvcService, UnsalvageableUploadIsBadInput) {
+  svc::Request request;
+  request.header = predict_request(4);
+  request.header.archive_bytes = "not an archive at all";
+  svc::Service service;
+  const svc::ResponseHeader response =
+      roundtrip_one(service, std::move(request));
+  EXPECT_EQ(response.status, svc::StatusCode::kBadInput);
+}
+
+TEST(SvcService, StrictWithoutFallbackRejectsTornUpload) {
+  svc::ServiceOptions options;
+  options.salvage_fallback = false;
+  svc::Service service(options);
+  svc::Request request;
+  request.header = predict_request(6);
+  request.header.archive_bytes.push_back('\0');  // torn/over-long container
+  const svc::ResponseHeader response =
+      roundtrip_one(service, std::move(request));
+  EXPECT_EQ(response.status, svc::StatusCode::kBadInput);
+  EXPECT_FALSE(response.degraded);
+}
+
+TEST(SvcService, SalvageFallbackDegradesInsteadOfRejecting) {
+  svc::Service baseline_service;
+  const svc::ResponseHeader baseline =
+      roundtrip_one(baseline_service, svc::Request{predict_request(7), {}});
+  ASSERT_EQ(baseline.status, svc::StatusCode::kOk);
+  ASSERT_EQ(baseline.values.size(), 1u);
+
+  // A trailing junk byte breaks the strict container parse, but the guard
+  // salvage layer recovers the full payload: same prediction, marked
+  // degraded.
+  svc::Request torn;
+  torn.header = predict_request(7);
+  torn.header.archive_bytes.push_back('\0');
+  svc::Service service;
+  const svc::ResponseHeader response = roundtrip_one(service, std::move(torn));
+  ASSERT_EQ(response.status, svc::StatusCode::kOk);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_NE(response.message.find("salvaged"), std::string::npos);
+  EXPECT_EQ(response.values, baseline.values);
+}
+
+TEST(SvcService, PublishesCountersAndLatencyPercentiles) {
+  svc::ServiceOptions options;
+  options.queue_capacity = 1;
+  svc::Service service(options);
+  service.submit(svc::Request{predict_request(1), {}});
+  service.submit(svc::Request{predict_request(2), {}});  // shed
+  service.drain();
+  obs::MetricsRegistry metrics;
+  service.publish(metrics);
+  const std::string kv = metrics.to_kv(0.0);
+  EXPECT_NE(kv.find("svc.submitted=2"), std::string::npos) << kv;
+  EXPECT_NE(kv.find("svc.shed=1"), std::string::npos) << kv;
+  EXPECT_NE(kv.find("svc.status.ok=1"), std::string::npos) << kv;
+  EXPECT_NE(kv.find("svc.status.overloaded=1"), std::string::npos) << kv;
+  EXPECT_NE(kv.find("svc.latency_ms.ok.p99="), std::string::npos) << kv;
+  EXPECT_NE(kv.find("svc.queue_depth.high_water=1"), std::string::npos) << kv;
+}
+
+// Live mode: concurrent submitters, a dispatcher thread and the worker
+// pool all running at once (exercised under TSan in CI).  Every request
+// must be answered exactly once, shed ones included.
+TEST(SvcLive, EveryRequestAnsweredExactlyOnceUnderConcurrentSubmit) {
+  skeleton_upload();  // build the shared sample before threads race on it
+  svc::ServiceOptions options;
+  options.queue_capacity = 4;
+  options.workers = 2;
+  svc::Service service(options);
+  std::mutex mutex;
+  std::map<std::uint32_t, int> answers;
+  service.start([&](const svc::ResponseHeader& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++answers[response.id];
+    EXPECT_TRUE(response.status == svc::StatusCode::kOk ||
+                response.status == svc::StatusCode::kOverloaded);
+  });
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&service, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        svc::Request request;
+        request.header = predict_request(
+            static_cast<std::uint32_t>(t * kPerThread + i + 1));
+        service.submit(std::move(request));
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  service.stop();  // drains everything still queued
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(answers.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const auto& [id, count] : answers) {
+    EXPECT_EQ(count, 1) << "request " << id;
+  }
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+// ------------------------------------------------------------ pskd binary
+
+std::string binary_dir() { return std::string(PSK_BUILD_DIR); }
+
+struct PipeResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+PipeResult run_pskd(const std::string& flags, const std::string& input) {
+  static int sequence = 0;
+  const std::string stem = testing::TempDir() + "/svc_pipe_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(sequence++);
+  {
+    std::ofstream in(stem + ".in", std::ios::binary);
+    in.write(input.data(), static_cast<std::streamsize>(input.size()));
+  }
+  const int status = std::system((binary_dir() + "/tools/pskd " + flags +
+                                  " < " + stem + ".in > " + stem + ".out 2> " +
+                                  stem + ".err")
+                                     .c_str());
+  PipeResult result;
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  std::ifstream out(stem + ".out", std::ios::binary);
+  result.out.assign((std::istreambuf_iterator<char>(out)),
+                    std::istreambuf_iterator<char>());
+  std::ifstream err(stem + ".err");
+  result.err.assign((std::istreambuf_iterator<char>(err)),
+                    std::istreambuf_iterator<char>());
+  return result;
+}
+
+std::string request_frame(const svc::RequestHeader& header) {
+  std::string body;
+  svc::encode_request(body, header);
+  std::string framed;
+  svc::append_frame(framed, svc::FrameKind::kRequest, body);
+  return framed;
+}
+
+std::vector<svc::ResponseHeader> parse_responses(const std::string& stream) {
+  std::vector<svc::ResponseHeader> responses;
+  std::string_view rest(stream);
+  while (!rest.empty()) {
+    svc::Frame frame;
+    std::size_t consumed = 0;
+    archive::Error error;
+    EXPECT_EQ(svc::try_parse_frame(rest, svc::kMaxFrameBytes, frame, consumed,
+                                   error),
+              svc::ParseProgress::kFrame)
+        << error.render();
+    if (consumed == 0) break;
+    EXPECT_EQ(frame.kind, svc::FrameKind::kResponse);
+    archive::Result<svc::ResponseHeader> response =
+        svc::decode_response(frame.body);
+    EXPECT_TRUE(response.ok()) << response.error().render();
+    if (response.ok()) responses.push_back(response.take());
+    rest.remove_prefix(consumed);
+  }
+  return responses;
+}
+
+TEST(SvcPipe, EndToEndBatchOverStdio) {
+  std::string stream;
+  stream += request_frame(predict_request(1));
+  svc::RequestHeader ping;
+  ping.id = 2;
+  ping.op = svc::RequestOp::kPing;
+  stream += request_frame(ping);
+  svc::append_frame(stream, svc::FrameKind::kFlush, "");
+  stream += request_frame(predict_request(3));  // EOF is the final flush
+
+  const PipeResult result = run_pskd("--deadline=60", stream);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  const std::vector<svc::ResponseHeader> responses =
+      parse_responses(result.out);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].id, 1u);
+  EXPECT_EQ(responses[0].status, svc::StatusCode::kOk);
+  EXPECT_EQ(responses[0].values.size(), 1u);
+  EXPECT_EQ(responses[1].id, 2u);
+  EXPECT_EQ(responses[1].status, svc::StatusCode::kOk);
+  EXPECT_EQ(responses[2].id, 3u);
+  EXPECT_EQ(responses[2].status, svc::StatusCode::kOk);
+}
+
+TEST(SvcPipe, DisconnectMidFrameCancelsQueuedRequests) {
+  std::string stream = request_frame(predict_request(1));
+  std::string next = request_frame(predict_request(2));
+  stream += next.substr(0, 12);  // the client died mid-send
+
+  const PipeResult result = run_pskd("", stream);
+  EXPECT_EQ(result.exit_code, 2) << result.err;  // protocol/format ladder
+  EXPECT_NE(result.err.find("mid-frame"), std::string::npos) << result.err;
+  const std::vector<svc::ResponseHeader> responses =
+      parse_responses(result.out);
+  // The queued request still gets a definite answer: kCanceled, not silence.
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].id, 1u);
+  EXPECT_EQ(responses[0].status, svc::StatusCode::kCanceled);
+}
+
+TEST(SvcPipe, GarbageStreamExitsWithFormatCode) {
+  const PipeResult result = run_pskd("", "this is not a frame");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("pskd:"), std::string::npos);
+}
+
+TEST(SvcPipe, RejectsUnknownValidateModeListingValidOnes) {
+  const PipeResult result = run_pskd("--validate=bogus", "");
+  EXPECT_EQ(result.exit_code, 1);  // usage/configuration ladder
+  EXPECT_NE(result.err.find("strict|salvage|off"), std::string::npos)
+      << result.err;
+}
+
+TEST(SvcPipe, WritesMetricsFileWhenAsked) {
+  static int sequence = 0;
+  const std::string metrics_path = testing::TempDir() + "/svc_metrics_" +
+                                   std::to_string(::getpid()) + "_" +
+                                   std::to_string(sequence++) + ".kv";
+  std::string stream;
+  svc::RequestHeader ping;
+  ping.id = 1;
+  ping.op = svc::RequestOp::kPing;
+  stream += request_frame(ping);
+  const PipeResult result =
+      run_pskd("--metrics-out=" + metrics_path, stream);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  std::ifstream in(metrics_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("svc.status.ok=1"), std::string::npos)
+      << text.str();
+}
+
+}  // namespace
+}  // namespace psk

@@ -12,9 +12,10 @@
 //   bench_record --compare=BASELINE.json [--max-regress=0.15] [...]
 //
 // --compare re-measures, then fails (exit 1) when any
-// "event_queue.events_per_sec.*" metric dropped by more than --max-regress
-// relative to the baseline file -- the CI regression gate.  Other metrics
-// are reported but do not gate (they track larger, noisier workloads).
+// "event_queue.events_per_sec.*" or "service.requests_per_sec.*" metric
+// dropped by more than --max-regress relative to the baseline file -- the
+// CI regression gate.  Other metrics are reported but do not gate (they
+// track larger, noisier workloads).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -27,9 +28,13 @@
 #include <vector>
 
 #include "apps/nas.h"
+#include "archive/archive.h"
+#include "archive/codec.h"
 #include "cache/cache.h"
 #include "core/framework.h"
+#include "obs/metrics.h"
 #include "scenario/scenario.h"
+#include "svc/service.h"
 #include "sig/cluster.h"
 #include "sig/compress.h"
 #include "sig/signature.h"
@@ -93,6 +98,62 @@ void event_queue_metric(std::map<std::string, double>& metrics, int events,
   metrics["event_queue.p95_over_p50." + suffix] =
       util::percentile_sorted(sorted, 95.0) /
       std::max(util::percentile_sorted(sorted, 50.0), 1e-12);
+}
+
+/// Service-layer overhead and latency (PR 7's pskd request path).  Ping
+/// throughput isolates admission + queueing + pool dispatch from the
+/// simulator, so it is stable enough to gate; the predict percentiles ride
+/// along ungated (they fold in skeleton-run time and queue position).
+void service_metric(std::map<std::string, double>& metrics,
+                    const skeleton::Skeleton& skeleton, int reps) {
+  svc::ServiceOptions options;
+  options.queue_capacity = 512;
+  svc::Service service(options);
+
+  constexpr int kPings = 256;
+  const auto sorted = time_reps(reps, [&service] {
+    for (int i = 0; i < kPings; ++i) {
+      svc::Request request;
+      request.header.id = static_cast<std::uint32_t>(i) + 1;
+      request.header.op = svc::RequestOp::kPing;
+      if (service.submit(std::move(request)).has_value()) std::abort();
+    }
+    if (service.drain().size() != kPings) std::abort();
+  });
+  const double sec = median_seconds(sorted);
+  metrics["service.requests_per_sec.ping"] =
+      static_cast<double>(kPings) / sec;
+  metrics["service.us_per_request.ping"] =
+      sec * 1e6 / static_cast<double>(kPings);
+
+  std::string payload;
+  archive::encode(payload, skeleton);
+  std::string upload;
+  archive::write_frame(upload, archive::PayloadKind::kSkeleton,
+                       archive::kSkeletonVersion, payload);
+  // A fresh service for the predicts: the ping loop above already filed
+  // sub-microsecond kOk latency samples that would skew the percentiles.
+  constexpr int kPredicts = 32;
+  svc::Service predict_service(options);
+  for (int i = 0; i < kPredicts; ++i) {
+    svc::Request request;
+    request.header.id = static_cast<std::uint32_t>(i) + 1;
+    request.header.op = svc::RequestOp::kPredict;
+    request.header.seed = 7;
+    request.header.repetitions = 1;
+    request.header.scenario = "dedicated";
+    request.header.archive_bytes = upload;
+    if (predict_service.submit(std::move(request)).has_value()) {
+      std::abort();
+    }
+  }
+  if (predict_service.drain().size() != kPredicts) std::abort();
+  obs::MetricsRegistry registry;
+  predict_service.publish(registry);
+  metrics["service.predict_p50_ms"] =
+      registry.counter("svc.latency_ms.ok.p50").value();
+  metrics["service.predict_p99_ms"] =
+      registry.counter("svc.latency_ms.ok.p99").value();
 }
 
 std::map<std::string, double> measure(int reps) {
@@ -186,6 +247,8 @@ std::map<std::string, double> measure(int reps) {
       cached.run_skeleton(skeleton, scenario::dedicated());
     });
     metrics["skeleton.warm_run_ms"] = median_seconds(warm) * 1e3;
+
+    service_metric(metrics, skeleton, reps);
   }
 
   // Bounded fig6-style pipeline: trace -> signature -> skeleton -> replay
@@ -264,7 +327,9 @@ int compare_against(const std::map<std::string, double>& metrics,
     const auto it = baseline.find(key);
     if (it == baseline.end()) continue;
     const double old_value = it->second;
-    const bool gated = key.rfind("event_queue.events_per_sec.", 0) == 0;
+    const bool gated =
+        key.rfind("event_queue.events_per_sec.", 0) == 0 ||
+        key.rfind("service.requests_per_sec.", 0) == 0;
     const double change =
         old_value != 0.0 ? (value - old_value) / old_value : 0.0;
     std::printf("%-42s %14.4g -> %14.4g  (%+.1f%%)%s\n", key.c_str(),

@@ -33,6 +33,7 @@
 #include "skeleton/io.h"
 #include "skeleton/skeleton.h"
 #include "skeleton/validate.h"
+#include "svc/frame.h"
 #include "trace/io.h"
 #include "trace/stats.h"
 #include "util/cli.h"
@@ -86,15 +87,13 @@ int usage() {
   return 1;
 }
 
-enum class ValidateMode { kStrict, kSalvage, kOff };
+using svc::ValidateMode;
 
+/// Parses --validate eagerly; an unknown mode throws ConfigError listing
+/// the valid ones (strict|salvage|off).  Commands call this before any
+/// expensive work so a typo fails fast, not after minutes of tracing.
 ValidateMode validate_mode(const util::Cli& cli) {
-  const std::string mode = cli.get("validate", "strict");
-  if (mode == "strict" || mode == "true") return ValidateMode::kStrict;
-  if (mode == "salvage") return ValidateMode::kSalvage;
-  if (mode == "off") return ValidateMode::kOff;
-  throw ConfigError("--validate must be strict, salvage or off (got '" +
-                    mode + "')");
+  return svc::parse_validate_mode(cli.get("validate", "strict"));
 }
 
 /// Loads a skeleton honouring --validate: strict refuses both unparsable
@@ -258,9 +257,9 @@ int cmd_codegen(const util::Cli& cli) {
 }
 
 int cmd_run(const util::Cli& cli) {
+  const ValidateMode mode = validate_mode(cli);
   const skeleton::Skeleton skeleton =
-      load_skeleton_checked(require_flag(cli, "skeleton"),
-                            validate_mode(cli));
+      load_skeleton_checked(require_flag(cli, "skeleton"), mode);
   const scenario::Scenario& scenario =
       scenario::find_scenario(cli.get("scenario", "dedicated"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 0));
@@ -293,6 +292,7 @@ int cmd_run(const util::Cli& cli) {
 }
 
 int cmd_predict(const util::Cli& cli) {
+  const ValidateMode mode = validate_mode(cli);
   core::ExperimentConfig config;
   config.benchmarks = {require_flag(cli, "app")};
   config.app_class = apps::class_from_name(cli.get("class", "B"));
@@ -314,8 +314,7 @@ int cmd_predict(const util::Cli& cli) {
     cells.push_back(core::GridCell{config.benchmarks[0], target,
                                    &scenario::find_scenario(which)});
   }
-  check_app_trace(driver.app_trace(config.benchmarks[0]),
-                  validate_mode(cli));
+  check_app_trace(driver.app_trace(config.benchmarks[0]), mode);
   const auto records = driver.predict_cells(cells);
   std::printf("%-15s %10s %10s %8s\n", "scenario", "predicted", "actual",
               "error");
@@ -351,6 +350,7 @@ int cmd_predict(const util::Cli& cli) {
 }
 
 int cmd_report(const util::Cli& cli) {
+  const ValidateMode mode = validate_mode(cli);
   const std::string out_path = require_flag(cli, "out");
   core::ExperimentConfig config;
   config.app_class = apps::class_from_name(cli.get("class", "B"));
@@ -363,7 +363,6 @@ int cmd_report(const util::Cli& cli) {
   config.jobs = static_cast<int>(cli.get_int("jobs", 0));
   config.framework.result_cache = cache_from_cli(cli);
   core::ExperimentDriver driver(config);
-  const ValidateMode mode = validate_mode(cli);
   for (const std::string& app : config.benchmarks) {
     check_app_trace(driver.app_trace(app), mode);
   }

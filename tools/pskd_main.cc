@@ -1,0 +1,248 @@
+// pskd: the performance-skeleton prediction daemon, pipe mode.
+//
+// Reads PSKF frames (svc/frame.h) from stdin and writes one response frame
+// per request to stdout, in arrival order.  A kFlush frame (or EOF) is the
+// batch boundary: everything admitted since the previous flush executes on
+// the worker pool and the responses are written back.  Every request gets
+// a definite status -- requests shed at admission (kOverloaded) or failing
+// to decode (kBadInput) answer immediately, in their arrival slot.
+//
+//   psk trace --app=CG --out=cg.trace
+//   psk skeleton --trace=cg.trace --target=0.5 --out=cg.skel
+//   ... build request frames (tests/svc_test.cc shows the encoding) ...
+//   pskd --queue=64 --deadline=10 < requests.bin > responses.bin
+//
+// A stream that ends mid-frame is a client disconnect: queued requests are
+// canceled cooperatively (they answer kCanceled, not silence) and pskd
+// exits with the validation/format code.
+//
+// Exit codes match psk: 1 usage/configuration, 2 protocol/format errors on
+// the stream, 3 runtime failures.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "svc/frame.h"
+#include "svc/service.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace psk;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pskd [--flag=value ...] < requests > responses\n"
+      "  --queue=N          admission queue capacity (default 64); requests\n"
+      "                     beyond it shed with status 'overloaded'\n"
+      "  --workers=N        execution threads (default: hardware threads)\n"
+      "  --deadline=S       default per-request deadline in seconds when the\n"
+      "                     request carries none (default 30; 0 = none)\n"
+      "  --validate=MODE    override the per-request validate mode with\n"
+      "                     strict|salvage|off (default: honour the request)\n"
+      "  --no-salvage-fallback  reject unparsable strict uploads instead of\n"
+      "                     salvaging them into a degraded response\n"
+      "  --max-frame-mb=N   frame body cap in MiB (default 64); larger\n"
+      "                     declared sizes are rejected before allocation\n"
+      "  --metrics-out=F    write svc.* and cache.* counters to F at exit\n"
+      "  --cache-dir=D --cache-mem=N --no-cache   result-cache knobs (as psk)\n"
+      "exit codes: 1 usage/configuration, 2 protocol/format, 3 runtime\n");
+  return 1;
+}
+
+/// One arrival slot: either an immediate response (shed at admission,
+/// undecodable request) or a placeholder filled from drain() in order.
+struct Slot {
+  std::optional<svc::ResponseHeader> immediate;
+};
+
+struct Session {
+  svc::Service* service = nullptr;
+  std::optional<svc::ValidateMode> validate_override;
+  std::vector<Slot> slots;
+  /// Cancel flags of the requests admitted since the last flush, so a
+  /// disconnect can cancel everything still queued.
+  std::vector<std::shared_ptr<std::atomic<bool>>> cancels;
+};
+
+void write_response(const svc::ResponseHeader& response) {
+  std::string body;
+  svc::encode_response(body, response);
+  std::string framed;
+  svc::append_frame(framed, svc::FrameKind::kResponse, body);
+  std::fwrite(framed.data(), 1, framed.size(), stdout);
+}
+
+void handle_request(Session& session, const std::string& body) {
+  Slot slot;
+  archive::Result<svc::RequestHeader> decoded = svc::decode_request(body);
+  if (!decoded.ok()) {
+    svc::ResponseHeader response;
+    // The id is the first field; when even that is missing it stays 0.
+    if (body.size() >= 4) {
+      archive::Cursor in(body);
+      response.id = in.u32();
+    }
+    response.status = svc::StatusCode::kBadInput;
+    response.message = "bad request: " + decoded.error().render();
+    slot.immediate = std::move(response);
+    session.slots.push_back(std::move(slot));
+    return;
+  }
+  svc::Request request;
+  request.header = decoded.take();
+  if (session.validate_override) {
+    request.header.validate = *session.validate_override;
+  }
+  request.cancel = std::make_shared<std::atomic<bool>>(false);
+  session.cancels.push_back(request.cancel);
+  slot.immediate = session.service->submit(std::move(request));
+  session.slots.push_back(std::move(slot));
+}
+
+/// Executes the admitted batch and writes every arrival slot's response in
+/// order: immediate answers stay in place, drained answers fill the rest.
+void flush(Session& session) {
+  const std::vector<svc::ResponseHeader> drained = session.service->drain();
+  std::size_t next = 0;
+  for (const Slot& slot : session.slots) {
+    if (slot.immediate) {
+      write_response(*slot.immediate);
+    } else {
+      write_response(drained[next++]);
+    }
+  }
+  std::fflush(stdout);
+  session.slots.clear();
+  session.cancels.clear();
+}
+
+int serve(const util::Cli& cli) {
+  svc::ServiceOptions options;
+  const std::int64_t queue = cli.get_int("queue", 64);
+  util::require(queue >= 1, "--queue must be >= 1");
+  options.queue_capacity = static_cast<std::size_t>(queue);
+  options.workers = static_cast<int>(cli.get_int("workers", 0));
+  options.default_deadline_seconds = cli.get_double("deadline", 30.0);
+  util::require(options.default_deadline_seconds >= 0,
+                "--deadline must be >= 0");
+  options.salvage_fallback = !cli.get_bool("no-salvage-fallback", false);
+  if (!cli.get_bool("no-cache", false)) {
+    cache::CacheOptions cache_options;
+    const std::int64_t entries = cli.get_int("cache-mem", 4096);
+    util::require(entries >= 0, "--cache-mem must be >= 0");
+    cache_options.memory_entries = static_cast<std::size_t>(entries);
+    cache_options.disk_dir = cli.get("cache-dir", "");
+    options.framework.result_cache =
+        std::make_shared<cache::ResultCache>(cache_options);
+  }
+  const std::int64_t max_frame_mb = cli.get_int("max-frame-mb", 64);
+  util::require(max_frame_mb >= 1, "--max-frame-mb must be >= 1");
+  const std::size_t max_body = static_cast<std::size_t>(max_frame_mb) << 20;
+
+  Session session;
+  svc::Service service(options);
+  session.service = &service;
+  const std::string validate = cli.get("validate", "");
+  if (!validate.empty()) {
+    session.validate_override = svc::parse_validate_mode(validate);
+  }
+
+  std::string buffer;
+  char chunk[1 << 16];
+  bool stream_ok = true;
+  std::string stream_error;
+  while (stream_ok) {
+    const std::size_t got = std::fread(chunk, 1, sizeof chunk, stdin);
+    if (got > 0) buffer.append(chunk, got);
+    bool progressed = true;
+    while (progressed && stream_ok) {
+      svc::Frame frame;
+      std::size_t consumed = 0;
+      archive::Error error;
+      switch (svc::try_parse_frame(buffer, max_body, frame, consumed, error)) {
+        case svc::ParseProgress::kFrame:
+          buffer.erase(0, consumed);
+          if (frame.kind == svc::FrameKind::kRequest) {
+            handle_request(session, frame.body);
+          } else if (frame.kind == svc::FrameKind::kFlush) {
+            flush(session);
+          } else {
+            stream_ok = false;
+            stream_error = "unexpected response frame from client";
+          }
+          break;
+        case svc::ParseProgress::kNeedMore:
+          progressed = false;
+          break;
+        case svc::ParseProgress::kBad:
+          stream_ok = false;
+          stream_error = error.render();
+          break;
+      }
+    }
+    if (got < sizeof chunk) {
+      if (std::ferror(stdin)) {
+        stream_ok = false;
+        stream_error = "read failure on stdin";
+      }
+      if (std::feof(stdin)) break;
+    }
+  }
+
+  const bool truncated = stream_ok && !buffer.empty();
+  if (!stream_ok || truncated) {
+    // Client disconnect / bad stream: cancel whatever is still queued so
+    // every admitted request answers (kCanceled), never hangs.
+    for (const auto& cancel : session.cancels) cancel->store(true);
+  }
+  flush(session);  // EOF is the final batch boundary
+
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry metrics;
+    service.publish(metrics);
+    if (options.framework.result_cache) {
+      options.framework.result_cache->publish(metrics);
+    }
+    std::ofstream out(metrics_out);
+    util::require(out.good(), "--metrics-out: cannot open " + metrics_out);
+    out << metrics.to_kv(0.0);
+  }
+
+  if (!stream_ok) throw FormatError("request stream: " + stream_error);
+  if (truncated) {
+    throw FormatError("request stream ended mid-frame (" +
+                      std::to_string(buffer.size()) +
+                      " trailing byte(s)); queued requests were canceled");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  try {
+    if (cli.get_bool("help", false)) return usage();
+    cli.require_known({"queue", "workers", "deadline", "validate",
+                       "no-salvage-fallback", "max-frame-mb", "metrics-out",
+                       "cache-dir", "cache-mem", "no-cache", "help"});
+    return serve(cli);
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "pskd: %s\n", error.what());
+    return 1;
+  } catch (const FormatError& error) {
+    std::fprintf(stderr, "pskd: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "pskd: %s\n", error.what());
+    return 3;
+  }
+}
