@@ -14,9 +14,15 @@
 //     (--open-mult), so the admission queue *must* shed.  Verifies
 //     answered == sent (shed responses count: overload degrades loudly,
 //     it never drops silently) and reports the shed fraction.
+//   socket loop -- the same closed-loop shape over the real socket
+//     transport (one unix-socket connection per client), run twice: every
+//     request re-uploading the skeleton container, then every request
+//     naming it by content hash.  The delta is what the hot-skeleton store
+//     buys on the wire.
 //
 // Flags:
-//   --clients=N     closed-loop client threads (default 4)
+//   --clients=N     closed-loop client threads / socket connections
+//                   (default 4)
 //   --requests=N    logical requests per client (default 16)
 //   --queue=N       admission queue capacity (default 8)
 //   --workers=N     service worker threads (0 = hardware concurrency)
@@ -25,6 +31,8 @@
 //   --quick         small counts for CI smoke
 //   --metrics-out=F flat key=value dump: svc.* from the overloaded service
 //                   plus bench.* summary counters
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -43,6 +51,7 @@
 #include "core/framework.h"
 #include "obs/metrics.h"
 #include "svc/service.h"
+#include "svc/transport.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/stats.h"
@@ -80,15 +89,21 @@ std::string make_upload() {
   return out;
 }
 
+svc::RequestHeader make_header(std::uint32_t id, const std::string& upload) {
+  svc::RequestHeader header;
+  header.id = id;
+  header.op = svc::RequestOp::kPredict;
+  header.seed = 7;
+  header.repetitions = 1;
+  header.deadline_seconds = 30.0;
+  header.scenario = "dedicated";
+  header.archive_bytes = upload;
+  return header;
+}
+
 svc::Request make_request(std::uint32_t id, const std::string& upload) {
   svc::Request request;
-  request.header.id = id;
-  request.header.op = svc::RequestOp::kPredict;
-  request.header.seed = 7;
-  request.header.repetitions = 1;
-  request.header.deadline_seconds = 30.0;
-  request.header.scenario = "dedicated";
-  request.header.archive_bytes = upload;
+  request.header = make_header(id, upload);
   return request;
 }
 
@@ -245,6 +260,84 @@ LoopResult open_loop(const svc::ServiceOptions& options, int total,
   return result;
 }
 
+struct SocketLoopResult {
+  std::uint64_t ok = 0;
+  std::uint64_t other = 0;  // shed/failed -- still answered, just not kOk
+  double wall_seconds = 0;
+  svc::StoreStats store;
+
+  double reqs_per_sec() const {
+    return static_cast<double>(ok + other) / std::max(wall_seconds, 1e-9);
+  }
+};
+
+/// Closed loop over the real socket transport: one connection per client,
+/// each waiting for its response before the next request.  `by_hash`
+/// switches every request from re-uploading the container to naming the
+/// primed skeleton by content hash.
+SocketLoopResult socket_loop(const svc::ServiceOptions& options, int clients,
+                             int per_client, const std::string& upload,
+                             bool by_hash) {
+  svc::Service service(options);
+  service.start([](const svc::ResponseHeader&) {});
+  svc::ListenAddress address;
+  address.kind = svc::ListenAddress::Kind::kUnix;
+  address.path = "/tmp/ext_service_" + std::to_string(::getpid()) + "_" +
+                 (by_hash ? "hash" : "upload") + ".sock";
+  svc::SocketServer server(address, service, {});
+  std::thread serving([&server] { server.serve(); });
+
+  // Prime: one upload retains the skeleton and announces its hash.
+  std::uint64_t hash = 0;
+  {
+    svc::SocketClient prime(address);
+    prime.send_request(make_header(1, upload));
+    svc::ResponseHeader response;
+    util::require(prime.read_response(response) &&
+                      response.status == svc::StatusCode::kOk,
+                  "socket loop: priming upload failed");
+    hash = response.skeleton_hash;
+    util::require(hash != 0, "socket loop: upload response carried no hash");
+  }
+
+  std::atomic<std::uint32_t> next_id{2};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> other{0};
+  const double t0 = now_seconds();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      svc::SocketClient client(address);
+      for (int i = 0; i < per_client; ++i) {
+        svc::RequestHeader header = make_header(next_id.fetch_add(1), upload);
+        if (by_hash) {
+          header.archive_bytes.clear();
+          header.skeleton_hash = hash;
+        }
+        client.send_request(header);
+        svc::ResponseHeader response;
+        util::require(client.read_response(response),
+                      "socket loop: connection died before its response");
+        (response.status == svc::StatusCode::kOk ? ok : other)
+            .fetch_add(1);
+      }
+      client.shutdown_send();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  SocketLoopResult result;
+  result.wall_seconds = now_seconds() - t0;
+  server.stop();
+  serving.join();
+  service.stop();
+  result.ok = ok.load();
+  result.other = other.load();
+  result.store = service.skeleton_store().stats();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,8 +385,27 @@ int main(int argc, char** argv) {
         open_loop(options, open_total, open_rate, upload, &metrics);
     print_loop("open loop", open);
     std::printf("answered == sent: overload shed %llu request(s) loudly, "
-                "dropped none\n",
+                "dropped none\n\n",
                 static_cast<unsigned long long>(open.service.shed));
+
+    std::printf("socket loop: %d connection(s) x %d request(s) over a unix "
+                "socket\n", clients, per_client);
+    const SocketLoopResult reupload =
+        socket_loop(options, clients, per_client, upload, false);
+    const SocketLoopResult reuse =
+        socket_loop(options, clients, per_client, upload, true);
+    std::printf("  re-upload : %.2f req/s (%llu ok, %llu other)\n",
+                reupload.reqs_per_sec(),
+                static_cast<unsigned long long>(reupload.ok),
+                static_cast<unsigned long long>(reupload.other));
+    std::printf("  hash-reuse: %.2f req/s (%llu ok, %llu other), "
+                "%.2fx, %llu store hit(s)\n",
+                reuse.reqs_per_sec(),
+                static_cast<unsigned long long>(reuse.ok),
+                static_cast<unsigned long long>(reuse.other),
+                reuse.reqs_per_sec() /
+                    std::max(reupload.reqs_per_sec(), 1e-9),
+                static_cast<unsigned long long>(reuse.store.hits));
 
     const std::string metrics_out = cli.get("metrics-out", "");
     if (!metrics_out.empty()) {
@@ -305,6 +417,12 @@ int main(int argc, char** argv) {
           .add(static_cast<double>(open.attempts));
       metrics.counter("bench.open.answered")
           .add(static_cast<double>(open.logical));
+      metrics.counter("bench.socket.upload_reqs_per_sec")
+          .add(reupload.reqs_per_sec());
+      metrics.counter("bench.socket.hash_reqs_per_sec")
+          .add(reuse.reqs_per_sec());
+      metrics.counter("bench.socket.store_hits")
+          .add(static_cast<double>(reuse.store.hits));
       std::ofstream out(metrics_out);
       util::require(out.good(), "cannot open " + metrics_out);
       out << metrics.to_kv(0.0);

@@ -27,9 +27,18 @@ void check_request_roundtrip(std::string_view body) {
       psk::svc::decode_request(encoded);
   if (!second.ok() || second.value().id != first.value().id ||
       second.value().seed != first.value().seed ||
+      second.value().target_k != first.value().target_k ||
+      second.value().skeleton_hash != first.value().skeleton_hash ||
       second.value().scenario != first.value().scenario ||
       second.value().archive_bytes != first.value().archive_bytes) {
     std::abort();  // accepted bytes must round-trip canonically
+  }
+  // The hash/container exclusivity rule is a decoder invariant: anything
+  // accepted with a hash must be a bare predict.
+  if (first.value().skeleton_hash != 0 &&
+      (first.value().op != psk::svc::RequestOp::kPredict ||
+       !first.value().archive_bytes.empty())) {
+    std::abort();
   }
 }
 
@@ -42,6 +51,8 @@ void check_response_roundtrip(std::string_view body) {
   psk::archive::Result<psk::svc::ResponseHeader> second =
       psk::svc::decode_response(encoded);
   if (!second.ok() || second.value().id != first.value().id ||
+      second.value().skeleton_hash != first.value().skeleton_hash ||
+      second.value().skeleton_bytes != first.value().skeleton_bytes ||
       second.value().values != first.value().values) {
     std::abort();
   }

@@ -193,6 +193,34 @@ int main(int argc, char** argv) {
   frame_flipped[frame_flipped.size() / 2] ^= 0x20;
   write_file(root + "/svc_frame/request_bitflip.pskf", frame_flipped);
 
+  // Server-side construction: a trace upload with a compression target.
+  svc::RequestHeader construct;
+  construct.id = 2;
+  construct.op = svc::RequestOp::kConstruct;
+  construct.seed = 7;
+  construct.target_k = 25.0;
+  construct.archive_bytes = trace_arch;
+  body.clear();
+  svc::encode_request(body, construct);
+  stream.clear();
+  svc::append_frame(stream, svc::FrameKind::kRequest, body);
+  write_file(root + "/svc_frame/construct_request.pskf", stream);
+
+  // Hot-skeleton reuse: a predict naming a retained skeleton by content
+  // hash, with no container embedded.
+  svc::RequestHeader by_hash;
+  by_hash.id = 3;
+  by_hash.op = svc::RequestOp::kPredict;
+  by_hash.seed = 7;
+  by_hash.repetitions = 1;
+  by_hash.skeleton_hash = archive::fingerprint64(skel_arch);
+  by_hash.scenario = "dedicated";
+  body.clear();
+  svc::encode_request(body, by_hash);
+  stream.clear();
+  svc::append_frame(stream, svc::FrameKind::kRequest, body);
+  write_file(root + "/svc_frame/hash_predict_request.pskf", stream);
+
   body.clear();
   svc::RequestHeader ping;
   ping.op = svc::RequestOp::kPing;
@@ -211,6 +239,29 @@ int main(int argc, char** argv) {
   stream.clear();
   svc::append_frame(stream, svc::FrameKind::kResponse, body);
   write_file(root + "/svc_frame/response.pskf", stream);
+
+  // A construct response carrying the canonical skeleton bytes + hash, and
+  // the explicit predict-by-hash miss.
+  svc::ResponseHeader constructed;
+  constructed.id = 2;
+  constructed.status = svc::StatusCode::kOk;
+  constructed.skeleton_hash = archive::fingerprint64(skel_arch);
+  constructed.skeleton_bytes = skel_arch;
+  body.clear();
+  svc::encode_response(body, constructed);
+  stream.clear();
+  svc::append_frame(stream, svc::FrameKind::kResponse, body);
+  write_file(root + "/svc_frame/construct_response.pskf", stream);
+
+  svc::ResponseHeader miss;
+  miss.id = 3;
+  miss.status = svc::StatusCode::kNotFound;
+  miss.message = "skeleton not resident; re-upload the container";
+  body.clear();
+  svc::encode_response(body, miss);
+  stream.clear();
+  svc::append_frame(stream, svc::FrameKind::kResponse, body);
+  write_file(root + "/svc_frame/notfound_response.pskf", stream);
 
   // Header declaring a ~4 GiB body: the parser must reject at the length
   // field, before buffering anything.

@@ -17,7 +17,8 @@ constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4;
 constexpr std::size_t kChecksumSize = 8;
 
 constexpr auto kLastFrameKind = static_cast<std::uint8_t>(FrameKind::kFlush);
-constexpr auto kLastRequestOp = static_cast<std::uint8_t>(RequestOp::kPredict);
+constexpr auto kLastRequestOp =
+    static_cast<std::uint8_t>(RequestOp::kConstruct);
 constexpr auto kLastValidateMode =
     static_cast<std::uint8_t>(ValidateMode::kOff);
 
@@ -31,6 +32,7 @@ const char* status_name(StatusCode code) {
     case StatusCode::kTimeout: return "timeout";
     case StatusCode::kCanceled: return "canceled";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kNotFound: return "not-found";
   }
   return "unknown";
 }
@@ -64,13 +66,31 @@ const char* validate_mode_name(ValidateMode mode) {
   return "unknown";
 }
 
-void append_frame(std::string& out, FrameKind kind, std::string_view body) {
+archive::Status check_frame_body_size(std::size_t size) {
+  if (size > kMaxEncodableBody) {
+    return Error{ErrorCode::kTruncated,
+                 "frame body of " + std::to_string(size) +
+                     " byte(s) does not fit the u32 length field (max " +
+                     std::to_string(kMaxEncodableBody) + ")"};
+  }
+  return {};
+}
+
+archive::Status append_frame(std::string& out, FrameKind kind,
+                             std::string_view body) {
+  // A body past the u32 length field would encode a wrapped length and
+  // desync the stream at the next checksum; refuse it before writing.
+  if (archive::Status size_ok = check_frame_body_size(body.size());
+      !size_ok.ok()) {
+    return size_ok;
+  }
   out.append(kFrameMagic);
   archive::put_u8(out, kProtocolVersion);
   archive::put_u8(out, static_cast<std::uint8_t>(kind));
   archive::put_u32(out, static_cast<std::uint32_t>(body.size()));
   out.append(body);
   archive::put_u64(out, archive::fingerprint64(body));
+  return {};
 }
 
 ParseProgress try_parse_frame(std::string_view buffer, std::size_t max_body,
@@ -136,6 +156,8 @@ void encode_request(std::string& out, const RequestHeader& request) {
   archive::put_f64(out, request.deadline_seconds);
   archive::put_u64(out, request.seed);
   archive::put_u32(out, request.repetitions);
+  archive::put_f64(out, request.target_k);
+  archive::put_u64(out, request.skeleton_hash);
   archive::put_string(out, request.scenario);
   out.append(request.archive_bytes);
 }
@@ -162,13 +184,33 @@ Result<RequestHeader> decode_request(std::string_view body) {
     in.fail("repetitions must be in [1, " + std::to_string(kMaxRepetitions) +
             "], got " + std::to_string(request.repetitions));
   }
+  request.target_k = in.f64();
+  request.skeleton_hash = in.u64();
   request.scenario = in.string();
   if (!in.ok()) return in.error();
   if (!(request.deadline_seconds >= 0) ||
       request.deadline_seconds != request.deadline_seconds) {
     return Error{ErrorCode::kCorrupt, "negative or NaN deadline"};
   }
+  if (!(request.target_k > 0) || !(request.target_k <= kMaxTargetK)) {
+    return Error{ErrorCode::kCorrupt,
+                 "target_k must be in (0, " + std::to_string(kMaxTargetK) +
+                     "]"};
+  }
   request.archive_bytes.assign(body.substr(body.size() - in.remaining()));
+  if (request.skeleton_hash != 0) {
+    // Predict-by-hash names a retained skeleton; an embedded container at
+    // the same time would be ambiguous, and the other ops have no use for
+    // a hash at all.
+    if (request.op != RequestOp::kPredict) {
+      return Error{ErrorCode::kCorrupt,
+                   "skeleton_hash is only valid on predict requests"};
+    }
+    if (!request.archive_bytes.empty()) {
+      return Error{ErrorCode::kCorrupt,
+                   "predict-by-hash must not also embed a container"};
+    }
+  }
   return request;
 }
 
@@ -177,6 +219,8 @@ void encode_response(std::string& out, const ResponseHeader& response) {
   archive::put_u8(out, static_cast<std::uint8_t>(response.status));
   archive::put_u8(out, response.degraded ? 1 : 0);
   archive::put_string(out, response.message);
+  archive::put_u64(out, response.skeleton_hash);
+  archive::put_string(out, response.skeleton_bytes);
   archive::put_u32(out, static_cast<std::uint32_t>(response.values.size()));
   for (const double value : response.values) archive::put_f64(out, value);
 }
@@ -192,6 +236,8 @@ Result<ResponseHeader> decode_response(std::string_view body) {
   response.status = static_cast<StatusCode>(status);
   response.degraded = in.boolean();
   response.message = in.string();
+  response.skeleton_hash = in.u64();
+  response.skeleton_bytes = in.string();
   const std::uint32_t count = in.u32();
   if (in.ok() && count > kMaxRepetitions) {
     in.fail("implausible value count " + std::to_string(count));

@@ -6,7 +6,7 @@
 //
 //   offset  size  field
 //   0       4     magic "PSKF"
-//   4       1     protocol version (currently 1)
+//   4       1     protocol version (currently 2)
 //   5       1     frame kind (FrameKind)
 //   6       4     body size N in bytes
 //   10      N     body
@@ -15,7 +15,9 @@
 // The declared body size is validated against a hard cap *before* any
 // buffer is allocated: a hostile length field costs the parser nothing.
 // Request bodies carry a fixed header followed by an embedded PSKARCH1
-// container (the uploaded skeleton); response bodies carry a definite
+// container -- a skeleton for kPredict, a folded trace for kConstruct --
+// or, instead of a container, the content hash of a skeleton the server
+// already retains (hot-skeleton reuse).  Response bodies carry a definite
 // status -- every request submitted to the service produces exactly one
 // response frame, including shed (kOverloaded) and expired (kTimeout)
 // ones.  See docs/FORMATS.md for the field-by-field body layout.
@@ -32,7 +34,7 @@
 namespace psk::svc {
 
 inline constexpr std::string_view kFrameMagic = "PSKF";
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Hard cap on a frame body.  Anything larger is rejected at the length
 /// field, before allocation (uploads are skeletons, not bulk traces).
@@ -55,8 +57,20 @@ struct Frame {
   std::string body;
 };
 
-/// Appends one framed message to `out`.
-void append_frame(std::string& out, FrameKind kind, std::string_view body);
+/// Largest body the u32 length field can carry.  append_frame refuses
+/// anything bigger: encoding it would silently truncate the length and
+/// desync the stream at the next checksum.
+inline constexpr std::size_t kMaxEncodableBody = 0xFFFFFFFFu;
+
+/// Rejects (kTruncated) body sizes the frame length field cannot
+/// represent.  Split out of append_frame so the 4 GiB boundary is testable
+/// without allocating 4 GiB.
+archive::Status check_frame_body_size(std::size_t size);
+
+/// Appends one framed message to `out`.  Fails (leaving `out` untouched)
+/// when the body exceeds kMaxEncodableBody.
+archive::Status append_frame(std::string& out, FrameKind kind,
+                             std::string_view body);
 
 enum class ParseProgress {
   kFrame,     // one complete frame parsed and consumed
@@ -80,8 +94,15 @@ enum class RequestOp : std::uint8_t {
   /// through admission, so a ping observes overload like any request).
   kPing = 0,
   /// Run the uploaded skeleton under a named scenario and return the
-  /// measured times, one per repetition.
+  /// measured times, one per repetition.  The upload is either an embedded
+  /// skeleton container or, when `skeleton_hash` is nonzero, the content
+  /// hash of a skeleton the server retains from an earlier upload.
   kPredict = 1,
+  /// Upload a folded execution trace and run the construction pipeline
+  /// (fold -> cluster -> compress -> scale at K = target_k) server-side.
+  /// The response returns the constructed skeleton container and its
+  /// content hash; the server retains the skeleton for predict-by-hash.
+  kConstruct = 2,
 };
 
 enum class ValidateMode : std::uint8_t {
@@ -95,6 +116,10 @@ enum class ValidateMode : std::uint8_t {
 ValidateMode parse_validate_mode(const std::string& text);
 const char* validate_mode_name(ValidateMode mode);
 
+/// Cap on kConstruct's scaling factor K, so a hostile request cannot ask
+/// for an absurd compression target.
+inline constexpr double kMaxTargetK = 1.0e6;
+
 struct RequestHeader {
   std::uint32_t id = 0;
   RequestOp op = RequestOp::kPredict;
@@ -104,8 +129,17 @@ struct RequestHeader {
   /// Measurement seed base; repetition r runs at seed + r.
   std::uint64_t seed = 0;
   std::uint32_t repetitions = 1;
+  /// kConstruct: scaling factor K for the construction pipeline
+  /// (compression targets Q = K / divisor, the paper's K/2).  Must be in
+  /// (0, kMaxTargetK].  Ignored by kPing/kPredict.
+  double target_k = 10.0;
+  /// kPredict: when nonzero, the content hash of a retained skeleton
+  /// (hot-skeleton reuse); `archive_bytes` must then be empty.  A miss
+  /// answers kNotFound and the client re-uploads the container.
+  std::uint64_t skeleton_hash = 0;
   std::string scenario = "dedicated";
-  /// Embedded PSKARCH1 container bytes (the uploaded skeleton).
+  /// Embedded PSKARCH1 container bytes: the uploaded skeleton (kPredict)
+  /// or folded trace (kConstruct).  Empty for predict-by-hash.
   std::string archive_bytes;
 };
 
@@ -122,6 +156,14 @@ struct ResponseHeader {
   bool degraded = false;
   /// Diagnostic, empty on success.  Deterministic for identical requests.
   std::string message;
+  /// Content hash (archive::fingerprint64 over the canonical skeleton
+  /// container bytes) of the skeleton this response used or constructed;
+  /// the server retains it for predict-by-hash.  0 when no skeleton was
+  /// involved (ping, shed, undecodable upload).
+  std::uint64_t skeleton_hash = 0;
+  /// Canonical PSKARCH1 skeleton container bytes; non-empty only on a
+  /// successful kConstruct response.
+  std::string skeleton_bytes;
   /// Measured skeleton times, one per repetition; empty unless kOk.
   std::vector<double> values;
 };

@@ -1,0 +1,62 @@
+// Bounded, deterministic reservoir sampling for latency percentiles.
+//
+// The service keeps per-status completion latencies for the p50/p99/p999
+// lines in Service::publish().  Keeping the *first* N samples would freeze
+// a long-lived daemon's percentiles on its startup traffic; an unbounded
+// buffer would grow forever.  This is the standard fix: Vitter's
+// algorithm R over a fixed-size reservoir, so after n adds every sample
+// ever seen has probability capacity/n of being retained -- late samples
+// keep influencing the percentiles at any uptime.
+//
+// The replacement stream is a seeded splitmix64 sequence keyed only by the
+// constructor seed and the add() count, so a fixed sequence of adds yields
+// a fixed reservoir: publish() stays reproducible in tests, with no global
+// RNG state and no time dependence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psk::svc {
+
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 1u << 16,
+                            std::uint64_t seed = 0)
+      : capacity_(capacity), state_(seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  void add(double sample) {
+    ++count_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(sample);
+      return;
+    }
+    if (capacity_ == 0) return;
+    // Algorithm R: the n-th sample replaces a uniformly chosen slot with
+    // probability capacity/n, else is dropped.
+    const std::uint64_t slot = next_u64() % count_;
+    if (slot < capacity_) samples_[static_cast<std::size_t>(slot)] = sample;
+  }
+
+  /// Samples retained so far, in reservoir (not arrival) order.
+  const std::vector<double>& samples() const { return samples_; }
+  /// Total adds ever, retained or not.
+  std::uint64_t count() const { return count_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::uint64_t next_u64() {
+    // splitmix64: tiny, seedable, plenty for replacement-slot selection.
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::size_t capacity_;
+  std::uint64_t state_;
+  std::uint64_t count_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace psk::svc

@@ -23,9 +23,17 @@ double now_seconds() {
       .count();
 }
 
-/// Bound on retained latency samples per status, so a long-lived daemon's
-/// percentile buffers cannot grow without limit.
-constexpr std::size_t kMaxLatencySamples = 1u << 16;
+/// The canonical wire form of a skeleton: payload codec + PSKARCH1 frame.
+/// Equal skeletons encode to equal bytes (the archive layer's canonical
+/// property), so fingerprint64 over these bytes is a true content hash.
+std::string canonical_skeleton_bytes(const skeleton::Skeleton& skeleton) {
+  std::string payload;
+  archive::encode(payload, skeleton);
+  std::string canonical;
+  archive::write_frame(canonical, archive::PayloadKind::kSkeleton,
+                       archive::kSkeletonVersion, payload);
+  return canonical;
+}
 
 /// Nearest-rank percentile of `samples` (copied and sorted); 0 when empty.
 double percentile(std::vector<double> samples, double q) {
@@ -39,7 +47,17 @@ double percentile(std::vector<double> samples, double q) {
 }  // namespace
 
 Service::Service(ServiceOptions options)
-    : options_(std::move(options)), pool_(options_.workers) {}
+    : options_(std::move(options)),
+      pool_(options_.workers),
+      store_(options_.skeleton_store_entries, options_.skeleton_store_bytes) {
+  latencies_ms_.reserve(static_cast<std::size_t>(kLastStatusCode) + 1);
+  for (int code = 0; code <= static_cast<int>(kLastStatusCode); ++code) {
+    // Per-status seeds keep the reservoirs independent yet reproducible
+    // for a fixed completion order.
+    latencies_ms_.emplace_back(options_.latency_reservoir_capacity,
+                               0x70736b64u + static_cast<std::uint64_t>(code));
+  }
+}
 
 Service::~Service() { stop(); }
 
@@ -63,7 +81,11 @@ std::optional<ResponseHeader> Service::submit(Request request) {
           "admission queue full (capacity " +
           std::to_string(options_.queue_capacity) + ")";
       shed = std::move(response);
-      if (live_) deliver_shed = deliver_;
+      if (pending.request.deliver) {
+        deliver_shed = pending.request.deliver;
+      } else if (live_) {
+        deliver_shed = deliver_;
+      }
     } else {
       queue_.push_back(std::move(pending));
       {
@@ -101,7 +123,7 @@ std::vector<ResponseHeader> Service::drain() {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.queue_depth = 0;
   }
-  return run_batch(std::move(batch));
+  return run_batch(batch);
 }
 
 void Service::start(Deliver deliver) {
@@ -137,12 +159,19 @@ void Service::dispatcher_main() {
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       stats_.queue_depth = 0;
     }
-    const std::vector<ResponseHeader> responses = run_batch(std::move(batch));
-    for (const ResponseHeader& response : responses) deliver_(response);
+    const std::vector<ResponseHeader> responses = run_batch(batch);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      // A request-scoped deliver (socket session) outranks the service-wide
+      // callback: the response goes back to the connection that asked.
+      const Deliver& sink = batch[i].request.deliver
+                                ? batch[i].request.deliver
+                                : deliver_;
+      sink(responses[i]);
+    }
   }
 }
 
-std::vector<ResponseHeader> Service::run_batch(std::vector<Pending> batch) {
+std::vector<ResponseHeader> Service::run_batch(std::vector<Pending>& batch) {
   std::vector<ResponseHeader> responses(batch.size());
   if (batch.empty()) return responses;
   pool_.parallel_for(batch.size(), [&](std::size_t index) {
@@ -172,14 +201,44 @@ ResponseHeader Service::execute(const Pending& pending) {
     response.status = StatusCode::kOk;
     return response;
   }
+  if (pending.request.header.op == RequestOp::kConstruct) {
+    return construct(pending);
+  }
   return predict(pending);
 }
 
-ResponseHeader Service::predict(const Pending& pending) {
+std::optional<skeleton::Skeleton> Service::resolve_skeleton(
+    const Pending& pending, ResponseHeader& response) {
   const RequestHeader& header = pending.request.header;
-  ResponseHeader response;
-  response.id = header.id;
-  response.status = StatusCode::kBadInput;
+
+  // Hot-skeleton reuse: the request names a previously retained skeleton
+  // by content hash instead of re-sending the container.  A miss is an
+  // explicit, terminal answer -- the client re-uploads, it does not retry.
+  if (header.skeleton_hash != 0) {
+    std::optional<std::string> canonical = store_.get(header.skeleton_hash);
+    if (!canonical) {
+      response.status = StatusCode::kNotFound;
+      response.message = "skeleton " +
+                         archive::fingerprint_hex(header.skeleton_hash) +
+                         " is not resident (evicted or never uploaded); "
+                         "re-upload the container";
+      return std::nullopt;
+    }
+    // The store holds bytes our own encoder produced; failing to decode
+    // them is a server bug, not a client one.
+    archive::Result<archive::Frame> frame = archive::read_frame(*canonical);
+    if (frame.ok() && frame.value().kind == archive::PayloadKind::kSkeleton) {
+      archive::Result<skeleton::Skeleton> decoded = archive::decode_skeleton(
+          frame.value().payload, frame.value().payload_version);
+      if (decoded.ok()) {
+        response.skeleton_hash = header.skeleton_hash;
+        return decoded.take();
+      }
+    }
+    response.status = StatusCode::kInternal;
+    response.message = "retained skeleton bytes failed to decode";
+    return std::nullopt;
+  }
 
   // Parse the uploaded container.  A strict parse failure is recoverable:
   // in salvage mode (or strict mode with the salvage_fallback degradation
@@ -195,7 +254,7 @@ ResponseHeader Service::predict(const Pending& pending) {
           std::string("uploaded archive holds a ") +
           archive::payload_kind_name(frame.value().kind) +
           ", wanted a skeleton";
-      return response;
+      return std::nullopt;
     }
     archive::Result<skeleton::Skeleton> decoded = archive::decode_skeleton(
         frame.value().payload, frame.value().payload_version);
@@ -213,7 +272,7 @@ ResponseHeader Service::predict(const Pending& pending) {
         (header.validate == ValidateMode::kStrict && options_.salvage_fallback);
     if (!try_salvage) {
       response.message = "upload rejected: " + parse_failure;
-      return response;
+      return std::nullopt;
     }
     guard::SalvageReport report;
     std::optional<skeleton::Skeleton> recovered =
@@ -221,7 +280,7 @@ ResponseHeader Service::predict(const Pending& pending) {
     if (!recovered) {
       response.message = "upload rejected: " + parse_failure +
                          " (salvage recovered nothing)";
-      return response;
+      return std::nullopt;
     }
     skeleton = std::move(*recovered);
     response.degraded = true;
@@ -229,6 +288,25 @@ ResponseHeader Service::predict(const Pending& pending) {
                        std::to_string(report.ranks_kept) + " of " +
                        std::to_string(report.ranks_expected) + " rank(s)";
   }
+
+  // Retain the canonical re-encoding under its content hash so follow-up
+  // predicts can name it by hash; the response advertises the hash either
+  // way.  Content addressing makes concurrent identical uploads converge
+  // on one entry.
+  response.skeleton_hash = store_.put(canonical_skeleton_bytes(skeleton));
+  return skeleton;
+}
+
+ResponseHeader Service::predict(const Pending& pending) {
+  const RequestHeader& header = pending.request.header;
+  ResponseHeader response;
+  response.id = header.id;
+  response.status = StatusCode::kBadInput;
+
+  std::optional<skeleton::Skeleton> resolved =
+      resolve_skeleton(pending, response);
+  if (!resolved) return response;
+  skeleton::Skeleton skeleton = std::move(*resolved);
 
   // Semantic validation.  Strict uploads are refused on errors; salvage
   // mode (and a strict upload already degraded by the salvage fallback)
@@ -303,15 +381,66 @@ ResponseHeader Service::predict(const Pending& pending) {
   return response;
 }
 
+ResponseHeader Service::construct(const Pending& pending) {
+  const RequestHeader& header = pending.request.header;
+  ResponseHeader response;
+  response.id = header.id;
+  response.status = StatusCode::kBadInput;
+
+  // The upload is a folded execution trace (psk trace's output container),
+  // not a skeleton.  There is no salvage path for traces: a torn trace
+  // would silently construct a skeleton of a different application prefix,
+  // which is worse than an explicit rejection.
+  archive::Result<archive::Frame> frame =
+      archive::read_frame(header.archive_bytes);
+  if (!frame.ok()) {
+    response.message = "trace upload rejected: " + frame.error().render();
+    return response;
+  }
+  if (frame.value().kind != archive::PayloadKind::kTrace) {
+    response.message = std::string("uploaded archive holds a ") +
+                       archive::payload_kind_name(frame.value().kind) +
+                       ", wanted a trace";
+    return response;
+  }
+  archive::Result<trace::Trace> decoded = archive::decode_trace(
+      frame.value().payload, frame.value().payload_version);
+  if (!decoded.ok()) {
+    response.message = "trace upload rejected: " + decoded.error().render();
+    return response;
+  }
+
+  try {
+    const core::SkeletonFramework framework(options_.framework);
+    // Full server-side construction: cluster + loop-compress at Q = K /
+    // divisor, scale by K, and retry compression thresholds until the
+    // scaled skeleton validates across ranks.
+    const skeleton::Skeleton skeleton =
+        framework.make_consistent_skeleton(decoded.value(), header.target_k);
+    std::string canonical = canonical_skeleton_bytes(skeleton);
+    response.skeleton_hash = store_.put(canonical);
+    response.skeleton_bytes = std::move(canonical);
+    response.status = StatusCode::kOk;
+  } catch (const guard::ValidationError& e) {
+    response.message = e.what();
+  } catch (const FormatError& e) {
+    response.message = e.what();
+  } catch (const ConfigError& e) {
+    response.message = e.what();
+  } catch (const std::exception& e) {
+    response.status = StatusCode::kInternal;
+    response.message = std::string("internal error: ") + e.what();
+  }
+  return response;
+}
+
 void Service::record_response(const ResponseHeader& response,
                               double latency_ms) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.completed;
   ++stats_.by_status[static_cast<int>(response.status)];
   if (response.degraded) ++stats_.degraded;
-  std::vector<double>& samples =
-      latencies_ms_[static_cast<int>(response.status)];
-  if (samples.size() < kMaxLatencySamples) samples.push_back(latency_ms);
+  latencies_ms_[static_cast<int>(response.status)].add(latency_ms);
 }
 
 ServiceStats Service::stats() const {
@@ -330,11 +459,22 @@ void Service::publish(obs::MetricsRegistry& metrics) const {
       .add(static_cast<double>(stats_.queue_depth));
   metrics.counter("svc.queue_depth.high_water")
       .add(static_cast<double>(stats_.queue_high_water));
+  const StoreStats store = store_.stats();
+  metrics.counter("svc.store.inserted")
+      .add(static_cast<double>(store.inserted));
+  metrics.counter("svc.store.refreshed")
+      .add(static_cast<double>(store.refreshed));
+  metrics.counter("svc.store.hits").add(static_cast<double>(store.hits));
+  metrics.counter("svc.store.misses").add(static_cast<double>(store.misses));
+  metrics.counter("svc.store.evicted").add(static_cast<double>(store.evicted));
+  metrics.counter("svc.store.entries").add(static_cast<double>(store.entries));
+  metrics.counter("svc.store.bytes").add(static_cast<double>(store.bytes));
   for (int code = 0; code <= static_cast<int>(kLastStatusCode); ++code) {
     const char* name = status_name(static_cast<StatusCode>(code));
     metrics.counter(std::string("svc.status.") + name)
         .add(static_cast<double>(stats_.by_status[code]));
-    const std::vector<double>& samples = latencies_ms_[code];
+    const std::vector<double>& samples =
+        latencies_ms_[static_cast<std::size_t>(code)].samples();
     if (samples.empty()) continue;
     metrics.counter(std::string("svc.latency_ms.") + name + ".p50")
         .add(percentile(samples, 0.50));

@@ -47,8 +47,13 @@
 #include "obs/metrics.h"
 #include "runner/pool.h"
 #include "svc/frame.h"
+#include "svc/reservoir.h"
+#include "svc/store.h"
 
 namespace psk::svc {
+
+/// Response sink: how a completed request's answer leaves the service.
+using Deliver = std::function<void(const ResponseHeader&)>;
 
 struct ServiceOptions {
   /// Bound on requests admitted but not yet executed.  Submissions beyond
@@ -62,6 +67,14 @@ struct ServiceOptions {
   /// Recover the usable prefix of an unparseable strict upload instead of
   /// rejecting it (the response is marked degraded).
   bool salvage_fallback = true;
+  /// Bounds on the hot-skeleton store (svc/store.h): entry count and total
+  /// retained canonical bytes.  0 entries disables retention; predict-by-
+  /// hash then always answers kNotFound.
+  std::size_t skeleton_store_entries = 256;
+  std::size_t skeleton_store_bytes = 256u << 20;
+  /// Per-status latency reservoir size for publish()'s percentiles.  The
+  /// reservoir is seeded and deterministic for a fixed completion order.
+  std::size_t latency_reservoir_capacity = 1u << 16;
   /// Template for per-request frameworks: cluster, ranks, seeds, result
   /// cache.  Per-request wall deadlines overlay onto a copy of this.
   core::FrameworkOptions framework;
@@ -73,6 +86,11 @@ struct Request {
   /// Optional cooperative cancel flag; the service checks it at dequeue
   /// and between repetitions.  Null = not cancelable.
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Optional per-request response sink.  In live mode a set deliver
+  /// overrides the service-wide callback -- this is how socket sessions
+  /// route each response back to the connection that asked (the closure
+  /// keeps the session alive until its last response is out).
+  Deliver deliver;
 };
 
 /// Monotonic counters describing service behaviour since construction.
@@ -89,7 +107,7 @@ struct ServiceStats {
 
 class Service {
  public:
-  using Deliver = std::function<void(const ResponseHeader&)>;
+  using Deliver = svc::Deliver;
 
   explicit Service(ServiceOptions options = {});
   ~Service();
@@ -121,8 +139,14 @@ class Service {
 
   ServiceStats stats() const;
 
-  /// Publishes stats as obs instruments (svc.* counters, queue depth and
-  /// per-status latency percentiles).  Call on a fresh registry.
+  /// The hot-skeleton store backing predict-by-hash reuse.  Shared by all
+  /// sessions submitting into this service.
+  SkeletonStore& skeleton_store() { return store_; }
+  const SkeletonStore& skeleton_store() const { return store_; }
+
+  /// Publishes stats as obs instruments (svc.* counters, queue depth,
+  /// per-status latency percentiles and svc.store.* reuse counters).
+  /// Call on a fresh registry.
   void publish(obs::MetricsRegistry& metrics) const;
 
  private:
@@ -136,12 +160,20 @@ class Service {
 
   ResponseHeader execute(const Pending& pending);
   ResponseHeader predict(const Pending& pending);
-  std::vector<ResponseHeader> run_batch(std::vector<Pending> batch);
+  ResponseHeader construct(const Pending& pending);
+  /// Parses, salvages (per validate mode) and canonicalises an uploaded
+  /// skeleton container; fills degraded/message/skeleton_hash on
+  /// `response` and retains the canonical bytes in the store.  Returns
+  /// nullopt after setting a definite failure status on `response`.
+  std::optional<skeleton::Skeleton> resolve_skeleton(const Pending& pending,
+                                                    ResponseHeader& response);
+  std::vector<ResponseHeader> run_batch(std::vector<Pending>& batch);
   void record_response(const ResponseHeader& response, double latency_ms);
   void dispatcher_main();
 
   ServiceOptions options_;
   runner::ThreadPool pool_;
+  SkeletonStore store_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -154,8 +186,10 @@ class Service {
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
   /// Completion latencies in milliseconds, per status code, for the
-  /// percentile lines in publish().
-  std::vector<double> latencies_ms_[static_cast<int>(kLastStatusCode) + 1];
+  /// percentile lines in publish().  Seeded reservoirs: bounded forever,
+  /// yet late samples still move the percentiles (unlike first-N
+  /// retention, which freezes on startup traffic).
+  std::vector<LatencyReservoir> latencies_ms_;
 };
 
 }  // namespace psk::svc

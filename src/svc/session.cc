@@ -1,0 +1,197 @@
+#include "svc/session.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "archive/wire.h"
+
+namespace psk::svc {
+
+Session::Session(int fd, Service& service, SessionOptions options)
+    : fd_(fd), service_(service), options_(std::move(options)) {}
+
+Session::~Session() { ::close(fd_); }
+
+SessionEnd Session::run() {
+  std::string buffer;
+  char chunk[1 << 16];
+  SessionEnd end = SessionEnd::kClean;
+  bool stop = false;
+  while (!stop) {
+    const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      // A dead connection is a disconnect, not a protocol error; whatever
+      // is queued answers kCanceled below.
+      end = buffer.empty() ? SessionEnd::kClean : SessionEnd::kMidFrame;
+      break;
+    }
+    if (got == 0) {
+      end = buffer.empty() ? SessionEnd::kClean : SessionEnd::kMidFrame;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    bool progressed = true;
+    while (progressed && !stop) {
+      Frame frame;
+      std::size_t consumed = 0;
+      archive::Error error;
+      switch (try_parse_frame(buffer, options_.max_frame_bytes, frame,
+                              consumed, error)) {
+        case ParseProgress::kFrame:
+          buffer.erase(0, consumed);
+          if (frame.kind == FrameKind::kRequest) {
+            handle_request(frame.body);
+          } else if (frame.kind == FrameKind::kFlush) {
+            // Socket sessions are live: execution is continuous, so the
+            // pipe-mode batch boundary is accepted and ignored.
+          } else {
+            end = SessionEnd::kBadStream;
+            stop = true;
+          }
+          break;
+        case ParseProgress::kNeedMore:
+          progressed = false;
+          break;
+        case ParseProgress::kBad:
+          end = SessionEnd::kBadStream;
+          stop = true;
+          break;
+      }
+    }
+    if (!stop) {
+      std::lock_guard<std::mutex> lock(write_mutex_);
+      if (write_failed_) {
+        end = SessionEnd::kWriteFailed;
+        stop = true;
+      }
+    }
+  }
+  // Teardown: whatever this connection still has queued answers kCanceled
+  // through its per-request deliver -- other sessions are untouched.
+  cancel_outstanding();
+  return end;
+}
+
+void Session::handle_request(const std::string& body) {
+  archive::Result<RequestHeader> decoded = decode_request(body);
+  if (!decoded.ok()) {
+    ResponseHeader response;
+    // The id is the first field; when even that is missing it stays 0.
+    if (body.size() >= 4) {
+      archive::Cursor in(body);
+      response.id = in.u32();
+    }
+    response.status = StatusCode::kBadInput;
+    response.message = "bad request: " + decoded.error().render();
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++stats_.requests;
+    }
+    send_response(response);
+    return;
+  }
+
+  Request request;
+  request.header = decoded.take();
+  if (options_.validate_override) {
+    request.header.validate = *options_.validate_override;
+  }
+  request.cancel = std::make_shared<std::atomic<bool>>(false);
+
+  bool shed_at_cap = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++stats_.requests;
+    if (inflight_ >= options_.max_inflight) {
+      ++stats_.shed_inflight;
+      shed_at_cap = true;
+    } else {
+      ++inflight_;
+      // Prune flags the service has already released (answered requests),
+      // so a long-lived session's cancel list stays bounded.
+      std::size_t kept = 0;
+      for (auto& cancel : cancels_) {
+        if (cancel.use_count() > 1) cancels_[kept++] = std::move(cancel);
+      }
+      cancels_.resize(kept);
+      cancels_.push_back(request.cancel);
+    }
+  }
+  if (shed_at_cap) {
+    // Fair admission: this connection alone is past its in-flight budget.
+    // Shed with the same loud, retryable status as queue overload, without
+    // letting it occupy shared queue capacity.
+    ResponseHeader response;
+    response.id = request.header.id;
+    response.status = StatusCode::kOverloaded;
+    response.message = "session in-flight cap (" +
+                       std::to_string(options_.max_inflight) + ") reached";
+    send_response(response);
+    return;
+  }
+
+  request.deliver = [self = shared_from_this()](const ResponseHeader& r) {
+    {
+      std::lock_guard<std::mutex> lock(self->state_mutex_);
+      if (self->inflight_ > 0) --self->inflight_;
+    }
+    self->send_response(r);
+  };
+  // Shed-at-admission responses also arrive through the deliver closure,
+  // so the return value is intentionally ignored.
+  service_.submit(std::move(request));
+}
+
+void Session::send_response(const ResponseHeader& response) {
+  std::string body;
+  encode_response(body, response);
+  std::string framed;
+  const archive::Status framed_ok =
+      append_frame(framed, FrameKind::kResponse, body);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++stats_.responses;
+  }
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (!framed_ok.ok()) {
+    // An unencodable response (body past the u32 length field) cannot be
+    // sent; poison the connection rather than desync the stream.
+    write_failed_ = true;
+    return;
+  }
+  if (write_failed_) return;  // peer already gone; accounted, not silent
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t wrote = ::send(fd_, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      write_failed_ = true;
+      return;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+void Session::abort() { ::shutdown(fd_, SHUT_RDWR); }
+
+void Session::cancel_outstanding() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const auto& cancel : cancels_) {
+    if (cancel.use_count() > 1 && !cancel->exchange(true)) {
+      ++stats_.canceled;
+    }
+  }
+  cancels_.clear();
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return stats_;
+}
+
+}  // namespace psk::svc

@@ -29,10 +29,14 @@ enum class StatusCode : std::uint8_t {
   kCanceled = 4,
   /// Server-side failure executing a well-formed request.
   kInternal = 5,
+  /// Terminal for this request: a predict-by-hash named a skeleton the
+  /// server no longer retains (evicted, or never uploaded).  The fix is a
+  /// re-upload, not a retry of the same request.
+  kNotFound = 6,
 };
 
 inline constexpr std::uint8_t kLastStatusCode =
-    static_cast<std::uint8_t>(StatusCode::kInternal);
+    static_cast<std::uint8_t>(StatusCode::kNotFound);
 
 const char* status_name(StatusCode code);
 

@@ -1,0 +1,65 @@
+#include "svc/store.h"
+
+#include <utility>
+
+#include "archive/wire.h"
+
+namespace psk::svc {
+
+SkeletonStore::SkeletonStore(std::size_t capacity_entries,
+                             std::size_t capacity_bytes)
+    : capacity_entries_(capacity_entries), capacity_bytes_(capacity_bytes) {}
+
+std::uint64_t SkeletonStore::put(std::string bytes) {
+  const std::uint64_t hash = archive::fingerprint64(bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = entries_.find(hash); it != entries_.end()) {
+    order_.splice(order_.begin(), order_, it->second.position);
+    ++stats_.refreshed;
+    return hash;
+  }
+  if (capacity_entries_ == 0 || bytes.size() > capacity_bytes_) {
+    // Unretainable: the protocol still works, every predict-by-hash for
+    // this skeleton just answers kNotFound.
+    return hash;
+  }
+  order_.push_front(hash);
+  stats_.bytes += bytes.size();
+  entries_.emplace(hash, Entry{std::move(bytes), order_.begin()});
+  ++stats_.inserted;
+  stats_.entries = entries_.size();
+  evict_to_fit_locked();
+  return hash;
+}
+
+std::optional<std::string> SkeletonStore::get(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  order_.splice(order_.begin(), order_, it->second.position);
+  ++stats_.hits;
+  return it->second.bytes;
+}
+
+StoreStats SkeletonStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SkeletonStore::evict_to_fit_locked() {
+  while (entries_.size() > capacity_entries_ ||
+         stats_.bytes > capacity_bytes_) {
+    const std::uint64_t victim = order_.back();
+    order_.pop_back();
+    const auto it = entries_.find(victim);
+    stats_.bytes -= it->second.bytes.size();
+    entries_.erase(it);
+    ++stats_.evicted;
+  }
+  stats_.entries = entries_.size();
+}
+
+}  // namespace psk::svc

@@ -1,0 +1,75 @@
+// Hot-skeleton store: the server-side half of predict-by-hash reuse.
+//
+// Every skeleton that enters the service -- uploaded with a predict, or
+// constructed server-side from a trace -- is re-encoded to its *canonical*
+// PSKARCH1 container bytes and retained here under
+// archive::fingerprint64(bytes).  Clients then name the skeleton by hash
+// instead of re-sending the container on every request, which is the
+// difference between a ~100-byte request and re-uploading megabytes.
+//
+// The store is a bounded LRU on two axes (entry count and total retained
+// bytes), so a long-lived daemon cannot grow without limit; eviction is
+// silent and safe because a miss has an explicit protocol answer
+// (StatusCode::kNotFound) telling the client to re-upload.  Content
+// addressing makes concurrent inserts of the same skeleton idempotent:
+// equal canonical bytes always map to the same hash.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace psk::svc {
+
+struct StoreStats {
+  std::uint64_t inserted = 0;   // puts that created a new entry
+  std::uint64_t refreshed = 0;  // puts that hit an existing entry
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evicted = 0;
+  std::size_t entries = 0;  // current
+  std::size_t bytes = 0;    // current retained canonical bytes
+};
+
+/// Thread-safe bounded LRU of canonical skeleton container bytes, keyed by
+/// their content hash.  Both get() and put() count as a "use" for LRU
+/// ordering.
+class SkeletonStore {
+ public:
+  /// `capacity_entries` == 0 disables retention entirely (every put is
+  /// dropped, every get misses); `capacity_bytes` bounds the sum of
+  /// retained container sizes.  A single container larger than
+  /// `capacity_bytes` is never retained.
+  SkeletonStore(std::size_t capacity_entries, std::size_t capacity_bytes);
+
+  /// Retains `bytes` under their content hash and returns that hash.
+  /// Evicts least-recently-used entries until both capacity axes hold.
+  std::uint64_t put(std::string bytes);
+
+  /// The retained canonical bytes for `hash`, bumping it to
+  /// most-recently-used; nullopt on a miss (evicted or never uploaded).
+  std::optional<std::string> get(std::uint64_t hash);
+
+  StoreStats stats() const;
+
+ private:
+  void evict_to_fit_locked();
+
+  const std::size_t capacity_entries_;
+  const std::size_t capacity_bytes_;
+
+  mutable std::mutex mutex_;
+  /// Most-recently-used at the front.
+  std::list<std::uint64_t> order_;
+  struct Entry {
+    std::string bytes;
+    std::list<std::uint64_t>::iterator position;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  StoreStats stats_;
+};
+
+}  // namespace psk::svc

@@ -1,0 +1,137 @@
+// Local-socket / TCP transport for the pskd prediction service.
+//
+// Pipe mode (PR 7) serves exactly one client per process; this layer turns
+// the same framed protocol into a deployment surface: a listener accepts
+// connections and gives each one a Session (svc/session.h) on its own
+// thread, all submitting into one shared admission-controlled Service.
+//
+//   pskd --listen=unix:/tmp/pskd.sock
+//   pskd --listen=tcp:127.0.0.1:7071
+//
+// Address syntax is `unix:<path>` or `tcp:<host>:<port>` (IPv4 numeric or
+// `localhost`; port 0 binds an ephemeral port, readable back from
+// bound_address() -- tests use that).  Binding a unix path takes it over:
+// a stale socket file from a crashed daemon is unlinked.
+//
+// SocketClient is the matching blocking client used by the tests, the
+// socket smoke and the load bench; real deployments can speak the frame
+// protocol from any language.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "svc/frame.h"
+#include "svc/session.h"
+
+namespace psk::svc {
+
+struct ListenAddress {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  /// unix: filesystem path of the socket.
+  std::string path;
+  /// tcp: numeric IPv4 host (or "localhost") and port; port 0 = ephemeral.
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses `unix:<path>` / `tcp:<host>:<port>`; throws ConfigError naming
+/// the accepted forms on anything else.
+ListenAddress parse_listen_address(const std::string& text);
+
+/// Canonical rendering, e.g. "unix:/tmp/pskd.sock" or "tcp:127.0.0.1:7071".
+std::string listen_address_name(const ListenAddress& address);
+
+struct SocketServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t clean = 0;         // sessions that ended at a frame boundary
+  std::uint64_t mid_frame = 0;     // client died mid-send
+  std::uint64_t bad_stream = 0;    // unparsable bytes
+  std::uint64_t write_failed = 0;  // client stopped reading
+};
+
+/// Accepts connections on a bound address and runs one Session per
+/// connection.  The listening socket is bound at construction (so an
+/// ephemeral TCP port is known before serve()); serve() runs the accept
+/// loop on the calling thread.
+class SocketServer {
+ public:
+  /// Binds and listens; throws ConfigError on bind/listen failure.  The
+  /// service must be in live mode (start() called) before serve().
+  SocketServer(ListenAddress address, Service& service,
+               SessionOptions session_options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound address -- identical to the constructor's except that an
+  /// ephemeral TCP port (0) is resolved to the real one.
+  const ListenAddress& bound_address() const { return address_; }
+
+  /// Accept loop.  Returns after `max_connections` accepted connections
+  /// have fully ended (0 = serve until stop()), with all session threads
+  /// joined.  Responses still queued in the service when a session ends
+  /// are delivered as the service drains them; Session lifetimes extend
+  /// past the join via the per-request deliver closures.
+  void serve(std::size_t max_connections = 0);
+
+  /// Unblocks serve() from another thread: stops accepting and shuts the
+  /// read side of every active session so their loops end.  Idempotent.
+  void stop();
+
+  SocketServerStats stats() const;
+
+ private:
+  void run_session(std::shared_ptr<Session> session);
+
+  ListenAddress address_;
+  Service& service_;
+  SessionOptions session_options_;
+  int listen_fd_ = -1;
+
+  mutable std::mutex mutex_;
+  bool stopping_ = false;
+  std::vector<std::weak_ptr<Session>> active_;
+  std::vector<std::thread> threads_;
+  SocketServerStats stats_;
+};
+
+/// Blocking client for tests and benches: connect, write frames, read
+/// back responses.
+class SocketClient {
+ public:
+  /// Connects; throws ConfigError when the endpoint does not resolve or
+  /// refuses.
+  explicit SocketClient(const ListenAddress& address);
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  void send_frame(FrameKind kind, std::string_view body);
+  void send_request(const RequestHeader& request);
+  /// Sends raw bytes as-is -- tests use it to die mid-frame on purpose.
+  void send_bytes(std::string_view bytes);
+
+  /// Blocks for the next response frame; false on EOF or a bad stream.
+  bool read_response(ResponseHeader& response);
+
+  /// Half-close: signals EOF to the server while leaving the read side
+  /// open for remaining responses.
+  void shutdown_send();
+  /// Hard close both directions (the abrupt-disconnect shape).
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace psk::svc

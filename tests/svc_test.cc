@@ -8,11 +8,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -25,8 +29,12 @@
 #include "core/framework.h"
 #include "obs/metrics.h"
 #include "svc/frame.h"
+#include "svc/reservoir.h"
 #include "svc/service.h"
+#include "svc/session.h"
 #include "svc/status.h"
+#include "svc/store.h"
+#include "svc/transport.h"
 #include "util/error.h"
 
 namespace psk {
@@ -53,6 +61,23 @@ const std::string& skeleton_upload() {
   return bytes;
 }
 
+/// PSKARCH1 trace container of the shared sample app, for kConstruct
+/// uploads (built once, like skeleton_upload()).
+const std::string& trace_upload() {
+  static const std::string bytes = [] {
+    core::SkeletonFramework framework;
+    const trace::Trace trace = framework.record(
+        apps::find_benchmark("MG").make(apps::NasClass::kS), "MG");
+    std::string payload;
+    archive::encode(payload, trace);
+    std::string out;
+    archive::write_frame(out, archive::PayloadKind::kTrace,
+                         archive::kTraceVersion, payload);
+    return out;
+  }();
+  return bytes;
+}
+
 svc::RequestHeader predict_request(std::uint32_t id,
                                    std::uint32_t repetitions = 1) {
   svc::RequestHeader request;
@@ -62,6 +87,25 @@ svc::RequestHeader predict_request(std::uint32_t id,
   request.repetitions = repetitions;
   request.scenario = "dedicated";
   request.archive_bytes = skeleton_upload();
+  return request;
+}
+
+/// Predict-by-hash: names a retained skeleton instead of embedding one.
+svc::RequestHeader hash_request(std::uint32_t id, std::uint64_t hash) {
+  svc::RequestHeader request = predict_request(id);
+  request.archive_bytes.clear();
+  request.skeleton_hash = hash;
+  return request;
+}
+
+svc::RequestHeader construct_request(std::uint32_t id,
+                                     double target_k = 10.0) {
+  svc::RequestHeader request;
+  request.id = id;
+  request.op = svc::RequestOp::kConstruct;
+  request.seed = 7;
+  request.target_k = target_k;
+  request.archive_bytes = trace_upload();
   return request;
 }
 
@@ -217,16 +261,215 @@ TEST(SvcFrame, ValidateModeParsesAndListsValidOnes) {
   }
 }
 
+TEST(SvcFrame, OversizedBodyIsRejectedNotTruncated) {
+  // The u32 length field caps an encodable body at 2^32-1 bytes.  The
+  // boundary is tested through check_frame_body_size so nothing has to
+  // allocate 4 GiB; append_frame delegates to it before writing.
+  EXPECT_TRUE(svc::check_frame_body_size(0).ok());
+  EXPECT_TRUE(svc::check_frame_body_size(svc::kMaxEncodableBody).ok());
+  static_assert(sizeof(std::size_t) > 4,
+                "the oversized-body boundary needs 64-bit sizes");
+  const archive::Status status =
+      svc::check_frame_body_size(svc::kMaxEncodableBody + 1);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, archive::ErrorCode::kTruncated);
+  EXPECT_NE(status.error().render().find("u32 length field"),
+            std::string::npos);
+
+  std::string out = "prefix";
+  EXPECT_TRUE(svc::append_frame(out, svc::FrameKind::kRequest, "ok").ok());
+  EXPECT_EQ(out.substr(0, 6), "prefix");  // appends, never clobbers
+}
+
+TEST(SvcFrame, RequestCodecRoundTripsConstructAndHashFields) {
+  svc::RequestHeader construct;
+  construct.id = 11;
+  construct.op = svc::RequestOp::kConstruct;
+  construct.seed = 3;
+  construct.target_k = 25.0;
+  construct.archive_bytes = "PSKARCH1 pretend trace";
+  std::string body;
+  svc::encode_request(body, construct);
+  archive::Result<svc::RequestHeader> decoded = svc::decode_request(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().render();
+  EXPECT_EQ(decoded.value().op, svc::RequestOp::kConstruct);
+  EXPECT_DOUBLE_EQ(decoded.value().target_k, 25.0);
+  EXPECT_EQ(decoded.value().archive_bytes, construct.archive_bytes);
+
+  const svc::RequestHeader by_hash = hash_request(12, 0xfeedfacecafef00dull);
+  body.clear();
+  svc::encode_request(body, by_hash);
+  decoded = svc::decode_request(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().render();
+  EXPECT_EQ(decoded.value().skeleton_hash, 0xfeedfacecafef00dull);
+  EXPECT_TRUE(decoded.value().archive_bytes.empty());
+}
+
+TEST(SvcFrame, RequestCodecRejectsAmbiguousOrHostileHashFields) {
+  // A hash plus an embedded container is ambiguous.
+  svc::RequestHeader request = predict_request(1);
+  request.skeleton_hash = 42;
+  std::string body;
+  svc::encode_request(body, request);
+  EXPECT_FALSE(svc::decode_request(body).ok());
+
+  // Only predicts may name a skeleton by hash.
+  request = hash_request(2, 42);
+  request.op = svc::RequestOp::kConstruct;
+  body.clear();
+  svc::encode_request(body, request);
+  EXPECT_FALSE(svc::decode_request(body).ok());
+
+  // target_k must be a sane positive compression target.
+  for (const double bad_k : {0.0, -1.0, svc::kMaxTargetK * 2}) {
+    request = predict_request(3);
+    request.target_k = bad_k;
+    body.clear();
+    svc::encode_request(body, request);
+    EXPECT_FALSE(svc::decode_request(body).ok()) << bad_k;
+  }
+}
+
+TEST(SvcFrame, ResponseCodecRoundTripsSkeletonFields) {
+  svc::ResponseHeader response;
+  response.id = 9;
+  response.status = svc::StatusCode::kOk;
+  response.skeleton_hash = 0x1234567890abcdefull;
+  response.skeleton_bytes = "PSKARCH1 pretend skeleton";
+  response.values = {1.5};
+  archive::Result<svc::ResponseHeader> decoded =
+      svc::decode_response(encoded(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().render();
+  EXPECT_EQ(decoded.value().skeleton_hash, response.skeleton_hash);
+  EXPECT_EQ(decoded.value().skeleton_bytes, response.skeleton_bytes);
+  EXPECT_EQ(decoded.value().values, response.values);
+}
+
 TEST(SvcStatus, RetryClassificationAndBackoff) {
   EXPECT_TRUE(svc::is_retryable(svc::StatusCode::kOverloaded));
   EXPECT_TRUE(svc::is_retryable(svc::StatusCode::kTimeout));
   EXPECT_FALSE(svc::is_retryable(svc::StatusCode::kBadInput));
   EXPECT_FALSE(svc::is_retryable(svc::StatusCode::kOk));
+  EXPECT_FALSE(svc::is_retryable(svc::StatusCode::kNotFound));
   const svc::RetryPolicy policy;
   EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), 0.01);
   EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 0.02);
   EXPECT_DOUBLE_EQ(policy.backoff_seconds(2), 0.04);
   EXPECT_DOUBLE_EQ(policy.backoff_seconds(30), 1.0);  // capped
+}
+
+TEST(SvcStatus, BackoffEdgesStayBoundedAndPositive) {
+  // Attempt 0 and any negative attempt sleep the initial backoff: the
+  // schedule never multiplies before the first retry.
+  svc::RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(-1), 0.01);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(-1000), 0.01);
+
+  // multiplier == 1.0 degenerates to a constant schedule, not a hang or 0.
+  policy.multiplier = 1.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), 0.01);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(100), 0.01);
+
+  // A misconfigured initial > max is clamped to max on every attempt.
+  policy = svc::RetryPolicy{};
+  policy.initial_backoff_seconds = 5.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), policy.max_backoff_seconds);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3), policy.max_backoff_seconds);
+
+  // Sweep: whatever the attempt, the backoff is positive and capped.
+  policy = svc::RetryPolicy{};
+  for (int attempt = -2; attempt <= 64; ++attempt) {
+    const double backoff = policy.backoff_seconds(attempt);
+    EXPECT_GT(backoff, 0.0) << attempt;
+    EXPECT_LE(backoff, policy.max_backoff_seconds) << attempt;
+  }
+}
+
+// -------------------------------------------------------------- reservoir
+
+TEST(SvcReservoir, FirstSamplesAreKeptVerbatim) {
+  svc::LatencyReservoir reservoir(4, 1);
+  for (double v : {1.0, 2.0, 3.0}) reservoir.add(v);
+  EXPECT_EQ(reservoir.count(), 3u);
+  EXPECT_EQ(reservoir.samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SvcReservoir, LateSamplesStillInfluenceTheReservoir) {
+  // The bug this replaces: first-N retention freezes percentiles on
+  // startup traffic.  After 100x the capacity of late, larger samples,
+  // the reservoir must contain some of them.
+  const std::size_t capacity = 16;
+  svc::LatencyReservoir reservoir(capacity, 7);
+  for (std::size_t i = 0; i < capacity; ++i) reservoir.add(1.0);  // startup
+  for (int i = 0; i < 1600; ++i) reservoir.add(1000.0);           // steady state
+  EXPECT_EQ(reservoir.count(), capacity + 1600);
+  EXPECT_EQ(reservoir.samples().size(), capacity);
+  const std::size_t late = static_cast<std::size_t>(
+      std::count(reservoir.samples().begin(), reservoir.samples().end(),
+                 1000.0));
+  EXPECT_GT(late, 0u);  // not frozen on the startup samples
+}
+
+TEST(SvcReservoir, SeededReplacementIsDeterministic) {
+  svc::LatencyReservoir a(8, 42);
+  svc::LatencyReservoir b(8, 42);
+  for (int i = 0; i < 500; ++i) {
+    a.add(i * 0.5);
+    b.add(i * 0.5);
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+// ------------------------------------------------------------------ store
+
+TEST(SvcStore, ContentAddressedPutAndGet) {
+  svc::SkeletonStore store(4, 1 << 20);
+  const std::uint64_t hash = store.put("skeleton bytes");
+  EXPECT_EQ(hash, archive::fingerprint64("skeleton bytes"));
+  EXPECT_EQ(store.put("skeleton bytes"), hash);  // idempotent
+  const std::optional<std::string> back = store.get(hash);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, "skeleton bytes");
+  EXPECT_FALSE(store.get(hash ^ 1).has_value());
+  const svc::StoreStats stats = store.stats();
+  EXPECT_EQ(stats.inserted, 1u);
+  EXPECT_EQ(stats.refreshed, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, std::string("skeleton bytes").size());
+}
+
+TEST(SvcStore, EvictsLeastRecentlyUsedOnEntryCap) {
+  svc::SkeletonStore store(2, 1 << 20);
+  const std::uint64_t a = store.put("aaaa");
+  const std::uint64_t b = store.put("bbbb");
+  ASSERT_TRUE(store.get(a).has_value());  // a is now most recently used
+  const std::uint64_t c = store.put("cccc");  // evicts b, not a
+  EXPECT_TRUE(store.get(a).has_value());
+  EXPECT_FALSE(store.get(b).has_value());
+  EXPECT_TRUE(store.get(c).has_value());
+  EXPECT_EQ(store.stats().evicted, 1u);
+  EXPECT_EQ(store.stats().entries, 2u);
+}
+
+TEST(SvcStore, ByteCapAndUnretainableEntries) {
+  svc::SkeletonStore store(16, 10);
+  const std::uint64_t a = store.put("12345678");  // 8 of 10 bytes
+  const std::uint64_t b = store.put("4444");      // evicts a to fit
+  EXPECT_FALSE(store.get(a).has_value());
+  EXPECT_TRUE(store.get(b).has_value());
+  EXPECT_LE(store.stats().bytes, 10u);
+
+  // A single container larger than the byte cap is never retained -- and
+  // must not evict everything else on the way to discovering that.
+  const std::uint64_t big = store.put("this is far more than ten bytes");
+  EXPECT_FALSE(store.get(big).has_value());
+  EXPECT_TRUE(store.get(b).has_value());
+
+  // Zero entries disables retention entirely.
+  svc::SkeletonStore off(0, 1 << 20);
+  EXPECT_FALSE(off.get(off.put("bytes")).has_value());
 }
 
 // ---------------------------------------------------------------- service
@@ -396,7 +639,7 @@ TEST(SvcService, StrictWithoutFallbackRejectsTornUpload) {
 TEST(SvcService, SalvageFallbackDegradesInsteadOfRejecting) {
   svc::Service baseline_service;
   const svc::ResponseHeader baseline =
-      roundtrip_one(baseline_service, svc::Request{predict_request(7), {}});
+      roundtrip_one(baseline_service, svc::Request{predict_request(7), {}, {}});
   ASSERT_EQ(baseline.status, svc::StatusCode::kOk);
   ASSERT_EQ(baseline.values.size(), 1u);
 
@@ -418,8 +661,8 @@ TEST(SvcService, PublishesCountersAndLatencyPercentiles) {
   svc::ServiceOptions options;
   options.queue_capacity = 1;
   svc::Service service(options);
-  service.submit(svc::Request{predict_request(1), {}});
-  service.submit(svc::Request{predict_request(2), {}});  // shed
+  service.submit(svc::Request{predict_request(1), {}, {}});
+  service.submit(svc::Request{predict_request(2), {}, {}});  // shed
   service.drain();
   obs::MetricsRegistry metrics;
   service.publish(metrics);
@@ -430,6 +673,102 @@ TEST(SvcService, PublishesCountersAndLatencyPercentiles) {
   EXPECT_NE(kv.find("svc.status.overloaded=1"), std::string::npos) << kv;
   EXPECT_NE(kv.find("svc.latency_ms.ok.p99="), std::string::npos) << kv;
   EXPECT_NE(kv.find("svc.queue_depth.high_water=1"), std::string::npos) << kv;
+  EXPECT_NE(kv.find("svc.store.inserted=1"), std::string::npos) << kv;
+}
+
+// ------------------------------------------------- construct & hash reuse
+
+TEST(SvcService, ConstructBuildsSkeletonServerSideAndRetainsIt) {
+  svc::Service service;
+  const svc::ResponseHeader response =
+      roundtrip_one(service, svc::Request{construct_request(1), {}, {}});
+  ASSERT_EQ(response.status, svc::StatusCode::kOk) << response.message;
+  ASSERT_NE(response.skeleton_hash, 0u);
+  ASSERT_FALSE(response.skeleton_bytes.empty());
+  // The returned container is the canonical encoding: its fingerprint is
+  // the announced hash, and it parses back into a skeleton archive.
+  EXPECT_EQ(archive::fingerprint64(response.skeleton_bytes),
+            response.skeleton_hash);
+  archive::Result<archive::Frame> frame =
+      archive::read_frame(response.skeleton_bytes);
+  ASSERT_TRUE(frame.ok()) << frame.error().render();
+  EXPECT_EQ(frame.value().kind, archive::PayloadKind::kSkeleton);
+
+  // The constructed skeleton stays resident: predicting by the returned
+  // hash works without ever re-sending a container.
+  const svc::ResponseHeader predicted = roundtrip_one(
+      service, svc::Request{hash_request(2, response.skeleton_hash), {}, {}});
+  ASSERT_EQ(predicted.status, svc::StatusCode::kOk) << predicted.message;
+  EXPECT_EQ(predicted.values.size(), 1u);
+  EXPECT_TRUE(predicted.skeleton_bytes.empty());  // only construct echoes it
+}
+
+TEST(SvcService, ConstructRejectsSkeletonUploadAsWrongKind) {
+  svc::Service service;
+  svc::RequestHeader request = construct_request(3);
+  request.archive_bytes = skeleton_upload();
+  const svc::ResponseHeader response =
+      roundtrip_one(service, svc::Request{request, {}, {}});
+  EXPECT_EQ(response.status, svc::StatusCode::kBadInput);
+  EXPECT_NE(response.message.find("wanted a trace"), std::string::npos);
+}
+
+TEST(SvcService, ConstructRejectsTornTraceInsteadOfSalvaging) {
+  // Traces have no salvage path: a torn trace would silently construct a
+  // skeleton of a different application prefix.
+  svc::Service service;
+  svc::RequestHeader request = construct_request(4);
+  request.archive_bytes.push_back('\0');
+  const svc::ResponseHeader response =
+      roundtrip_one(service, svc::Request{request, {}, {}});
+  EXPECT_EQ(response.status, svc::StatusCode::kBadInput);
+  EXPECT_FALSE(response.degraded);
+}
+
+TEST(SvcService, PredictByUnknownHashIsNotFound) {
+  svc::Service service;
+  const svc::ResponseHeader response = roundtrip_one(
+      service, svc::Request{hash_request(5, 0xdeadbeefull), {}, {}});
+  EXPECT_EQ(response.status, svc::StatusCode::kNotFound);
+  EXPECT_FALSE(svc::is_retryable(response.status));  // re-upload, not retry
+  EXPECT_NE(response.message.find("re-upload"), std::string::npos);
+  EXPECT_TRUE(response.values.empty());
+}
+
+TEST(SvcService, HashPredictMatchesContainerPredictByteForByte) {
+  svc::Service service;
+  const svc::ResponseHeader uploaded =
+      roundtrip_one(service, svc::Request{predict_request(21), {}, {}});
+  ASSERT_EQ(uploaded.status, svc::StatusCode::kOk) << uploaded.message;
+  ASSERT_NE(uploaded.skeleton_hash, 0u);
+
+  // Same request id, seed and scenario: naming the skeleton by hash must
+  // produce the byte-identical encoded response to re-uploading it.
+  const svc::ResponseHeader by_container =
+      roundtrip_one(service, svc::Request{predict_request(21), {}, {}});
+  const svc::ResponseHeader by_hash = roundtrip_one(
+      service, svc::Request{hash_request(21, uploaded.skeleton_hash), {}, {}});
+  EXPECT_EQ(encoded(by_hash), encoded(by_container));
+  EXPECT_EQ(by_hash.values, uploaded.values);
+}
+
+TEST(SvcService, EvictedSkeletonAnswersNotFound) {
+  svc::ServiceOptions options;
+  options.skeleton_store_entries = 1;
+  svc::Service service(options);
+  const svc::ResponseHeader first =
+      roundtrip_one(service, svc::Request{predict_request(1), {}, {}});
+  ASSERT_EQ(first.status, svc::StatusCode::kOk);
+  // Constructing at a different compression target fills the single slot
+  // with a different skeleton, evicting the uploaded one.
+  const svc::ResponseHeader second =
+      roundtrip_one(service, svc::Request{construct_request(2, 25.0), {}, {}});
+  ASSERT_EQ(second.status, svc::StatusCode::kOk) << second.message;
+  if (second.skeleton_hash != first.skeleton_hash) {
+    const svc::ResponseHeader miss = roundtrip_one(
+        service, svc::Request{hash_request(3, first.skeleton_hash), {}, {}});
+    EXPECT_EQ(miss.status, svc::StatusCode::kNotFound);
+  }
 }
 
 // Live mode: concurrent submitters, a dispatcher thread and the worker
@@ -608,6 +947,293 @@ TEST(SvcPipe, WritesMetricsFileWhenAsked) {
   std::ostringstream text;
   text << in.rdbuf();
   EXPECT_NE(text.str().find("svc.status.ok=1"), std::string::npos)
+      << text.str();
+}
+
+TEST(SvcPipe, RejectsOutOfRangeMaxFrameMb) {
+  // Unclamped, `N << 20` would overflow size_t long before N itself
+  // overflows the flag parser.
+  const PipeResult result = run_pskd("--max-frame-mb=4096", "");
+  EXPECT_EQ(result.exit_code, 1) << result.err;  // configuration ladder
+  EXPECT_NE(result.err.find("[1, 1024]"), std::string::npos) << result.err;
+  EXPECT_EQ(run_pskd("--max-frame-mb=0", "").exit_code, 1);
+}
+
+// ---------------------------------------------------------------- sockets
+
+TEST(SvcTransport, ParseListenAddressFormsAndErrors) {
+  const svc::ListenAddress unix_address =
+      svc::parse_listen_address("unix:/tmp/p.sock");
+  EXPECT_EQ(unix_address.kind, svc::ListenAddress::Kind::kUnix);
+  EXPECT_EQ(unix_address.path, "/tmp/p.sock");
+  EXPECT_EQ(svc::listen_address_name(unix_address), "unix:/tmp/p.sock");
+
+  const svc::ListenAddress tcp_address =
+      svc::parse_listen_address("tcp:127.0.0.1:7071");
+  EXPECT_EQ(tcp_address.kind, svc::ListenAddress::Kind::kTcp);
+  EXPECT_EQ(tcp_address.host, "127.0.0.1");
+  EXPECT_EQ(tcp_address.port, 7071);
+  EXPECT_EQ(svc::listen_address_name(tcp_address), "tcp:127.0.0.1:7071");
+  EXPECT_EQ(svc::parse_listen_address("tcp:localhost:0").port, 0);
+
+  for (const std::string bad :
+       {"", "bogus", "unix:", "tcp:127.0.0.1", "tcp:127.0.0.1:99999",
+        "tcp:not-a-host:80"}) {
+    EXPECT_THROW(svc::parse_listen_address(bad), ConfigError) << bad;
+  }
+}
+
+std::string socket_path(const std::string& tag) {
+  static int sequence = 0;
+  return testing::TempDir() + "/svc_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(sequence++);
+}
+
+svc::ListenAddress unix_address(const std::string& tag) {
+  svc::ListenAddress address;
+  address.kind = svc::ListenAddress::Kind::kUnix;
+  address.path = socket_path(tag);
+  return address;
+}
+
+/// Polls `done` for up to 10 seconds; the conditions waited on are
+/// one-way (monotone counters), so polling cannot miss them.
+bool wait_for(const std::function<bool()>& done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+TEST(SvcSocket, UploadConstructAndHashPredictOverUnixSocket) {
+  svc::ServiceOptions options;
+  options.workers = 2;
+  svc::Service service(options);
+  service.start([](const svc::ResponseHeader&) {});
+  const svc::ListenAddress address = unix_address("e2e");
+  svc::SocketServer server(address, service, {});
+  std::thread serving([&server] { server.serve(1); });
+
+  {
+    svc::SocketClient client(address);
+    client.send_request(predict_request(1));
+    svc::ResponseHeader uploaded;
+    ASSERT_TRUE(client.read_response(uploaded));
+    EXPECT_EQ(uploaded.id, 1u);
+    ASSERT_EQ(uploaded.status, svc::StatusCode::kOk) << uploaded.message;
+    ASSERT_NE(uploaded.skeleton_hash, 0u);
+
+    client.send_request(hash_request(2, uploaded.skeleton_hash));
+    svc::ResponseHeader by_hash;
+    ASSERT_TRUE(client.read_response(by_hash));
+    EXPECT_EQ(by_hash.id, 2u);
+    ASSERT_EQ(by_hash.status, svc::StatusCode::kOk) << by_hash.message;
+    EXPECT_EQ(by_hash.values, uploaded.values);
+
+    client.send_request(construct_request(3));
+    svc::ResponseHeader constructed;
+    ASSERT_TRUE(client.read_response(constructed));
+    ASSERT_EQ(constructed.status, svc::StatusCode::kOk)
+        << constructed.message;
+    EXPECT_FALSE(constructed.skeleton_bytes.empty());
+    client.shutdown_send();  // clean EOF at a frame boundary
+  }
+  serving.join();
+  service.stop();
+  EXPECT_EQ(server.stats().accepted, 1u);
+  EXPECT_EQ(server.stats().clean, 1u);
+}
+
+TEST(SvcSocket, EphemeralTcpPortIsResolvedAndServes) {
+  svc::Service service;
+  service.start([](const svc::ResponseHeader&) {});
+  svc::SocketServer server(svc::parse_listen_address("tcp:127.0.0.1:0"),
+                           service, {});
+  ASSERT_NE(server.bound_address().port, 0);  // resolved at bind
+  std::thread serving([&server] { server.serve(1); });
+  {
+    svc::SocketClient client(server.bound_address());
+    svc::RequestHeader ping;
+    ping.id = 5;
+    ping.op = svc::RequestOp::kPing;
+    client.send_request(ping);
+    svc::ResponseHeader response;
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.id, 5u);
+    EXPECT_EQ(response.status, svc::StatusCode::kOk);
+    client.shutdown_send();
+  }
+  serving.join();
+  service.stop();
+}
+
+TEST(SvcSocket, DisconnectCancelsOnlyThatConnectionsQueuedRequests) {
+  // The service is deliberately not started yet, so submitted requests sit
+  // in the queue while connections come and go -- that makes the
+  // disconnect-while-queued ordering deterministic instead of a race.
+  svc::ServiceOptions options;
+  options.workers = 1;
+  svc::Service service(options);
+  const svc::ListenAddress address = unix_address("cancel");
+  svc::SocketServer server(address, service, {});
+  std::thread serving([&server] { server.serve(2); });
+
+  {
+    svc::SocketClient doomed(address);
+    doomed.send_request(predict_request(1));
+    ASSERT_TRUE(wait_for([&] { return service.stats().submitted >= 1; }));
+    doomed.close();  // abrupt disconnect with the request still queued
+  }
+  // Wait for the doomed session's teardown (which trips its cancel flags)
+  // before letting the dispatcher drain.
+  ASSERT_TRUE(wait_for([&] {
+    const svc::SocketServerStats stats = server.stats();
+    return stats.clean + stats.mid_frame >= 1;
+  }));
+
+  svc::SocketClient survivor(address);
+  survivor.send_request(predict_request(2));
+  ASSERT_TRUE(wait_for([&] { return service.stats().submitted >= 2; }));
+
+  service.start([](const svc::ResponseHeader&) {});
+  svc::ResponseHeader response;
+  ASSERT_TRUE(survivor.read_response(response));
+  EXPECT_EQ(response.id, 2u);
+  EXPECT_EQ(response.status, svc::StatusCode::kOk) << response.message;
+  survivor.shutdown_send();
+  serving.join();
+  service.stop();
+
+  // Exactly the doomed connection's request was canceled; the survivor's
+  // ran to completion.
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.by_status[static_cast<int>(svc::StatusCode::kCanceled)],
+            1u);
+  EXPECT_EQ(stats.by_status[static_cast<int>(svc::StatusCode::kOk)], 1u);
+  EXPECT_EQ(stats.completed, 2u);  // no silent drops either way
+}
+
+TEST(SvcSocket, SessionInflightCapShedsLocally) {
+  svc::Service service;  // not started: the first request stays queued
+  const svc::ListenAddress address = unix_address("cap");
+  svc::SessionOptions session_options;
+  session_options.max_inflight = 1;
+  svc::SocketServer server(address, service, session_options);
+  std::thread serving([&server] { server.serve(1); });
+
+  svc::SocketClient client(address);
+  client.send_request(predict_request(1));  // admitted, queued
+  client.send_request(predict_request(2));  // past the session's cap
+  svc::ResponseHeader shed;
+  ASSERT_TRUE(client.read_response(shed));  // shed answers immediately
+  EXPECT_EQ(shed.id, 2u);
+  EXPECT_EQ(shed.status, svc::StatusCode::kOverloaded);
+  EXPECT_NE(shed.message.find("in-flight"), std::string::npos)
+      << shed.message;
+  EXPECT_TRUE(svc::is_retryable(shed.status));
+
+  service.start([](const svc::ResponseHeader&) {});
+  svc::ResponseHeader first;
+  ASSERT_TRUE(client.read_response(first));
+  EXPECT_EQ(first.id, 1u);
+  EXPECT_EQ(first.status, svc::StatusCode::kOk) << first.message;
+  client.shutdown_send();
+  serving.join();
+  service.stop();
+}
+
+TEST(SvcSocket, MidFrameDeathIsClassifiedWithoutPoisoningTheServer) {
+  svc::Service service;
+  service.start([](const svc::ResponseHeader&) {});
+  const svc::ListenAddress address = unix_address("midframe");
+  svc::SocketServer server(address, service, {});
+  std::thread serving([&server] { server.serve(2); });
+  {
+    svc::SocketClient dying(address);
+    dying.send_bytes(request_frame(predict_request(1)).substr(0, 12));
+    dying.close();  // died mid-send
+  }
+  // A later connection is completely unaffected.
+  svc::SocketClient healthy(address);
+  svc::RequestHeader ping;
+  ping.id = 9;
+  ping.op = svc::RequestOp::kPing;
+  healthy.send_request(ping);
+  svc::ResponseHeader response;
+  ASSERT_TRUE(healthy.read_response(response));
+  EXPECT_EQ(response.id, 9u);
+  EXPECT_EQ(response.status, svc::StatusCode::kOk);
+  healthy.shutdown_send();
+  serving.join();
+  service.stop();
+  EXPECT_EQ(server.stats().mid_frame, 1u);
+  EXPECT_EQ(server.stats().clean, 1u);
+}
+
+// ------------------------------------------------------ pskd binary, sockets
+
+TEST(SvcDaemon, SocketModeConstructThenHashPredictRoundTrip) {
+  const std::string path = socket_path("daemon");
+  const std::string err_path = path + ".err";
+  const std::string command = binary_dir() + "/tools/pskd --listen=unix:" +
+                              path + " --max-conns=1 --deadline=60 2> " +
+                              err_path;
+  const pid_t child = ::fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    ::execl("/bin/sh", "sh", "-c", command.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  // The daemon announces readiness by binding the socket; retry until the
+  // connect sticks.
+  std::optional<svc::SocketClient> client;
+  svc::ListenAddress address;
+  address.kind = svc::ListenAddress::Kind::kUnix;
+  address.path = path;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (!client && std::chrono::steady_clock::now() < deadline) {
+    try {
+      client.emplace(address);
+    } catch (const ConfigError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(client.has_value()) << "pskd never started listening";
+
+  // Upload a raw trace; the daemon constructs the skeleton server-side...
+  client->send_request(construct_request(1));
+  svc::ResponseHeader constructed;
+  ASSERT_TRUE(client->read_response(constructed));
+  ASSERT_EQ(constructed.status, svc::StatusCode::kOk) << constructed.message;
+  ASSERT_NE(constructed.skeleton_hash, 0u);
+  EXPECT_FALSE(constructed.skeleton_bytes.empty());
+
+  // ...and the follow-up predict names it by content hash alone.
+  client->send_request(hash_request(2, constructed.skeleton_hash));
+  svc::ResponseHeader predicted;
+  ASSERT_TRUE(client->read_response(predicted));
+  EXPECT_EQ(predicted.id, 2u);
+  ASSERT_EQ(predicted.status, svc::StatusCode::kOk) << predicted.message;
+  EXPECT_EQ(predicted.values.size(), 1u);
+  client->close();
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  std::ifstream err(err_path);
+  std::ostringstream text;
+  text << err.rdbuf();
+  EXPECT_NE(text.str().find("listening on unix:"), std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("served 1 connection(s)"), std::string::npos)
       << text.str();
 }
 

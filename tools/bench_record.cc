@@ -154,6 +154,53 @@ void service_metric(std::map<std::string, double>& metrics,
       registry.counter("svc.latency_ms.ok.p50").value();
   metrics["service.predict_p99_ms"] =
       registry.counter("svc.latency_ms.ok.p99").value();
+
+  // Hash reuse vs re-upload: the same predict measured both ways against
+  // one service, so the delta is exactly what the hot-skeleton store buys
+  // (a store lookup instead of a container parse per request).  Both keys
+  // sit under the gated requests_per_sec prefix.
+  constexpr int kReuse = 32;
+  svc::Service reuse_service(options);
+  std::uint64_t hash = 0;
+  {
+    svc::Request prime;
+    prime.header.id = 1;
+    prime.header.op = svc::RequestOp::kPredict;
+    prime.header.seed = 7;
+    prime.header.repetitions = 1;
+    prime.header.scenario = "dedicated";
+    prime.header.archive_bytes = upload;
+    if (reuse_service.submit(std::move(prime)).has_value()) std::abort();
+    const std::vector<svc::ResponseHeader> primed = reuse_service.drain();
+    if (primed.size() != 1 || primed[0].status != svc::StatusCode::kOk ||
+        primed[0].skeleton_hash == 0) {
+      std::abort();
+    }
+    hash = primed[0].skeleton_hash;
+  }
+  const auto run_predicts = [&reuse_service, &upload, hash](bool by_hash) {
+    for (int i = 0; i < kReuse; ++i) {
+      svc::Request request;
+      request.header.id = static_cast<std::uint32_t>(i) + 2;
+      request.header.op = svc::RequestOp::kPredict;
+      request.header.seed = 7;
+      request.header.repetitions = 1;
+      request.header.scenario = "dedicated";
+      if (by_hash) {
+        request.header.skeleton_hash = hash;
+      } else {
+        request.header.archive_bytes = upload;
+      }
+      if (reuse_service.submit(std::move(request)).has_value()) std::abort();
+    }
+    if (reuse_service.drain().size() != kReuse) std::abort();
+  };
+  const auto upload_sorted = time_reps(reps, [&] { run_predicts(false); });
+  const auto hash_sorted = time_reps(reps, [&] { run_predicts(true); });
+  metrics["service.requests_per_sec.predict_upload"] =
+      static_cast<double>(kReuse) / median_seconds(upload_sorted);
+  metrics["service.requests_per_sec.predict_hash"] =
+      static_cast<double>(kReuse) / median_seconds(hash_sorted);
 }
 
 std::map<std::string, double> measure(int reps) {

@@ -1,20 +1,29 @@
-// pskd: the performance-skeleton prediction daemon, pipe mode.
+// pskd: the performance-skeleton prediction daemon.
 //
-// Reads PSKF frames (svc/frame.h) from stdin and writes one response frame
-// per request to stdout, in arrival order.  A kFlush frame (or EOF) is the
-// batch boundary: everything admitted since the previous flush executes on
-// the worker pool and the responses are written back.  Every request gets
-// a definite status -- requests shed at admission (kOverloaded) or failing
-// to decode (kBadInput) answer immediately, in their arrival slot.
+// Pipe mode (default) reads PSKF frames (svc/frame.h) from stdin and
+// writes one response frame per request to stdout, in arrival order.  A
+// kFlush frame (or EOF) is the batch boundary: everything admitted since
+// the previous flush executes on the worker pool and the responses are
+// written back.  Every request gets a definite status -- requests shed at
+// admission (kOverloaded) or failing to decode (kBadInput) answer
+// immediately, in their arrival slot.
 //
 //   psk trace --app=CG --out=cg.trace
 //   psk skeleton --trace=cg.trace --target=0.5 --out=cg.skel
 //   ... build request frames (tests/svc_test.cc shows the encoding) ...
 //   pskd --queue=64 --deadline=10 < requests.bin > responses.bin
 //
-// A stream that ends mid-frame is a client disconnect: queued requests are
-// canceled cooperatively (they answer kCanceled, not silence) and pskd
-// exits with the validation/format code.
+// Socket mode (--listen=unix:<path> or tcp:<host>:<port>) accepts many
+// concurrent connections, each with its own framed session
+// (svc/session.h): responses stream back per connection as they complete,
+// a disconnect cancels only that connection's queued requests, and all
+// sessions share one admission-controlled service and hot-skeleton store.
+// The bound address is announced on stderr ("pskd: listening on ...") so
+// callers using an ephemeral TCP port can read it back.
+//
+// A pipe stream that ends mid-frame is a client disconnect: queued
+// requests are canceled cooperatively (they answer kCanceled, not
+// silence) and pskd exits with the validation/format code.
 //
 // Exit codes match psk: 1 usage/configuration, 2 protocol/format errors on
 // the stream, 3 runtime failures.
@@ -28,6 +37,8 @@
 #include "cache/cache.h"
 #include "svc/frame.h"
 #include "svc/service.h"
+#include "svc/session.h"
+#include "svc/transport.h"
 #include "util/cli.h"
 #include "util/error.h"
 
@@ -39,6 +50,15 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: pskd [--flag=value ...] < requests > responses\n"
+      "  --listen=ADDR      serve connections on unix:<path> or\n"
+      "                     tcp:<host>:<port> instead of stdin/stdout;\n"
+      "                     tcp port 0 binds an ephemeral port (announced\n"
+      "                     on stderr)\n"
+      "  --max-conns=N      socket mode: exit after N connections have\n"
+      "                     ended (default 0 = serve forever)\n"
+      "  --max-inflight=N   socket mode: per-connection in-flight cap\n"
+      "                     (default 32); a connection past it sheds its\n"
+      "                     own requests with 'overloaded'\n"
       "  --queue=N          admission queue capacity (default 64); requests\n"
       "                     beyond it shed with status 'overloaded'\n"
       "  --workers=N        execution threads (default: hardware threads)\n"
@@ -75,7 +95,9 @@ void write_response(const svc::ResponseHeader& response) {
   std::string body;
   svc::encode_response(body, response);
   std::string framed;
-  svc::append_frame(framed, svc::FrameKind::kResponse, body);
+  // A response body past the u32 length field cannot be framed; failing
+  // loudly (exit 2) beats desyncing every later frame on the stream.
+  svc::append_frame(framed, svc::FrameKind::kResponse, body).or_throw();
   std::fwrite(framed.data(), 1, framed.size(), stdout);
 }
 
@@ -123,7 +145,7 @@ void flush(Session& session) {
   session.cancels.clear();
 }
 
-int serve(const util::Cli& cli) {
+svc::ServiceOptions make_service_options(const util::Cli& cli) {
   svc::ServiceOptions options;
   const std::int64_t queue = cli.get_int("queue", 64);
   util::require(queue >= 1, "--queue must be >= 1");
@@ -142,17 +164,87 @@ int serve(const util::Cli& cli) {
     options.framework.result_cache =
         std::make_shared<cache::ResultCache>(cache_options);
   }
+  return options;
+}
+
+std::size_t parse_max_body(const util::Cli& cli) {
   const std::int64_t max_frame_mb = cli.get_int("max-frame-mb", 64);
-  util::require(max_frame_mb >= 1, "--max-frame-mb must be >= 1");
-  const std::size_t max_body = static_cast<std::size_t>(max_frame_mb) << 20;
+  // Bounded on both sides: `N << 20` on an unclamped 64-bit N silently
+  // overflows size_t (a 32-bit size_t wraps at 4096), turning a typo into
+  // a cap of 0 that rejects every frame -- or worse, a huge one.
+  util::require(max_frame_mb >= 1 && max_frame_mb <= 1024,
+                "--max-frame-mb must be in [1, 1024]");
+  return static_cast<std::size_t>(max_frame_mb) << 20;
+}
+
+std::optional<svc::ValidateMode> parse_validate_override(
+    const util::Cli& cli) {
+  const std::string validate = cli.get("validate", "");
+  if (validate.empty()) return std::nullopt;
+  return svc::parse_validate_mode(validate);
+}
+
+void write_metrics(const util::Cli& cli, const svc::Service& service,
+                   const svc::ServiceOptions& options) {
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (metrics_out.empty()) return;
+  obs::MetricsRegistry metrics;
+  service.publish(metrics);
+  if (options.framework.result_cache) {
+    options.framework.result_cache->publish(metrics);
+  }
+  std::ofstream out(metrics_out);
+  util::require(out.good(), "--metrics-out: cannot open " + metrics_out);
+  out << metrics.to_kv(0.0);
+}
+
+/// Socket mode: live service + one session per accepted connection.
+int serve_socket(const util::Cli& cli, const std::string& listen) {
+  const svc::ServiceOptions options = make_service_options(cli);
+  const svc::ListenAddress address = svc::parse_listen_address(listen);
+
+  svc::SessionOptions session_options;
+  session_options.max_frame_bytes = parse_max_body(cli);
+  session_options.validate_override = parse_validate_override(cli);
+  const std::int64_t max_inflight = cli.get_int("max-inflight", 32);
+  util::require(max_inflight >= 1, "--max-inflight must be >= 1");
+  session_options.max_inflight = static_cast<std::size_t>(max_inflight);
+  const std::int64_t max_conns = cli.get_int("max-conns", 0);
+  util::require(max_conns >= 0, "--max-conns must be >= 0");
+
+  svc::Service service(options);
+  svc::SocketServer server(address, service, session_options);
+  // Per-request deliver closures route every response to its session; the
+  // global callback only sees requests submitted without one.
+  service.start([](const svc::ResponseHeader&) {});
+  std::fprintf(stderr, "pskd: listening on %s\n",
+               svc::listen_address_name(server.bound_address()).c_str());
+  server.serve(static_cast<std::size_t>(max_conns));
+  server.stop();
+  // Drain before the metrics snapshot so every admitted request is counted.
+  service.stop();
+
+  const svc::SocketServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "pskd: served %llu connection(s): %llu clean, %llu mid-frame, "
+               "%llu bad-stream, %llu write-failed\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.clean),
+               static_cast<unsigned long long>(stats.mid_frame),
+               static_cast<unsigned long long>(stats.bad_stream),
+               static_cast<unsigned long long>(stats.write_failed));
+  write_metrics(cli, service, options);
+  return 0;
+}
+
+int serve(const util::Cli& cli) {
+  const svc::ServiceOptions options = make_service_options(cli);
+  const std::size_t max_body = parse_max_body(cli);
 
   Session session;
   svc::Service service(options);
   session.service = &service;
-  const std::string validate = cli.get("validate", "");
-  if (!validate.empty()) {
-    session.validate_override = svc::parse_validate_mode(validate);
-  }
+  session.validate_override = parse_validate_override(cli);
 
   std::string buffer;
   char chunk[1 << 16];
@@ -204,17 +296,7 @@ int serve(const util::Cli& cli) {
   }
   flush(session);  // EOF is the final batch boundary
 
-  const std::string metrics_out = cli.get("metrics-out", "");
-  if (!metrics_out.empty()) {
-    obs::MetricsRegistry metrics;
-    service.publish(metrics);
-    if (options.framework.result_cache) {
-      options.framework.result_cache->publish(metrics);
-    }
-    std::ofstream out(metrics_out);
-    util::require(out.good(), "--metrics-out: cannot open " + metrics_out);
-    out << metrics.to_kv(0.0);
-  }
+  write_metrics(cli, service, options);
 
   if (!stream_ok) throw FormatError("request stream: " + stream_error);
   if (truncated) {
@@ -231,9 +313,12 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   try {
     if (cli.get_bool("help", false)) return usage();
-    cli.require_known({"queue", "workers", "deadline", "validate",
+    cli.require_known({"listen", "max-conns", "max-inflight", "queue",
+                       "workers", "deadline", "validate",
                        "no-salvage-fallback", "max-frame-mb", "metrics-out",
                        "cache-dir", "cache-mem", "no-cache", "help"});
+    const std::string listen = cli.get("listen", "");
+    if (!listen.empty()) return serve_socket(cli, listen);
     return serve(cli);
   } catch (const ConfigError& error) {
     std::fprintf(stderr, "pskd: %s\n", error.what());
