@@ -20,6 +20,9 @@
 //   --cache-stats=F   key=value cache hit/miss counter dump to file F
 //                     (bare --cache-stats prints to stderr); never written
 //                     to stdout, so cold and warm runs stay byte-identical
+//   --topology=T      interconnect shape: crossbar (default, the paper's
+//                     testbed) | fattree:<down,up> | dragonfly:<groups,
+//                     routers>; unknown specs fail with the valid forms
 // Unknown flags are rejected with the valid list (ConfigError, exit 2).
 #pragma once
 
@@ -84,13 +87,18 @@ inline core::ExperimentConfig config_from_cli(
                                       "trace-out",   "metrics-out",
                                       "obs-scenario", "phase-profile",
                                       "cache-dir",   "cache-mem",
-                                      "no-cache",    "cache-stats"};
+                                      "no-cache",    "cache-stats",
+                                      "topology"};
     known.insert(known.end(), extra_known.begin(), extra_known.end());
     cli.require_known(known);
     config.app_class = apps::class_from_name(cli.get("class", "B"));
     config.skeleton_sizes = parse_sizes(cli.get("sizes", "10,5,2,1,0.5"));
     config.jobs = static_cast<int>(cli.get_int("jobs", 0));
     util::require(config.jobs >= 0, "--jobs must be >= 0");
+    const std::string topology = cli.get("topology", "");
+    if (!topology.empty()) {
+      config.framework.cluster.topology = sim::TopologySpec::parse(topology);
+    }
     if (!cli.get_bool("no-cache", false)) {
       cache::CacheOptions cache_options;
       const std::int64_t entries = cli.get_int("cache-mem", 4096);

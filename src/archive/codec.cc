@@ -309,6 +309,11 @@ void encode(std::string& out, const sim::ClusterConfig& cluster) {
   put_f64(out, cluster.cpu_jitter);
   put_f64(out, cluster.net_jitter);
   put_u64(out, cluster.seed);
+  put_u8(out, static_cast<std::uint8_t>(cluster.topology.kind));
+  put_i32(out, cluster.topology.fattree_down);
+  put_i32(out, cluster.topology.fattree_up);
+  put_i32(out, cluster.topology.dragonfly_groups);
+  put_i32(out, cluster.topology.dragonfly_routers);
 }
 
 void encode(std::string& out, const mpi::MpiConfig& mpi) {
@@ -318,6 +323,7 @@ void encode(std::string& out, const mpi::MpiConfig& mpi) {
   put_f64(out, mpi.trace_overhead);
   put_f64(out, mpi.op_timeout);
   put_i32(out, mpi.op_max_retries);
+  put_i32(out, mpi.large_world_threshold);
 }
 
 Result<trace::Trace> decode_trace(std::string_view payload,

@@ -18,6 +18,11 @@ constexpr int kTagsPerCollective = 4;
 
 sim::Time Comm::now() const { return engine_->machine().engine().now(); }
 
+bool Comm::large_world(int p) const {
+  const int threshold = engine_->config().large_world_threshold;
+  return threshold > 0 && p >= threshold;
+}
+
 int Comm::next_collective_tag() {
   const int slot = static_cast<int>(collective_seq_++ % (1u << 20));
   return kCollectiveTagBase + slot * kTagsPerCollective;
@@ -381,6 +386,16 @@ sim::Task Comm::allgather_algo(Bytes bytes, int tag) {
       co_await sendrecv_internal(partner, chunk, partner, tag);
       chunk *= 2;
     }
+  } else if (large_world(p)) {
+    // Bruck: ceil(log2 p) rounds; round `mask` moves min(mask, p - mask)
+    // blocks, so the total volume matches the ring while the round count
+    // (and the host-side message count) drops from p-1 to O(log p).
+    for (int mask = 1; mask < p; mask <<= 1) {
+      const int dst = (rank_ - mask + p) % p;
+      const int src = (rank_ + mask) % p;
+      const Bytes chunk = static_cast<Bytes>(std::min(mask, p - mask)) * bytes;
+      co_await sendrecv_internal(dst, chunk, src, tag);
+    }
   } else {
     // Ring: p-1 rounds, one block per round.
     for (int round = 1; round < p; ++round) {
@@ -393,6 +408,21 @@ sim::Task Comm::allgather_algo(Bytes bytes, int tag) {
 
 sim::Task Comm::alltoall_algo(Bytes bytes, int tag) {
   const int p = size();
+  if (large_world(p)) {
+    // Bruck: round `mask` ships every block whose relative index has that
+    // bit set -- O(log p) rounds of O(p/2) blocks each, instead of p-1
+    // rounds, so both simulated round count and host-side message count
+    // stay O(p log p) across the world.
+    for (int mask = 1; mask < p; mask <<= 1) {
+      const int period = mask << 1;
+      const int blocks = (p / period) * mask + std::max(0, p % period - mask);
+      const int dst = (rank_ + mask) % p;
+      const int src = (rank_ - mask + p) % p;
+      co_await sendrecv_internal(dst, static_cast<Bytes>(blocks) * bytes, src,
+                                 tag);
+    }
+    co_return;
+  }
   for (int round = 1; round < p; ++round) {
     const int dst = (rank_ + round) % p;
     const int src = (rank_ - round + p) % p;
@@ -461,9 +491,24 @@ sim::Task Comm::scatter_algo(int root, Bytes bytes, int tag) {
 }
 
 sim::Task Comm::scan_algo(Bytes bytes, int tag) {
+  const int p = size();
+  if (large_world(p)) {
+    // Recursive-doubling prefix: round `mask` combines with ranks +/- mask,
+    // so the dependency chain is log2(p) rounds deep instead of a p-deep
+    // pipeline.  The receive is posted before the send completes to keep
+    // the exchange deadlock-free under rendezvous.
+    for (int mask = 1; mask < p; mask <<= 1) {
+      Request from_left;
+      if (rank_ - mask >= 0) from_left = irecv_internal(rank_ - mask, tag);
+      if (rank_ + mask < p) {
+        co_await wait_internal(isend_internal(rank_ + mask, bytes, tag));
+      }
+      if (from_left.valid()) co_await wait_internal(from_left);
+    }
+    co_return;
+  }
   // Linear pipeline: rank r waits for the prefix from r-1, combines, and
   // forwards to r+1 (the simple algorithm; fine for small rank counts).
-  const int p = size();
   if (rank_ > 0) co_await recv_internal(rank_ - 1, tag);
   if (rank_ + 1 < p) co_await send_internal(rank_ + 1, bytes, tag);
 }

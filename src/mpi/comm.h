@@ -101,6 +101,11 @@ class Comm {
   /// all ranks execute the same collective sequence (MPI ordering rule).
   int next_collective_tag();
 
+  /// True when `p` ranks is at or above MpiConfig::large_world_threshold:
+  /// collectives with linear-depth small-world algorithms switch to their
+  /// logarithmic-round forms.
+  bool large_world(int p) const;
+
   /// Blocking-call prologue: charges per-call (and tracing) overhead.
   sim::Task call_overhead();
 

@@ -141,6 +141,13 @@ struct MpiConfig {
   /// is bit-identical to pre-timeout behaviour.
   sim::Time op_timeout = 0.0;
   int op_max_retries = 8;
+  /// Worlds with at least this many ranks switch the linear-depth collective
+  /// algorithms (ring allgather, pairwise alltoall, linear-pipeline scan) to
+  /// logarithmic-round forms (Bruck allgather/alltoall, recursive-doubling
+  /// prefix scan), keeping collectives O(p log p) in simulated messages and
+  /// host work at scale.  Worlds below the threshold keep the small-world
+  /// algorithms bit-identical to earlier versions; 0 disables the switch.
+  int large_world_threshold = 32;
 };
 
 }  // namespace psk::mpi

@@ -1,0 +1,43 @@
+#include "scenario/synthetic.h"
+
+#include <chrono>
+
+#include "mpi/world.h"
+
+namespace psk::scenario {
+
+SyntheticResult run_synthetic_bsp(const sim::ClusterConfig& cluster,
+                                  int ranks, const SyntheticSpec& spec,
+                                  const mpi::MpiConfig& mpi) {
+  sim::Machine machine(cluster);
+  mpi::World world(machine, ranks, mpi);
+  world.launch([&spec](mpi::Comm& comm) -> sim::Task {
+    const int p = comm.size();
+    for (int iter = 0; iter < spec.iterations; ++iter) {
+      if (spec.compute_seconds > 0) {
+        co_await comm.compute(spec.compute_seconds);
+      }
+      if (spec.exchange_bytes > 0 && p > 1) {
+        const int next = (comm.rank() + 1) % p;
+        const int prev = (comm.rank() - 1 + p) % p;
+        co_await comm.sendrecv(next, spec.exchange_bytes, prev,
+                               spec.exchange_bytes);
+      }
+      if (spec.allreduce_bytes > 0) {
+        co_await comm.allreduce(spec.allreduce_bytes);
+      }
+    }
+  });
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  SyntheticResult result;
+  result.simulated_seconds = world.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.host_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.events_dispatched = machine.engine().events_dispatched();
+  result.ranks = ranks;
+  return result;
+}
+
+}  // namespace psk::scenario

@@ -21,9 +21,13 @@ ClusterConfig ClusterConfig::paper_testbed(int nodes) {
 Machine::Machine(const ClusterConfig& config)
     : config_(config),
       engine_(config.seed),
-      network_(engine_, config.nodes, config.link_bandwidth_bps,
-               config.latency, config.local_bandwidth_bps,
-               config.local_latency) {
+      network_(engine_,
+               NetworkConfig{.node_count = config.nodes,
+                             .bandwidth_bps = config.link_bandwidth_bps,
+                             .latency = config.latency,
+                             .local_bandwidth_bps = config.local_bandwidth_bps,
+                             .local_latency = config.local_latency,
+                             .topology = config.topology}) {
   util::require(config.nodes >= 1, "Machine: need at least one node");
   nodes_.reserve(static_cast<std::size_t>(config.nodes));
   for (int i = 0; i < config.nodes; ++i) {

@@ -37,6 +37,10 @@ struct ClusterConfig {
   double cpu_jitter = 0.0;
   double net_jitter = 0.0;
   std::uint64_t seed = 1;
+  /// Interconnect shape (see sim/topology.h).  The default crossbar is the
+  /// paper's testbed and keeps results byte-identical to earlier versions;
+  /// fat-tree and dragonfly enable the incremental flow core for scale.
+  TopologySpec topology{};
 
   /// The paper's testbed: dual-CPU Xeon nodes on switched GigE (we size it
   /// to the 4 nodes actually used in the experiments).

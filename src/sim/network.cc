@@ -13,92 +13,267 @@ namespace {
 constexpr double kInfiniteBytes = std::numeric_limits<double>::infinity();
 }
 
+Network::Network(Engine& engine, const NetworkConfig& config)
+    : engine_(engine),
+      topo_(config.topology, config.node_count),
+      latency_(config.latency),
+      local_bandwidth_(config.local_bandwidth_bps),
+      local_latency_(config.local_latency),
+      incremental_(
+          config.sharing == NetworkConfig::Sharing::kIncremental ||
+          (config.sharing == NetworkConfig::Sharing::kAuto &&
+           !config.topology.is_crossbar())),
+      cap_(static_cast<std::size_t>(topo_.link_count()), config.bandwidth_bps),
+      lfault_(static_cast<std::size_t>(topo_.link_count()), 0),
+      node_fault_depth_(static_cast<std::size_t>(config.node_count), 0) {
+  util::require(config.node_count >= 1, "Network: need at least one node");
+  util::require(config.bandwidth_bps > 0,
+                "Network: bandwidth must be positive");
+  util::require(config.local_bandwidth_bps > 0,
+                "Network: local bandwidth must be positive");
+  util::require(config.latency >= 0 && config.local_latency >= 0,
+                "Network: latency must be non-negative");
+  if (incremental_) {
+    link_flows_.resize(static_cast<std::size_t>(topo_.link_count()));
+    link_active_.assign(static_cast<std::size_t>(topo_.link_count()), 0);
+  }
+}
+
 Network::Network(Engine& engine, int node_count, double bandwidth_bps,
                  Time latency, double local_bandwidth_bps, Time local_latency)
-    : engine_(engine),
-      node_count_(node_count),
-      latency_(latency),
-      local_bandwidth_(local_bandwidth_bps),
-      local_latency_(local_latency),
-      up_(static_cast<std::size_t>(node_count), bandwidth_bps),
-      down_(static_cast<std::size_t>(node_count), bandwidth_bps),
-      fault_depth_(static_cast<std::size_t>(node_count), 0) {
-  util::require(node_count >= 1, "Network: need at least one node");
-  util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
-  util::require(local_bandwidth_bps > 0,
-                "Network: local bandwidth must be positive");
-  util::require(latency >= 0 && local_latency >= 0,
-                "Network: latency must be non-negative");
-}
+    : Network(engine, NetworkConfig{.node_count = node_count,
+                                    .bandwidth_bps = bandwidth_bps,
+                                    .latency = latency,
+                                    .local_bandwidth_bps = local_bandwidth_bps,
+                                    .local_latency = local_latency}) {}
 
 void Network::check_node(int node) const {
-  util::require(node >= 0 && node < node_count_,
+  util::require(node >= 0 && node < topo_.node_count(),
                 "Network: node index " + std::to_string(node) +
-                    " out of range [0," + std::to_string(node_count_) + ")");
+                    " out of range [0," + std::to_string(topo_.node_count()) +
+                    ")");
 }
 
+void Network::check_link(LinkId link) const {
+  util::require(link >= 0 && link < topo_.link_count(),
+                "Network: link id " + std::to_string(link) +
+                    " out of range [0," + std::to_string(topo_.link_count()) +
+                    ")");
+}
+
+bool Network::path_faulted(const LinkPath& path) const {
+  for (LinkId link : path) {
+    if (lfault_[static_cast<std::size_t>(link)] > 0) return true;
+  }
+  return false;
+}
+
+// --- Link-addressed API ----------------------------------------------------
+
+double Network::link_capacity(LinkId link) const {
+  check_link(link);
+  return cap_[static_cast<std::size_t>(link)];
+}
+
+void Network::set_link_capacity(LinkId link, double bandwidth_bps) {
+  check_link(link);
+  util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
+  if (!incremental_) {
+    sync();
+    cap_[static_cast<std::size_t>(link)] = bandwidth_bps;
+    rerate();
+    return;
+  }
+  cap_[static_cast<std::size_t>(link)] = bandwidth_bps;
+  inc_links_changed(&link, &link + 1);
+}
+
+void Network::push_fault_on(LinkId link) {
+  check_link(link);
+  if (!incremental_) {
+    sync();
+    ++lfault_[static_cast<std::size_t>(link)];
+    rerate();
+    return;
+  }
+  if (++lfault_[static_cast<std::size_t>(link)] != 1) return;
+  // The link just went dark: every flow crossing it pauses and releases its
+  // share on the rest of its path, so only those paths' flows re-rate.
+  ++epoch_;
+  scratch_affected_.clear();
+  inc_collect(link, scratch_affected_);
+  std::vector<LinkId>& touched = scratch_touched_;
+  touched.clear();
+  for (int id : scratch_affected_) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    inc_settle(flow);
+    ++flow.faulted_links;
+    if (flow.faulted_links == 1) inc_pause(id, touched);
+  }
+  scratch_ripple_.clear();
+  for (LinkId t : touched) inc_collect(t, scratch_ripple_);
+  for (int id : scratch_ripple_) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    if (flow.faulted_links > 0) continue;
+    inc_settle(flow);
+    inc_rerate_flow(id);
+  }
+  inc_reschedule();
+}
+
+void Network::pop_fault_on(LinkId link) {
+  check_link(link);
+  util::require(lfault_[static_cast<std::size_t>(link)] > 0,
+                "Network::pop_fault_on: link not faulted");
+  if (!incremental_) {
+    sync();
+    --lfault_[static_cast<std::size_t>(link)];
+    rerate();
+    return;
+  }
+  if (--lfault_[static_cast<std::size_t>(link)] != 0) return;
+  ++epoch_;
+  scratch_affected_.clear();
+  inc_collect(link, scratch_affected_);
+  std::vector<LinkId>& touched = scratch_touched_;
+  touched.clear();
+  // Two phases: restore every resumed flow's link shares first, then rate
+  // anything touching those links -- rates must see the final counts.
+  for (int id : scratch_affected_) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    inc_settle(flow);  // rate was zero while paused: no bytes move
+    --flow.faulted_links;
+    if (flow.faulted_links == 0) inc_unpause(id, touched);
+  }
+  for (int id : scratch_affected_) {
+    if (pool_[static_cast<std::size_t>(id)].faulted_links == 0) {
+      inc_rerate_flow(id);
+    }
+  }
+  scratch_ripple_.clear();
+  for (LinkId t : touched) inc_collect(t, scratch_ripple_);
+  for (int id : scratch_ripple_) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    if (flow.faulted_links > 0) continue;
+    inc_settle(flow);
+    inc_rerate_flow(id);
+  }
+  inc_reschedule();
+}
+
+bool Network::link_healthy(LinkId link) const {
+  check_link(link);
+  return lfault_[static_cast<std::size_t>(link)] == 0;
+}
+
+// --- Node-addressed conveniences -------------------------------------------
+
 void Network::set_link_bandwidth(int node, double bandwidth_bps) {
-  set_uplink_bandwidth(node, bandwidth_bps);
-  set_downlink_bandwidth(node, bandwidth_bps);
+  check_node(node);
+  util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
+  const LinkId up = topo_.uplink(node);
+  const LinkId down = topo_.downlink(node);
+  if (!incremental_) {
+    // One settle/re-rate pass for both directions (the old per-direction
+    // calls each ran sync()+rerate()).
+    sync();
+    cap_[static_cast<std::size_t>(up)] = bandwidth_bps;
+    cap_[static_cast<std::size_t>(down)] = bandwidth_bps;
+    rerate();
+    return;
+  }
+  cap_[static_cast<std::size_t>(up)] = bandwidth_bps;
+  cap_[static_cast<std::size_t>(down)] = bandwidth_bps;
+  const LinkId links[2] = {up, down};
+  inc_links_changed(links, links + 2);
 }
 
 void Network::set_uplink_bandwidth(int node, double bandwidth_bps) {
   check_node(node);
-  util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
-  sync();
-  up_[static_cast<std::size_t>(node)] = bandwidth_bps;
-  rerate();
+  set_link_capacity(topo_.uplink(node), bandwidth_bps);
 }
 
 void Network::set_downlink_bandwidth(int node, double bandwidth_bps) {
   check_node(node);
-  util::require(bandwidth_bps > 0, "Network: bandwidth must be positive");
-  sync();
-  down_[static_cast<std::size_t>(node)] = bandwidth_bps;
-  rerate();
+  set_link_capacity(topo_.downlink(node), bandwidth_bps);
 }
 
 double Network::uplink_bandwidth(int node) const {
   check_node(node);
-  return up_[static_cast<std::size_t>(node)];
+  return cap_[static_cast<std::size_t>(topo_.uplink(node))];
 }
 
 double Network::downlink_bandwidth(int node) const {
   check_node(node);
-  return down_[static_cast<std::size_t>(node)];
+  return cap_[static_cast<std::size_t>(topo_.downlink(node))];
 }
 
-void Network::push_link_fault(int node) {
-  check_node(node);
-  sync();
-  ++fault_depth_[static_cast<std::size_t>(node)];
-  if (obs_ != nullptr && fault_depth_[static_cast<std::size_t>(node)] == 1) {
+void Network::node_fault_span_begin(int node) {
+  if (obs_ != nullptr &&
+      node_fault_depth_[static_cast<std::size_t>(node)] == 1) {
     fault_spans_[static_cast<std::size_t>(node)] =
         obs_->tracer().begin(obs::Recorder::kNetPid, node, "link-down",
                              "fault", engine_.now());
   }
-  rerate();
 }
 
-void Network::pop_link_fault(int node) {
-  check_node(node);
-  util::require(fault_depth_[static_cast<std::size_t>(node)] > 0,
-                "Network::pop_link_fault: link not faulted");
-  sync();
-  --fault_depth_[static_cast<std::size_t>(node)];
-  if (obs_ != nullptr && fault_depth_[static_cast<std::size_t>(node)] == 0 &&
+void Network::node_fault_span_end(int node) {
+  if (obs_ != nullptr &&
+      node_fault_depth_[static_cast<std::size_t>(node)] == 0 &&
       fault_spans_[static_cast<std::size_t>(node)] != obs::Tracer::kNoSpan) {
     obs_->tracer().end(fault_spans_[static_cast<std::size_t>(node)],
                        engine_.now());
     fault_spans_[static_cast<std::size_t>(node)] = obs::Tracer::kNoSpan;
   }
-  rerate();
+}
+
+void Network::push_link_fault(int node) {
+  check_node(node);
+  const LinkId up = topo_.uplink(node);
+  const LinkId down = topo_.downlink(node);
+  if (!incremental_) {
+    sync();
+    ++lfault_[static_cast<std::size_t>(up)];
+    ++lfault_[static_cast<std::size_t>(down)];
+    ++node_fault_depth_[static_cast<std::size_t>(node)];
+    node_fault_span_begin(node);
+    rerate();
+    return;
+  }
+  ++node_fault_depth_[static_cast<std::size_t>(node)];
+  node_fault_span_begin(node);
+  push_fault_on(up);
+  push_fault_on(down);
+}
+
+void Network::pop_link_fault(int node) {
+  check_node(node);
+  util::require(node_fault_depth_[static_cast<std::size_t>(node)] > 0,
+                "Network::pop_link_fault: link not faulted");
+  const LinkId up = topo_.uplink(node);
+  const LinkId down = topo_.downlink(node);
+  if (!incremental_) {
+    sync();
+    --lfault_[static_cast<std::size_t>(up)];
+    --lfault_[static_cast<std::size_t>(down)];
+    --node_fault_depth_[static_cast<std::size_t>(node)];
+    node_fault_span_end(node);
+    rerate();
+    return;
+  }
+  --node_fault_depth_[static_cast<std::size_t>(node)];
+  node_fault_span_end(node);
+  pop_fault_on(up);
+  pop_fault_on(down);
 }
 
 bool Network::link_up(int node) const {
   check_node(node);
-  return fault_depth_[static_cast<std::size_t>(node)] == 0;
+  return lfault_[static_cast<std::size_t>(topo_.uplink(node))] == 0 &&
+         lfault_[static_cast<std::size_t>(topo_.downlink(node))] == 0;
 }
+
+// --- Traffic ----------------------------------------------------------------
 
 void Network::transfer(int src, int dst, std::uint64_t bytes,
                        std::function<void()> on_complete) {
@@ -114,42 +289,105 @@ void Network::transfer(int src, int dst, std::uint64_t bytes,
     engine_.after(duration, std::move(on_complete));
     return;
   }
-  Flow flow;
+  if (!incremental_) {
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.path = topo_.path(src, dst);
+    flow.remaining = static_cast<double>(bytes);
+    flow.on_complete = std::move(on_complete);
+    // The flow joins the fluid system only after the fixed latency,
+    // modelling propagation plus protocol stack traversal.
+    engine_.after(latency_, [this, flow = std::move(flow)]() mutable {
+      admit(std::move(flow));
+    });
+    return;
+  }
+  IncFlow flow;
   flow.src = src;
   flow.dst = dst;
+  flow.path = topo_.path(src, dst);
   flow.remaining = static_cast<double>(bytes);
   flow.on_complete = std::move(on_complete);
-  // The flow joins the fluid system only after the fixed latency, modelling
-  // propagation plus protocol stack traversal.
   engine_.after(latency_, [this, flow = std::move(flow)]() mutable {
-    admit(std::move(flow));
+    inc_admit(std::move(flow));
   });
-}
-
-void Network::admit(Flow flow) {
-  sync();
-  flows_.push_back(std::move(flow));
-  observe_flows();
-  rerate();
 }
 
 void Network::add_background_flow(int src, int dst) {
   check_node(src);
   check_node(dst);
-  sync();
-  Flow flow;
+  if (!incremental_) {
+    sync();
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.path = topo_.path(src, dst);
+    flow.remaining = kInfiniteBytes;
+    flow.background = true;
+    flows_.push_back(std::move(flow));
+    observe_flows();
+    rerate();
+    return;
+  }
+  IncFlow flow;
   flow.src = src;
   flow.dst = dst;
+  flow.path = topo_.path(src, dst);
   flow.remaining = kInfiniteBytes;
   flow.background = true;
-  flows_.push_back(std::move(flow));
-  observe_flows();
-  rerate();
+  inc_admit(std::move(flow));
 }
 
 void Network::clear_background_flows() {
+  if (!incremental_) {
+    sync();
+    flows_.remove_if([](const Flow& f) { return f.background; });
+    observe_flows();
+    rerate();
+    return;
+  }
+  ++epoch_;
+  std::vector<LinkId>& touched = scratch_touched_;
+  touched.clear();
+  for (int id = 0; id < static_cast<int>(pool_.size()); ++id) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    if (!flow.alive || !flow.background) continue;
+    flow.mark = epoch_;  // never a member of the affected set below
+    for (LinkId l : flow.path) touched.push_back(l);
+    inc_remove(id);
+  }
+  scratch_ripple_.clear();
+  for (LinkId t : touched) inc_collect(t, scratch_ripple_);
+  for (int id : scratch_ripple_) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    if (flow.faulted_links > 0) continue;
+    inc_settle(flow);
+    inc_rerate_flow(id);
+  }
+  inc_reschedule();
+  observe_flows();
+}
+
+std::size_t Network::transfers_pending() const {
+  if (incremental_) return inc_real_pending_;
+  std::size_t n = 0;
+  for (const Flow& flow : flows_) {
+    if (!flow.background) ++n;
+  }
+  return n;
+}
+
+// --- Dense core --------------------------------------------------------------
+// The seed's arithmetic, generalized from the two crossbar endpoint links to
+// an arbitrary link path.  On the crossbar the per-link counters and the
+// min-accumulation over {uplink(src), downlink(dst)} perform the exact same
+// floating-point operations in the same order as the original
+// min(up/out, down/in), keeping results byte-identical.
+
+void Network::admit(Flow flow) {
   sync();
-  flows_.remove_if([](const Flow& f) { return f.background; });
+  flows_.push_back(std::move(flow));
   observe_flows();
   rerate();
 }
@@ -175,19 +413,16 @@ void Network::rerate() {
   pending_.cancel();
   if (flows_.empty()) return;
 
-  // Paused flows (an endpoint's link is faulted) progress at rate zero and
-  // release their share of the healthy endpoint's link to active traffic.
+  // Paused flows (any link on the path is faulted) progress at rate zero
+  // and release their share of the healthy links to active traffic.
   const auto paused = [this](const Flow& flow) {
-    return fault_depth_[static_cast<std::size_t>(flow.src)] > 0 ||
-           fault_depth_[static_cast<std::size_t>(flow.dst)] > 0;
+    return path_faulted(flow.path);
   };
 
-  std::vector<int> out(static_cast<std::size_t>(node_count_), 0);
-  std::vector<int> in(static_cast<std::size_t>(node_count_), 0);
+  std::vector<int> use(static_cast<std::size_t>(topo_.link_count()), 0);
   for (const Flow& flow : flows_) {
     if (paused(flow)) continue;
-    ++out[static_cast<std::size_t>(flow.src)];
-    ++in[static_cast<std::size_t>(flow.dst)];
+    for (LinkId link : flow.path) ++use[static_cast<std::size_t>(link)];
   }
 
   Time min_eta = std::numeric_limits<Time>::infinity();
@@ -196,11 +431,12 @@ void Network::rerate() {
       flow.rate = 0.0;
       continue;
     }
-    const double up_share = up_[static_cast<std::size_t>(flow.src)] /
-                            out[static_cast<std::size_t>(flow.src)];
-    const double down_share = down_[static_cast<std::size_t>(flow.dst)] /
-                              in[static_cast<std::size_t>(flow.dst)];
-    flow.rate = std::min(up_share, down_share);
+    double rate = std::numeric_limits<double>::infinity();
+    for (LinkId link : flow.path) {
+      rate = std::min(rate, cap_[static_cast<std::size_t>(link)] /
+                                use[static_cast<std::size_t>(link)]);
+    }
+    flow.rate = rate;
     if (!flow.background) {
       const Time eta = std::max(0.0, flow.remaining) / flow.rate;
       min_eta = std::min(min_eta, eta);
@@ -251,6 +487,214 @@ void Network::on_completion_event() {
   for (auto& callback : finished) callback();
 }
 
+// --- Incremental core --------------------------------------------------------
+// Per-link flow sets with lazy settlement: each flow tracks the time its
+// byte count was last up to date, and only flows whose rate actually changes
+// get settled and re-rated.  The affected set of any change is the union of
+// flows crossing the touched links, deduplicated with an epoch mark; flow
+// completions come from an ordered (ETA, id) set, so each event costs
+// O(affected * log flows) instead of O(all flows).
+
+void Network::inc_settle(IncFlow& flow) {
+  const Time now = engine_.now();
+  const double elapsed = now - flow.settled_at;
+  flow.settled_at = now;
+  if (elapsed <= 0) return;
+  const double moved = flow.rate * elapsed;
+  if (!flow.background) flow.remaining -= moved;
+  if (obs_ != nullptr) {
+    obs_tx_bytes_[static_cast<std::size_t>(flow.src)]->add(moved);
+  }
+}
+
+void Network::inc_rerate_flow(int id) {
+  IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+  double rate = 0.0;
+  if (flow.faulted_links == 0) {
+    rate = std::numeric_limits<double>::infinity();
+    for (LinkId link : flow.path) {
+      // The flow counts itself on each of its links, so the divisor >= 1.
+      rate = std::min(rate, cap_[static_cast<std::size_t>(link)] /
+                                link_active_[static_cast<std::size_t>(link)]);
+    }
+  }
+  flow.rate = rate;
+  if (flow.in_eta) {
+    eta_.erase({flow.eta, id});
+    flow.in_eta = false;
+  }
+  if (!flow.background && rate > 0.0) {
+    flow.eta = engine_.now() + std::max(0.0, flow.remaining) / rate;
+    eta_.insert({flow.eta, id});
+    flow.in_eta = true;
+  }
+}
+
+void Network::inc_collect(LinkId link, std::vector<int>& out) {
+  for (std::int32_t id : link_flows_[static_cast<std::size_t>(link)]) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    if (flow.mark == epoch_) continue;
+    flow.mark = epoch_;
+    out.push_back(id);
+  }
+}
+
+void Network::inc_admit(IncFlow flow) {
+  flow.settled_at = engine_.now();
+  flow.faulted_links = 0;
+  for (LinkId link : flow.path) {
+    if (lfault_[static_cast<std::size_t>(link)] > 0) ++flow.faulted_links;
+  }
+  int id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[static_cast<std::size_t>(id)] = std::move(flow);
+  } else {
+    id = static_cast<int>(pool_.size());
+    pool_.push_back(std::move(flow));
+  }
+  IncFlow& f = pool_[static_cast<std::size_t>(id)];
+  f.alive = true;
+  ++inc_alive_;
+  if (!f.background) ++inc_real_pending_;
+
+  ++epoch_;
+  f.mark = epoch_;  // keep the new flow out of its own affected set
+  scratch_affected_.clear();
+  for (int h = 0; h < f.path.count; ++h) {
+    const LinkId link = f.path.links[static_cast<std::size_t>(h)];
+    inc_collect(link, scratch_affected_);
+    f.slot[static_cast<std::size_t>(h)] =
+        static_cast<std::int32_t>(link_flows_[static_cast<std::size_t>(link)]
+                                      .size());
+    link_flows_[static_cast<std::size_t>(link)].push_back(
+        static_cast<std::int32_t>(id));
+    if (f.faulted_links == 0) ++link_active_[static_cast<std::size_t>(link)];
+  }
+  for (int a : scratch_affected_) {
+    IncFlow& other = pool_[static_cast<std::size_t>(a)];
+    if (other.faulted_links > 0) continue;
+    inc_settle(other);
+    inc_rerate_flow(a);
+  }
+  inc_rerate_flow(id);
+  inc_reschedule();
+  observe_flows();
+}
+
+void Network::inc_remove(int id) {
+  IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+  for (int h = 0; h < flow.path.count; ++h) {
+    const LinkId link = flow.path.links[static_cast<std::size_t>(h)];
+    auto& members = link_flows_[static_cast<std::size_t>(link)];
+    const std::int32_t s = flow.slot[static_cast<std::size_t>(h)];
+    const std::int32_t moved = members.back();
+    members[static_cast<std::size_t>(s)] = moved;
+    members.pop_back();
+    if (moved != id) {
+      // The swapped-in flow's slot entry for this link now points at s.
+      IncFlow& m = pool_[static_cast<std::size_t>(moved)];
+      for (int k = 0; k < m.path.count; ++k) {
+        if (m.path.links[static_cast<std::size_t>(k)] == link) {
+          m.slot[static_cast<std::size_t>(k)] = s;
+          break;
+        }
+      }
+    }
+    if (flow.faulted_links == 0) {
+      --link_active_[static_cast<std::size_t>(link)];
+    }
+  }
+  if (flow.in_eta) {
+    eta_.erase({flow.eta, id});
+    flow.in_eta = false;
+  }
+  flow.alive = false;
+  flow.on_complete = nullptr;
+  --inc_alive_;
+  if (!flow.background) --inc_real_pending_;
+  free_slots_.push_back(id);
+}
+
+void Network::inc_pause(int id, std::vector<LinkId>& touched) {
+  IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+  for (LinkId link : flow.path) {
+    --link_active_[static_cast<std::size_t>(link)];
+    touched.push_back(link);
+  }
+  flow.rate = 0.0;
+  if (flow.in_eta) {
+    eta_.erase({flow.eta, id});
+    flow.in_eta = false;
+  }
+}
+
+void Network::inc_unpause(int id, std::vector<LinkId>& touched) {
+  IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+  for (LinkId link : flow.path) {
+    ++link_active_[static_cast<std::size_t>(link)];
+    touched.push_back(link);
+  }
+}
+
+void Network::inc_links_changed(const LinkId* first, const LinkId* last) {
+  ++epoch_;
+  scratch_affected_.clear();
+  for (const LinkId* it = first; it != last; ++it) {
+    inc_collect(*it, scratch_affected_);
+  }
+  for (int id : scratch_affected_) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    if (flow.faulted_links > 0) continue;
+    inc_settle(flow);
+    inc_rerate_flow(id);
+  }
+  inc_reschedule();
+}
+
+void Network::inc_reschedule() {
+  pending_.cancel();
+  if (eta_.empty()) return;
+  pending_ =
+      engine_.at(eta_.begin()->first, [this] { inc_on_completion_event(); });
+}
+
+void Network::inc_on_completion_event() {
+  const Time now = engine_.now();
+  // Same ride-along rule as the dense core: anything whose ETA is within the
+  // clock's resolution of this instant completes now -- rescheduling it
+  // could not produce a later timestamp anyway.
+  const Time clock_ulp =
+      std::max(now * 1e-12, std::numeric_limits<Time>::min());
+  ++epoch_;
+  std::vector<LinkId>& touched = scratch_touched_;
+  touched.clear();
+  std::vector<std::function<void()>> finished;
+  while (!eta_.empty() && eta_.begin()->first <= now + clock_ulp) {
+    const int id = eta_.begin()->second;
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    inc_settle(flow);
+    flow.mark = epoch_;  // removed below; never part of the affected set
+    for (LinkId link : flow.path) touched.push_back(link);
+    finished.push_back(std::move(flow.on_complete));
+    inc_remove(id);
+  }
+  scratch_ripple_.clear();
+  for (LinkId t : touched) inc_collect(t, scratch_ripple_);
+  for (int id : scratch_ripple_) {
+    IncFlow& flow = pool_[static_cast<std::size_t>(id)];
+    if (flow.faulted_links > 0) continue;
+    inc_settle(flow);
+    inc_rerate_flow(id);
+  }
+  inc_reschedule();
+  observe_flows();
+  for (auto& callback : finished) callback();
+}
+
+// --- Observability -----------------------------------------------------------
+
 void Network::attach_obs(obs::Recorder* recorder) {
   obs_ = recorder;
   if (recorder == nullptr) {
@@ -262,8 +706,8 @@ void Network::attach_obs(obs::Recorder* recorder) {
     return;
   }
   obs::MetricsRegistry& metrics = recorder->metrics();
-  obs_tx_bytes_.resize(static_cast<std::size_t>(node_count_));
-  for (int node = 0; node < node_count_; ++node) {
+  obs_tx_bytes_.resize(static_cast<std::size_t>(topo_.node_count()));
+  for (int node = 0; node < topo_.node_count(); ++node) {
     obs_tx_bytes_[static_cast<std::size_t>(node)] =
         &metrics.counter("net.node." + std::to_string(node) + ".tx_bytes");
   }
@@ -271,7 +715,7 @@ void Network::attach_obs(obs::Recorder* recorder) {
   obs_flows_gauge_ = &metrics.gauge("net.active_flows");
   obs_flows_hist_ = &metrics.histogram("net.active_flows.occupancy",
                                        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0});
-  fault_spans_.assign(static_cast<std::size_t>(node_count_),
+  fault_spans_.assign(static_cast<std::size_t>(topo_.node_count()),
                       obs::Tracer::kNoSpan);
   recorder->tracer().set_process_name(obs::Recorder::kNetPid, "network");
   observe_flows();
@@ -279,7 +723,7 @@ void Network::attach_obs(obs::Recorder* recorder) {
 
 void Network::observe_flows() {
   if (obs_flows_gauge_ == nullptr) return;
-  const double count = static_cast<double>(flows_.size());
+  const double count = static_cast<double>(active_flows());
   const Time now = engine_.now();
   obs_flows_gauge_->set(now, count);
   obs_flows_hist_->observe(now, count);

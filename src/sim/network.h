@@ -1,13 +1,27 @@
 // Flow-level network model of a switched cluster.
 //
-// Topology: every node owns a full-duplex link into an ideal crossbar switch
-// (the paper's testbed).  A message in flight is a fluid "flow" whose rate is
-// limited by its source's uplink and its destination's downlink; concurrent
-// flows on the same link share it equally:
-//     rate(f) = min( up[src] / active_out[src],  down[dst] / active_in[dst] )
-// Rates are recomputed whenever a flow starts or finishes.  This captures the
-// two effects the paper manipulates -- shaped (reduced) link bandwidth and
-// bandwidth division under competing traffic -- without packet-level detail.
+// A sim::Topology maps each src -> dst transfer to a path of directed links
+// (crossbar: {uplink(src), downlink(dst)}; fat-tree / dragonfly: up to five
+// shared switch links).  A message in flight is a fluid "flow" whose rate is
+// the equal-split share of its tightest path link:
+//     rate(f) = min over l in path(f) of  capacity(l) / active_flows(l)
+// Rates are recomputed whenever a flow starts, finishes, or a link changes.
+// This captures the effects the paper manipulates -- shaped (reduced) link
+// bandwidth and bandwidth division under competing traffic -- without
+// packet-level detail, and on the crossbar reduces exactly to the paper's
+//     min( up[src] / active_out[src],  down[dst] / active_in[dst] ).
+//
+// Two interchangeable flow cores implement that model:
+//   dense        settles and re-rates every flow on every change -- the
+//                seed's arithmetic, kept bit-for-bit so crossbar results
+//                stay byte-identical; O(flows) per event, and doubles as
+//                the reference model for the incremental core's tests
+//   incremental  per-link flow sets with lazy settlement and an ETA set:
+//                a change touches only flows sharing a link with the
+//                affected links (O(affected * log flows) per event), which
+//                is what makes thousand-rank hierarchical runs tractable
+// NetworkConfig::sharing picks a core; kAuto uses dense on the crossbar
+// (byte-identity) and incremental on hierarchical topologies (scale).
 //
 // Each transfer pays a fixed propagation/software-stack latency before its
 // bytes join the fluid system.  Persistent background flows model competing
@@ -15,29 +29,81 @@
 // memory channel.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "obs/recorder.h"
 #include "sim/engine.h"
 #include "sim/time.h"
+#include "sim/topology.h"
 
 namespace psk::sim {
 
+/// Named-options constructor argument for Network (the option-struct idiom;
+/// designated initializers read at the call site).  Defaults mirror the
+/// paper's testbed link characteristics.
+struct NetworkConfig {
+  /// How flow rates are recomputed after a change; see the file comment.
+  enum class Sharing : std::uint8_t {
+    kAuto,         // dense on crossbar, incremental otherwise
+    kDense,        // force the eager full-recompute core
+    kIncremental,  // force the per-link incremental core
+  };
+
+  int node_count = 1;
+  /// Bytes/second per link direction.
+  double bandwidth_bps = 60.0e6;
+  /// One-way message latency in seconds.
+  Time latency = 50.0e-6;
+  double local_bandwidth_bps = 1.0e9;
+  Time local_latency = 2.0e-6;
+  TopologySpec topology{};
+  Sharing sharing = Sharing::kAuto;
+};
+
 class Network {
  public:
-  /// `bandwidth_bps` is bytes/second per link direction; `latency` is the
-  /// one-way message latency in seconds.
+  explicit Network(Engine& engine, const NetworkConfig& config);
+
+  /// Deprecated positional constructor (pre-NetworkConfig API; always a
+  /// crossbar).  Prefer the NetworkConfig overload.
   Network(Engine& engine, int node_count, double bandwidth_bps, Time latency,
           double local_bandwidth_bps, Time local_latency);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Overrides both directions of one node's link (the iproute2-style
-  /// shaper used by the sharing scenarios).
+  const Topology& topology() const { return topo_; }
+  int node_count() const { return topo_.node_count(); }
+  int link_count() const { return topo_.link_count(); }
+  Time latency() const { return latency_; }
+
+  // --- Link-addressed API ------------------------------------------------
+  // Links are the unit of capacity and fault state; node-addressed calls
+  // below are conveniences over the node's two access links.
+
+  double link_capacity(LinkId link) const;
+  void set_link_capacity(LinkId link, double bandwidth_bps);
+
+  /// Fault hooks: while a link's fault depth is positive it carries zero
+  /// bytes, pausing (not dropping) every flow routed across it -- bytes in
+  /// flight resume when the last fault clears.  Depths nest so overlapping
+  /// causes compose.  Any link on a path can fault, not just the access
+  /// links: a faulted fat-tree core or dragonfly global link stalls exactly
+  /// the flows routed through it.
+  void push_fault_on(LinkId link);
+  void pop_fault_on(LinkId link);
+  bool link_healthy(LinkId link) const;
+
+  // --- Node-addressed conveniences ---------------------------------------
+
+  /// Overrides both directions of one node's access link (the iproute2-style
+  /// shaper used by the sharing scenarios) in a single settle/re-rate pass.
   void set_link_bandwidth(int node, double bandwidth_bps);
 
   void set_uplink_bandwidth(int node, double bandwidth_bps);
@@ -45,59 +111,54 @@ class Network {
 
   double uplink_bandwidth(int node) const;
   double downlink_bandwidth(int node) const;
-  Time latency() const { return latency_; }
 
-  /// Fault hooks: while a node's fault depth is positive, both directions
-  /// of its link carry zero bytes (black-out, flap, or crashed node).
-  /// Flows are paused, not dropped -- bytes in flight resume when the last
-  /// fault clears.  Depths nest so overlapping causes compose.  Intra-node
-  /// (shared-memory) copies are unaffected.
+  /// Faults both directions of the node's access link (black-out, flap, or
+  /// crashed node).  Intra-node (shared-memory) copies are unaffected.
   void push_link_fault(int node);
   void pop_link_fault(int node);
   bool link_up(int node) const;
+
+  // --- Traffic ------------------------------------------------------------
 
   /// Starts a transfer of `bytes` from `src` to `dst`; `on_complete` fires
   /// when the last byte arrives.  Zero-byte transfers still pay latency.
   void transfer(int src, int dst, std::uint64_t bytes,
                 std::function<void()> on_complete);
 
-  /// Adds a persistent competing bulk flow occupying share on src's uplink
-  /// and dst's downlink.
+  /// Adds a persistent competing bulk flow occupying share on every link of
+  /// the src -> dst path.
   void add_background_flow(int src, int dst);
   void clear_background_flows();
 
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const {
+    return incremental_ ? inc_alive_ : flows_.size();
+  }
 
   /// Real transfers still carrying bytes (background flows excluded).  Used
   /// by deadlock detection: a paused flow on a faulted link counts -- it
   /// resumes when the fault clears, so the simulation is not quiescent.
-  std::size_t transfers_pending() const {
-    std::size_t n = 0;
-    for (const Flow& flow : flows_) {
-      if (!flow.background) ++n;
-    }
-    return n;
-  }
+  std::size_t transfers_pending() const;
 
   /// Starts feeding the recorder: per-node transmitted-bytes counters, a
   /// time-weighted active-flow gauge plus occupancy histogram, and
-  /// "link-down" spans on the network track.  Null handles keep every
-  /// hot-path hook down to a single pointer check.
+  /// "link-down" spans on the network track for node-level faults.  Null
+  /// handles keep every hot-path hook down to a single pointer check.
   void attach_obs(obs::Recorder* recorder);
 
  private:
+  // --- Dense core (seed-equivalent arithmetic) ---------------------------
+
   struct Flow {
     int src;
     int dst;
+    LinkPath path;
     double remaining;  // bytes; background flows use +infinity
     double rate = 0.0;
     std::function<void()> on_complete;
     bool background = false;
   };
 
-  void check_node(int node) const;
-
-  /// Accounts bytes moved since the last rate change.
+  /// Accounts bytes moved since the last rate change (every flow).
   void sync();
 
   /// Recomputes per-flow rates and the single next-completion event.
@@ -106,21 +167,85 @@ class Network {
   void on_completion_event();
   void admit(Flow flow);
 
+  // --- Incremental core ---------------------------------------------------
+
+  struct IncFlow {
+    int src = 0;
+    int dst = 0;
+    LinkPath path;
+    double remaining = 0.0;  // bytes; background flows use +infinity
+    double rate = 0.0;
+    Time settled_at = 0.0;
+    Time eta = 0.0;  // key of the entry in eta_, valid iff in_eta
+    std::function<void()> on_complete;
+    // Index of this flow within link_flows_[path.links[i]], per hop.
+    std::array<std::int32_t, LinkPath::kMaxLinks> slot{};
+    std::uint64_t mark = 0;  // epoch visited marker (affected-set dedup)
+    int faulted_links = 0;   // path links with a positive fault depth
+    bool background = false;
+    bool alive = false;
+    bool in_eta = false;
+  };
+
+  /// Accounts one flow's bytes since its own last rate change.
+  void inc_settle(IncFlow& flow);
+
+  /// Recomputes one flow's rate from the current per-link active counts and
+  /// refreshes its completion-ETA entry.
+  void inc_rerate_flow(int id);
+
+  /// Appends the ids of flows crossing `link` not yet seen this epoch.
+  void inc_collect(LinkId link, std::vector<int>& out);
+
+  void inc_admit(IncFlow flow);
+  void inc_remove(int id);  // unlink from all path links, free the slot
+  void inc_pause(int id, std::vector<LinkId>& touched);
+  void inc_unpause(int id, std::vector<LinkId>& touched);
+  void inc_on_completion_event();
+  void inc_reschedule();
+  void inc_links_changed(const LinkId* first, const LinkId* last);
+
+  // --- Shared -------------------------------------------------------------
+
+  void check_node(int node) const;
+  void check_link(LinkId link) const;
+  bool path_faulted(const LinkPath& path) const;
+  void node_fault_span_begin(int node);
+  void node_fault_span_end(int node);
+
   /// Pushes the current flow count to the gauge/histogram; no-op when
   /// unobserved.
   void observe_flows();
 
   Engine& engine_;
-  int node_count_;
+  Topology topo_;
   Time latency_;
   double local_bandwidth_;
   Time local_latency_;
-  std::vector<double> up_;
-  std::vector<double> down_;
-  std::vector<int> fault_depth_;
-  std::list<Flow> flows_;
-  Time last_sync_ = 0.0;
+  bool incremental_ = false;
+  std::vector<double> cap_;     // per link
+  std::vector<int> lfault_;     // per link, nested fault depth
+  std::vector<int> node_fault_depth_;  // node-level faults, for spans/guards
+  Time last_sync_ = 0.0;        // dense core's global settlement clock
   EventQueue::Handle pending_;
+
+  // Dense core state.
+  std::list<Flow> flows_;
+
+  // Incremental core state.
+  std::vector<IncFlow> pool_;
+  std::vector<int> free_slots_;
+  std::vector<std::vector<std::int32_t>> link_flows_;  // per link: flow ids
+  std::vector<int> link_active_;  // per link: non-paused flows crossing it
+  std::set<std::pair<Time, int>> eta_;  // (completion time, flow id)
+  std::uint64_t epoch_ = 0;
+  std::size_t inc_alive_ = 0;
+  std::size_t inc_real_pending_ = 0;
+  // Batch scratch buffers (reused to keep per-event allocation flat).  Only
+  // used before an update batch hands control back to user callbacks.
+  std::vector<int> scratch_affected_;
+  std::vector<int> scratch_ripple_;
+  std::vector<LinkId> scratch_touched_;
 
   // Observability handles; empty/null when the network is unobserved.
   obs::Recorder* obs_ = nullptr;

@@ -1,0 +1,226 @@
+#include "sim/topology.h"
+
+#include <charconv>
+#include <tuple>
+#include <utility>
+
+#include "util/error.h"
+
+namespace psk::sim {
+
+namespace {
+
+constexpr const char* kValidForms =
+    "crossbar | fattree:<down,up> | dragonfly:<groups,routers>";
+
+[[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
+  throw ConfigError("bad topology spec \"" + text + "\": " + why +
+                    " (valid: " + std::string(kValidForms) + ")");
+}
+
+// Parses the "<a,b>" parameter tail shared by fattree and dragonfly; both
+// values must be positive integers.
+std::pair<int, int> parse_params(const std::string& text,
+                                 const std::string& tail) {
+  auto comma = tail.find(',');
+  if (comma == std::string::npos)
+    bad_spec(text, "expected two comma-separated parameters");
+  auto parse_int = [&](const std::string& part) {
+    int value = 0;
+    const char* first = part.data();
+    const char* last = part.data() + part.size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last || value <= 0)
+      bad_spec(text, "parameter \"" + part + "\" is not a positive integer");
+    return value;
+  };
+  return {parse_int(tail.substr(0, comma)), parse_int(tail.substr(comma + 1))};
+}
+
+}  // namespace
+
+std::string TopologySpec::to_string() const {
+  switch (kind) {
+    case TopologyKind::kCrossbar:
+      return "crossbar";
+    case TopologyKind::kFatTree:
+      return "fattree:" + std::to_string(fattree_down) + "," +
+             std::to_string(fattree_up);
+    case TopologyKind::kDragonfly:
+      return "dragonfly:" + std::to_string(dragonfly_groups) + "," +
+             std::to_string(dragonfly_routers);
+  }
+  return "crossbar";
+}
+
+TopologySpec TopologySpec::parse(const std::string& text) {
+  auto colon = text.find(':');
+  const std::string family = text.substr(0, colon);
+  const std::string tail =
+      colon == std::string::npos ? std::string() : text.substr(colon + 1);
+
+  TopologySpec spec;
+  if (family == "crossbar") {
+    if (colon != std::string::npos)
+      bad_spec(text, "crossbar takes no parameters");
+    spec.kind = TopologyKind::kCrossbar;
+  } else if (family == "fattree") {
+    if (colon == std::string::npos)
+      bad_spec(text, "fattree needs <down,up> parameters");
+    spec.kind = TopologyKind::kFatTree;
+    std::tie(spec.fattree_down, spec.fattree_up) = parse_params(text, tail);
+  } else if (family == "dragonfly") {
+    if (colon == std::string::npos)
+      bad_spec(text, "dragonfly needs <groups,routers> parameters");
+    spec.kind = TopologyKind::kDragonfly;
+    std::tie(spec.dragonfly_groups, spec.dragonfly_routers) =
+        parse_params(text, tail);
+  } else {
+    bad_spec(text, "unknown topology family \"" + family + "\"");
+  }
+  return spec;
+}
+
+Topology::Topology(const TopologySpec& spec, int node_count)
+    : spec_(spec), node_count_(node_count) {
+  util::require(node_count >= 1, "topology needs at least one node");
+  const int access = 2 * node_count;
+  switch (spec_.kind) {
+    case TopologyKind::kCrossbar:
+      link_count_ = access;
+      break;
+    case TopologyKind::kFatTree: {
+      ft_switches_ =
+          (node_count + spec_.fattree_down - 1) / spec_.fattree_down;
+      // Two directed links (edge->core, core->edge) per uplink port.
+      link_count_ = access + 2 * ft_switches_ * spec_.fattree_up;
+      break;
+    }
+    case TopologyKind::kDragonfly: {
+      const int groups = spec_.dragonfly_groups;
+      const int routers = spec_.dragonfly_routers;
+      const int total_routers = groups * routers;
+      df_nodes_per_router_ =
+          (node_count + total_routers - 1) / total_routers;
+      df_local_base_ = access;
+      // Directed all-to-all inside each group...
+      df_global_base_ = df_local_base_ + groups * routers * (routers - 1);
+      // ...and one directed link per ordered group pair.
+      link_count_ = df_global_base_ + groups * (groups - 1);
+      break;
+    }
+  }
+}
+
+LinkId Topology::edge_up(int sw, int port) const {
+  return static_cast<LinkId>(2 * node_count_ +
+                             2 * (sw * spec_.fattree_up + port));
+}
+
+LinkId Topology::edge_down(int sw, int port) const {
+  return static_cast<LinkId>(edge_up(sw, port) + 1);
+}
+
+LinkId Topology::local_link(int group, int from, int to) const {
+  const int r = spec_.dragonfly_routers;
+  // `to` is compacted over the missing self-loop slot.
+  const int slot = to > from ? to - 1 : to;
+  return static_cast<LinkId>(df_local_base_ + group * r * (r - 1) +
+                             from * (r - 1) + slot);
+}
+
+LinkId Topology::global_link(int from_group, int to_group) const {
+  const int g = spec_.dragonfly_groups;
+  const int slot = to_group > from_group ? to_group - 1 : to_group;
+  return static_cast<LinkId>(df_global_base_ + from_group * (g - 1) + slot);
+}
+
+LinkPath Topology::path(int src, int dst) const {
+  LinkPath p;
+  switch (spec_.kind) {
+    case TopologyKind::kCrossbar:
+      p.push(uplink(src));
+      p.push(downlink(dst));
+      return p;
+    case TopologyKind::kFatTree: {
+      const int src_sw = edge_switch(src);
+      const int dst_sw = edge_switch(dst);
+      p.push(uplink(src));
+      if (src_sw != dst_sw) {
+        // D-mod-k core selection: deterministic, spreads destinations
+        // evenly over the core switches.
+        const int core = dst % spec_.fattree_up;
+        p.push(edge_up(src_sw, core));
+        p.push(edge_down(dst_sw, core));
+      }
+      p.push(downlink(dst));
+      return p;
+    }
+    case TopologyKind::kDragonfly: {
+      const int r = spec_.dragonfly_routers;
+      const int src_rt = router_of(src);
+      const int dst_rt = router_of(dst);
+      p.push(uplink(src));
+      if (src_rt != dst_rt) {
+        const int src_g = src_rt / r;
+        const int dst_g = dst_rt / r;
+        const int src_lr = src_rt % r;
+        const int dst_lr = dst_rt % r;
+        if (src_g == dst_g) {
+          p.push(local_link(src_g, src_lr, dst_lr));
+        } else {
+          // Minimal route: hop to the gateway router owning the global
+          // link to dst's group, cross it, then hop to dst's router.
+          const int gw_src = dst_g % r;
+          const int gw_dst = src_g % r;
+          if (src_lr != gw_src) p.push(local_link(src_g, src_lr, gw_src));
+          p.push(global_link(src_g, dst_g));
+          if (gw_dst != dst_lr) p.push(local_link(dst_g, gw_dst, dst_lr));
+        }
+      }
+      p.push(downlink(dst));
+      return p;
+    }
+  }
+  return p;
+}
+
+std::string Topology::link_name(LinkId id) const {
+  const int access = 2 * node_count_;
+  if (id < access) {
+    return "node" + std::to_string(id / 2) +
+           (id % 2 == 0 ? ".up" : ".down");
+  }
+  switch (spec_.kind) {
+    case TopologyKind::kCrossbar:
+      break;
+    case TopologyKind::kFatTree: {
+      const int port_link = id - access;
+      const int sw = (port_link / 2) / spec_.fattree_up;
+      const int port = (port_link / 2) % spec_.fattree_up;
+      return "edge" + std::to_string(sw) +
+             (port_link % 2 == 0 ? ".up" : ".down") + std::to_string(port);
+    }
+    case TopologyKind::kDragonfly: {
+      const int r = spec_.dragonfly_routers;
+      if (id < df_global_base_) {
+        const int local = id - df_local_base_;
+        const int group = local / (r * (r - 1));
+        const int from = (local % (r * (r - 1))) / (r - 1);
+        const int slot = local % (r - 1);
+        const int to = slot >= from ? slot + 1 : slot;
+        return "g" + std::to_string(group) + ".r" + std::to_string(from) +
+               "->r" + std::to_string(to);
+      }
+      const int g = spec_.dragonfly_groups;
+      const int global = id - df_global_base_;
+      const int from = global / (g - 1);
+      const int slot = global % (g - 1);
+      const int to = slot >= from ? slot + 1 : slot;
+      return "g" + std::to_string(from) + "->g" + std::to_string(to);
+    }
+  }
+  return "link" + std::to_string(id);
+}
+
+}  // namespace psk::sim

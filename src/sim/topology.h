@@ -1,0 +1,140 @@
+// Cluster interconnect topologies: the map from a src -> dst transfer to the
+// sequence of shared directed links its bytes cross.
+//
+// Three families:
+//   crossbar             every node owns a full-duplex link into one ideal
+//                        switch (the paper's testbed); a transfer crosses
+//                        exactly {uplink(src), downlink(dst)}
+//   fattree:<down,up>    two-level folded Clos: edge switches with <down>
+//                        node ports and <up> uplinks into <up> ideal core
+//                        switches; cross-switch transfers climb
+//                        src -> edge -> core -> edge -> dst (4 links) with
+//                        deterministic D-mod-k core selection, so the
+//                        oversubscription ratio is down:up
+//   dragonfly:<g,r>      <g> groups of <r> routers; routers within a group
+//                        are all-to-all connected, every ordered group pair
+//                        shares one global link whose gateway router is
+//                        chosen by destination-group modulo, giving minimal
+//                        up/local/global/local/down routes (<= 5 links)
+//
+// Links are directed and identified by dense integer ids; every topology
+// reserves ids [0, 2*nodes) for the per-node access links so node-addressed
+// APIs (shapers, crash faults) work uniformly.  Topologies are pure routing
+// tables: capacities, flows and faults live in sim::Network.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace psk::sim {
+
+enum class TopologyKind : std::uint8_t {
+  kCrossbar = 0,
+  kFatTree = 1,
+  kDragonfly = 2,
+};
+
+/// Value-type description of a topology, parseable from the shared
+/// `--topology=` CLI spec.  Parameters of families other than `kind` are
+/// carried but ignored, so specs compare equal iff their meaning does.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kCrossbar;
+  /// fattree: node ports (down) and core uplinks (up) per edge switch.
+  int fattree_down = 8;
+  int fattree_up = 4;
+  /// dragonfly: group count and routers per group.
+  int dragonfly_groups = 4;
+  int dragonfly_routers = 4;
+
+  bool is_crossbar() const { return kind == TopologyKind::kCrossbar; }
+
+  /// Canonical spec string: "crossbar", "fattree:8,4", "dragonfly:4,4".
+  std::string to_string() const;
+
+  /// Parses a spec string ("crossbar" | "fattree:<down,up>" |
+  /// "dragonfly:<groups,routers>"); throws ConfigError listing the valid
+  /// forms on anything else (unknown family, bad arity, non-positive or
+  /// malformed parameters).
+  static TopologySpec parse(const std::string& text);
+
+  friend bool operator==(const TopologySpec& a, const TopologySpec& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+      case TopologyKind::kCrossbar:
+        return true;
+      case TopologyKind::kFatTree:
+        return a.fattree_down == b.fattree_down &&
+               a.fattree_up == b.fattree_up;
+      case TopologyKind::kDragonfly:
+        return a.dragonfly_groups == b.dragonfly_groups &&
+               a.dragonfly_routers == b.dragonfly_routers;
+    }
+    return false;
+  }
+};
+
+using LinkId = std::int32_t;
+
+/// The directed links one transfer crosses, in traversal order.  Bounded:
+/// the deepest route (dragonfly inter-group) is 5 hops.
+struct LinkPath {
+  static constexpr int kMaxLinks = 6;
+
+  std::array<LinkId, kMaxLinks> links{};
+  int count = 0;
+
+  void push(LinkId id) { links[static_cast<std::size_t>(count++)] = id; }
+  const LinkId* begin() const { return links.data(); }
+  const LinkId* end() const { return links.data() + count; }
+};
+
+/// Immutable routing table for `node_count` nodes under a spec: link id
+/// layout plus the src -> dst path function.  Construction validates the
+/// spec's parameters against the node count.
+class Topology {
+ public:
+  Topology(const TopologySpec& spec, int node_count);
+
+  const TopologySpec& spec() const { return spec_; }
+  int node_count() const { return node_count_; }
+  int link_count() const { return link_count_; }
+
+  /// The node's access links (present in every family).
+  LinkId uplink(int node) const { return static_cast<LinkId>(2 * node); }
+  LinkId downlink(int node) const {
+    return static_cast<LinkId>(2 * node + 1);
+  }
+
+  /// The directed link sequence of a src -> dst transfer (src != dst;
+  /// same-node copies never reach the network).  Deterministic: equal
+  /// inputs give equal paths, so simulations stay bit-reproducible.
+  LinkPath path(int src, int dst) const;
+
+  /// Human-readable link name for diagnostics ("node3.up", "edge1.up0",
+  /// "g2.r0->r3", "g0->g2", ...).
+  std::string link_name(LinkId id) const;
+
+ private:
+  // Fat-tree helpers.
+  int edge_switch(int node) const { return node / spec_.fattree_down; }
+  LinkId edge_up(int sw, int port) const;
+  LinkId edge_down(int sw, int port) const;
+
+  // Dragonfly helpers.
+  int router_of(int node) const { return node / df_nodes_per_router_; }
+  LinkId local_link(int group, int from, int to) const;
+  LinkId global_link(int from_group, int to_group) const;
+
+  TopologySpec spec_;
+  int node_count_ = 0;
+  int link_count_ = 0;
+  // Fat-tree: number of edge switches.
+  int ft_switches_ = 0;
+  // Dragonfly: nodes packed contiguously onto routers.
+  int df_nodes_per_router_ = 1;
+  int df_local_base_ = 0;   // first intra-group router-router link id
+  int df_global_base_ = 0;  // first inter-group link id
+};
+
+}  // namespace psk::sim

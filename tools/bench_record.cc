@@ -12,10 +12,10 @@
 //   bench_record --compare=BASELINE.json [--max-regress=0.15] [...]
 //
 // --compare re-measures, then fails (exit 1) when any
-// "event_queue.events_per_sec.*" or "service.requests_per_sec.*" metric
-// dropped by more than --max-regress relative to the baseline file -- the
-// CI regression gate.  Other metrics are reported but do not gate (they
-// track larger, noisier workloads).
+// "event_queue.events_per_sec.*", "service.requests_per_sec.*" or
+// "scale.events_per_sec.*" metric dropped by more than --max-regress
+// relative to the baseline file -- the CI regression gate.  Other metrics
+// are reported but do not gate (they track larger, noisier workloads).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -34,6 +34,7 @@
 #include "core/framework.h"
 #include "obs/metrics.h"
 #include "scenario/scenario.h"
+#include "scenario/synthetic.h"
 #include "svc/service.h"
 #include "sig/cluster.h"
 #include "sig/compress.h"
@@ -203,11 +204,46 @@ void service_metric(std::map<std::string, double>& metrics,
       static_cast<double>(kReuse) / median_seconds(hash_sorted);
 }
 
+/// Large-world simulator scaling (PR 9's per-link incremental flow core).
+/// A 1024-rank fat-tree BSP run gates on event throughput -- a regression
+/// back to dense (all-flows) re-rating cuts it by an order of magnitude --
+/// and the 256->1024 host-time growth ratio rides along ungated as the
+/// direct sub-quadratic record (4x ranks; quadratic would be 16x).
+void scale_metric(std::map<std::string, double>& metrics, int reps) {
+  const sim::TopologySpec fattree =
+      sim::TopologySpec::parse("fattree:32,16");
+  scenario::SyntheticSpec spec;
+  spec.iterations = 5;
+  const auto run = [&](int ranks) {
+    sim::ClusterConfig cluster = sim::ClusterConfig::paper_testbed(ranks);
+    cluster.cores_per_node = 1;
+    cluster.topology = fattree;
+    return scenario::run_synthetic_bsp(cluster, ranks, spec);
+  };
+  // The event count is deterministic per world size; only time varies.
+  std::uint64_t events_256 = 0;
+  std::uint64_t events_1024 = 0;
+  const auto sorted_256 = time_reps(reps, [&] {
+    events_256 = run(256).events_dispatched;
+  });
+  const auto sorted_1024 = time_reps(std::max(1, reps / 2), [&] {
+    events_1024 = run(1024).events_dispatched;
+  });
+  const double host_256 = median_seconds(sorted_256);
+  const double host_1024 = median_seconds(sorted_1024);
+  metrics["scale.events_per_sec.fattree_256"] =
+      static_cast<double>(events_256) / host_256;
+  metrics["scale.events_per_sec.fattree_1024"] =
+      static_cast<double>(events_1024) / host_1024;
+  metrics["scale.host_growth_4x_fattree"] = host_1024 / host_256;
+}
+
 std::map<std::string, double> measure(int reps) {
   std::map<std::string, double> metrics;
 
   event_queue_metric(metrics, 1 << 12, reps);
   event_queue_metric(metrics, 1 << 16, reps);
+  scale_metric(metrics, reps);
 
   // Shared LU class-S folded trace: the signature pipeline's standard
   // workload (same as perf_components).
@@ -376,7 +412,8 @@ int compare_against(const std::map<std::string, double>& metrics,
     const double old_value = it->second;
     const bool gated =
         key.rfind("event_queue.events_per_sec.", 0) == 0 ||
-        key.rfind("service.requests_per_sec.", 0) == 0;
+        key.rfind("service.requests_per_sec.", 0) == 0 ||
+        key.rfind("scale.events_per_sec.", 0) == 0;
     const double change =
         old_value != 0.0 ? (value - old_value) / old_value : 0.0;
     std::printf("%-42s %14.4g -> %14.4g  (%+.1f%%)%s\n", key.c_str(),

@@ -78,6 +78,10 @@ int usage() {
       "dedicated serial fixed-seed run, so they are byte-identical for any\n"
       "--jobs value.  --phase-profile prints wall-clock pipeline phase\n"
       "timings to stderr.\n"
+      "run/predict/report accept --topology=crossbar|fattree:<down,up>|\n"
+      "dragonfly:<groups,routers> to pick the interconnect (default\n"
+      "crossbar, the paper's testbed; hierarchical topologies use the\n"
+      "incremental flow core that scales to thousands of ranks).\n"
       "run/predict/report accept --validate=strict|salvage|off (default\n"
       "strict): strict refuses semantically broken input, salvage recovers\n"
       "what it can from truncated files and downgrades validation errors to\n"
@@ -138,6 +142,14 @@ std::string require_flag(const util::Cli& cli, const std::string& name) {
   const std::string value = cli.get(name, "");
   util::require(!value.empty(), "missing required flag --" + name);
   return value;
+}
+
+/// Honours --topology on the commands that simulate: unknown specs throw
+/// ConfigError listing the valid forms (crossbar | fattree:<down,up> |
+/// dragonfly:<groups,routers>).  The default stays the paper's crossbar.
+void apply_topology(const util::Cli& cli, sim::ClusterConfig& cluster) {
+  const std::string spec = cli.get("topology", "");
+  if (!spec.empty()) cluster.topology = sim::TopologySpec::parse(spec);
 }
 
 /// Builds the result cache the --cache-* flags describe; null when the user
@@ -269,6 +281,7 @@ int cmd_run(const util::Cli& cli) {
 
   core::FrameworkOptions framework_options;
   framework_options.result_cache = cache_from_cli(cli);
+  apply_topology(cli, framework_options.cluster);
   // Follow the file, not the default world size: a salvaged skeleton may
   // have fewer ranks than it was built with and must still replay.
   framework_options.ranks = skeleton.rank_count();
@@ -300,6 +313,7 @@ int cmd_predict(const util::Cli& cli) {
   config.skeleton_sizes = {target};
   config.jobs = static_cast<int>(cli.get_int("jobs", 0));
   config.framework.result_cache = cache_from_cli(cli);
+  apply_topology(cli, config.framework.cluster);
   core::ExperimentDriver driver(config);
 
   const std::string which = cli.get("scenario", "");
@@ -362,6 +376,7 @@ int cmd_report(const util::Cli& cli) {
   }
   config.jobs = static_cast<int>(cli.get_int("jobs", 0));
   config.framework.result_cache = cache_from_cli(cli);
+  apply_topology(cli, config.framework.cluster);
   core::ExperimentDriver driver(config);
   for (const std::string& app : config.benchmarks) {
     check_app_trace(driver.app_trace(app), mode);
@@ -517,20 +532,20 @@ int main(int argc, char** argv) {
     if (command == "run") {
       cli.require_known({"skeleton", "scenario", "seed", "validate",
                          "trace-out", "metrics-out", "cache-dir", "cache-mem",
-                         "no-cache", "cache-stats"});
+                         "no-cache", "cache-stats", "topology"});
       return cmd_run(cli);
     }
     if (command == "predict") {
       cli.require_known({"app", "class", "target", "scenario", "jobs",
                          "validate", "trace-out", "metrics-out",
                          "phase-profile", "cache-dir", "cache-mem", "no-cache",
-                         "cache-stats"});
+                         "cache-stats", "topology"});
       return cmd_predict(cli);
     }
     if (command == "report") {
       cli.require_known({"out", "class", "apps", "jobs", "validate",
                          "phase-profile", "cache-dir", "cache-mem", "no-cache",
-                         "cache-stats"});
+                         "cache-stats", "topology"});
       return cmd_report(cli);
     }
     if (command == "info") {
