@@ -5,7 +5,8 @@
 //   - the parser never reports a frame longer than the buffer it was given,
 //   - the declared-size cap rejects hostile lengths without allocating,
 //   - anything decode_request accepts must re-encode and decode to the
-//     same header (canonical round-trip), and likewise for responses.
+//     same header (canonical round-trip), and likewise for responses and
+//     health snapshots.
 // The codecs report errors through Result, so nothing here should throw.
 #include <cstddef>
 #include <cstdint>
@@ -58,6 +59,31 @@ void check_response_roundtrip(std::string_view body) {
   }
 }
 
+void check_health_roundtrip(std::string_view body) {
+  psk::archive::Result<psk::svc::HealthInfo> first =
+      psk::svc::decode_health(body);
+  if (!first.ok()) return;
+  if (!(first.value().uptime_seconds >= 0)) {
+    std::abort();  // the decoder's own range check must have held
+  }
+  std::string encoded;
+  psk::svc::encode_health(encoded, first.value());
+  psk::archive::Result<psk::svc::HealthInfo> second =
+      psk::svc::decode_health(encoded);
+  if (!second.ok() ||
+      second.value().uptime_seconds != first.value().uptime_seconds ||
+      second.value().queue_depth != first.value().queue_depth ||
+      second.value().queue_capacity != first.value().queue_capacity ||
+      second.value().inflight != first.value().inflight ||
+      second.value().workers != first.value().workers ||
+      second.value().completed != first.value().completed ||
+      second.value().shed != first.value().shed ||
+      second.value().hung_detected != first.value().hung_detected ||
+      second.value().workers_replaced != first.value().workers_replaced) {
+    std::abort();
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -79,6 +105,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
         if (consumed == 0 || consumed > rest.size()) std::abort();
         check_request_roundtrip(frame.body);
         check_response_roundtrip(frame.body);
+        check_health_roundtrip(frame.body);
         rest.remove_prefix(consumed);
       }
     }
@@ -86,6 +113,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     // junk), so feed the whole input to both directly.
     check_request_roundtrip(bytes);
     check_response_roundtrip(bytes);
+    check_health_roundtrip(bytes);
   } catch (const psk::Error&) {
     // Result-based API; an Error here is tolerated but unexpected.
   }

@@ -18,6 +18,7 @@
 #include "skeleton/io.h"
 #include "skeleton/skeleton.h"
 #include "svc/frame.h"
+#include "svc/store.h"
 #include "trace/event.h"
 #include "trace/io.h"
 #include "util/error.h"
@@ -263,6 +264,31 @@ int main(int argc, char** argv) {
   svc::append_frame(stream, svc::FrameKind::kResponse, body);
   write_file(root + "/svc_frame/notfound_response.pskf", stream);
 
+  // Health exchange (PR 10): the client-facing liveness probe and its
+  // answer.  The probe is an empty body; the answer is the fixed-layout
+  // snapshot clients decode for backoff decisions.
+  stream.clear();
+  svc::append_frame(stream, svc::FrameKind::kHealth, "");
+  write_file(root + "/svc_frame/health_probe.pskf", stream);
+
+  svc::HealthInfo health;
+  health.uptime_seconds = 12.5;
+  health.queue_depth = 3;
+  health.queue_capacity = 64;
+  health.inflight = 2;
+  health.workers = 4;
+  health.completed = 100;
+  health.shed = 5;
+  health.hung_detected = 1;
+  health.workers_replaced = 1;
+  body.clear();
+  svc::encode_health(body, health);
+  stream.clear();
+  svc::append_frame(stream, svc::FrameKind::kHealth, body);
+  write_file(root + "/svc_frame/health_answer.pskf", stream);
+  write_file(root + "/svc_frame/health_truncated.pskf",
+             stream.substr(0, stream.size() - 7));
+
   // Header declaring a ~4 GiB body: the parser must reject at the length
   // field, before buffering anything.
   std::string huge("PSKF");
@@ -274,6 +300,29 @@ int main(int argc, char** argv) {
   write_file(root + "/svc_frame/garbage.pskf",
              std::string("\x00\xff\x7f pskf?", 8));
   write_file(root + "/svc_frame/empty.pskf", "");
+
+  // ----------------------------------------------------- store entries
+  // The durable tier's on-disk framing (PSKS1): one valid entry, the
+  // classic crash shapes (truncation at each structural boundary), bit
+  // rot in the payload, and a checksum-consistent entry filed under the
+  // wrong hash (the content-address invariant must still reject it).
+  const std::string entry =
+      svc::encode_store_entry(archive::fingerprint64(skel_arch), skel_arch);
+  write_file(root + "/store_entry/valid.psks", entry);
+  write_file(root + "/store_entry/magic_only.psks", entry.substr(0, 5));
+  write_file(root + "/store_entry/header_only.psks", entry.substr(0, 17));
+  write_file(root + "/store_entry/torn_payload.psks",
+             entry.substr(0, entry.size() * 2 / 3));
+  write_file(root + "/store_entry/missing_checksum.psks",
+             entry.substr(0, entry.size() - 8));
+  std::string rotted = entry;
+  rotted[entry.size() / 2] ^= 0x01;
+  write_file(root + "/store_entry/payload_bitrot.psks", rotted);
+  write_file(root + "/store_entry/wrong_hash.psks",
+             svc::encode_store_entry(archive::fingerprint64(skel_arch) ^ 1,
+                                     skel_arch));
+  write_file(root + "/store_entry/trailing_junk.psks", entry + "x");
+  write_file(root + "/store_entry/empty.psks", "");
 
   std::printf("seed corpus written under %s\n", root.c_str());
   return 0;

@@ -1,6 +1,7 @@
 #include "svc/frame.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.h"
 
@@ -16,7 +17,7 @@ namespace {
 constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4;
 constexpr std::size_t kChecksumSize = 8;
 
-constexpr auto kLastFrameKind = static_cast<std::uint8_t>(FrameKind::kFlush);
+constexpr auto kLastFrameKind = static_cast<std::uint8_t>(FrameKind::kHealth);
 constexpr auto kLastRequestOp =
     static_cast<std::uint8_t>(RequestOp::kConstruct);
 constexpr auto kLastValidateMode =
@@ -250,6 +251,41 @@ Result<ResponseHeader> decode_response(std::string_view body) {
     return Error{ErrorCode::kCorrupt, "trailing bytes after response body"};
   }
   return response;
+}
+
+void encode_health(std::string& out, const HealthInfo& health) {
+  archive::put_f64(out, health.uptime_seconds);
+  archive::put_u32(out, health.queue_depth);
+  archive::put_u32(out, health.queue_capacity);
+  archive::put_u32(out, health.inflight);
+  archive::put_u32(out, health.workers);
+  archive::put_u64(out, health.completed);
+  archive::put_u64(out, health.shed);
+  archive::put_u64(out, health.hung_detected);
+  archive::put_u64(out, health.workers_replaced);
+}
+
+Result<HealthInfo> decode_health(std::string_view body) {
+  Cursor in(body);
+  HealthInfo health;
+  health.uptime_seconds = in.f64();
+  health.queue_depth = in.u32();
+  health.queue_capacity = in.u32();
+  health.inflight = in.u32();
+  health.workers = in.u32();
+  health.completed = in.u64();
+  health.shed = in.u64();
+  health.hung_detected = in.u64();
+  health.workers_replaced = in.u64();
+  if (!in.ok()) return in.error();
+  if (!in.at_end()) {
+    return Error{ErrorCode::kCorrupt, "trailing bytes after health body"};
+  }
+  if (!(health.uptime_seconds >= 0) ||
+      !std::isfinite(health.uptime_seconds)) {
+    return Error{ErrorCode::kCorrupt, "negative, infinite or NaN uptime"};
+  }
+  return health;
 }
 
 }  // namespace psk::svc

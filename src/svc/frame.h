@@ -34,7 +34,7 @@
 namespace psk::svc {
 
 inline constexpr std::string_view kFrameMagic = "PSKF";
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Hard cap on a frame body.  Anything larger is rejected at the length
 /// field, before allocation (uploads are skeletons, not bulk traces).
@@ -50,6 +50,11 @@ enum class FrameKind : std::uint8_t {
   /// Client asks the server to execute everything queued on this session
   /// and write the responses (pipe-mode batch boundary).  Empty body.
   kFlush = 3,
+  /// Health exchange: a client sends an empty-body kHealth frame and the
+  /// server answers immediately with a kHealth frame carrying a HealthInfo
+  /// body -- *bypassing* admission, so the probe works (and reports queue
+  /// depth for client backoff) even when the service is overloaded.
+  kHealth = 4,
 };
 
 struct Frame {
@@ -170,5 +175,29 @@ struct ResponseHeader {
 
 void encode_response(std::string& out, const ResponseHeader& response);
 archive::Result<ResponseHeader> decode_response(std::string_view body);
+
+// -------------------------------------------------------------- health
+
+/// Body of a server kHealth frame: the liveness snapshot clients use for
+/// backoff decisions (a deep queue or high inflight count means "retry
+/// later", long before a request would shed).  See docs/FORMATS.md.
+struct HealthInfo {
+  /// Seconds since the service was constructed.
+  double uptime_seconds = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t queue_capacity = 0;
+  /// Requests executing on workers right now.
+  std::uint32_t inflight = 0;
+  std::uint32_t workers = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  /// Supervisor self-healing counters: hung requests answered kTimeout and
+  /// worker threads isolated + replaced because of them.
+  std::uint64_t hung_detected = 0;
+  std::uint64_t workers_replaced = 0;
+};
+
+void encode_health(std::string& out, const HealthInfo& health);
+archive::Result<HealthInfo> decode_health(std::string_view body);
 
 }  // namespace psk::svc

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <iterator>
+#include <thread>
 #include <utility>
 
 #include "archive/archive.h"
@@ -49,7 +51,10 @@ double percentile(std::vector<double> samples, double q) {
 Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       pool_(options_.workers),
-      store_(options_.skeleton_store_entries, options_.skeleton_store_bytes) {
+      store_(StoreOptions{options_.skeleton_store_entries,
+                          options_.skeleton_store_bytes, options_.store_dir,
+                          options_.store_disk_bytes, options_.chaos}),
+      constructed_at_(now_seconds()) {
   latencies_ms_.reserve(static_cast<std::size_t>(kLastStatusCode) + 1);
   for (int code = 0; code <= static_cast<int>(kLastStatusCode); ++code) {
     // Per-status seeds keep the reservoirs independent yet reproducible
@@ -73,7 +78,7 @@ std::optional<ResponseHeader> Service::submit(Request request) {
   std::optional<ResponseHeader> shed;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (queue_.size() >= options_.queue_capacity) {
+    if (queue_.size() - queue_head_ >= options_.queue_capacity) {
       ResponseHeader response;
       response.id = pending.request.header.id;
       response.status = StatusCode::kOverloaded;
@@ -92,9 +97,9 @@ std::optional<ResponseHeader> Service::submit(Request request) {
         std::lock_guard<std::mutex> stats_lock(stats_mutex_);
         ++stats_.submitted;
         ++stats_.admitted;
-        stats_.queue_depth = queue_.size();
+        stats_.queue_depth = queue_.size() - queue_head_;
         stats_.queue_high_water =
-            std::max(stats_.queue_high_water, queue_.size());
+            std::max(stats_.queue_high_water, stats_.queue_depth);
       }
       if (live_) work_cv_.notify_one();
       return std::nullopt;
@@ -114,14 +119,22 @@ std::optional<ResponseHeader> Service::submit(Request request) {
 
 std::vector<ResponseHeader> Service::drain() {
   std::vector<Pending> batch;
+  std::size_t head = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (live_) {
-      throw ConfigError("Service::drain() must not race the live dispatcher");
+      throw ConfigError("Service::drain() must not race live-mode workers");
     }
-    batch.swap(queue_);
+    batch.swap(queue_);  // O(1): the ping path is throughput-gated
+    head = queue_head_;
+    queue_head_ = 0;
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.queue_depth = 0;
+  }
+  // A dead prefix only exists if live mode ran earlier on this service.
+  if (head > 0) {
+    batch.erase(batch.begin(),
+                batch.begin() + static_cast<std::ptrdiff_t>(head));
   }
   return run_batch(batch);
 }
@@ -132,7 +145,18 @@ void Service::start(Deliver deliver) {
   deliver_ = std::move(deliver);
   live_ = true;
   stopping_ = false;
-  dispatcher_ = std::thread([this] { dispatcher_main(); });
+  supervisor_stop_ = false;
+  int workers = options_.workers > 0
+                    ? options_.workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers <= 0) workers = 1;
+  workers_ = std::vector<WorkerSlot>(static_cast<std::size_t>(workers));
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    workers_[slot].generation = 1;
+    workers_[slot].thread =
+        std::thread([this, slot] { worker_main(slot, 1); });
+  }
+  supervisor_ = std::thread([this] { supervisor_main(); });
 }
 
 void Service::stop() {
@@ -142,36 +166,162 @@ void Service::stop() {
     stopping_ = true;
   }
   work_cv_.notify_all();
-  dispatcher_.join();
+  // Join workers one at a time, taking each handle under the lock: with
+  // stopping_ set the supervisor no longer retires or replaces threads, so
+  // the remaining handles are stable -- but it keeps answering overrun
+  // requests, so the drain stays live even if a worker is stalled.
+  while (true) {
+    std::thread victim;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (WorkerSlot& slot : workers_) {
+        if (slot.thread.joinable()) {
+          victim = std::move(slot.thread);
+          break;
+        }
+      }
+      if (!victim.joinable() && !retired_.empty()) {
+        victim = std::move(retired_.back());
+        retired_.pop_back();
+      }
+    }
+    if (!victim.joinable()) break;
+    // A retired (hung) worker finishes once its stall ends; its result is
+    // discarded by the answered flag, so waiting here is safe.
+    victim.join();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    supervisor_stop_ = true;
+  }
+  supervisor_cv_.notify_all();
+  supervisor_.join();
   std::unique_lock<std::mutex> lock(mutex_);
+  workers_.clear();
   live_ = false;
   deliver_ = nullptr;
 }
 
-void Service::dispatcher_main() {
+bool Service::answer(Inflight& work, const ResponseHeader& response,
+                     double latency_ms) {
+  // Exactly-once gate: worker and supervisor both call this; the flag
+  // picks one winner no matter how the race interleaves.
+  if (work.answered.exchange(true, std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.late_results_discarded;
+    return false;
+  }
+  record_response(response, latency_ms);
+  // deliver_ is written only by start()/stop(), strictly before workers
+  // exist / after they are joined, so the unlocked read is safe.
+  const Deliver& sink =
+      work.pending.request.deliver ? work.pending.request.deliver : deliver_;
+  if (sink) sink(response);
+  return true;
+}
+
+void Service::worker_main(std::size_t slot, std::uint64_t generation) {
   while (true) {
-    std::vector<Pending> batch;
+    std::shared_ptr<Inflight> work;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) break;  // stopping_, and nothing left to drain
-      batch.swap(queue_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || queue_head_ != queue_.size() ||
+               workers_[slot].generation != generation;
+      });
+      if (workers_[slot].generation != generation) return;  // replaced
+      if (queue_head_ == queue_.size()) {
+        if (stopping_) return;
+        continue;
+      }
+      work = std::make_shared<Inflight>();
+      work->pending = std::move(queue_[queue_head_++]);
+      if (queue_head_ == queue_.size()) {
+        queue_.clear();
+        queue_head_ = 0;
+      } else if (queue_head_ >= 64 && queue_head_ * 2 >= queue_.size()) {
+        // Compact once the dead prefix dominates; amortized O(1) per pop.
+        queue_.erase(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+        queue_head_ = 0;
+      }
+      work->deadline_at =
+          work->pending.budget_seconds > 0
+              ? work->pending.admitted_at + work->pending.budget_seconds
+              : 0;
+      workers_[slot].current = work;
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      stats_.queue_depth = 0;
+      stats_.queue_depth = queue_.size() - queue_head_;
     }
-    const std::vector<ResponseHeader> responses = run_batch(batch);
-    for (std::size_t i = 0; i < responses.size(); ++i) {
-      // A request-scoped deliver (socket session) outranks the service-wide
-      // callback: the response goes back to the connection that asked.
-      const Deliver& sink = batch[i].request.deliver
-                                ? batch[i].request.deliver
-                                : deliver_;
-      sink(responses[i]);
+    const double started = now_seconds();
+    executing_.fetch_add(1, std::memory_order_relaxed);
+    const ResponseHeader response = execute(work->pending);
+    executing_.fetch_sub(1, std::memory_order_relaxed);
+    answer(*work, response, (now_seconds() - started) * 1e3);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (workers_[slot].generation != generation) {
+        // The supervisor declared this worker hung while it was executing
+        // and already replaced it: isolate -- take no further work.
+        return;
+      }
+      workers_[slot].current.reset();
+    }
+  }
+}
+
+void Service::supervisor_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!supervisor_stop_) {
+    supervisor_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.supervisor_poll_seconds),
+        [&] { return supervisor_stop_; });
+    if (supervisor_stop_) return;
+    const double now = now_seconds();
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      const std::shared_ptr<Inflight> work = workers_[slot].current;
+      if (!work || work->deadline_at <= 0) continue;
+      if (now < work->deadline_at + options_.supervisor_grace_seconds) {
+        continue;
+      }
+      if (work->answered.load(std::memory_order_acquire)) continue;
+      // The request overran its deadline inside a worker (a hung
+      // simulation, a chaos stall): answer kTimeout on the worker's
+      // behalf so the client is never left waiting.
+      ResponseHeader response;
+      response.id = work->pending.request.header.id;
+      response.status = StatusCode::kTimeout;
+      response.message =
+          "deadline overrun inside a worker; answered by the supervisor";
+      lock.unlock();  // delivery can block on a slow client
+      const bool won =
+          answer(*work, response, (now - work->pending.admitted_at) * 1e3);
+      lock.lock();
+      if (!won) continue;  // the worker finished inside the race window
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.hung_detected;
+      }
+      // Isolate and replace the hung worker so pool capacity self-heals.
+      // Skipped during shutdown (the stalled thread drains on its own) and
+      // when the worker recovered while the lock was dropped.
+      if (stopping_ || workers_[slot].current != work) continue;
+      ++workers_[slot].generation;
+      retired_.push_back(std::move(workers_[slot].thread));
+      workers_[slot].current.reset();
+      const std::uint64_t generation = workers_[slot].generation;
+      workers_[slot].thread = std::thread(
+          [this, slot, generation] { worker_main(slot, generation); });
+      work_cv_.notify_all();
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.workers_replaced;
     }
   }
 }
 
 std::vector<ResponseHeader> Service::run_batch(std::vector<Pending>& batch) {
+  // Batch mode leaves executing_ alone: only live-mode workers maintain
+  // the inflight gauge, and the ping path is throughput-gated.
   std::vector<ResponseHeader> responses(batch.size());
   if (batch.empty()) return responses;
   pool_.parallel_for(batch.size(), [&](std::size_t index) {
@@ -196,6 +346,12 @@ ResponseHeader Service::execute(const Pending& pending) {
     response.status = StatusCode::kTimeout;
     response.message = "deadline expired while queued";
     return response;
+  }
+  // Chaos worker stall: simulates a handler that hangs mid-request.  In
+  // live mode a stall past the deadline is what trips the supervisor.
+  if (options_.chaos && options_.chaos->fire(ChaosSite::kWorkerStall)) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.chaos->worker_stall_ms()));
   }
   if (pending.request.header.op == RequestOp::kPing) {
     response.status = StatusCode::kOk;
@@ -448,6 +604,26 @@ ServiceStats Service::stats() const {
   return stats_;
 }
 
+HealthInfo Service::health() const {
+  HealthInfo health;
+  health.uptime_seconds = std::max(0.0, now_seconds() - constructed_at_);
+  health.queue_capacity =
+      static_cast<std::uint32_t>(options_.queue_capacity);
+  health.inflight = executing_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    health.queue_depth =
+        static_cast<std::uint32_t>(queue_.size() - queue_head_);
+    health.workers = static_cast<std::uint32_t>(workers_.size());
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  health.completed = stats_.completed;
+  health.shed = stats_.shed;
+  health.hung_detected = stats_.hung_detected;
+  health.workers_replaced = stats_.workers_replaced;
+  return health;
+}
+
 void Service::publish(obs::MetricsRegistry& metrics) const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   metrics.counter("svc.submitted").add(static_cast<double>(stats_.submitted));
@@ -459,6 +635,12 @@ void Service::publish(obs::MetricsRegistry& metrics) const {
       .add(static_cast<double>(stats_.queue_depth));
   metrics.counter("svc.queue_depth.high_water")
       .add(static_cast<double>(stats_.queue_high_water));
+  metrics.counter("svc.supervisor.hung_detected")
+      .add(static_cast<double>(stats_.hung_detected));
+  metrics.counter("svc.supervisor.workers_replaced")
+      .add(static_cast<double>(stats_.workers_replaced));
+  metrics.counter("svc.supervisor.late_results_discarded")
+      .add(static_cast<double>(stats_.late_results_discarded));
   const StoreStats store = store_.stats();
   metrics.counter("svc.store.inserted")
       .add(static_cast<double>(store.inserted));
@@ -469,6 +651,32 @@ void Service::publish(obs::MetricsRegistry& metrics) const {
   metrics.counter("svc.store.evicted").add(static_cast<double>(store.evicted));
   metrics.counter("svc.store.entries").add(static_cast<double>(store.entries));
   metrics.counter("svc.store.bytes").add(static_cast<double>(store.bytes));
+  metrics.counter("svc.store.disk_hits")
+      .add(static_cast<double>(store.disk_hits));
+  metrics.counter("svc.store.disk_write_fail")
+      .add(static_cast<double>(store.disk_write_fail));
+  metrics.counter("svc.store.disk_evicted")
+      .add(static_cast<double>(store.disk_evicted));
+  metrics.counter("svc.store.quarantined")
+      .add(static_cast<double>(store.quarantined));
+  metrics.counter("svc.store.restored")
+      .add(static_cast<double>(store.restored));
+  metrics.counter("svc.store.disk_entries")
+      .add(static_cast<double>(store.disk_entries));
+  metrics.counter("svc.store.disk_bytes")
+      .add(static_cast<double>(store.disk_bytes));
+  if (options_.chaos) {
+    const ChaosStats chaos = options_.chaos->stats();
+    for (std::size_t site = 0; site < kChaosSiteCount; ++site) {
+      const std::string prefix =
+          std::string("svc.chaos.") +
+          chaos_site_name(static_cast<ChaosSite>(site));
+      metrics.counter(prefix + ".consulted")
+          .add(static_cast<double>(chaos.consulted[site]));
+      metrics.counter(prefix + ".injected")
+          .add(static_cast<double>(chaos.injected[site]));
+    }
+  }
   for (int code = 0; code <= static_cast<int>(kLastStatusCode); ++code) {
     const char* name = status_name(static_cast<StatusCode>(code));
     metrics.counter(std::string("svc.status.") + name)

@@ -3,7 +3,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "archive/wire.h"
@@ -34,6 +37,13 @@ SessionEnd Session::run() {
       break;
     }
     buffer.append(chunk, static_cast<std::size_t>(got));
+    // Chaos read delay: the bytes sit unparsed for a moment, as if the
+    // client were trickling them (slow-loris shape from the server side).
+    if (options_.chaos &&
+        options_.chaos->fire(ChaosSite::kSessionReadDelay)) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.chaos->read_delay_ms()));
+    }
     bool progressed = true;
     while (progressed && !stop) {
       Frame frame;
@@ -48,6 +58,10 @@ SessionEnd Session::run() {
           } else if (frame.kind == FrameKind::kFlush) {
             // Socket sessions are live: execution is continuous, so the
             // pipe-mode batch boundary is accepted and ignored.
+          } else if (frame.kind == FrameKind::kHealth) {
+            // Answered inline, bypassing admission: the probe must work
+            // precisely when the queue is full.
+            send_health();
           } else {
             end = SessionEnd::kBadStream;
             stop = true;
@@ -149,13 +163,26 @@ void Session::handle_request(const std::string& body) {
 void Session::send_response(const ResponseHeader& response) {
   std::string body;
   encode_response(body, response);
-  std::string framed;
-  const archive::Status framed_ok =
-      append_frame(framed, FrameKind::kResponse, body);
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++stats_.responses;
   }
+  send_frame(FrameKind::kResponse, body);
+}
+
+void Session::send_health() {
+  std::string body;
+  encode_health(body, service_.health());
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++stats_.health_probes;
+  }
+  send_frame(FrameKind::kHealth, body);
+}
+
+void Session::send_frame(FrameKind kind, std::string_view body) {
+  std::string framed;
+  const archive::Status framed_ok = append_frame(framed, kind, body);
   std::lock_guard<std::mutex> lock(write_mutex_);
   if (!framed_ok.ok()) {
     // An unencodable response (body past the u32 length field) cannot be
@@ -164,10 +191,36 @@ void Session::send_response(const ResponseHeader& response) {
     return;
   }
   if (write_failed_) return;  // peer already gone; accounted, not silent
+  ChaosSchedule* const chaos = options_.chaos;
+  if (chaos && chaos->fire(ChaosSite::kSessionDisconnect)) {
+    // Mid-frame disconnect: push out a torn prefix of the frame, then kill
+    // the connection.  The client must treat the tail as a dead peer, not
+    // as a short response.
+    const std::size_t torn = framed.size() / 2;
+    std::size_t sent = 0;
+    while (sent < torn) {
+      const ssize_t wrote =
+          ::send(fd_, framed.data() + sent, torn - sent, MSG_NOSIGNAL);
+      if (wrote < 0 && errno == EINTR) continue;
+      if (wrote <= 0) break;
+      sent += static_cast<std::size_t>(wrote);
+    }
+    ::shutdown(fd_, SHUT_RDWR);
+    write_failed_ = true;
+    return;
+  }
+  // Chaos short write: dribble the frame out a few bytes per send(), the
+  // shape a full socket buffer produces.  Exercises both this loop and the
+  // client's frame reassembly; the frame still arrives intact.
+  std::size_t chunk_cap = framed.size();
+  if (chaos && chaos->fire(ChaosSite::kSessionShortWrite)) {
+    chunk_cap = std::max<std::size_t>(1, chaos->profile().short_write_bytes);
+  }
   std::size_t sent = 0;
   while (sent < framed.size()) {
-    const ssize_t wrote = ::send(fd_, framed.data() + sent,
-                                 framed.size() - sent, MSG_NOSIGNAL);
+    const ssize_t wrote =
+        ::send(fd_, framed.data() + sent,
+               std::min(chunk_cap, framed.size() - sent), MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       write_failed_ = true;

@@ -40,6 +40,9 @@ struct SessionOptions {
   /// with kOverloaded, before touching the shared queue, so one connection
   /// cannot crowd every other session out of admission.
   std::size_t max_inflight = 32;
+  /// Fault injection (null in production): read delays, short writes and
+  /// mid-frame disconnects come from here.
+  ChaosSchedule* chaos = nullptr;
 };
 
 /// Why a session's read loop ended; pskd maps these onto its exit ladder.
@@ -56,6 +59,7 @@ struct SessionStats {
                                 // after a write failure; never silent)
   std::uint64_t shed_inflight = 0;  // kOverloaded at the session cap
   std::uint64_t canceled = 0;       // cancel flags tripped at teardown
+  std::uint64_t health_probes = 0;  // kHealth frames answered
 };
 
 class Session : public std::enable_shared_from_this<Session> {
@@ -85,6 +89,8 @@ class Session : public std::enable_shared_from_this<Session> {
  private:
   void handle_request(const std::string& body);
   void send_response(const ResponseHeader& response);
+  void send_health();
+  void send_frame(FrameKind kind, std::string_view body);
   void cancel_outstanding();
 
   const int fd_;

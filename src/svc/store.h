@@ -7,12 +7,25 @@
 // instead of re-sending the container on every request, which is the
 // difference between a ~100-byte request and re-uploading megabytes.
 //
-// The store is a bounded LRU on two axes (entry count and total retained
-// bytes), so a long-lived daemon cannot grow without limit; eviction is
-// silent and safe because a miss has an explicit protocol answer
-// (StatusCode::kNotFound) telling the client to re-upload.  Content
-// addressing makes concurrent inserts of the same skeleton idempotent:
-// equal canonical bytes always map to the same hash.
+// Two tiers:
+//   - Memory: a bounded LRU on two axes (entry count and total retained
+//     bytes), so a long-lived daemon cannot grow without limit.
+//   - Disk (optional, `StoreOptions::disk_dir`): every retained skeleton
+//     is also spilled to `<hash>.psks`, written atomically (tmp file +
+//     rename) so a crash can never leave a half-written entry under its
+//     final name.  On restart the directory is re-indexed and previously
+//     uploaded skeletons keep serving -- a daemon crash no longer turns
+//     into a kNotFound re-upload storm.
+//
+// Integrity contract: a disk entry is decoded and checksum-verified
+// (PSKS1 framing, see docs/FORMATS.md) before a single byte is served.  An
+// entry that fails verification is *quarantined* -- renamed to
+// `<hash>.psks.quar`, counted, inspected via guard::salvage_skeleton_bytes
+// for the operator log -- and the lookup misses.  The store never returns
+// bytes that fail their checksum.  Disk write failures (ENOSPC, EIO,
+// chaos-injected or real) are counted and degrade that entry to
+// memory-only; eviction from memory is silent and safe because a miss has
+// an explicit protocol answer (StatusCode::kNotFound).
 #pragma once
 
 #include <cstdint>
@@ -20,46 +33,111 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
+#include "archive/wire.h"
+#include "svc/chaos.h"
+
 namespace psk::svc {
+
+// ----------------------------------------------------- disk entry codec
+
+/// Magic of one on-disk store entry file (`<hash>.psks`).
+inline constexpr std::string_view kStoreEntryMagic = "PSKS1";
+
+/// A decoded disk entry: the content hash it was filed under and the
+/// canonical PSKARCH1 skeleton container bytes.
+struct StoreEntry {
+  std::uint64_t hash = 0;
+  std::string payload;
+};
+
+/// Encodes one entry: magic, hash, payload size, payload, then an FNV-1a
+/// fingerprint over everything before it.  `hash` must be
+/// archive::fingerprint64(payload) -- decode enforces it.
+std::string encode_store_entry(std::uint64_t hash, std::string_view payload);
+
+/// Decodes and fully verifies one entry: magic, declared size against the
+/// bytes actually present (before any allocation), file checksum, and the
+/// content-address invariant hash == fingerprint64(payload).  Any failure
+/// is a typed error -- callers quarantine, they never serve.
+archive::Result<StoreEntry> decode_store_entry(std::string_view bytes);
+
+// ----------------------------------------------------------------- store
 
 struct StoreStats {
   std::uint64_t inserted = 0;   // puts that created a new entry
   std::uint64_t refreshed = 0;  // puts that hit an existing entry
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evicted = 0;
-  std::size_t entries = 0;  // current
-  std::size_t bytes = 0;    // current retained canonical bytes
+  std::uint64_t hits = 0;       // memory-tier get hits
+  std::uint64_t misses = 0;     // gets both tiers missed
+  std::uint64_t evicted = 0;    // memory-tier evictions
+  std::size_t entries = 0;      // current memory entries
+  std::size_t bytes = 0;        // current retained canonical bytes (memory)
+  // Disk tier.
+  std::uint64_t disk_hits = 0;        // served after a memory miss
+  std::uint64_t disk_write_fail = 0;  // ENOSPC/EIO/...; entry memory-only
+  std::uint64_t disk_evicted = 0;     // disk-budget evictions (files removed)
+  std::uint64_t quarantined = 0;      // corrupt entries renamed, never served
+  std::uint64_t restored = 0;         // entries re-indexed at startup
+  std::size_t disk_entries = 0;       // current indexed disk entries
+  std::size_t disk_bytes = 0;         // current on-disk entry bytes
 };
 
-/// Thread-safe bounded LRU of canonical skeleton container bytes, keyed by
-/// their content hash.  Both get() and put() count as a "use" for LRU
-/// ordering.
+struct StoreOptions {
+  /// Memory-tier caps; `capacity_entries` == 0 disables retention entirely
+  /// (every put is dropped, every get misses, nothing touches disk).  A
+  /// single container larger than `capacity_bytes` skips the memory tier
+  /// but still spills to disk.
+  std::size_t capacity_entries = 256;
+  std::size_t capacity_bytes = 256u << 20;
+  /// Durable tier directory; empty = memory-only (the PR 8 behaviour).
+  /// Created if missing; an uncreatable directory disables the tier with
+  /// one counted warning rather than failing the daemon.
+  std::string disk_dir;
+  /// Cap on total on-disk entry bytes; least-recently-indexed files are
+  /// removed past it.
+  std::size_t disk_capacity_bytes = 1024u << 20;
+  /// Fault injection (null in production): store-write failures and
+  /// corruption-on-write come from here.
+  ChaosSchedule* chaos = nullptr;
+};
+
+/// Thread-safe two-tier store of canonical skeleton container bytes, keyed
+/// by their content hash.  Both get() and put() count as a "use" for
+/// memory LRU ordering.
 class SkeletonStore {
  public:
-  /// `capacity_entries` == 0 disables retention entirely (every put is
-  /// dropped, every get misses); `capacity_bytes` bounds the sum of
-  /// retained container sizes.  A single container larger than
-  /// `capacity_bytes` is never retained.
+  explicit SkeletonStore(StoreOptions options);
+  /// Memory-only convenience (the historical signature).
   SkeletonStore(std::size_t capacity_entries, std::size_t capacity_bytes);
 
   /// Retains `bytes` under their content hash and returns that hash.
-  /// Evicts least-recently-used entries until both capacity axes hold.
+  /// Evicts least-recently-used memory entries until both capacity axes
+  /// hold; spills to the disk tier when configured.
   std::uint64_t put(std::string bytes);
 
-  /// The retained canonical bytes for `hash`, bumping it to
-  /// most-recently-used; nullopt on a miss (evicted or never uploaded).
+  /// The retained canonical bytes for `hash`: memory tier first, then a
+  /// verified disk read (promoted back into memory on success); nullopt on
+  /// a miss (evicted, never uploaded, or quarantined).
   std::optional<std::string> get(std::uint64_t hash);
 
   StoreStats stats() const;
+  const StoreOptions& options() const { return options_; }
+
+  /// The disk path an entry for `hash` lives at (tests and the soak use it
+  /// to damage entries on purpose); empty when the disk tier is off.
+  std::string entry_path(std::uint64_t hash) const;
 
  private:
   void evict_to_fit_locked();
+  void restore_disk_index_locked();
+  void spill_locked(std::uint64_t hash, const std::string& bytes);
+  std::optional<std::string> disk_get_locked(std::uint64_t hash);
+  void quarantine_locked(std::uint64_t hash, const std::string& reason);
+  void drop_disk_entry_locked(std::uint64_t hash);
 
-  const std::size_t capacity_entries_;
-  const std::size_t capacity_bytes_;
+  StoreOptions options_;
 
   mutable std::mutex mutex_;
   /// Most-recently-used at the front.
@@ -69,6 +147,13 @@ class SkeletonStore {
     std::list<std::uint64_t>::iterator position;
   };
   std::unordered_map<std::uint64_t, Entry> entries_;
+  /// Disk index: hash -> on-disk entry file size.  Values are only served
+  /// after decode_store_entry verifies the bytes.
+  std::unordered_map<std::uint64_t, std::size_t> disk_index_;
+  /// Disk eviction order: least-recently-seen at the front.
+  std::list<std::uint64_t> disk_order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      disk_position_;
   StoreStats stats_;
 };
 

@@ -6,11 +6,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "archive/wire.h"
 #include "util/error.h"
+#include "util/log.h"
 
 namespace psk::svc {
 
@@ -156,8 +161,28 @@ SocketServer::~SocketServer() {
   }
 }
 
+AcceptAction classify_accept_errno(int error) {
+  switch (error) {
+    case EINTR:
+    case ECONNABORTED:
+      return AcceptAction::kRetry;
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return AcceptAction::kRetryBackoff;
+    default:
+      return AcceptAction::kFatal;
+  }
+}
+
 void SocketServer::serve(std::size_t max_connections) {
   std::size_t accepted = 0;
+  // Bounded backoff for resource-exhaustion accept failures: doubling from
+  // 10ms, capped, reset by any successful accept.
+  constexpr auto kBackoffFloor = std::chrono::milliseconds(10);
+  constexpr auto kBackoffCeiling = std::chrono::milliseconds(500);
+  auto backoff = kBackoffFloor;
   while (max_connections == 0 || accepted < max_connections) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -165,9 +190,32 @@ void SocketServer::serve(std::size_t max_connections) {
     }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // stop() closed the listener, or it is genuinely dead
+      const int error = errno;
+      const AcceptAction action = classify_accept_errno(error);
+      // stop() closed the listener out from under us; everything looks
+      // fatal then, and the loop must end either way.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) break;
+      }
+      if (action == AcceptAction::kFatal) break;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.accept_retries;
+      }
+      util::log_warn() << "pskd: accept on "
+                       << listen_address_name(address_) << ": "
+                       << std::strerror(error)
+                       << (action == AcceptAction::kRetryBackoff
+                               ? "; backing off"
+                               : "; retrying");
+      if (action == AcceptAction::kRetryBackoff) {
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, kBackoffCeiling);
+      }
+      continue;
     }
+    backoff = kBackoffFloor;
     ++accepted;
     auto session =
         std::make_shared<Session>(fd, service_, session_options_);
@@ -288,21 +336,14 @@ void SocketClient::send_bytes(std::string_view bytes) {
   }
 }
 
-bool SocketClient::read_response(ResponseHeader& response) {
+bool SocketClient::read_frame(Frame& frame) {
   while (fd_ >= 0) {
-    Frame frame;
     std::size_t consumed = 0;
     archive::Error error;
     switch (try_parse_frame(buffer_, kMaxFrameBytes, frame, consumed, error)) {
-      case ParseProgress::kFrame: {
+      case ParseProgress::kFrame:
         buffer_.erase(0, consumed);
-        if (frame.kind != FrameKind::kResponse) return false;
-        archive::Result<ResponseHeader> decoded =
-            decode_response(frame.body);
-        if (!decoded.ok()) return false;
-        response = decoded.take();
         return true;
-      }
       case ParseProgress::kBad:
         return false;
       case ParseProgress::kNeedMore:
@@ -320,6 +361,40 @@ bool SocketClient::read_response(ResponseHeader& response) {
   return false;
 }
 
+bool SocketClient::read_response(ResponseHeader& response) {
+  if (!pending_.empty()) {
+    response = std::move(pending_.front());
+    pending_.pop_front();
+    return true;
+  }
+  Frame frame;
+  if (!read_frame(frame)) return false;
+  if (frame.kind != FrameKind::kResponse) return false;
+  archive::Result<ResponseHeader> decoded = decode_response(frame.body);
+  if (!decoded.ok()) return false;
+  response = decoded.take();
+  return true;
+}
+
+std::optional<HealthInfo> SocketClient::query_health() {
+  send_frame(FrameKind::kHealth, {});
+  Frame frame;
+  while (read_frame(frame)) {
+    if (frame.kind == FrameKind::kHealth) {
+      archive::Result<HealthInfo> decoded = decode_health(frame.body);
+      if (!decoded.ok()) return std::nullopt;
+      return decoded.take();
+    }
+    if (frame.kind != FrameKind::kResponse) return std::nullopt;
+    // An in-flight request completed while the probe was on the wire; keep
+    // its response for the next read_response().
+    archive::Result<ResponseHeader> decoded = decode_response(frame.body);
+    if (!decoded.ok()) return std::nullopt;
+    pending_.push_back(decoded.take());
+  }
+  return std::nullopt;
+}
+
 void SocketClient::shutdown_send() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
@@ -328,6 +403,101 @@ void SocketClient::close() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------- RetryingClient
+
+RetryingClient::RetryingClient(ListenAddress address, RetryPolicy policy)
+    : address_(std::move(address)), policy_(policy) {}
+
+bool RetryingClient::ensure_connected() {
+  if (client_) return true;
+  try {
+    client_ = std::make_unique<SocketClient>(address_);
+    ++stats_.connects;
+    return true;
+  } catch (const ConfigError&) {
+    return false;  // server down or restarting; the caller backs off
+  }
+}
+
+ResponseHeader RetryingClient::call(const RequestHeader& request) {
+  ++stats_.requests;
+  const std::uint64_t upload_fp =
+      request.archive_bytes.empty()
+          ? 0
+          : archive::fingerprint64(request.archive_bytes);
+  for (int attempt = 0;; ++attempt) {
+    RequestHeader wire = request;
+    // Idempotent replay by content hash: when the server has already
+    // retained this exact upload, name it instead of resending the bytes.
+    bool replayed_by_hash = false;
+    if (request.op == RequestOp::kPredict && request.skeleton_hash == 0 &&
+        upload_fp != 0) {
+      const auto known = known_hashes_.find(upload_fp);
+      if (known != known_hashes_.end()) {
+        wire.skeleton_hash = known->second;
+        wire.archive_bytes.clear();
+        replayed_by_hash = true;
+        ++stats_.replays_by_hash;
+      }
+    }
+    ResponseHeader response;
+    bool transported = false;
+    try {
+      if (ensure_connected()) {
+        client_->send_request(wire);
+        transported = client_->read_response(response);
+      }
+    } catch (const ConfigError&) {
+      transported = false;  // the connection died mid-send
+    }
+    if (!transported) {
+      client_.reset();
+      if (attempt + 1 >= policy_.max_attempts) {
+        response = ResponseHeader{};
+        response.id = request.id;
+        response.status = StatusCode::kInternal;
+        response.message = "transport failed after " +
+                           std::to_string(policy_.max_attempts) +
+                           " attempt(s) to " + listen_address_name(address_);
+        return response;
+      }
+      ++stats_.retries;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(policy_.backoff_seconds(attempt)));
+      continue;
+    }
+    if (replayed_by_hash && response.status == StatusCode::kNotFound) {
+      // The server lost its store (restart, eviction): forget the hash and
+      // resend the container immediately -- this is recovery, not backoff.
+      known_hashes_.erase(upload_fp);
+      ++stats_.reuploads;
+      continue;
+    }
+    if (upload_fp != 0 && response.skeleton_hash != 0) {
+      known_hashes_[upload_fp] = response.skeleton_hash;
+    }
+    if (is_retryable(response.status) && attempt + 1 < policy_.max_attempts) {
+      ++stats_.retries;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(policy_.backoff_seconds(attempt)));
+      continue;
+    }
+    return response;
+  }
+}
+
+std::optional<HealthInfo> RetryingClient::query_health() {
+  try {
+    if (!ensure_connected()) return std::nullopt;
+    std::optional<HealthInfo> health = client_->query_health();
+    if (!health) client_.reset();
+    return health;
+  } catch (const ConfigError&) {
+    client_.reset();
+    return std::nullopt;
   }
 }
 

@@ -19,11 +19,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "svc/frame.h"
@@ -54,7 +57,22 @@ struct SocketServerStats {
   std::uint64_t mid_frame = 0;     // client died mid-send
   std::uint64_t bad_stream = 0;    // unparsable bytes
   std::uint64_t write_failed = 0;  // client stopped reading
+  std::uint64_t accept_retries = 0;  // transient accept() failures survived
 };
+
+/// How the accept loop should react to an accept() errno.  A connection
+/// that died in the backlog (ECONNABORTED) or an interrupted call costs
+/// nothing to retry immediately; resource exhaustion (EMFILE/ENFILE/
+/// ENOBUFS/ENOMEM) is usually transient -- sessions closing return fds --
+/// so the loop backs off instead of killing the whole listener; anything
+/// else means the listener itself is dead.
+enum class AcceptAction {
+  kRetry,         // transient, retry immediately
+  kRetryBackoff,  // resource exhaustion, retry after bounded backoff
+  kFatal,         // the listening socket is unusable
+};
+
+AcceptAction classify_accept_errno(int error);
 
 /// Accepts connections on a bound address and runs one Session per
 /// connection.  The listening socket is bound at construction (so an
@@ -120,8 +138,18 @@ class SocketClient {
   /// Sends raw bytes as-is -- tests use it to die mid-frame on purpose.
   void send_bytes(std::string_view bytes);
 
+  /// Blocks for the next frame of any kind; false on EOF or a bad stream.
+  bool read_frame(Frame& frame);
+
   /// Blocks for the next response frame; false on EOF or a bad stream.
+  /// Response frames stashed aside by query_health() are returned first.
   bool read_response(ResponseHeader& response);
+
+  /// Health exchange: sends a kHealth probe and blocks for the server's
+  /// kHealth answer.  Response frames that arrive first (in-flight
+  /// requests completing) are stashed for read_response().  nullopt when
+  /// the connection died or the answer failed to decode.
+  std::optional<HealthInfo> query_health();
 
   /// Half-close: signals EOF to the server while leaving the read side
   /// open for remaining responses.
@@ -132,6 +160,53 @@ class SocketClient {
  private:
   int fd_ = -1;
   std::string buffer_;
+  std::deque<ResponseHeader> pending_;
+};
+
+struct RetryStats {
+  std::uint64_t requests = 0;        // call() invocations
+  std::uint64_t connects = 0;        // connections established (first + re)
+  std::uint64_t retries = 0;         // backoff retries (transport loss or a
+                                     // retryable status)
+  std::uint64_t replays_by_hash = 0; // predicts sent as hash instead of bytes
+  std::uint64_t reuploads = 0;       // hash replays the server answered
+                                     // kNotFound (restart); container resent
+};
+
+/// Self-healing request client: one call() per request, with automatic
+/// reconnect on a dead connection, deterministic exponential backoff on
+/// retryable statuses (kOverloaded/kTimeout), and idempotent replay keyed
+/// by content hash -- an upload the server has already retained is resent
+/// as a ~100-byte predict-by-hash, and a kNotFound on that replay (the
+/// server restarted with a fresh store) transparently falls back to
+/// re-uploading the container.  Retrying is safe because every request is
+/// a seeded deterministic computation: executing it twice returns the same
+/// bytes.  Single-threaded: one outstanding call() at a time.
+class RetryingClient {
+ public:
+  RetryingClient(ListenAddress address, RetryPolicy policy = {});
+
+  /// Sends the request and blocks for its response, reconnecting and
+  /// retrying per the policy.  Always returns a definite response: when
+  /// every attempt died on transport, a synthesized kInternal one.
+  ResponseHeader call(const RequestHeader& request);
+
+  /// Health probe over the current connection (reconnecting if needed);
+  /// nullopt when the server is unreachable.
+  std::optional<HealthInfo> query_health();
+
+  const RetryStats& stats() const { return stats_; }
+
+ private:
+  bool ensure_connected();
+
+  const ListenAddress address_;
+  const RetryPolicy policy_;
+  std::unique_ptr<SocketClient> client_;
+  /// fingerprint64(uploaded container) -> the skeleton_hash the server
+  /// advertised for it: the replay-by-hash key cache.
+  std::unordered_map<std::uint64_t, std::uint64_t> known_hashes_;
+  RetryStats stats_;
 };
 
 }  // namespace psk::svc

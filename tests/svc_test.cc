@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -28,6 +29,7 @@
 #include "archive/wire.h"
 #include "core/framework.h"
 #include "obs/metrics.h"
+#include "svc/chaos.h"
 #include "svc/frame.h"
 #include "svc/reservoir.h"
 #include "svc/service.h"
@@ -113,6 +115,13 @@ std::string encoded(const svc::ResponseHeader& response) {
   std::string body;
   svc::encode_response(body, response);
   return body;
+}
+
+/// A fresh scratch directory name for disk-tier store tests.
+std::string store_dir(const std::string& tag) {
+  static int sequence = 0;
+  return testing::TempDir() + "/svc_store_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(sequence++);
 }
 
 // ------------------------------------------------------------------ frame
@@ -959,6 +968,98 @@ TEST(SvcPipe, RejectsOutOfRangeMaxFrameMb) {
   EXPECT_EQ(run_pskd("--max-frame-mb=0", "").exit_code, 1);
 }
 
+TEST(SvcPipe, HealthFrameAnsweredImmediatelyBeforeBatchDrain) {
+  std::string stream;
+  stream += request_frame(predict_request(1));
+  svc::append_frame(stream, svc::FrameKind::kHealth, "");
+  const PipeResult result = run_pskd("", stream);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+
+  // Even though the predict was submitted first, the health answer comes
+  // out first: probes bypass the batch and are flushed immediately.
+  std::string_view rest(result.out);
+  svc::Frame frame;
+  std::size_t consumed = 0;
+  archive::Error error;
+  ASSERT_EQ(svc::try_parse_frame(rest, svc::kMaxFrameBytes, frame, consumed,
+                                 error),
+            svc::ParseProgress::kFrame)
+      << error.render();
+  ASSERT_EQ(frame.kind, svc::FrameKind::kHealth);
+  archive::Result<svc::HealthInfo> health = svc::decode_health(frame.body);
+  ASSERT_TRUE(health.ok()) << health.error().render();
+  EXPECT_EQ(health.value().queue_depth, 1u);  // the predict, still queued
+  EXPECT_GE(health.value().uptime_seconds, 0.0);
+  rest.remove_prefix(consumed);
+
+  ASSERT_EQ(svc::try_parse_frame(rest, svc::kMaxFrameBytes, frame, consumed,
+                                 error),
+            svc::ParseProgress::kFrame);
+  EXPECT_EQ(frame.kind, svc::FrameKind::kResponse);
+  archive::Result<svc::ResponseHeader> response =
+      svc::decode_response(frame.body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().id, 1u);
+  EXPECT_EQ(response.value().status, svc::StatusCode::kOk);
+  rest.remove_prefix(consumed);
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(SvcPipe, ChaosFlagsAreDeterministicLoudAndHarmless) {
+  std::string stream;
+  stream += request_frame(predict_request(1));
+  stream += request_frame(predict_request(2));
+
+  const std::string flags = "--chaos-seed=3 --chaos-profile=heavy";
+  const PipeResult first = run_pskd(flags, stream);
+  const PipeResult second = run_pskd(flags, stream);
+  const PipeResult without = run_pskd("", stream);
+  EXPECT_EQ(first.exit_code, 0) << first.err;
+  // Same seed, same schedule, same bytes; and chaos perturbs timing and
+  // durability, never the answers -- the chaos-off run matches too.
+  EXPECT_EQ(first.out, second.out);
+  EXPECT_EQ(first.out, without.out);
+  // The shutdown summary names the schedule so a failing run is
+  // reproducible from its log.
+  EXPECT_NE(first.err.find("chaos"), std::string::npos) << first.err;
+  EXPECT_EQ(without.err.find("chaos"), std::string::npos) << without.err;
+
+  const PipeResult bad = run_pskd("--chaos-profile=bogus", "");
+  EXPECT_EQ(bad.exit_code, 1);  // configuration ladder
+  EXPECT_NE(bad.err.find("light"), std::string::npos) << bad.err;
+}
+
+TEST(SvcPipe, StoreDirServesHashPredictAcrossDaemonRestart) {
+  const std::string dir = store_dir("pipe_restart");
+  const PipeResult first =
+      run_pskd("--store-dir=" + dir, request_frame(predict_request(1)));
+  ASSERT_EQ(first.exit_code, 0) << first.err;
+  std::vector<svc::ResponseHeader> responses = parse_responses(first.out);
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_EQ(responses[0].status, svc::StatusCode::kOk);
+  const std::uint64_t hash = responses[0].skeleton_hash;
+  ASSERT_NE(hash, 0u);
+
+  // A *new daemon process* on the same store directory serves the hash
+  // without the container ever being re-sent.
+  const PipeResult second =
+      run_pskd("--store-dir=" + dir, request_frame(hash_request(2, hash)));
+  ASSERT_EQ(second.exit_code, 0) << second.err;
+  responses = parse_responses(second.out);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, svc::StatusCode::kOk)
+      << responses[0].message;
+  EXPECT_EQ(responses[0].values, parse_responses(first.out)[0].values);
+
+  // Without the directory, the same hash is a clean kNotFound.
+  const PipeResult fresh =
+      run_pskd("", request_frame(hash_request(3, hash)));
+  ASSERT_EQ(fresh.exit_code, 0) << fresh.err;
+  responses = parse_responses(fresh.out);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, svc::StatusCode::kNotFound);
+}
+
 // ---------------------------------------------------------------- sockets
 
 TEST(SvcTransport, ParseListenAddressFormsAndErrors) {
@@ -1171,6 +1272,497 @@ TEST(SvcSocket, MidFrameDeathIsClassifiedWithoutPoisoningTheServer) {
   service.stop();
   EXPECT_EQ(server.stats().mid_frame, 1u);
   EXPECT_EQ(server.stats().clean, 1u);
+}
+
+// ------------------------------------------------------------------ chaos
+
+TEST(SvcChaos, ScheduleIsDeterministicPerSiteAndSeed) {
+  svc::ChaosProfile profile;
+  profile.worker_stall_rate = 0.3;
+  profile.store_write_fail_rate = 0.7;
+  svc::ChaosSchedule a(42, profile);
+  svc::ChaosSchedule b(42, profile);
+  svc::ChaosSchedule other(43, profile);
+  std::vector<bool> a_fires, b_fires, other_fires;
+  for (int i = 0; i < 256; ++i) {
+    // Interleave sites differently across schedules: per-site streams must
+    // not care what other sites drew in between.
+    if (i % 2 == 0) b.fire(svc::ChaosSite::kStoreWriteFail);
+    a_fires.push_back(a.fire(svc::ChaosSite::kWorkerStall));
+    b_fires.push_back(b.fire(svc::ChaosSite::kWorkerStall));
+    other_fires.push_back(other.fire(svc::ChaosSite::kWorkerStall));
+  }
+  EXPECT_EQ(a_fires, b_fires);
+  EXPECT_NE(a_fires, other_fires);
+
+  const svc::ChaosStats stats = a.stats();
+  const auto stall = static_cast<std::size_t>(svc::ChaosSite::kWorkerStall);
+  EXPECT_EQ(stats.consulted[stall], 256u);
+  const std::uint64_t injected = stats.injected[stall];
+  EXPECT_GT(injected, 256u / 10);  // ~0.3 of 256, loose bounds
+  EXPECT_LT(injected, 256u / 2);
+
+  // Magnitude draws are jittered around the profile value and never
+  // perturb the decision stream (they use a separate counter).
+  const double ms = a.worker_stall_ms();
+  EXPECT_GE(ms, profile.worker_stall_ms * 0.5);
+  EXPECT_LE(ms, profile.worker_stall_ms * 1.5);
+}
+
+TEST(SvcChaos, ProfileParsingPresetsAndKnobs) {
+  EXPECT_GT(svc::parse_chaos_profile("heavy").worker_stall_rate, 0.0);
+  EXPECT_GT(svc::parse_chaos_profile("disk").store_corrupt_rate, 0.0);
+  EXPECT_GT(svc::parse_chaos_profile("network").short_write_rate, 0.0);
+
+  const svc::ChaosProfile custom =
+      svc::parse_chaos_profile("worker_stall_rate=0.5,worker_stall_ms=80");
+  EXPECT_DOUBLE_EQ(custom.worker_stall_rate, 0.5);
+  EXPECT_DOUBLE_EQ(custom.worker_stall_ms, 80.0);
+  EXPECT_DOUBLE_EQ(custom.read_delay_rate, 0.0);  // untouched knobs default
+
+  for (const std::string bad :
+       {"bogus", "worker_stall_rate=1.5", "worker_stall_rate=-0.1",
+        "no_such_knob=1", "worker_stall_rate", "worker_stall_ms=nan"}) {
+    EXPECT_THROW(svc::parse_chaos_profile(bad), ConfigError) << bad;
+  }
+  try {
+    svc::parse_chaos_profile("zzz");
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("light"), std::string::npos)
+        << e.what();  // the error lists the presets
+  }
+}
+
+// ------------------------------------------------------------- disk store
+
+TEST(SvcStoreEntry, CodecRoundTripsAndRejectsDamage) {
+  const std::string payload = skeleton_upload();
+  const std::uint64_t hash = archive::fingerprint64(payload);
+  const std::string entry = svc::encode_store_entry(hash, payload);
+
+  archive::Result<svc::StoreEntry> decoded = svc::decode_store_entry(entry);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().render();
+  EXPECT_EQ(decoded.value().hash, hash);
+  EXPECT_EQ(decoded.value().payload, payload);
+
+  // Truncation at any of the structural boundaries is rejected.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{12}, entry.size() - 1}) {
+    EXPECT_FALSE(svc::decode_store_entry(entry.substr(0, keep)).ok()) << keep;
+  }
+  // A flipped byte anywhere fails the checksum (or magic/size checks).
+  for (const std::size_t at :
+       {std::size_t{0}, std::size_t{7}, entry.size() / 2, entry.size() - 2}) {
+    std::string damaged = entry;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x20);
+    EXPECT_FALSE(svc::decode_store_entry(damaged).ok()) << at;
+  }
+  // An entry filed under the wrong hash violates content addressing even
+  // when its checksum is internally consistent.
+  EXPECT_FALSE(
+      svc::decode_store_entry(svc::encode_store_entry(hash ^ 1, payload))
+          .ok());
+  // Trailing bytes after the checksum are rejected.
+  EXPECT_FALSE(svc::decode_store_entry(entry + "x").ok());
+}
+
+TEST(SvcStore, DiskTierSurvivesRestart) {
+  svc::StoreOptions options;
+  options.disk_dir = store_dir("restart");
+  std::uint64_t hash = 0;
+  {
+    svc::SkeletonStore store(options);
+    hash = store.put(skeleton_upload());
+    const svc::StoreStats stats = store.stats();
+    EXPECT_EQ(stats.disk_entries, 1u);
+    EXPECT_GT(stats.disk_bytes, 0u);
+  }
+  // "Restart": a brand-new store on the same directory re-indexes the
+  // entry and serves it from disk.
+  svc::SkeletonStore reborn(options);
+  EXPECT_EQ(reborn.stats().restored, 1u);
+  const std::optional<std::string> bytes = reborn.get(hash);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(*bytes, skeleton_upload());
+  const svc::StoreStats stats = reborn.stats();
+  EXPECT_EQ(stats.disk_hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  // The disk hit promoted the entry back into memory.
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SvcStore, CorruptDiskEntryIsQuarantinedNeverServed) {
+  svc::StoreOptions options;
+  options.disk_dir = store_dir("corrupt");
+  std::uint64_t hash = 0;
+  {
+    svc::SkeletonStore store(options);
+    hash = store.put(skeleton_upload());
+  }
+  svc::SkeletonStore reborn(options);
+  const std::string path = reborn.entry_path(hash);
+  {
+    // Flip one payload byte on disk -- bit rot, a torn write, a bad disk.
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    char byte = 0;
+    file.seekg(24);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(24);
+    file.write(&byte, 1);
+  }
+  // The damaged entry is never served: the lookup misses, the file is
+  // quarantined for triage, and a second lookup does not double-count.
+  EXPECT_FALSE(reborn.get(hash).has_value());
+  svc::StoreStats stats = reborn.stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_FALSE(std::ifstream(path).good());           // gone from its name
+  EXPECT_TRUE(std::ifstream(path + ".quar").good());  // kept for triage
+  EXPECT_FALSE(reborn.get(hash).has_value());
+  EXPECT_EQ(reborn.stats().quarantined, 1u);
+}
+
+TEST(SvcStore, ChaosWriteFailureDegradesToMemoryOnly) {
+  svc::ChaosProfile profile;
+  profile.store_write_fail_rate = 1.0;
+  svc::ChaosSchedule chaos(7, profile);
+  svc::StoreOptions options;
+  options.disk_dir = store_dir("writefail");
+  options.chaos = &chaos;
+  std::uint64_t hash = 0;
+  {
+    svc::SkeletonStore store(options);
+    hash = store.put(skeleton_upload());
+    const svc::StoreStats stats = store.stats();
+    EXPECT_EQ(stats.disk_write_fail, 1u);
+    EXPECT_EQ(stats.disk_entries, 0u);
+    // The entry still serves from memory in this incarnation.
+    EXPECT_TRUE(store.get(hash).has_value());
+  }
+  // ...but did not survive the restart: the write never happened.
+  options.chaos = nullptr;
+  svc::SkeletonStore reborn(options);
+  EXPECT_EQ(reborn.stats().restored, 0u);
+  EXPECT_FALSE(reborn.get(hash).has_value());
+}
+
+TEST(SvcStore, ChaosCorruptionOnWriteIsCaughtAtRead) {
+  svc::ChaosProfile profile;
+  profile.store_corrupt_rate = 1.0;
+  svc::ChaosSchedule chaos(7, profile);
+  svc::StoreOptions options;
+  options.disk_dir = store_dir("bitrot");
+  options.chaos = &chaos;
+  std::uint64_t hash = 0;
+  {
+    svc::SkeletonStore store(options);
+    hash = store.put(skeleton_upload());
+    EXPECT_EQ(store.stats().disk_entries, 1u);  // the write "succeeded"
+  }
+  options.chaos = nullptr;
+  svc::SkeletonStore reborn(options);
+  EXPECT_EQ(reborn.stats().restored, 1u);  // indexed by header at startup...
+  EXPECT_FALSE(reborn.get(hash).has_value());  // ...but never served
+  EXPECT_EQ(reborn.stats().quarantined, 1u);
+}
+
+// ------------------------------------------------- chaos through the service
+
+TEST(SvcService, SameChaosSeedGivesByteIdenticalResponses) {
+  const auto run_once = [](svc::ChaosSchedule* chaos) {
+    svc::ServiceOptions options;
+    options.workers = 2;
+    options.chaos = chaos;
+    svc::Service service(options);
+    for (std::uint32_t id = 1; id <= 6; ++id) {
+      svc::Request request;
+      request.header = predict_request(id);
+      service.submit(std::move(request));
+    }
+    std::vector<std::string> bytes;
+    for (const svc::ResponseHeader& response : service.drain()) {
+      bytes.push_back(encoded(response));
+    }
+    return bytes;
+  };
+  svc::ChaosProfile profile;
+  profile.worker_stall_rate = 0.5;
+  profile.worker_stall_ms = 1.0;
+  profile.store_write_fail_rate = 0.5;
+  svc::ChaosSchedule first(99, profile);
+  svc::ChaosSchedule second(99, profile);
+  const std::vector<std::string> with_first = run_once(&first);
+  const std::vector<std::string> with_second = run_once(&second);
+  const std::vector<std::string> without = run_once(nullptr);
+  // Same seed twice: byte-identical response sets.  And chaos never
+  // corrupts answers: the no-chaos run matches too (stalls and store
+  // failures change timing and durability, not response bytes).
+  EXPECT_EQ(with_first, with_second);
+  EXPECT_EQ(with_first, without);
+}
+
+TEST(SvcSupervisor, HungWorkerIsTimedOutIsolatedAndReplaced) {
+  skeleton_upload();  // build the shared sample before the clock matters
+  svc::ChaosProfile profile;
+  profile.worker_stall_rate = 1.0;
+  profile.worker_stall_ms = 600.0;  // jittered to [300, 900]ms
+  svc::ChaosSchedule chaos(5, profile);
+  svc::ServiceOptions options;
+  options.workers = 1;
+  options.chaos = &chaos;
+  options.supervisor_grace_seconds = 0.05;
+  options.supervisor_poll_seconds = 0.01;
+  svc::Service service(options);
+  std::mutex mutex;
+  std::map<std::uint32_t, std::vector<svc::ResponseHeader>> answers;
+  service.start([&](const svc::ResponseHeader& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    answers[response.id].push_back(response);
+  });
+
+  // Request 1 carries a deadline far shorter than the injected stall: the
+  // supervisor must answer it kTimeout while the worker is still stuck.
+  svc::Request hung;
+  hung.header = predict_request(1);
+  hung.header.deadline_seconds = 0.05;
+  service.submit(std::move(hung));
+  ASSERT_TRUE(wait_for([&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    return answers.count(1) != 0;
+  }));
+
+  // Request 2 has no tight deadline: the *replacement* worker (or the
+  // recovered one) must serve it to completion -- pool capacity healed.
+  svc::Request next;
+  next.header = predict_request(2);
+  service.submit(std::move(next));
+  ASSERT_TRUE(wait_for([&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    return answers.count(2) != 0;
+  }));
+  service.stop();  // joins the retired stalled thread too
+
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(answers[1].size(), 1u);  // exactly once, supervisor vs worker
+  EXPECT_EQ(answers[1][0].status, svc::StatusCode::kTimeout);
+  EXPECT_NE(answers[1][0].message.find("supervisor"), std::string::npos)
+      << answers[1][0].message;
+  ASSERT_EQ(answers[2].size(), 1u);
+  EXPECT_EQ(answers[2][0].status, svc::StatusCode::kOk)
+      << answers[2][0].message;
+
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_GE(stats.hung_detected, 1u);
+  EXPECT_GE(stats.workers_replaced, 1u);
+  // The stalled worker finished eventually; its result was discarded.
+  EXPECT_GE(stats.late_results_discarded, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+// ------------------------------------------------------------------ health
+
+TEST(SvcHealth, CodecRoundTripsAndRejectsDamage) {
+  svc::HealthInfo health;
+  health.uptime_seconds = 12.5;
+  health.queue_depth = 3;
+  health.queue_capacity = 64;
+  health.inflight = 2;
+  health.workers = 4;
+  health.completed = 100;
+  health.shed = 5;
+  health.hung_detected = 1;
+  health.workers_replaced = 1;
+  std::string body;
+  svc::encode_health(body, health);
+  archive::Result<svc::HealthInfo> decoded = svc::decode_health(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().render();
+  EXPECT_DOUBLE_EQ(decoded.value().uptime_seconds, 12.5);
+  EXPECT_EQ(decoded.value().queue_depth, 3u);
+  EXPECT_EQ(decoded.value().queue_capacity, 64u);
+  EXPECT_EQ(decoded.value().workers, 4u);
+  EXPECT_EQ(decoded.value().completed, 100u);
+
+  EXPECT_FALSE(svc::decode_health(body + "x").ok());      // trailing bytes
+  EXPECT_FALSE(svc::decode_health(body.substr(0, 10)).ok());  // truncated
+  svc::HealthInfo negative = health;
+  negative.uptime_seconds = -1.0;
+  std::string bad;
+  svc::encode_health(bad, negative);
+  EXPECT_FALSE(svc::decode_health(bad).ok());
+}
+
+TEST(SvcHealth, SocketProbeBypassesAdmission) {
+  svc::ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  svc::Service service(options);
+  service.start([](const svc::ResponseHeader&) {});
+  const svc::ListenAddress address = unix_address("health");
+  svc::SocketServer server(address, service, {});
+  std::thread serving([&server] { server.serve(1); });
+  {
+    svc::SocketClient client(address);
+    const std::optional<svc::HealthInfo> idle = client.query_health();
+    ASSERT_TRUE(idle.has_value());
+    EXPECT_EQ(idle->queue_capacity, 2u);
+    EXPECT_GE(idle->workers, 1u);
+    EXPECT_GE(idle->uptime_seconds, 0.0);
+
+    // Health interleaved with real traffic: the probe's answer must not
+    // swallow the request's response.
+    client.send_request(predict_request(1));
+    const std::optional<svc::HealthInfo> busy = client.query_health();
+    ASSERT_TRUE(busy.has_value());
+    svc::ResponseHeader response;
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.id, 1u);
+    EXPECT_EQ(response.status, svc::StatusCode::kOk) << response.message;
+    EXPECT_GE(busy->completed + busy->queue_depth + busy->inflight, 0u);
+    client.shutdown_send();
+  }
+  serving.join();
+  service.stop();
+}
+
+// ----------------------------------------------------------- RetryingClient
+
+TEST(SvcRetry, ReconnectsAcrossServerRestartAndReplaysByHash) {
+  const svc::ListenAddress address = unix_address("retry");
+  svc::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_seconds = 0.01;
+  svc::RetryingClient client(address, policy);
+
+  std::vector<double> first_values;
+  {
+    svc::Service service;
+    service.start([](const svc::ResponseHeader&) {});
+    svc::SocketServer server(address, service, {});
+    std::thread serving([&server] { server.serve(0); });
+
+    const svc::ResponseHeader uploaded = client.call(predict_request(1));
+    ASSERT_EQ(uploaded.status, svc::StatusCode::kOk) << uploaded.message;
+    ASSERT_NE(uploaded.skeleton_hash, 0u);
+    first_values = uploaded.values;
+
+    // Same container again: sent as a ~100-byte predict-by-hash.
+    const svc::ResponseHeader replayed = client.call(predict_request(2));
+    ASSERT_EQ(replayed.status, svc::StatusCode::kOk) << replayed.message;
+    EXPECT_EQ(replayed.values, first_values);
+    EXPECT_EQ(client.stats().replays_by_hash, 1u);
+    EXPECT_EQ(client.stats().reuploads, 0u);
+
+    server.stop();
+    serving.join();
+    service.stop();
+  }
+
+  // The server restarts with a *fresh* (memory-only) store: the hash
+  // replay answers kNotFound and the client transparently re-uploads.
+  {
+    svc::Service service;
+    service.start([](const svc::ResponseHeader&) {});
+    svc::SocketServer server(address, service, {});
+    std::thread serving([&server] { server.serve(0); });
+
+    const svc::ResponseHeader after = client.call(predict_request(3));
+    ASSERT_EQ(after.status, svc::StatusCode::kOk) << after.message;
+    EXPECT_EQ(after.values, first_values);  // same seed, same bytes
+    EXPECT_GE(client.stats().reuploads, 1u);
+    EXPECT_GE(client.stats().connects, 2u);  // reconnected after the restart
+
+    server.stop();
+    serving.join();
+    service.stop();
+  }
+}
+
+TEST(SvcService, DiskStoreServesHashPredictsAcrossServiceRestart) {
+  const std::string dir = store_dir("service_restart");
+  std::uint64_t hash = 0;
+  std::vector<double> first_values;
+  {
+    svc::ServiceOptions options;
+    options.store_dir = dir;
+    svc::Service service(options);
+    svc::Request request;
+    request.header = predict_request(1);
+    service.submit(std::move(request));
+    const std::vector<svc::ResponseHeader> responses = service.drain();
+    ASSERT_EQ(responses.size(), 1u);
+    ASSERT_EQ(responses[0].status, svc::StatusCode::kOk);
+    hash = responses[0].skeleton_hash;
+    first_values = responses[0].values;
+    ASSERT_NE(hash, 0u);
+  }
+  // The daemon "restarts": a brand-new service on the same store directory
+  // serves the predict-by-hash without any re-upload.
+  svc::ServiceOptions options;
+  options.store_dir = dir;
+  svc::Service service(options);
+  svc::Request request;
+  request.header = hash_request(2, hash);
+  service.submit(std::move(request));
+  const std::vector<svc::ResponseHeader> responses = service.drain();
+  ASSERT_EQ(responses.size(), 1u);
+  ASSERT_EQ(responses[0].status, svc::StatusCode::kOk)
+      << responses[0].message;
+  EXPECT_EQ(responses[0].values, first_values);
+  EXPECT_EQ(service.skeleton_store().stats().restored, 1u);
+}
+
+// ------------------------------------------------------- accept hardening
+
+TEST(SvcTransport, AcceptErrnoClassification) {
+  EXPECT_EQ(svc::classify_accept_errno(EINTR), svc::AcceptAction::kRetry);
+  EXPECT_EQ(svc::classify_accept_errno(ECONNABORTED),
+            svc::AcceptAction::kRetry);
+  EXPECT_EQ(svc::classify_accept_errno(EMFILE),
+            svc::AcceptAction::kRetryBackoff);
+  EXPECT_EQ(svc::classify_accept_errno(ENFILE),
+            svc::AcceptAction::kRetryBackoff);
+  EXPECT_EQ(svc::classify_accept_errno(ENOBUFS),
+            svc::AcceptAction::kRetryBackoff);
+  EXPECT_EQ(svc::classify_accept_errno(ENOMEM),
+            svc::AcceptAction::kRetryBackoff);
+  EXPECT_EQ(svc::classify_accept_errno(EBADF), svc::AcceptAction::kFatal);
+  EXPECT_EQ(svc::classify_accept_errno(EINVAL), svc::AcceptAction::kFatal);
+}
+
+TEST(SvcChaos, ShortWriteChaosDeliversResponsesIntact) {
+  svc::ChaosProfile profile;
+  profile.short_write_rate = 1.0;
+  profile.short_write_bytes = 3;  // dribble every response out 3B at a time
+  svc::ChaosSchedule chaos(11, profile);
+  svc::ServiceOptions options;
+  options.workers = 1;
+  svc::Service service(options);
+  service.start([](const svc::ResponseHeader&) {});
+  const svc::ListenAddress address = unix_address("shortwrite");
+  svc::SessionOptions session_options;
+  session_options.chaos = &chaos;
+  svc::SocketServer server(address, service, session_options);
+  std::thread serving([&server] { server.serve(1); });
+  {
+    svc::SocketClient client(address);
+    client.send_request(predict_request(1));
+    svc::ResponseHeader fragmented;
+    ASSERT_TRUE(client.read_response(fragmented));
+    EXPECT_EQ(fragmented.status, svc::StatusCode::kOk) << fragmented.message;
+
+    client.send_request(predict_request(2));
+    svc::ResponseHeader again;
+    ASSERT_TRUE(client.read_response(again));
+    EXPECT_EQ(again.values, fragmented.values);  // intact, just fragmented
+    client.shutdown_send();
+  }
+  serving.join();
+  service.stop();
+  const auto site = static_cast<std::size_t>(svc::ChaosSite::kSessionShortWrite);
+  EXPECT_GE(chaos.stats().injected[site], 2u);
 }
 
 // ------------------------------------------------------ pskd binary, sockets

@@ -12,10 +12,11 @@
 //   bench_record --compare=BASELINE.json [--max-regress=0.15] [...]
 //
 // --compare re-measures, then fails (exit 1) when any
-// "event_queue.events_per_sec.*", "service.requests_per_sec.*" or
-// "scale.events_per_sec.*" metric dropped by more than --max-regress
-// relative to the baseline file -- the CI regression gate.  Other metrics
-// are reported but do not gate (they track larger, noisier workloads).
+// "event_queue.events_per_sec.*", "service.requests_per_sec.*",
+// "service.chaos.*" or "scale.events_per_sec.*" metric dropped by more
+// than --max-regress relative to the baseline file -- the CI regression
+// gate.  Other metrics are reported but do not gate (they track larger,
+// noisier workloads).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -23,6 +24,7 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,6 +37,7 @@
 #include "obs/metrics.h"
 #include "scenario/scenario.h"
 #include "scenario/synthetic.h"
+#include "svc/chaos.h"
 #include "svc/service.h"
 #include "sig/cluster.h"
 #include "sig/compress.h"
@@ -204,6 +207,66 @@ void service_metric(std::map<std::string, double>& metrics,
       static_cast<double>(kReuse) / median_seconds(hash_sorted);
 }
 
+/// Chaos gate (PR 10's fault-injection machinery): a short in-process
+/// live-mode soak under seeded worker stalls and store-write failures.
+/// The metric *is* the robustness contract -- 1.0 when every submitted
+/// request was answered exactly once, 0.0 otherwise -- and it gates, so
+/// any change that silently drops or double-answers a request under
+/// chaos fails the bench smoke.  Deterministic by construction: fixed
+/// seed, fixed profile, fixed request count.
+void chaos_metric(std::map<std::string, double>& metrics,
+                  const std::string& upload) {
+  svc::ChaosProfile profile;
+  profile.worker_stall_rate = 0.25;
+  profile.worker_stall_ms = 2.0;
+  profile.store_write_fail_rate = 0.5;
+  svc::ChaosSchedule chaos(17, profile);
+
+  svc::ServiceOptions options;
+  options.queue_capacity = 512;
+  options.workers = 2;
+  options.supervisor_poll_seconds = 0.005;
+  options.chaos = &chaos;
+  svc::Service service(options);
+
+  constexpr std::uint32_t kRequests = 48;
+  std::mutex mutex;
+  std::map<std::uint32_t, int> answered;
+  service.start([&](const svc::ResponseHeader& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++answered[response.id];
+  });
+  for (std::uint32_t id = 1; id <= kRequests; ++id) {
+    svc::Request request;
+    request.header.id = id;
+    request.header.op = svc::RequestOp::kPredict;
+    request.header.seed = 7;
+    request.header.repetitions = 1;
+    request.header.scenario = "dedicated";
+    request.header.archive_bytes = upload;
+    service.submit(std::move(request));
+  }
+  service.stop();  // drains everything, then joins workers + supervisor
+
+  const svc::ServiceStats stats = service.stats();
+  bool exactly_once = answered.size() == kRequests &&
+                      stats.completed == stats.submitted;
+  for (const auto& [id, count] : answered) {
+    if (count != 1) exactly_once = false;
+  }
+  metrics["service.chaos.answered_exactly_once"] = exactly_once ? 1.0 : 0.0;
+  // Ungated context (outside the service.chaos. gate prefix): how much
+  // chaos the gate actually ran under.
+  metrics["service.chaos_faults_injected"] = [&chaos] {
+    const svc::ChaosStats stats = chaos.stats();
+    double total = 0;
+    for (std::size_t site = 0; site < svc::kChaosSiteCount; ++site) {
+      total += static_cast<double>(stats.injected[site]);
+    }
+    return total;
+  }();
+}
+
 /// Large-world simulator scaling (PR 9's per-link incremental flow core).
 /// A 1024-rank fat-tree BSP run gates on event throughput -- a regression
 /// back to dense (all-flows) re-rating cuts it by an order of magnitude --
@@ -332,6 +395,13 @@ std::map<std::string, double> measure(int reps) {
     metrics["skeleton.warm_run_ms"] = median_seconds(warm) * 1e3;
 
     service_metric(metrics, skeleton, reps);
+
+    std::string chaos_payload;
+    archive::encode(chaos_payload, skeleton);
+    std::string chaos_upload;
+    archive::write_frame(chaos_upload, archive::PayloadKind::kSkeleton,
+                         archive::kSkeletonVersion, chaos_payload);
+    chaos_metric(metrics, chaos_upload);
   }
 
   // Bounded fig6-style pipeline: trace -> signature -> skeleton -> replay
@@ -413,6 +483,7 @@ int compare_against(const std::map<std::string, double>& metrics,
     const bool gated =
         key.rfind("event_queue.events_per_sec.", 0) == 0 ||
         key.rfind("service.requests_per_sec.", 0) == 0 ||
+        key.rfind("service.chaos.", 0) == 0 ||
         key.rfind("scale.events_per_sec.", 0) == 0;
     const double change =
         old_value != 0.0 ? (value - old_value) / old_value : 0.0;

@@ -70,6 +70,14 @@ int usage() {
       "                     salvaging them into a degraded response\n"
       "  --max-frame-mb=N   frame body cap in MiB (default 64); larger\n"
       "                     declared sizes are rejected before allocation\n"
+      "  --store-dir=D      durable skeleton-store tier: retained skeletons\n"
+      "                     spill to D and survive daemon restart (default:\n"
+      "                     memory-only)\n"
+      "  --store-disk-mb=N  cap on the durable tier in MiB (default 1024)\n"
+      "  --chaos-seed=N     enable deterministic fault injection seeded by N\n"
+      "  --chaos-profile=P  chaos preset (light|heavy|disk|network) or a\n"
+      "                     comma list of knob=value pairs (default: light\n"
+      "                     when --chaos-seed is given)\n"
       "  --metrics-out=F    write svc.* and cache.* counters to F at exit\n"
       "  --cache-dir=D --cache-mem=N --no-cache   result-cache knobs (as psk)\n"
       "exit codes: 1 usage/configuration, 2 protocol/format, 3 runtime\n");
@@ -155,6 +163,11 @@ svc::ServiceOptions make_service_options(const util::Cli& cli) {
   util::require(options.default_deadline_seconds >= 0,
                 "--deadline must be >= 0");
   options.salvage_fallback = !cli.get_bool("no-salvage-fallback", false);
+  options.store_dir = cli.get("store-dir", "");
+  const std::int64_t store_disk_mb = cli.get_int("store-disk-mb", 1024);
+  util::require(store_disk_mb >= 1 && store_disk_mb <= (1 << 20),
+                "--store-disk-mb must be in [1, 1048576]");
+  options.store_disk_bytes = static_cast<std::size_t>(store_disk_mb) << 20;
   if (!cli.get_bool("no-cache", false)) {
     cache::CacheOptions cache_options;
     const std::int64_t entries = cli.get_int("cache-mem", 4096);
@@ -184,6 +197,55 @@ std::optional<svc::ValidateMode> parse_validate_override(
   return svc::parse_validate_mode(validate);
 }
 
+/// Builds the fault-injection schedule when --chaos-seed/--chaos-profile
+/// ask for one; null (zero overhead, identical code paths) otherwise.
+std::unique_ptr<svc::ChaosSchedule> make_chaos(const util::Cli& cli) {
+  const std::string seed_text = cli.get("chaos-seed", "");
+  const std::string profile_text = cli.get("chaos-profile", "");
+  if (seed_text.empty() && profile_text.empty()) return nullptr;
+  const std::int64_t seed = cli.get_int("chaos-seed", 1);
+  util::require(seed >= 0, "--chaos-seed must be >= 0");
+  const svc::ChaosProfile profile =
+      svc::parse_chaos_profile(profile_text.empty() ? "light" : profile_text);
+  return std::make_unique<svc::ChaosSchedule>(
+      static_cast<std::uint64_t>(seed), profile);
+}
+
+/// Operator-facing shutdown summary: the recovery machinery's counters, so
+/// a soak or an incident leaves a trace of what actually fired.
+void print_shutdown_summary(const svc::Service& service,
+                            const svc::ChaosSchedule* chaos) {
+  const auto u = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  const svc::StoreStats store = service.skeleton_store().stats();
+  std::fprintf(stderr,
+               "pskd: store: %llu hit(s), %llu disk hit(s), %llu miss(es), "
+               "%llu evicted, %llu restored, %llu quarantined, "
+               "%llu disk write failure(s)\n",
+               u(store.hits), u(store.disk_hits), u(store.misses),
+               u(store.evicted), u(store.restored), u(store.quarantined),
+               u(store.disk_write_fail));
+  const svc::ServiceStats stats = service.stats();
+  if (stats.hung_detected != 0 || stats.workers_replaced != 0 ||
+      stats.late_results_discarded != 0) {
+    std::fprintf(stderr,
+                 "pskd: supervisor: %llu hung request(s) answered, "
+                 "%llu worker(s) replaced, %llu late result(s) discarded\n",
+                 u(stats.hung_detected), u(stats.workers_replaced),
+                 u(stats.late_results_discarded));
+  }
+  if (chaos != nullptr) {
+    const svc::ChaosStats injected = chaos->stats();
+    for (std::size_t site = 0; site < svc::kChaosSiteCount; ++site) {
+      if (injected.consulted[site] == 0) continue;
+      std::fprintf(stderr, "pskd: chaos: %s: injected %llu of %llu\n",
+                   svc::chaos_site_name(static_cast<svc::ChaosSite>(site)),
+                   u(injected.injected[site]), u(injected.consulted[site]));
+    }
+  }
+}
+
 void write_metrics(const util::Cli& cli, const svc::Service& service,
                    const svc::ServiceOptions& options) {
   const std::string metrics_out = cli.get("metrics-out", "");
@@ -200,12 +262,15 @@ void write_metrics(const util::Cli& cli, const svc::Service& service,
 
 /// Socket mode: live service + one session per accepted connection.
 int serve_socket(const util::Cli& cli, const std::string& listen) {
-  const svc::ServiceOptions options = make_service_options(cli);
+  const std::unique_ptr<svc::ChaosSchedule> chaos = make_chaos(cli);
+  svc::ServiceOptions options = make_service_options(cli);
+  options.chaos = chaos.get();
   const svc::ListenAddress address = svc::parse_listen_address(listen);
 
   svc::SessionOptions session_options;
   session_options.max_frame_bytes = parse_max_body(cli);
   session_options.validate_override = parse_validate_override(cli);
+  session_options.chaos = chaos.get();
   const std::int64_t max_inflight = cli.get_int("max-inflight", 32);
   util::require(max_inflight >= 1, "--max-inflight must be >= 1");
   session_options.max_inflight = static_cast<std::size_t>(max_inflight);
@@ -227,18 +292,22 @@ int serve_socket(const util::Cli& cli, const std::string& listen) {
   const svc::SocketServerStats stats = server.stats();
   std::fprintf(stderr,
                "pskd: served %llu connection(s): %llu clean, %llu mid-frame, "
-               "%llu bad-stream, %llu write-failed\n",
+               "%llu bad-stream, %llu write-failed, %llu accept retry(ies)\n",
                static_cast<unsigned long long>(stats.accepted),
                static_cast<unsigned long long>(stats.clean),
                static_cast<unsigned long long>(stats.mid_frame),
                static_cast<unsigned long long>(stats.bad_stream),
-               static_cast<unsigned long long>(stats.write_failed));
+               static_cast<unsigned long long>(stats.write_failed),
+               static_cast<unsigned long long>(stats.accept_retries));
+  print_shutdown_summary(service, chaos.get());
   write_metrics(cli, service, options);
   return 0;
 }
 
 int serve(const util::Cli& cli) {
-  const svc::ServiceOptions options = make_service_options(cli);
+  const std::unique_ptr<svc::ChaosSchedule> chaos = make_chaos(cli);
+  svc::ServiceOptions options = make_service_options(cli);
+  options.chaos = chaos.get();
   const std::size_t max_body = parse_max_body(cli);
 
   Session session;
@@ -265,6 +334,16 @@ int serve(const util::Cli& cli) {
             handle_request(session, frame.body);
           } else if (frame.kind == svc::FrameKind::kFlush) {
             flush(session);
+          } else if (frame.kind == svc::FrameKind::kHealth) {
+            // Health bypasses the batch boundary: the probe answers
+            // immediately, ahead of any queued responses.
+            std::string health_body;
+            svc::encode_health(health_body, service.health());
+            std::string framed;
+            svc::append_frame(framed, svc::FrameKind::kHealth, health_body)
+                .or_throw();
+            std::fwrite(framed.data(), 1, framed.size(), stdout);
+            std::fflush(stdout);
           } else {
             stream_ok = false;
             stream_error = "unexpected response frame from client";
@@ -296,6 +375,7 @@ int serve(const util::Cli& cli) {
   }
   flush(session);  // EOF is the final batch boundary
 
+  print_shutdown_summary(service, chaos.get());
   write_metrics(cli, service, options);
 
   if (!stream_ok) throw FormatError("request stream: " + stream_error);
@@ -315,8 +395,10 @@ int main(int argc, char** argv) {
     if (cli.get_bool("help", false)) return usage();
     cli.require_known({"listen", "max-conns", "max-inflight", "queue",
                        "workers", "deadline", "validate",
-                       "no-salvage-fallback", "max-frame-mb", "metrics-out",
-                       "cache-dir", "cache-mem", "no-cache", "help"});
+                       "no-salvage-fallback", "max-frame-mb", "store-dir",
+                       "store-disk-mb", "chaos-seed", "chaos-profile",
+                       "metrics-out", "cache-dir", "cache-mem", "no-cache",
+                       "help"});
     const std::string listen = cli.get("listen", "");
     if (!listen.empty()) return serve_socket(cli, listen);
     return serve(cli);
